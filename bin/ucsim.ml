@@ -1,0 +1,460 @@
+(* ucsim — command-line driver for the update-consistency reproduction.
+
+   Subcommands:
+     figures      print the Figure 1 matrix and the Figure 2 analysis
+     experiments  run the experiment suite (all or by id)
+     run          simulate one protocol on a generated workload
+     modelcheck   exhaustively check a protocol on a small script
+     list         show available protocols and experiments *)
+
+let experiment_ids =
+  [ "F1"; "F2"; "P1"; "P4"; "T6"; "T6b"; "C1"; "C2"; "C3"; "C4"; "C4b"; "T7"; "S1"; "C5"; "A1"; "A2"; "A3" ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol registry for `run`: each named protocol is paired with its
+   object type and a driver that simulates a conflict workload on it.  *)
+(* ------------------------------------------------------------------ *)
+
+type run_params = {
+  seed : int;
+  n : int;
+  ops : int;
+  mean_delay : float;
+  fifo : bool;
+  crash_one : bool;
+  check : bool;
+  spacetime : bool;
+}
+
+let describe_metrics (m : Metrics.t) =
+  Printf.printf
+    "messages sent      %d\nbytes sent         %d\nupdates invoked    %d\nqueries invoked    %d\nops incomplete     %d\nreplay steps       %d\n"
+    m.Metrics.messages_sent m.Metrics.bytes_sent m.Metrics.updates_invoked
+    m.Metrics.queries_invoked m.Metrics.ops_incomplete m.Metrics.replay_steps
+
+module type SET_PROTOCOL =
+  Protocol.PROTOCOL
+    with type update = Set_spec.update
+     and type query = Set_spec.query
+     and type output = Set_spec.output
+
+let run_set (module P : SET_PROTOCOL) p =
+  let module R = Runner.Make (P) in
+  let rng = Prng.create p.seed in
+  let workload =
+    Workload.For_set.conflict ~rng ~n:p.n ~ops_per_process:p.ops ~domain:16 ~skew:1.0
+      ~delete_ratio:0.3
+  in
+  let config =
+    {
+      (R.default_config ~n:p.n ~seed:p.seed) with
+      R.delay = Network.Exponential { mean = p.mean_delay };
+      fifo = p.fifo;
+      crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
+      final_read = Some Set_spec.Read;
+      trace = p.spacetime;
+    }
+  in
+  let r = R.run config ~workload in
+  (match r.R.trace with
+  | Some tr -> print_string (Trace.render tr ~n:p.n)
+  | None -> ());
+  Printf.printf "protocol           %s (object: set)\n" P.protocol_name;
+  describe_metrics r.R.metrics;
+  Printf.printf "converged          %b\n" r.R.converged;
+  List.iter
+    (fun (pid, o) ->
+      Format.printf "final read p%d      %a@." pid Set_spec.pp_output o)
+    r.R.final_outputs;
+  if p.check then begin
+    let module C = Criteria.Make (Set_spec) in
+    Printf.printf "history UC         %b\nhistory EC         %b\n"
+      (C.holds Criteria.UC r.R.history)
+      (C.holds Criteria.EC r.R.history)
+  end
+
+let run_counter (module P : Protocol.PROTOCOL
+                  with type update = Counter_spec.update
+                   and type query = Counter_spec.query
+                   and type output = Counter_spec.output) p =
+  let module R = Runner.Make (P) in
+  let rng = Prng.create p.seed in
+  let workload =
+    Workload.For_counter.deposits_and_withdrawals ~rng ~n:p.n ~ops_per_process:p.ops
+      ~max_amount:100
+  in
+  let config =
+    {
+      (R.default_config ~n:p.n ~seed:p.seed) with
+      R.delay = Network.Exponential { mean = p.mean_delay };
+      fifo = p.fifo;
+      final_read = Some Counter_spec.Value;
+    }
+  in
+  let r = R.run config ~workload in
+  Printf.printf "protocol           %s (object: counter)\n" P.protocol_name;
+  describe_metrics r.R.metrics;
+  Printf.printf "converged          %b\n" r.R.converged;
+  List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs
+
+let run_register (module P : Protocol.PROTOCOL
+                   with type update = Register_spec.update
+                    and type query = Register_spec.query
+                    and type output = Register_spec.output) p =
+  let module R = Runner.Make (P) in
+  let rng = Prng.create p.seed in
+  let module G = Workload.Make (Register_spec) in
+  let workload = G.mixed ~rng ~n:p.n ~ops_per_process:p.ops ~query_ratio:0.4 in
+  let config =
+    {
+      (R.default_config ~n:p.n ~seed:p.seed) with
+      R.delay = Network.Exponential { mean = p.mean_delay };
+      fifo = p.fifo;
+      final_read = Some Register_spec.Read;
+    }
+  in
+  let r = R.run config ~workload in
+  Printf.printf "protocol           %s (object: register)\n" P.protocol_name;
+  describe_metrics r.R.metrics;
+  Printf.printf "converged          %b\n" r.R.converged;
+  (match r.R.op_latencies with
+  | [] -> ()
+  | ls ->
+    let s = Stats.summarize ls in
+    Printf.printf "op latency         mean=%.2f p99=%.2f\n" s.Stats.mean s.Stats.p99);
+  List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs
+
+let run_memory p =
+  let module R = Runner.Make (Lww_memory) in
+  let rng = Prng.create p.seed in
+  let workload =
+    Workload.For_memory.random_writes ~rng ~n:p.n ~ops_per_process:p.ops ~registers:8
+      ~read_ratio:0.4
+  in
+  let config =
+    {
+      (R.default_config ~n:p.n ~seed:p.seed) with
+      R.delay = Network.Exponential { mean = p.mean_delay };
+      final_read = Some (Memory_spec.Read 0);
+    }
+  in
+  let r = R.run config ~workload in
+  Printf.printf "protocol           lww-memory (object: memory)\n";
+  describe_metrics r.R.metrics;
+  Printf.printf "converged          %b\n" r.R.converged
+
+module Uni_set = Generic.Make (Set_spec)
+module Memo_set = Memo.Make (Set_spec)
+module Gc_set = Gc.Make (Set_spec)
+module Undo_set = Undo.Make (Undoable.Set)
+module Pipe_set = Pipelined.Make (Set_spec)
+module Uni_counter = Generic.Make (Counter_spec)
+module Fast_counter = Commutative.Make (Counter_spec)
+module Uni_reg = Generic.Make (Register_spec)
+
+(* Algorithm 1 on any registered object: generic over the packed ADT. *)
+let run_universal_on (module A : Uqadt.S) p =
+  let module P = Generic.Make (A) in
+  let module R = Runner.Make (P) in
+  let rng = Prng.create p.seed in
+  let workload =
+    Array.init p.n (fun _ ->
+        List.init p.ops (fun _ ->
+            if Prng.int rng 4 = 0 then Protocol.Invoke_query (A.random_query rng)
+            else Protocol.Invoke_update (A.random_update rng)))
+  in
+  let config =
+    {
+      (R.default_config ~n:p.n ~seed:p.seed) with
+      R.delay = Network.Exponential { mean = p.mean_delay };
+      fifo = p.fifo;
+      crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
+      final_read = Some (A.random_query (Prng.create p.seed));
+    }
+  in
+  let r = R.run config ~workload in
+  Printf.printf "protocol           universal (object: %s)\n" A.name;
+  describe_metrics r.R.metrics;
+  Printf.printf "converged          %b\n" r.R.converged;
+  List.iter
+    (fun (pid, o) -> Format.printf "final read p%d      %a@." pid A.pp_output o)
+    r.R.final_outputs
+
+let registry_protocols : (string * string * (run_params -> unit)) list =
+  List.map
+    (fun (name, packed) ->
+      ( "universal-" ^ name,
+        "Algorithm 1 on the " ^ name ^ " object",
+        run_universal_on packed ))
+    Registry.all
+
+let protocols : (string * string * (run_params -> unit)) list =
+  registry_protocols
+  @ [
+    ("universal", "Algorithm 1 on the set", run_set (module Uni_set));
+    ("memo", "Algorithm 1 + snapshot cache, set", run_set (module Memo_set));
+    ("gc", "Algorithm 1 + stability GC, set (needs --fifo)", run_set (module Gc_set));
+    ("undo", "undo-based construction, set", run_set (module Undo_set));
+    ("pipelined", "naive FIFO apply-on-receive, set", run_set (module Pipe_set));
+    ("orset", "OR-set CRDT", run_set (module Orset_crdt));
+    ("2pset", "two-phase set CRDT", run_set (module Twopset_crdt.Protocol_impl));
+    ("lwwset", "LWW-element-set CRDT", run_set (module Lwwset_crdt));
+    ("pnset", "counting set CRDT", run_set (module Pnset_crdt));
+    ("counter", "Algorithm 1 on the counter", run_counter (module Uni_counter));
+    ("fastcounter", "CRDT fast path counter", run_counter (module Fast_counter));
+    ("pncounter", "PN-counter CRDT", run_counter (module Counters.Pncounter));
+    ("register", "Algorithm 1 on the register", run_register (module Uni_reg));
+    ("lwwreg", "LWW-register CRDT", run_register (module Registers.Lwwreg));
+    ("abd", "ABD linearizable register (baseline)", run_register (module Abd));
+    ("lwwmemory", "Algorithm 2 shared memory", run_memory);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+let figures_cmd =
+  let doc = "Print the Figure 1 classification matrix and the Figure 2 analysis." in
+  let run () =
+    print_string (Table.render (Experiments.fig1 ()));
+    print_newline ();
+    print_string (Experiments.fig2 ())
+  in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ const ())
+
+let experiments_cmd =
+  let doc = "Run the experiment suite (DESIGN.md ids; default: all)." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids, e.g. C2 C4.")
+  in
+  let markdown_arg =
+    Arg.(value & flag & info [ "markdown" ] ~doc:"Render GitHub-flavoured tables.")
+  in
+  let run seed markdown ids =
+    let wanted = if ids = [] then experiment_ids else ids in
+    let wanted = List.map String.uppercase_ascii wanted in
+    List.iter
+      (fun (id, title, body) ->
+        if List.mem (String.uppercase_ascii id) wanted then
+          if markdown then Printf.printf "## %s — %s\n\n%s\n" id title body
+          else Printf.printf "== %s: %s ==\n%s\n" id title body)
+      (Experiments.all ~markdown ~seed ())
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ seed_arg $ markdown_arg $ ids)
+
+let run_cmd =
+  let doc = "Simulate one protocol on a generated conflict workload." in
+  let protocol =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, _, f) -> (n, f)) protocols))) None
+      & info [] ~docv:"PROTOCOL" ~doc:"One of the names shown by `ucsim list`.")
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Processes.") in
+  let ops_arg =
+    Arg.(value & opt int 100 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per process.")
+  in
+  let delay_arg =
+    Arg.(value & opt float 10.0 & info [ "delay" ] ~docv:"D" ~doc:"Mean message delay.")
+  in
+  let fifo_arg = Arg.(value & flag & info [ "fifo" ] ~doc:"FIFO channels.") in
+  let crash_arg =
+    Arg.(value & flag & info [ "crash" ] ~doc:"Crash the last process at t=50.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Run the UC/EC checkers on the extracted history (small runs only).")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print a space-time trace of the run (set protocols only).")
+  in
+  let run f seed n ops mean_delay fifo crash_one check spacetime =
+    f { seed; n; ops; mean_delay; fifo; crash_one; check; spacetime }
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ protocol $ seed_arg $ n_arg $ ops_arg $ delay_arg $ fifo_arg $ crash_arg
+      $ check_arg $ trace_arg)
+
+let modelcheck_cmd =
+  let doc = "Exhaustively model-check a protocol on the standard race script." in
+  let which =
+    let choices =
+      [ ("universal", `Universal); ("pipelined", `Pipelined); ("orset", `Orset) ]
+    in
+    Arg.(value & pos 0 (enum choices) `Universal & info [] ~docv:"PROTOCOL")
+  in
+  let run which =
+    let race =
+      [|
+        [ Protocol.Invoke_update (Set_spec.Insert 1); Protocol.Invoke_update (Set_spec.Delete 2) ];
+        [ Protocol.Invoke_update (Set_spec.Insert 2); Protocol.Invoke_update (Set_spec.Delete 1) ];
+      |]
+    in
+    let print_report name executions exhaustive failures first_failure =
+      Printf.printf "protocol    %s\nschedules   %d (exhaustive: %b)\n" name executions exhaustive;
+      List.iter
+        (fun (c, k) -> Printf.printf "%-4s fails  %d\n" (Criteria.name c) k)
+        failures;
+      match first_failure with
+      | None -> ()
+      | Some text -> Printf.printf "first violation:\n%s\n" text
+    in
+    match which with
+    | `Universal ->
+      let module M = Model_check.Make (Uni_set) in
+      let r = M.explore ~scripts:race ~final_read:Set_spec.Read () in
+      print_report "universal" r.M.executions r.M.exhaustive r.M.failures r.M.first_failure
+    | `Pipelined ->
+      let module M = Model_check.Make (Pipe_set) in
+      let r = M.explore ~scripts:race ~final_read:Set_spec.Read () in
+      print_report "pipelined" r.M.executions r.M.exhaustive r.M.failures r.M.first_failure
+    | `Orset ->
+      let module M = Model_check.Make (Orset_crdt) in
+      let r = M.explore ~scripts:race ~final_read:Set_spec.Read () in
+      print_report "or-set" r.M.executions r.M.exhaustive r.M.failures r.M.first_failure
+  in
+  Cmd.v (Cmd.info "modelcheck" ~doc) Term.(const run $ which)
+
+let nemesis_cmd =
+  let doc = "Run a randomized fault campaign (crashes + healing partitions)." in
+  let which =
+    let choices =
+      [
+        ("universal", `Universal);
+        ("memo", `Memo);
+        ("gc", `Gc);
+        ("undo", `Undo);
+        ("orset", `Orset);
+        ("pipelined", `Pipelined);
+      ]
+    in
+    Arg.(value & pos 0 (enum choices) `Universal & info [] ~docv:"PROTOCOL")
+  in
+  let runs_arg =
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc:"Campaign size.")
+  in
+  let set_workload rng ~n ~ops =
+    Workload.For_set.conflict ~rng ~n ~ops_per_process:ops ~domain:8 ~skew:1.0
+      ~delete_ratio:0.35
+  in
+  let campaign_of (module P : SET_PROTOCOL) ~fifo ~runs ~seed =
+    let module N = Nemesis.Make (P) in
+    let campaign = { N.default_campaign with N.runs; fifo; base_seed = seed } in
+    let v = N.run campaign ~workload:set_workload ~final_read:Set_spec.Read in
+    Printf.printf
+      "protocol %s: %d runs, %d crashes, %d partitions\nconvergence failures       %d\nstalled operations         %d\ncertificate disagreements  %d\nverdict                    %s\n"
+      P.protocol_name v.N.runs v.N.crashes_injected v.N.partitions_injected
+      v.N.convergence_failures v.N.stalled_operations v.N.certificate_disagreements
+      (if N.clean v then "CLEAN" else "FAULTY");
+    if v.N.failing_seeds <> [] then
+      Printf.printf "failing seeds: %s\n"
+        (String.concat ", " (List.map string_of_int v.N.failing_seeds))
+  in
+  let run which seed runs =
+    match which with
+    | `Universal -> campaign_of (module Uni_set) ~fifo:false ~runs ~seed
+    | `Memo -> campaign_of (module Memo_set) ~fifo:false ~runs ~seed
+    | `Gc -> campaign_of (module Gc_set) ~fifo:true ~runs ~seed
+    | `Undo -> campaign_of (module Undo_set) ~fifo:false ~runs ~seed
+    | `Orset -> campaign_of (module Orset_crdt) ~fifo:false ~runs ~seed
+    | `Pipelined -> campaign_of (module Pipe_set) ~fifo:false ~runs ~seed
+  in
+  Cmd.v (Cmd.info "nemesis" ~doc) Term.(const run $ which $ seed_arg $ runs_arg)
+
+let classify_cmd =
+  let doc =
+    "Classify a hand-written set history against every consistency criterion."
+  in
+  let history_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HISTORY"
+          ~doc:
+            (Printf.sprintf
+               "Events I(v), D(v), R{…} (append w for an ω read); processes \
+                separated by '/'. Example: \"%s\"."
+               Parse_history.example))
+  in
+  let witnesses_arg =
+    Arg.(value & flag & info [ "witness" ] ~doc:"Also print the UC/PC witnesses found.")
+  in
+  let run text witnesses =
+    match Parse_history.parse text with
+    | exception Parse_history.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+    | h ->
+      Format.printf "%a"
+        (History.pp Set_spec.pp_update Set_spec.pp_query Set_spec.pp_output)
+        h;
+      let module C = Criteria.Make (Set_spec) in
+      List.iter
+        (fun (c, ok) ->
+          Printf.printf "  %-5s %s\n" (Criteria.name c) (if ok then "yes" else "no"))
+        (C.classify h);
+      if witnesses then begin
+        let module Uc = Check_uc.Make (Set_spec) in
+        (match Uc.witness h with
+        | Some updates ->
+          Format.printf "UC linearization: %a@."
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf " · ")
+               Set_spec.pp_update)
+            updates
+        | None -> ());
+        let module Pc = Check_pc.Make (Set_spec) in
+        match Pc.witness h with
+        | Some ws ->
+          Array.iteri
+            (fun p w ->
+              Format.printf "PC word for p%d: " p;
+              List.iter
+                (fun (e : _ History.event) ->
+                  Format.printf "%a·"
+                    (Uqadt.pp_operation Set_spec.pp_update Set_spec.pp_query
+                       Set_spec.pp_output)
+                    e.History.label)
+                w;
+              Format.printf "@.")
+            ws
+        | None -> ()
+      end
+  in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ history_arg $ witnesses_arg)
+
+let list_cmd =
+  let doc = "List protocols and experiments." in
+  let run () =
+    Printf.printf "protocols:\n";
+    List.iter (fun (name, desc, _) -> Printf.printf "  %-12s %s\n" name desc) protocols;
+    Printf.printf "experiments: %s\n" (String.concat " " experiment_ids);
+    Printf.printf "objects:     %s\n" (String.concat " " Registry.names)
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Update consistency for wait-free concurrent objects — reproduction driver." in
+  let info = Cmd.info "ucsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figures_cmd;
+            experiments_cmd;
+            run_cmd;
+            modelcheck_cmd;
+            nemesis_cmd;
+            classify_cmd;
+            list_cmd;
+          ]))

@@ -1,0 +1,57 @@
+(* Collaborative editing: the motivating workload of the intention-
+   preservation literature the paper discusses (Sun et al.).
+
+   Two writers type concurrently into a shared text buffer. Under the
+   universal construction all replicas converge to the SAME document —
+   the one produced by the agreed linearization of the edit operations —
+   whereas naive apply-on-receive replicas end up with permanently
+   different documents.
+
+   Run with: dune exec examples/collaborative_editor.exe *)
+
+module Doc = Generic.Make (Text_spec)
+module Naive = Pipelined.Make (Text_spec)
+
+let alice =
+  List.mapi
+    (fun i c -> Protocol.Invoke_update (Text_spec.Insert (i, c)))
+    [ 'h'; 'e'; 'l'; 'l'; 'o' ]
+
+let bob =
+  List.mapi
+    (fun i c -> Protocol.Invoke_update (Text_spec.Insert (i, c)))
+    [ 'w'; 'o'; 'r'; 'l'; 'd' ]
+  @ [ Protocol.Invoke_update (Text_spec.Delete 0) ]
+
+let run_editor (type t m)
+    (module P : Protocol.PROTOCOL
+      with type update = Text_spec.update
+       and type query = Text_spec.query
+       and type output = Text_spec.output
+       and type t = t
+       and type message = m) =
+  let module R = Runner.Make (P) in
+  let config =
+    {
+      (R.default_config ~n:2 ~seed:3) with
+      R.delay = Network.Uniform { lo = 5.0; hi = 40.0 };
+      think = Network.Constant 1.0;
+      final_read = Some Text_spec.Read;
+    }
+  in
+  let r = R.run config ~workload:[| alice; bob |] in
+  Format.printf "%s:@." P.protocol_name;
+  List.iter
+    (fun (pid, out) ->
+      let name = if pid = 0 then "alice" else "bob  " in
+      Format.printf "  %s sees %a@." name Text_spec.pp_output out)
+    r.R.final_outputs;
+  Format.printf "  converged: %b@.@." r.R.converged
+
+let () =
+  Format.printf "Two users type concurrently ('hello' vs 'world'+delete):@.@.";
+  run_editor (module Doc);
+  run_editor (module Naive);
+  Format.printf
+    "The universal construction linearizes the edits identically everywhere;@.";
+  Format.printf "the naive replica applies them in arrival order and diverges.@."

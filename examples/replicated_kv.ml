@@ -1,0 +1,52 @@
+(* A replicated key-value store on Algorithm 2 (the update-consistent
+   shared memory): O(1) reads and writes, per-register last-writer-wins
+   arbitration by (Lamport clock, pid), and availability through a
+   network partition — writes taken on both sides merge deterministically
+   when the partition heals.
+
+   Run with: dune exec examples/replicated_kv.exe *)
+
+module R = Runner.Make (Lww_memory)
+
+let keys = [ ("user:42/name", 0); ("user:42/quota", 1); ("user:42/flags", 2) ]
+
+let key_name x = fst (List.nth keys x)
+
+let () =
+  (* During [10, 120) node 0 is cut off from nodes 1 and 2; everyone
+     keeps writing. *)
+  let workload =
+    [|
+      [
+        Protocol.Invoke_update (Memory_spec.Write (0, 100));
+        Protocol.Invoke_update (Memory_spec.Write (1, 17));
+        Protocol.Invoke_query (Memory_spec.Read 0);
+      ];
+      [
+        Protocol.Invoke_update (Memory_spec.Write (0, 200));
+        Protocol.Invoke_update (Memory_spec.Write (2, 5));
+        Protocol.Invoke_query (Memory_spec.Read 2);
+      ];
+      [ Protocol.Invoke_update (Memory_spec.Write (1, 34)) ];
+    |]
+  in
+  let config =
+    {
+      (R.default_config ~n:3 ~seed:11) with
+      R.partitions = [ { Network.from_time = 10.0; to_time = 120.0; group = [ 0 ] } ];
+      final_read = Some (Memory_spec.Read 0);
+    }
+  in
+  let r = R.run config ~workload in
+  Format.printf "writes placed on both sides of a partition, then it heals@.@.";
+  Format.printf "operations completed: %d (stalled: %d — wait-free, so zero)@."
+    r.R.metrics.Metrics.ops_completed r.R.metrics.Metrics.ops_incomplete;
+  List.iter
+    (fun (pid, v) -> Format.printf "node %d reads %s = %d@." pid (key_name 0) v)
+    r.R.final_outputs;
+  Format.printf "all nodes agree on %s: %b@." (key_name 0) r.R.converged;
+  Format.printf "bytes on the wire: %d (constant-size messages)@."
+    r.R.metrics.Metrics.bytes_sent;
+  (* The extracted history satisfies update consistency. *)
+  let module C = Criteria.Make (Memory_spec) in
+  Format.printf "history is update consistent: %b@." (C.holds Criteria.UC r.R.history)

@@ -1,0 +1,42 @@
+(* Space-time view of a run: watch Algorithm 1's messages cross while
+   every operation completes locally.
+
+   Run with: dune exec examples/spacetime_demo.exe *)
+
+module P = Generic.Make (Set_spec)
+module R = Runner.Make (P)
+
+let () =
+  let workload =
+    [|
+      [
+        Protocol.Invoke_update (Set_spec.Insert 1);
+        Protocol.Invoke_query Set_spec.Read;
+        Protocol.Invoke_update (Set_spec.Delete 2);
+      ];
+      [
+        Protocol.Invoke_update (Set_spec.Insert 2);
+        Protocol.Invoke_query Set_spec.Read;
+      ];
+      [ Protocol.Invoke_update (Set_spec.Insert 3) ];
+    |]
+  in
+  let config =
+    {
+      (R.default_config ~n:3 ~seed:21) with
+      R.delay = Network.Uniform { lo = 3.0; hi = 12.0 };
+      think = Network.Constant 2.0;
+      crashes = [ (9.0, 2) ];
+      final_read = Some Set_spec.Read;
+      trace = true;
+    }
+  in
+  let r = R.run config ~workload in
+  (match r.R.trace with
+  | Some tr -> print_string (Trace.render tr ~n:3)
+  | None -> ());
+  Format.printf "@.Every replica read %s at the end (converged: %b).@."
+    (match r.R.final_outputs with
+    | (_, o) :: _ -> Format.asprintf "%a" Set_spec.pp_output o
+    | [] -> "nothing")
+    r.R.converged

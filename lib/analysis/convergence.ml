@@ -1,0 +1,105 @@
+module Make (P : Protocol.PROTOCOL) = struct
+  type result = {
+    converged : bool;
+    last_update_time : float;
+    last_divergence_time : float;
+    convergence_lag : float;
+    duration : float;
+    probes : int;
+    divergent_probes : int;
+  }
+
+  let measure ~seed ~n ~delay ?(fifo = false) ?(partitions = []) ~think ~workload ~probe () =
+    if Array.length workload <> n then
+      invalid_arg "Convergence.measure: workload width must match n";
+    let engine = Engine.create () in
+    let metrics = Metrics.create () in
+    let root_rng = Prng.create seed in
+    let net_rng = Prng.split root_rng in
+    let think_rngs = Array.init n (fun _ -> Prng.split root_rng) in
+    let replicas = Array.make n None in
+    let last_update_time = ref 0.0 in
+    let last_divergence_time = ref 0.0 in
+    let probes = ref 0 in
+    let divergent_probes = ref 0 in
+    let probe_all () =
+      incr probes;
+      let outputs = ref [] in
+      Array.iter
+        (function
+          | None -> ()
+          | Some r -> P.query r probe ~on_result:(fun o -> outputs := o :: !outputs))
+        replicas;
+      match !outputs with
+      | [] -> ()
+      | o0 :: rest ->
+        if not (List.for_all (P.equal_output o0) rest) then begin
+          incr divergent_probes;
+          last_divergence_time := Engine.now engine
+        end
+    in
+    let network =
+      Network.create ~engine ~rng:net_rng ~metrics ~n ~fifo ~partitions ~delay
+        ~wire_size:P.message_wire_size
+        ~deliver:(fun ~dst ~src msg ->
+          (match replicas.(dst) with
+          | Some r -> P.receive r ~src msg
+          | None -> ());
+          probe_all ())
+        ()
+    in
+    for pid = 0 to n - 1 do
+      let ctx =
+        {
+          Protocol.pid;
+          n;
+          now = (fun () -> Engine.now engine);
+          send = (fun ~dst msg -> Network.send network ~src:pid ~dst msg);
+          broadcast = (fun msg -> Network.broadcast network ~src:pid msg);
+          set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
+          count_replay = (fun _ -> ());
+        }
+      in
+      replicas.(pid) <- Some (P.create ctx)
+    done;
+    let rec issue pid script =
+      match script with
+      | [] -> ()
+      | action :: rest ->
+        (match (action, replicas.(pid)) with
+        | _, None -> ()
+        | Protocol.Invoke_update u, Some r ->
+          last_update_time := Engine.now engine;
+          P.update r u ~on_done:ignore;
+          probe_all ()
+        | Protocol.Invoke_query q, Some r -> P.query r q ~on_result:ignore);
+        let gap = Network.draw_delay think_rngs.(pid) think in
+        Engine.schedule engine ~delay:gap (fun () -> issue pid rest)
+    in
+    Array.iteri
+      (fun pid script ->
+        let gap = Network.draw_delay think_rngs.(pid) think in
+        Engine.schedule engine ~delay:gap (fun () -> issue pid script))
+      workload;
+    Engine.run engine;
+    let final_agree =
+      let outputs = ref [] in
+      Array.iter
+        (function
+          | None -> ()
+          | Some r -> P.query r probe ~on_result:(fun o -> outputs := o :: !outputs))
+        replicas;
+      match !outputs with
+      | [] -> true
+      | o0 :: rest -> List.for_all (P.equal_output o0) rest
+    in
+    {
+      converged = final_agree;
+      last_update_time = !last_update_time;
+      last_divergence_time = !last_divergence_time;
+      convergence_lag = Float.max 0.0 (!last_divergence_time -. !last_update_time);
+      duration = Engine.now engine;
+      probes = !probes;
+      divergent_probes = !divergent_probes;
+    }
+end

@@ -1,0 +1,38 @@
+(** Convergence instrumentation (experiment A2).
+
+    Runs an update-only workload under a given network model and probes
+    every replica with a query after each delivery; reports when the
+    replicas last disagreed. Convergence time is measured from the last
+    update's invocation — how long after write-quiescence the replicas
+    still diverged — which is the observable that eventual consistency
+    bounds and the paper's partition/heavy-tail discussion cares about.
+
+    Restricted to wait-free protocols (probes must answer synchronously,
+    like the runner's final reads). *)
+
+module Make (P : Protocol.PROTOCOL) : sig
+  type result = {
+    converged : bool;  (** replicas agreed once everything was delivered *)
+    last_update_time : float;
+    last_divergence_time : float;
+        (** latest probe instant at which two replicas disagreed (0 if
+            never) *)
+    convergence_lag : float;
+        (** [max 0 (last_divergence_time - last_update_time)] *)
+    duration : float;
+    probes : int;
+    divergent_probes : int;
+  }
+
+  val measure :
+    seed:int ->
+    n:int ->
+    delay:Network.delay_model ->
+    ?fifo:bool ->
+    ?partitions:Network.partition list ->
+    think:Network.delay_model ->
+    workload:(P.update, P.query) Protocol.invocation list array ->
+    probe:P.query ->
+    unit ->
+    result
+end

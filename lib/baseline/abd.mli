@@ -1,0 +1,18 @@
+(** The ABD multi-writer atomic register (Attiya, Bar-Noy & Dolev [3])
+    — the strong-consistency baseline the paper's introduction argues
+    against for large-scale systems.
+
+    Every operation runs two majority round-trips (collect, then
+    propagate), so its latency is a small multiple of the network
+    round-trip time — the Attiya–Welch lower bound made concrete, and
+    the foil of experiment C4. An operation invoked while no majority is
+    reachable (a partition, or ⌈n/2⌉ crashes) simply never completes:
+    linearizability costs availability, which is the paper's motivation
+    for weakening consistency instead. *)
+
+include
+  Protocol.PROTOCOL
+    with type state = Register_spec.state
+     and type update = Register_spec.update
+     and type query = Register_spec.query
+     and type output = Register_spec.output

@@ -1,0 +1,115 @@
+module Make (P : Protocol.PROTOCOL) = struct
+  module R = Runner.Make (P)
+
+  type campaign = {
+    runs : int;
+    processes : int;
+    ops_per_process : int;
+    max_crashes : int;
+    crash_probability : float;
+    partition_probability : float;
+    fifo : bool;
+    base_seed : int;
+  }
+
+  let default_campaign =
+    {
+      runs = 50;
+      processes = 4;
+      ops_per_process = 30;
+      max_crashes = 2;
+      crash_probability = 0.5;
+      partition_probability = 0.5;
+      fifo = false;
+      base_seed = 1000;
+    }
+
+  type verdict = {
+    runs : int;
+    crashes_injected : int;
+    partitions_injected : int;
+    convergence_failures : int;
+    stalled_operations : int;
+    certificate_disagreements : int;
+    failing_seeds : int list;
+  }
+
+  let draw_faults (campaign : campaign) rng =
+    let n = campaign.processes in
+    let crashes =
+      if Prng.float rng 1.0 < campaign.crash_probability then begin
+        let count = 1 + Prng.int rng (min campaign.max_crashes (n - 1)) in
+        let victims = Array.init n Fun.id in
+        Prng.shuffle rng victims;
+        List.init count (fun i -> (Prng.float rng 150.0, victims.(i)))
+      end
+      else []
+    in
+    let partitions =
+      if Prng.float rng 1.0 < campaign.partition_probability then begin
+        let from_time = Prng.float rng 80.0 in
+        let duration = 20.0 +. Prng.float rng 120.0 in
+        let group_size = 1 + Prng.int rng (n - 1) in
+        let members = Array.init n Fun.id in
+        Prng.shuffle rng members;
+        [
+          {
+            Network.from_time;
+            to_time = from_time +. duration;
+            group = Array.to_list (Array.sub members 0 group_size);
+          };
+        ]
+      end
+      else []
+    in
+    (crashes, partitions)
+
+  let run (campaign : campaign) ~workload ~final_read =
+    let crashes_injected = ref 0 in
+    let partitions_injected = ref 0 in
+    let convergence_failures = ref 0 in
+    let stalled_operations = ref 0 in
+    let certificate_disagreements = ref 0 in
+    let failing_seeds = ref [] in
+    for i = 0 to campaign.runs - 1 do
+      let seed = campaign.base_seed + i in
+      let rng = Prng.create seed in
+      let fault_rng = Prng.split rng in
+      let crashes, partitions = draw_faults campaign fault_rng in
+      crashes_injected := !crashes_injected + List.length crashes;
+      partitions_injected := !partitions_injected + List.length partitions;
+      let scripts = workload rng ~n:campaign.processes ~ops:campaign.ops_per_process in
+      let config =
+        {
+          (R.default_config ~n:campaign.processes ~seed) with
+          R.fifo = campaign.fifo;
+          crashes;
+          partitions;
+          final_read = Some final_read;
+        }
+      in
+      let r = R.run config ~workload:scripts in
+      let clean_run =
+        r.R.converged
+        && r.R.metrics.Metrics.ops_incomplete = 0
+        && r.R.certificates_agree
+      in
+      if not r.R.converged then incr convergence_failures;
+      stalled_operations := !stalled_operations + r.R.metrics.Metrics.ops_incomplete;
+      if not r.R.certificates_agree then incr certificate_disagreements;
+      if not clean_run then failing_seeds := seed :: !failing_seeds
+    done;
+    {
+      runs = campaign.runs;
+      crashes_injected = !crashes_injected;
+      partitions_injected = !partitions_injected;
+      convergence_failures = !convergence_failures;
+      stalled_operations = !stalled_operations;
+      certificate_disagreements = !certificate_disagreements;
+      failing_seeds = List.rev !failing_seeds;
+    }
+
+  let clean v =
+    v.convergence_failures = 0 && v.stalled_operations = 0
+    && v.certificate_disagreements = 0
+end

@@ -1,0 +1,57 @@
+(** Randomized fault campaigns (a Jepsen-style nemesis for the
+    simulator).
+
+    Where {!Model_check} is exhaustive on tiny scripts, a campaign runs
+    {e many} medium-sized simulations, each with faults drawn from the
+    run's seed — up to [max_crashes] crashes at random times (always
+    leaving at least one survivor: the wait-free fault model of Section
+    VII.A) and, with some probability, a partition that isolates a
+    random group for a random window and then heals (the network stays
+    reliable, as the paper assumes).
+
+    For each run it asserts the two properties every update-consistent
+    wait-free protocol must keep under this fault model:
+
+    - {b convergence}: the final reads of the surviving processes agree
+      (the partition healed and every surviving process's messages were
+      delivered);
+    - {b wait-freedom}: no operation of a surviving process stalls.
+
+    Certificate disagreement is tracked as a third, stronger signal for
+    log-based protocols. *)
+
+module Make (P : Protocol.PROTOCOL) : sig
+  type campaign = {
+    runs : int;
+    processes : int;
+    ops_per_process : int;
+    max_crashes : int;  (** capped at [processes - 1] *)
+    crash_probability : float;  (** chance a given run has any crash *)
+    partition_probability : float;
+    fifo : bool;
+    base_seed : int;
+  }
+
+  val default_campaign : campaign
+  (** 50 runs, 4 processes, 30 ops each, ≤2 crashes (p=0.5), partitions
+      with p=0.5, no FIFO, base seed 1000. *)
+
+  type verdict = {
+    runs : int;
+    crashes_injected : int;
+    partitions_injected : int;
+    convergence_failures : int;
+    stalled_operations : int;
+    certificate_disagreements : int;
+    failing_seeds : int list;
+  }
+
+  val run :
+    campaign ->
+    workload:(Prng.t -> n:int -> ops:int -> (P.update, P.query) Protocol.invocation list array) ->
+    final_read:P.query ->
+    verdict
+
+  val clean : verdict -> bool
+  (** No convergence failures, no stalls, no certificate splits. *)
+end

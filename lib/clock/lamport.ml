@@ -1,0 +1,15 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+
+let value c = c.now
+
+let tick c =
+  c.now <- c.now + 1;
+  c.now
+
+let merge c received = if received > c.now then c.now <- received
+
+let observe c received =
+  merge c received;
+  tick c

@@ -1,0 +1,23 @@
+(** Lamport logical clocks (Lamport 1978, reference [14] of the paper).
+
+    A mutable per-process counter: {!tick} before a local event, {!merge}
+    on message receipt (line 9 of Algorithm 1 is
+    [clock_i <- max(clock_i, cl)]). The induced happened-before order is
+    contained in the timestamp order. *)
+
+type t
+
+val create : unit -> t
+(** A clock at 0. *)
+
+val value : t -> int
+
+val tick : t -> int
+(** Increment then return the new value (lines 5 and 13 of Algorithm 1). *)
+
+val merge : t -> int -> unit
+(** [merge c received] sets [c] to [max c received]. *)
+
+val observe : t -> int -> int
+(** [merge] then [tick]: the receive-then-act composite used by causal
+    broadcast. Returns the new value. *)

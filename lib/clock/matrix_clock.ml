@@ -1,0 +1,40 @@
+type t = int array array
+
+let create n =
+  if n <= 0 then invalid_arg "Matrix_clock.create: n must be positive";
+  Array.init n (fun _ -> Array.make n 0)
+
+let n = Array.length
+
+let row m i = Vector_clock.of_array m.(i)
+
+let update_row m i v =
+  if Vector_clock.n v <> Array.length m then
+    invalid_arg "Matrix_clock.update_row: size mismatch";
+  Array.mapi
+    (fun j r ->
+      if j = i then Array.init (Array.length r) (fun k -> max r.(k) (Vector_clock.get v k))
+      else Array.copy r)
+    m
+
+let merge a b =
+  if Array.length a <> Array.length b then invalid_arg "Matrix_clock.merge: size mismatch";
+  Array.mapi (fun i ra -> Array.mapi (fun j x -> max x b.(i).(j)) ra) a
+
+let stable_clock m =
+  Array.fold_left (fun acc r -> Array.fold_left min acc r) max_int m
+
+let wire_size m =
+  Array.fold_left
+    (fun acc r -> Array.fold_left (fun acc x -> acc + Wire.varint_size x) acc r)
+    0 m
+
+let pp ppf m =
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "⟨%a⟩"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        (Array.to_list r))
+    m

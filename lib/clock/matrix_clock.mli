@@ -1,0 +1,37 @@
+(** Matrix clocks: what each process knows about what every process has
+    seen. Row [i] is the latest vector clock known for process [i].
+
+    The stability bound — [stable_clock m] — is the minimum over rows of
+    the row-wise minimum... more precisely, an update timestamped [c] is
+    {e stable} once every process is known to have received every message
+    with clock ≤ [c]; then no query anywhere can ever need the updates
+    before it again, so the universal construction may garbage-collect
+    its log prefix (the Section VII.C discussion on pruning old
+    messages). *)
+
+type t
+
+val create : int -> t
+(** [create n]: n×n zero matrix. *)
+
+val n : t -> int
+
+val row : t -> int -> Vector_clock.t
+(** Copy of row [i]. *)
+
+val update_row : t -> int -> Vector_clock.t -> t
+(** [update_row m i v] replaces row [i] by the component-wise max of the
+    current row and [v] (functional). *)
+
+val merge : t -> t -> t
+(** Component-wise max of all rows. *)
+
+val stable_clock : t -> int
+(** The largest clock [c] such that every process is known to have
+    delivered every message stamped ≤ [c] from every sender: the minimum
+    entry of the matrix. Log entries with [Timestamp.clock <= c] can be
+    compacted into a snapshot. *)
+
+val wire_size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type t = { clock : int; pid : int }
+
+let make ~clock ~pid = { clock; pid }
+
+let compare a b =
+  let c = Int.compare a.clock b.clock in
+  if c <> 0 then c else Int.compare a.pid b.pid
+
+let equal a b = compare a b = 0
+
+let ( < ) a b = compare a b < 0
+
+let pp ppf t = Format.fprintf ppf "(%d,%d)" t.clock t.pid
+
+let wire_size t = Wire.pair_size t.clock t.pid

@@ -1,0 +1,22 @@
+(** Totally ordered timestamps [(clock, pid)] — the pairs Algorithm 1
+    attaches to every update. Lamport logical time gives a pre-total
+    order; breaking ties by the unique process id makes it total
+    (Section VII.B), which is exactly the linearization [≤] of the SUC
+    proof (Proposition 4). *)
+
+type t = { clock : int; pid : int }
+
+val make : clock:int -> pid:int -> t
+
+val compare : t -> t -> int
+(** Lexicographic: clock first, pid second. *)
+
+val equal : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val wire_size : t -> int
+(** Two varints: the "two integer values that only grow logarithmically"
+    of Section VII.C. *)

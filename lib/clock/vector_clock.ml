@@ -1,0 +1,54 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vector_clock.create: n must be positive";
+  Array.make n 0
+
+let n = Array.length
+
+let copy = Array.copy
+
+let get v i = v.(i)
+
+let tick v i =
+  let v' = Array.copy v in
+  v'.(i) <- v'.(i) + 1;
+  v'
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.merge: size mismatch";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let leq a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.leq: size mismatch";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let deliverable m ~from local =
+  if Array.length m <> Array.length local then
+    invalid_arg "Vector_clock.deliverable: size mismatch";
+  let ok = ref (m.(from) = local.(from) + 1) in
+  Array.iteri (fun j x -> if j <> from && x > local.(j) then ok := false) m;
+  !ok
+
+let of_array a = Array.copy a
+
+let to_array = Array.copy
+
+let wire_size v = Array.fold_left (fun acc x -> acc + Wire.varint_size x) 0 v
+
+let pp ppf v =
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list v)

@@ -1,0 +1,49 @@
+(** Vector clocks over a fixed set of [n] processes.
+
+    Used by the causal-broadcast substrate of the op-based CRDT baselines
+    (the OR-set requires causal delivery) and to detect concurrency when
+    measuring conflict rates. The partial order [leq] is the classic
+    component-wise order; [concurrent a b] iff neither dominates. *)
+
+type t
+
+val create : int -> t
+(** All-zero vector for [n] processes. *)
+
+val n : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** [tick v i] increments component [i] (functional). *)
+
+val merge : t -> t -> t
+(** Component-wise max. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff a.(i) <= b.(i) for every i. *)
+
+val lt : t -> t -> bool
+(** [leq a b] and [a <> b]. *)
+
+val equal : t -> t -> bool
+
+val concurrent : t -> t -> bool
+
+val deliverable : t -> from:int -> t -> bool
+(** Causal-delivery test: message stamped [m] sent by [from] is
+    deliverable at a replica whose vector is [local] iff
+    [m.(from) = local.(from) + 1] and [m.(j) <= local.(j)] for every
+    other [j]. *)
+
+val of_array : int array -> t
+(** Takes ownership of a copy of the array. *)
+
+val to_array : t -> int array
+(** A fresh copy. *)
+
+val wire_size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Algorithm 1 with stability-based log compaction — Section VII.C's
+    "after some time old messages can be garbage collected".
+
+    Correctness of pruning rests on a Lamport-clock stability rule: if
+    every process has been heard from with a logical clock ≥ c, then any
+    future update from any process will carry a timestamp with clock
+    > c, hence sort after every log entry with clock ≤ c. That prefix of
+    the total order is immutable and can be folded into a snapshot
+    state.
+
+    The rule additionally needs per-channel FIFO delivery (run with
+    [fifo = true]): a process's messages carry increasing clocks, so
+    under FIFO "heard clock c from j" implies every earlier message of
+    [j] has arrived, and nothing in flight can sort below the bound.
+    This is the concrete synchrony assumption Section VII.C alludes to
+    when it notes old messages can be collected "after some time"; the
+    replica raises [Invalid_argument] rather than mis-linearize if the
+    assumption is violated.
+
+    Liveness of the bound requires hearing from idle processes, so a
+    replica that has received [heartbeat_every] updates without sending
+    anything broadcasts a clock-only heartbeat. A crashed process stops
+    heartbeating and freezes the bound — the price of wait-freedom, and
+    measured in experiment C3.
+
+    The trade-off against {!Generic}: O(1)-bounded log in steady state,
+    but the replica can no longer produce a full certificate (the
+    compacted prefix is gone) and replays only the live tail. *)
+
+module Make (A : Uqadt.S) : sig
+  include
+    Protocol.PROTOCOL
+      with type state = A.state
+       and type update = A.update
+       and type query = A.query
+       and type output = A.output
+
+  val heartbeat_every : int
+
+  val compacted : t -> int
+  (** Log entries folded into the snapshot so far. *)
+end

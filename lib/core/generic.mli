@@ -1,0 +1,34 @@
+(** Algorithm 1: the generic strong-update-consistent universal
+    construction.
+
+    Every update is timestamped with (Lamport clock, pid) — a total
+    order that contains the happened-before relation — and reliably
+    broadcast; each replica keeps the set of timestamped updates it has
+    received, sorted; a query replays the whole sorted log from the
+    initial state and evaluates on the result (lines 12–19 of the
+    paper). Wait-free: both operations complete locally, whatever the
+    network does. Proposition 4: all histories this produces are SUC.
+
+    This is the {e reference} implementation — deliberately naive, one
+    replay per query — against which {!Memo}, {!Gc} and {!Undo} are the
+    paper's Section VII.C optimisations. *)
+
+module Make (A : Uqadt.S) : sig
+  include
+    Protocol.PROTOCOL
+      with type state = A.state
+       and type update = A.update
+       and type query = A.query
+       and type output = A.output
+
+  val local_log : t -> (Timestamp.t * int * A.update) list
+  (** The replica's timestamp-sorted update log (timestamp, origin pid,
+      update) — exposed for the experiments, the model checker and
+      {!Persist}. *)
+
+  val restore_log : t -> (Timestamp.t * int * A.update) list -> unit
+  (** Crash recovery: replace the replica's log with a decoded snapshot
+      (see {!Persist}) and advance its Lamport clock past every restored
+      timestamp, so operations issued after recovery still sort after
+      everything the replica had acknowledged before the crash. *)
+end

@@ -1,0 +1,26 @@
+(** Algorithm 1 with cached intermediate states — the "effective
+    implementation" sketched in Section VII.C: "a process can keep
+    intermediate states. These intermediate states are re-computed only
+    if very late messages arrive."
+
+    The log is an array kept in timestamp order with periodic snapshot
+    states every [snapshot_interval] entries. A query replays only from
+    the last snapshot below the log's end (O(interval) amortised instead
+    of O(log length)); a late arrival that lands at position [k]
+    invalidates just the snapshots above [k]. Observable difference from
+    {!Generic}: none in answers (same total order), only in
+    [replay_steps] — which is exactly experiment C2/A1. *)
+
+module Make (A : Uqadt.S) : sig
+  include
+    Protocol.PROTOCOL
+      with type state = A.state
+       and type update = A.update
+       and type query = A.query
+       and type output = A.output
+
+  val snapshot_interval : int
+
+  val snapshots_live : t -> int
+  (** Currently valid snapshots (diagnostics). *)
+end

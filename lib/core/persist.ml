@@ -1,0 +1,74 @@
+module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) = struct
+  module G = Generic.Make (A)
+
+  let magic = "UCL"
+
+  let version = 1
+
+  let checksum s =
+    let acc = ref 0 in
+    String.iter (fun c -> acc := (!acc + Char.code c) land 0x3FFFFFFF) s;
+    !acc
+
+  let encode_log entries =
+    let w = Codec.Writer.create () in
+    String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) magic;
+    Codec.Writer.u8 w version;
+    Codec.Writer.varint w (List.length entries);
+    List.iter
+      (fun (ts, origin, u) ->
+        Codec.Writer.varint w ts.Timestamp.clock;
+        Codec.Writer.varint w ts.Timestamp.pid;
+        Codec.Writer.varint w origin;
+        C.encode w u)
+      entries;
+    let body = Codec.Writer.contents w in
+    let tail = Codec.Writer.create () in
+    Codec.Writer.varint tail (checksum body);
+    body ^ Codec.Writer.contents tail
+
+  let decode_log s =
+    (* Split off the checksum: it is the trailing varint, so re-encode
+       candidate lengths from the end. Simpler and unambiguous: compute
+       over every prefix the checksum of that prefix and compare with
+       the varint that follows it — the frame is self-delimiting, so
+       decode the body first and the checksum after. *)
+    let r = Codec.Reader.of_string s in
+    String.iter
+      (fun c ->
+        if Codec.Reader.u8 r <> Char.code c then
+          raise (Codec.Decode_error "log snapshot: bad magic"))
+      magic;
+    if Codec.Reader.u8 r <> version then
+      raise (Codec.Decode_error "log snapshot: unsupported version");
+    let count = Codec.Reader.varint r in
+    let entries =
+      List.init count (fun _ ->
+          let clock = Codec.Reader.varint r in
+          let pid = Codec.Reader.varint r in
+          let origin = Codec.Reader.varint r in
+          let u = C.decode r in
+          (Timestamp.make ~clock ~pid, origin, u))
+    in
+    (* Everything before the current position is the body the writer
+       checksummed. *)
+    let body_len =
+      String.length s
+      - (let probe = Codec.Writer.create () in
+         Codec.Writer.varint probe (Codec.Reader.varint r);
+         if not (Codec.Reader.at_end r) then
+           raise (Codec.Decode_error "log snapshot: trailing bytes");
+         Codec.Writer.length probe)
+    in
+    let body = String.sub s 0 body_len in
+    let declared =
+      Codec.Reader.varint (Codec.Reader.of_string (String.sub s body_len (String.length s - body_len)))
+    in
+    if checksum body <> declared then
+      raise (Codec.Decode_error "log snapshot: checksum mismatch");
+    entries
+
+  let snapshot replica = encode_log (G.local_log replica)
+
+  let restore replica s = G.restore_log replica (decode_log s)
+end

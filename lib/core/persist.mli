@@ -1,0 +1,30 @@
+(** Durable snapshots of a replica's update log.
+
+    Section VII.C argues the full-log space cost is acceptable because
+    the log is an asset — "banks keep track of all the operations made
+    on an account for years"; "in database systems, it is usual to
+    record all the events in log files". This module makes that
+    concrete: a replica's timestamp-sorted log serialises to a
+    self-describing binary frame (magic, version, entry count, entries,
+    additive checksum) and restores into a fresh replica after a crash,
+    which then rejoins with its Lamport clock advanced past everything
+    it had acknowledged — so recovery never reuses a timestamp.
+
+    Framing errors, version mismatches and checksum failures raise
+    {!Codec.Decode_error}: a corrupted log must never silently
+    mis-linearize. *)
+
+module Make
+    (A : Uqadt.S)
+    (C : Update_codec.S with type update = A.update) : sig
+  val encode_log : (Timestamp.t * int * A.update) list -> string
+
+  val decode_log : string -> (Timestamp.t * int * A.update) list
+  (** @raise Codec.Decode_error on any malformation. *)
+
+  val snapshot : Generic.Make(A).t -> string
+  (** Serialise a live replica's log. *)
+
+  val restore : Generic.Make(A).t -> string -> unit
+  (** Load a snapshot into a (typically fresh) replica. *)
+end

@@ -1,0 +1,87 @@
+module Make (A : Undoable.S) = struct
+  include A
+
+  type message = { ts : Timestamp.t; update : A.update }
+
+  type entry = { ets : Timestamp.t; origin : int; u : A.update; mutable tok : A.undo }
+
+  type t = {
+    ctx : message Protocol.ctx;
+    clock : Lamport.t;
+    (* Newest first: repairs touch the recent end of the log. *)
+    mutable rlog : entry list;
+    mutable len : int;
+    mutable state : A.state;
+    mutable repairs : int;
+  }
+
+  let protocol_name = "universal-undo"
+
+  let create ctx =
+    { ctx; clock = Lamport.create (); rlog = []; len = 0; state = A.initial; repairs = 0 }
+
+  (* Insert a timestamped update at its place in the total order: undo
+     every later entry, apply, redo them (refreshing their undo tokens,
+     which are state-dependent). *)
+  let insert t ts origin u =
+    let before = t.repairs in
+    let rec unwind acc state = function
+      | e :: rest when Timestamp.compare ts e.ets < 0 ->
+        t.repairs <- t.repairs + 1;
+        unwind (e :: acc) (A.undo state e.tok) rest
+      | older ->
+        let state, tok = A.apply_with_undo state u in
+        let entry = { ets = ts; origin; u; tok } in
+        let state, rebuilt =
+          List.fold_left
+            (fun (state, log) e ->
+              let state, tok = A.apply_with_undo state e.u in
+              e.tok <- tok;
+              t.repairs <- t.repairs + 1;
+              (state, e :: log))
+            (state, entry :: older)
+            acc
+        in
+        t.state <- state;
+        t.rlog <- rebuilt;
+        t.len <- t.len + 1
+    in
+    unwind [] t.state t.rlog;
+    (* One application for the newcomer plus every undo/redo repair. *)
+    t.ctx.Protocol.count_replay (1 + t.repairs - before)
+
+  let update t u ~on_done =
+    let cl = Lamport.tick t.clock in
+    let ts = Timestamp.make ~clock:cl ~pid:t.ctx.Protocol.pid in
+    insert t ts t.ctx.Protocol.pid u;
+    t.ctx.Protocol.broadcast { ts; update = u };
+    on_done ()
+
+  let receive t ~src { ts; update = u } =
+    Lamport.merge t.clock ts.Timestamp.clock;
+    insert t ts src u
+
+  let query t q ~on_result =
+    let (_ : int) = Lamport.tick t.clock in
+    (* The current state is maintained incrementally: no replay at all. *)
+    on_result (A.eval t.state q)
+
+  let message_wire_size { ts; update = u } =
+    Timestamp.wire_size ts + A.update_wire_size u
+
+  let describe_message { ts; update = u } =
+    Format.asprintf "%a%a" A.pp_update u Timestamp.pp ts
+
+  let log_length t = t.len
+
+  let metadata_bytes t =
+    List.fold_left
+      (fun acc e ->
+        acc + Timestamp.wire_size e.ets + Wire.varint_size e.origin + A.update_wire_size e.u)
+      0 t.rlog
+
+  let certificate t =
+    Some (List.rev_map (fun e -> (e.origin, e.u)) t.rlog)
+
+  let repairs t = t.repairs
+end

@@ -1,0 +1,23 @@
+(** The undo-based universal construction (Karsenty & Beaudouin-Lafon
+    [22], as discussed in Section VII.C).
+
+    Like Algorithm 1 the replica totally orders updates by (Lamport
+    clock, pid), but it maintains the {e current} state incrementally:
+    a message that arrives in order is applied directly (O(1)); a late
+    message that belongs [k] positions from the end of the log is
+    positioned by undoing the [k] later updates, applying the newcomer,
+    and replaying the [k] — O(k) instead of the full-log replay of
+    {!Generic}. Queries are O(1). Experiment A1 compares the two as the
+    late-arrival rate grows. *)
+
+module Make (A : Undoable.S) : sig
+  include
+    Protocol.PROTOCOL
+      with type state = A.state
+       and type update = A.update
+       and type query = A.query
+       and type output = A.output
+
+  val repairs : t -> int
+  (** Number of undo/redo repair steps performed so far. *)
+end

@@ -1,0 +1,60 @@
+module type S = sig
+  include Uqadt.S
+
+  type undo
+
+  val apply_with_undo : state -> update -> state * undo
+
+  val undo : state -> undo -> state
+end
+
+module Set = struct
+  include Set_spec
+
+  (* Whether the element was present before the update ran. *)
+  type undo = { element : int; was_present : bool; was_insert : bool }
+
+  let apply_with_undo s u =
+    let element = match u with Set_spec.Insert v | Set_spec.Delete v -> v in
+    let was_present = Support.Int_set.mem element s in
+    let was_insert = match u with Set_spec.Insert _ -> true | Set_spec.Delete _ -> false in
+    (apply s u, { element; was_present; was_insert })
+
+  let undo s { element; was_present; was_insert = _ } =
+    if was_present then Support.Int_set.add element s
+    else Support.Int_set.remove element s
+end
+
+module Register = struct
+  include Register_spec
+
+  type undo = int  (* the overwritten value *)
+
+  let apply_with_undo s u = (apply s u, s)
+
+  let undo _ previous = previous
+end
+
+module Counter = struct
+  include Counter_spec
+
+  type undo = int  (* the increment to subtract back *)
+
+  let apply_with_undo s (Counter_spec.Add n as u) = (apply s u, n)
+
+  let undo s n = s - n
+end
+
+module Memory = struct
+  include Memory_spec
+
+  type undo = { key : int; previous : int option }
+
+  let apply_with_undo s (Memory_spec.Write (x, _) as u) =
+    (apply s u, { key = x; previous = Support.Int_map.find_opt x s })
+
+  let undo s { key; previous } =
+    match previous with
+    | None -> Support.Int_map.remove key s
+    | Some v -> Support.Int_map.add key v s
+end

@@ -1,0 +1,54 @@
+(** UQ-ADTs with invertible updates, for the Karsenty–Beaudouin-Lafon
+    style construction ([22] in the paper, discussed in Section VII.C):
+    "each update operation u contains an undo u⁻¹ such that for all s,
+    T(T(s, u), u⁻¹) = s".
+
+    A literal inverse update does not exist for all types (deleting an
+    absent element is not undone by re-inserting it), so — as groupware
+    systems do in practice — the inverse is captured {e at application
+    time}: [apply_with_undo] returns a token that [undo] uses to restore
+    the exact previous state. *)
+
+module type S = sig
+  include Uqadt.S
+
+  type undo
+
+  val apply_with_undo : state -> update -> state * undo
+
+  val undo : state -> undo -> state
+  (** [undo (apply_with_undo s u |> fst) (apply_with_undo s u |> snd) = s]. *)
+end
+
+(** The set with application-time undo tokens. *)
+module Set :
+  S
+    with type state = Set_spec.state
+     and type update = Set_spec.update
+     and type query = Set_spec.query
+     and type output = Set_spec.output
+
+(** The single register: undo restores the overwritten value. *)
+module Register :
+  S
+    with type state = Register_spec.state
+     and type update = Register_spec.update
+     and type query = Register_spec.query
+     and type output = Register_spec.output
+
+(** The counter: increments have a literal group inverse. *)
+module Counter :
+  S
+    with type state = Counter_spec.state
+     and type update = Counter_spec.update
+     and type query = Counter_spec.query
+     and type output = Counter_spec.output
+
+(** The shared memory: undo restores the register's previous binding
+    (including "unbound"). *)
+module Memory :
+  S
+    with type state = Memory_spec.state
+     and type update = Memory_spec.update
+     and type query = Memory_spec.query
+     and type output = Memory_spec.output

@@ -1,0 +1,44 @@
+type 'a pending = { src : int; vc : Vector_clock.t; payload : 'a }
+
+type 'a t = {
+  pid : int;
+  mutable vc : Vector_clock.t;
+  mutable buffer : 'a pending list;
+}
+
+let create ~n ~pid = { pid; vc = Vector_clock.create n; buffer = [] }
+
+let stamp t =
+  t.vc <- Vector_clock.tick t.vc t.pid;
+  t.vc
+
+let drain t =
+  (* Repeatedly deliver any buffered message whose dependencies are met. *)
+  let rec loop acc =
+    let deliverable, rest =
+      List.partition
+        (fun (p : 'a pending) -> Vector_clock.deliverable p.vc ~from:p.src t.vc)
+        t.buffer
+    in
+    match deliverable with
+    | [] -> List.rev acc
+    | _ ->
+      t.buffer <- rest;
+      let acc =
+        List.fold_left
+          (fun acc (p : 'a pending) ->
+            t.vc <- Vector_clock.merge t.vc p.vc;
+            (p.src, p.payload) :: acc)
+          acc deliverable
+      in
+      loop acc
+  in
+  loop []
+
+let receive t ~src vc payload =
+  t.buffer <- { src; vc; payload } :: t.buffer;
+  drain t
+
+let pending t = List.length t.buffer
+
+let clock t = t.vc

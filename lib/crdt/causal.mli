@@ -1,0 +1,28 @@
+(** Causal-order delivery buffer, the substrate op-based CRDTs assume
+    (the OR-set in particular: a remove must never be delivered before
+    the add it observed).
+
+    Classic vector-clock algorithm: each broadcast carries the sender's
+    vector clock; a receiver holds a message back until it is the
+    sender's next and every third-party dependency is satisfied
+    ({!Vector_clock.deliverable}). The network itself stays the paper's
+    arbitrary-delay asynchronous network — causality is restored at the
+    edge, which is how real op-based CRDT middleware works. *)
+
+type 'a t
+
+val create : n:int -> pid:int -> 'a t
+
+val stamp : 'a t -> Vector_clock.t
+(** Advance the local component and return the clock to attach to an
+    outgoing broadcast. The local event is delivered to self by the
+    caller (not buffered). *)
+
+val receive : 'a t -> src:int -> Vector_clock.t -> 'a -> (int * 'a) list
+(** Buffer the message and return every message (source, payload) that
+    has now become deliverable, in causal order. *)
+
+val pending : 'a t -> int
+(** Messages still held back. *)
+
+val clock : 'a t -> Vector_clock.t

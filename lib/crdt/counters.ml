@@ -1,0 +1,69 @@
+let vec_bytes v = Array.fold_left (fun acc x -> acc + Wire.varint_size x) 0 v
+
+let vec_join a b = Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let vec_sum = Array.fold_left ( + ) 0
+
+module Gcounter_lattice = struct
+  module A = Counter_spec
+
+  type payload = int array
+
+  let name = "g-counter"
+
+  let empty = [||]
+
+  let widen n p = if Array.length p >= n then p else Array.append p (Array.make (n - Array.length p) 0)
+
+  let join a b =
+    let n = max (Array.length a) (Array.length b) in
+    vec_join (widen n a) (widen n b)
+
+  let mutate ~pid p (Counter_spec.Add n) =
+    if n < 0 then invalid_arg "Gcounter: negative increment";
+    let p = widen (pid + 1) p in
+    let p = Array.copy p in
+    p.(pid) <- p.(pid) + n;
+    p
+
+  let read p Counter_spec.Value = vec_sum p
+
+  let payload_bytes = vec_bytes
+end
+
+module Gcounter = State_based.Make (Gcounter_lattice)
+
+module Pncounter_lattice = struct
+  module A = Counter_spec
+
+  type payload = { pos : int array; neg : int array }
+
+  let name = "pn-counter"
+
+  let empty = { pos = [||]; neg = [||] }
+
+  let widen n p = if Array.length p >= n then p else Array.append p (Array.make (n - Array.length p) 0)
+
+  let join a b =
+    let n = max (Array.length a.pos) (Array.length b.pos) in
+    let m = max (Array.length a.neg) (Array.length b.neg) in
+    { pos = vec_join (widen n a.pos) (widen n b.pos); neg = vec_join (widen m a.neg) (widen m b.neg) }
+
+  let mutate ~pid p (Counter_spec.Add n) =
+    if n >= 0 then begin
+      let pos = Array.copy (widen (pid + 1) p.pos) in
+      pos.(pid) <- pos.(pid) + n;
+      { p with pos }
+    end
+    else begin
+      let neg = Array.copy (widen (pid + 1) p.neg) in
+      neg.(pid) <- neg.(pid) - n;
+      { p with neg }
+    end
+
+  let read p Counter_spec.Value = vec_sum p.pos - vec_sum p.neg
+
+  let payload_bytes p = vec_bytes p.pos + vec_bytes p.neg
+end
+
+module Pncounter = State_based.Make (Pncounter_lattice)

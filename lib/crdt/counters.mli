@@ -1,0 +1,25 @@
+(** Counter CRDTs (Shapiro et al.): the G-counter (increment-only,
+    per-process totals joined by max) and the PN-counter (two
+    G-counters). Both are "pure CRDTs" in the paper's Section VII.C
+    sense — their updates commute, so they are the baseline of the C5
+    fast-path experiment. State-based. *)
+
+module Gcounter : sig
+  include
+    Protocol.PROTOCOL
+      with type state = Counter_spec.state
+       and type update = Counter_spec.update
+       and type query = Counter_spec.query
+       and type output = Counter_spec.output
+  (** @raise Invalid_argument on a negative increment — a G-counter
+      cannot go down. *)
+end
+
+module Pncounter : sig
+  include
+    Protocol.PROTOCOL
+      with type state = Counter_spec.state
+       and type update = Counter_spec.update
+       and type query = Counter_spec.query
+       and type output = Counter_spec.output
+end

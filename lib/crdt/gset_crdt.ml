@@ -1,0 +1,34 @@
+type payload = Support.Int_set.t
+
+let name = "g-set"
+
+let empty = Support.Int_set.empty
+
+let join = Support.Int_set.union
+
+let mutate ~pid:_ p (Gset_spec.Insert v) = Support.Int_set.add v p
+
+let read p Gset_spec.Read = p
+
+let payload_bytes p =
+  Support.Int_set.fold (fun v acc -> acc + Wire.varint_size (abs v)) p 1
+
+module Lattice = struct
+  module A = Gset_spec
+
+  type nonrec payload = payload
+
+  let name = name
+
+  let empty = empty
+
+  let join = join
+
+  let mutate = mutate
+
+  let read = read
+
+  let payload_bytes = payload_bytes
+end
+
+module Protocol_impl = State_based.Make (Lattice)

@@ -1,0 +1,15 @@
+(** The Grow-Only Set (G-Set) of Shapiro et al., the simplest CRDT the
+    paper cites: insert-only, join = union. State-based. *)
+
+type payload = Support.Int_set.t
+
+val join : payload -> payload -> payload
+
+module Protocol_impl : sig
+  include
+    Protocol.PROTOCOL
+      with type state = Gset_spec.state
+       and type update = Gset_spec.update
+       and type query = Gset_spec.query
+       and type output = Gset_spec.output
+end

@@ -1,0 +1,14 @@
+(** The Last-Writer-Wins element set (LWW-element-Set, Shapiro et al.):
+    each element keeps the timestamps of its latest insert and latest
+    delete; it is present when the insert is newer. Timestamps are
+    (Lamport clock, pid) pairs, so "newer" is a total order and merging
+    by max commutes — op-based, no delivery-order requirement. The
+    arbitration is per-element rather than global, which is why the
+    LWW set converges but is not update consistent in general. *)
+
+include
+  Protocol.PROTOCOL
+    with type state = Set_spec.state
+     and type update = Set_spec.update
+     and type query = Set_spec.query
+     and type output = Set_spec.output

@@ -1,0 +1,20 @@
+(** The Observed-Remove Set (OR-Set, Shapiro et al. [9], [20]) — "the
+    best documented algorithm for the set" and the object of the
+    paper's Section VI comparison (its concurrent specification is the
+    Insert-wins set, Definition 10).
+
+    Every insert creates a unique tag; a delete black-lists exactly the
+    tags it observes; an element is present while it has a live tag.
+    Hence a concurrent insert/delete of the same element resolves in
+    favour of the insert. Op-based over causal delivery ({!Causal}): a
+    remove must never arrive before an add it observed. *)
+
+include
+  Protocol.PROTOCOL
+    with type state = Set_spec.state
+     and type update = Set_spec.update
+     and type query = Set_spec.query
+     and type output = Set_spec.output
+
+val live_tags : t -> int
+(** Total live tags (diagnostics / metadata growth). *)

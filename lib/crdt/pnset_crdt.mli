@@ -1,0 +1,17 @@
+(** The counting set (PN-Set; the C-Set of Aslan et al. is the same
+    counting idea): each element carries a counter, insert adds one,
+    delete subtracts one, the element is present while the counter is
+    positive. Deltas commute, so plain apply-on-receive converges — but
+    deleting an absent element drives its counter negative and silently
+    swallows a future insert, one of the anomalies Section VI surveys.
+    Op-based; no delivery-order requirement. *)
+
+include
+  Protocol.PROTOCOL
+    with type state = Set_spec.state
+     and type update = Set_spec.update
+     and type query = Set_spec.query
+     and type output = Set_spec.output
+
+val count : t -> int -> int
+(** Current counter of an element (diagnostics). *)

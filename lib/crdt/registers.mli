@@ -1,0 +1,37 @@
+(** Register CRDTs (Shapiro et al.).
+
+    The LWW-register arbitrates concurrent writes by (Lamport clock,
+    pid) — it is in fact update consistent (it is Algorithm 2 with a
+    single register). The multi-value register refuses to arbitrate: a
+    read returns {e all} maximal concurrent writes, which makes it
+    convergent but gives reads no sequential explanation — the paper's
+    Section VI point that eventually consistent objects can have
+    semantics no linearization of updates produces. *)
+
+module Lwwreg : sig
+  include
+    Protocol.PROTOCOL
+      with type state = Register_spec.state
+       and type update = Register_spec.update
+       and type query = Register_spec.query
+       and type output = Register_spec.output
+end
+
+(** Sequential specification of the multi-value register: writes store a
+    singleton, reads return the stored set (so a sequential execution
+    always reads a singleton or the empty initial set). *)
+module Mvreg_spec :
+  Uqadt.S
+    with type state = Support.Int_set.t
+     and type update = Register_spec.update
+     and type query = Register_spec.query
+     and type output = Support.Int_set.t
+
+module Mvreg : sig
+  include
+    Protocol.PROTOCOL
+      with type state = Mvreg_spec.state
+       and type update = Mvreg_spec.update
+       and type query = Mvreg_spec.query
+       and type output = Mvreg_spec.output
+end

@@ -1,0 +1,41 @@
+(** Generic state-based (convergent) CRDT protocol.
+
+    The replicated payload forms a join semi-lattice — the second CRDT
+    sufficient condition the paper cites from Shapiro et al. A local
+    update inflates the payload and ships it whole; a receiver joins.
+    With reliable broadcast-on-update every update's effect reaches
+    every replica, so the protocol converges without periodic gossip.
+    The cost is on the wire: messages carry the full payload, which the
+    C1 experiment contrasts against Algorithm 1's constant-size update
+    messages. *)
+
+module type LATTICE = sig
+  module A : Uqadt.S
+
+  type payload
+
+  val name : string
+
+  val empty : payload
+
+  val join : payload -> payload -> payload
+  (** Associative, commutative, idempotent. *)
+
+  val mutate : pid:int -> payload -> A.update -> payload
+  (** Must inflate: [join p (mutate ~pid p u) = mutate ~pid p u]. *)
+
+  val read : payload -> A.query -> A.output
+
+  val payload_bytes : payload -> int
+end
+
+module Make (L : LATTICE) : sig
+  include
+    Protocol.PROTOCOL
+      with type state = L.A.state
+       and type update = L.A.update
+       and type query = L.A.query
+       and type output = L.A.output
+
+  val payload : t -> L.payload
+end

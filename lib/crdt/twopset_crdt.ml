@@ -1,0 +1,41 @@
+type payload = { added : Support.Int_set.t; removed : Support.Int_set.t }
+
+let name = "2p-set"
+
+let empty = { added = Support.Int_set.empty; removed = Support.Int_set.empty }
+
+let join a b =
+  {
+    added = Support.Int_set.union a.added b.added;
+    removed = Support.Int_set.union a.removed b.removed;
+  }
+
+let mutate ~pid:_ p = function
+  | Set_spec.Insert v -> { p with added = Support.Int_set.add v p.added }
+  | Set_spec.Delete v -> { p with removed = Support.Int_set.add v p.removed }
+
+let read p Set_spec.Read = Support.Int_set.diff p.added p.removed
+
+let payload_bytes p =
+  Support.Int_set.fold (fun v acc -> acc + Wire.varint_size (abs v)) p.added 1
+  + Support.Int_set.fold (fun v acc -> acc + Wire.varint_size (abs v)) p.removed 1
+
+module Lattice = struct
+  module A = Set_spec
+
+  type nonrec payload = payload
+
+  let name = name
+
+  let empty = empty
+
+  let join = join
+
+  let mutate = mutate
+
+  let read = read
+
+  let payload_bytes = payload_bytes
+end
+
+module Protocol_impl = State_based.Make (Lattice)

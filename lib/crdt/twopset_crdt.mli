@@ -1,0 +1,18 @@
+(** The Two-Phase Set (2P-Set, a.k.a. U-Set; Wuu & Bernstein [18]): a
+    white list of insertions and a black list of deletions, both
+    grow-only. A deleted element can never return — the anomaly the
+    paper contrasts with both the OR-set and the update-consistent set
+    in Section VI. State-based. *)
+
+type payload = { added : Support.Int_set.t; removed : Support.Int_set.t }
+
+val join : payload -> payload -> payload
+
+module Protocol_impl : sig
+  include
+    Protocol.PROTOCOL
+      with type state = Set_spec.state
+       and type update = Set_spec.update
+       and type query = Set_spec.query
+       and type output = Set_spec.output
+end

@@ -1,0 +1,165 @@
+type history = (Memory_spec.update, Memory_spec.query, Memory_spec.output) History.t
+
+let register_of (e : _ History.event) =
+  match e.History.label with
+  | Uqadt.Update (Memory_spec.Write (x, _)) -> x
+  | Uqadt.Query (Memory_spec.Read x, _) -> x
+
+let written_value (e : _ History.event) =
+  match e.History.label with
+  | Uqadt.Update (Memory_spec.Write (_, v)) -> Some v
+  | Uqadt.Query _ -> None
+
+let read_value (e : _ History.event) =
+  match e.History.label with
+  | Uqadt.Query (Memory_spec.Read _, v) -> Some v
+  | Uqadt.Update _ -> None
+
+(* Candidate writers for a read: same register, same value; plus ⊥ when
+   the read returns the initial value. A read may not read from a write
+   that follows it in program order (that edge alone closes a κ cycle). *)
+let candidates (h : history) (r : _ History.event) =
+  let x = register_of r and v = read_value r in
+  let writers =
+    List.filter
+      (fun (w : _ History.event) ->
+        register_of w = x && written_value w = v && not (History.po h r.History.id w.History.id))
+      (History.updates h)
+  in
+  let bottom = if v = Some Memory_spec.initial_value then [ None ] else [] in
+  bottom @ List.map (fun (w : _ History.event) -> Some w.History.id) writers
+
+(* Serialization search: a linear extension of κ restricted to
+   [events], replaying memory semantics, with ω reads after all
+   writes. *)
+let serializable ~kappa events =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i (e : _ History.event) -> Hashtbl.replace index_of e.History.id i) events;
+  (* Restriction of κ to the chosen events. *)
+  let g = Dag.create n in
+  Array.iteri
+    (fun i (e : _ History.event) ->
+      List.iter
+        (fun succ ->
+          match Hashtbl.find_opt index_of succ with
+          | Some j -> Dag.add_edge g i j
+          | None -> ())
+        (kappa e.History.id))
+    events;
+  match Dag.topo_order g with
+  | None -> false
+  | Some _ ->
+    let reach = Dag.reachable g in
+    let writes_left = ref 0 in
+    Array.iter
+      (fun (e : _ History.event) ->
+        match e.History.label with
+        | Uqadt.Update _ -> incr writes_left
+        | Uqadt.Query _ -> ())
+      events;
+    let consumed = Bitset.create n in
+    let memo : (int list, Memory_spec.state list ref) Hashtbl.t = Hashtbl.create 64 in
+    let exception Found in
+    let module Run = Uqadt.Run (Memory_spec) in
+    let rec go state =
+      if Bitset.cardinal consumed = n then raise Found;
+      let key = Bitset.elements consumed in
+      let seen =
+        match Hashtbl.find_opt memo key with
+        | None ->
+          Hashtbl.add memo key (ref [ state ]);
+          false
+        | Some states ->
+          if List.exists (Memory_spec.equal_state state) !states then true
+          else begin
+            states := state :: !states;
+            false
+          end
+      in
+      if not seen then
+        for i = 0 to n - 1 do
+          if not (Bitset.mem consumed i) then begin
+            (* Ready iff every κ-predecessor inside the set is consumed. *)
+            let ready = ref true in
+            for j = 0 to n - 1 do
+              if j <> i && Bitset.mem reach.(j) i && not (Bitset.mem consumed j) then
+                ready := false
+            done;
+            let e = events.(i) in
+            if !ready && ((not e.History.omega) || !writes_left = 0) then begin
+              match Run.step state e.History.label with
+              | None -> ()
+              | Some state' ->
+                Bitset.set consumed i;
+                let is_write =
+                  match e.History.label with Uqadt.Update _ -> true | Uqadt.Query _ -> false
+                in
+                if is_write then decr writes_left;
+                go state';
+                if is_write then incr writes_left;
+                Bitset.unset consumed i
+            end
+          end
+        done
+    in
+    (match go Memory_spec.initial with () -> false | exception Found -> true)
+
+let search (h : history) =
+  let reads = History.queries h in
+  let writes = History.updates h in
+  let cands = List.map (fun r -> (r, candidates h r)) reads in
+  let result = ref None in
+  let exception Found in
+  (* Enumerate writes-into assignments read by read. *)
+  let rec assign acc = function
+    | [] ->
+      let wi = List.rev acc in
+      (* κ successors: program order plus the writes-into edges. *)
+      let kappa id =
+        let po_succs =
+          List.filter_map
+            (fun (e : _ History.event) ->
+              if History.po h id e.History.id then Some e.History.id else None)
+            (History.events h)
+        in
+        let wi_succs =
+          List.filter_map
+            (fun ((r : _ History.event), w) ->
+              match w with Some wid when wid = id -> Some r.History.id | Some _ | None -> None)
+            wi
+        in
+        po_succs @ wi_succs
+      in
+      (* Global acyclicity of κ. *)
+      let n = History.size h in
+      let g = Dag.create n in
+      List.iter (fun (e : _ History.event) -> List.iter (Dag.add_edge g e.History.id) (kappa e.History.id)) (History.events h);
+      if Dag.is_acyclic g then begin
+        let per_process_ok =
+          List.init (History.process_count h) (fun p ->
+              let own_reads =
+                List.filter
+                  (fun (e : _ History.event) ->
+                    match e.History.label with
+                    | Uqadt.Query _ -> e.History.pid = p
+                    | Uqadt.Update _ -> false)
+                  (History.events h)
+              in
+              serializable ~kappa (writes @ own_reads))
+          |> List.for_all Fun.id
+        in
+        if per_process_ok then begin
+          result := Some (List.map (fun ((r : _ History.event), w) -> (r.History.id, w)) wi);
+          raise Found
+        end
+      end
+    | (r, options) :: rest ->
+      List.iter (fun choice -> assign ((r, choice) :: acc) rest) options
+  in
+  match assign [] cands with () -> None | exception Found -> !result
+
+let witness = search
+
+let holds h = search h <> None

@@ -1,0 +1,36 @@
+(** Causal memory (Ahamad, Neiger, Burns, Kohli & Hutto 1995 — reference
+    [5] of the paper), decided for {!Memory_spec} histories.
+
+    Section IV of the paper notes that causal consistency "is well
+    formalized only for memory" — the missing ingredient for general
+    UQ-ADTs being the {e writes-into} relation, which is only definable
+    when each read returns the value of one identifiable write. This
+    module supplies that classical memory-specific criterion, so the
+    repository's lattice can place it next to PC (which causality
+    strictly strengthens) and UC (with which it is incomparable).
+
+    Definition decided here: a history is causal iff there exists a
+    writes-into relation [↦] mapping each read either to a write of the
+    same register with the same value or (for reads of the initial
+    value) to no write, such that
+
+    - the causality order [κ = (7→ ∪ ↦)⁺] is acyclic, and
+    - for every process [p] there is a serialization of all writes plus
+      [p]'s reads that respects [κ] and is a legal sequential memory
+      execution (every read returns the latest preceding write to its
+      register); ω reads sit after every write, as everywhere in this
+      encoding.
+
+    The decision procedure enumerates writes-into assignments (each read
+    has finitely many candidate writes) and searches κ-respecting
+    serializations per process with state memoisation. Exponential in
+    history size; meant for the paper-scale histories of tests and
+    extracted small runs. *)
+
+type history = (Memory_spec.update, Memory_spec.query, Memory_spec.output) History.t
+
+val holds : history -> bool
+
+val witness : history -> (int * int option) list option
+(** The writes-into assignment found, as (read event id, writer event id
+    option) pairs — [None] marks a read of the initial value. *)

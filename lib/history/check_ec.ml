@@ -1,0 +1,9 @@
+module Make (A : Uqadt.S) = struct
+  type history = (A.update, A.query, A.output) History.t
+
+  let holds h =
+    let omega_pairs =
+      List.filter_map History.query_of (History.omega_queries h)
+    in
+    A.satisfiable omega_pairs
+end

@@ -1,0 +1,11 @@
+(** Eventual consistency (Definition 5): some state [s] is consistent
+    with all but finitely many queries. In the finite ω-encoding this is
+    exactly: one state satisfies every ω query — the non-ω queries are
+    the allowed finite set of exceptions, and a history whose updates
+    never stop (no ω queries at all) is vacuously EC. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val holds : history -> bool
+end

@@ -1,0 +1,226 @@
+type history = (Set_spec.update, Set_spec.query, Set_spec.output) History.t
+
+type relation = bool array array
+
+let element_of = function Set_spec.Insert v | Set_spec.Delete v -> v
+
+let is_insert = function Set_spec.Insert _ -> true | Set_spec.Delete _ -> false
+
+let close (h : history) rel =
+  let n = History.size h in
+  let rel = Array.map Array.copy rel in
+  for a = 0 to n - 1 do
+    rel.(a).(a) <- true;
+    for b = 0 to n - 1 do
+      if History.po h a b then rel.(a).(b) <- true
+    done
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if rel.(a).(b) then
+          for c = 0 to n - 1 do
+            if History.po h b c && not rel.(a).(c) then begin
+              rel.(a).(c) <- true;
+              changed := true
+            end
+          done
+      done
+    done
+  done;
+  rel
+
+let acyclic_ignoring_self n rel =
+  (* DFS three-colour cycle detection on the strict part of the relation. *)
+  let colour = Array.make (max 1 n) 0 in
+  let exception Cycle in
+  let rec visit v =
+    colour.(v) <- 1;
+    for w = 0 to n - 1 do
+      if w <> v && rel.(v).(w) then begin
+        if colour.(w) = 1 then raise Cycle;
+        if colour.(w) = 0 then visit w
+      end
+    done;
+    colour.(v) <- 2
+  in
+  match
+    for v = 0 to n - 1 do
+      if colour.(v) = 0 then visit v
+    done
+  with
+  | () -> true
+  | exception Cycle -> false
+
+let visible_updates (h : history) rel qid =
+  List.filter (fun (u : _ History.event) -> rel.(u.History.id).(qid)) (History.updates h)
+
+let insert_wins_members (h : history) rel qid =
+  (* x belongs iff some visible I(x) is not vis-followed by a visible D(x). *)
+  let visible = visible_updates h rel qid in
+  let elements =
+    List.sort_uniq Int.compare
+      (List.filter_map (fun e -> Option.map element_of (History.update_of e)) visible)
+  in
+  List.filter
+    (fun x ->
+      let updates_on u =
+        match History.update_of u with
+        | Some op -> element_of op = x
+        | None -> false
+      in
+      let inserts =
+        List.filter (fun u -> updates_on u && is_insert (Option.get (History.update_of u))) visible
+      and deletes =
+        List.filter (fun u -> updates_on u && not (is_insert (Option.get (History.update_of u)))) visible
+      in
+      List.exists
+        (fun (i : _ History.event) ->
+          List.for_all
+            (fun (d : _ History.event) -> not rel.(i.History.id).(d.History.id))
+            deletes)
+        inserts)
+    elements
+
+let verify (h : history) rel =
+  let n = History.size h in
+  let contains_po = ref true in
+  let growth = ref true in
+  for a = 0 to n - 1 do
+    if not rel.(a).(a) then contains_po := false;
+    for b = 0 to n - 1 do
+      if History.po h a b && not rel.(a).(b) then contains_po := false;
+      if rel.(a).(b) then
+        for c = 0 to n - 1 do
+          if History.po h b c && not rel.(a).(c) then growth := false
+        done
+    done
+  done;
+  let eventual_delivery =
+    List.for_all
+      (fun (u : _ History.event) ->
+        List.for_all
+          (fun (e : _ History.event) -> rel.(u.History.id).(e.History.id))
+          (History.omega_queries h))
+      (History.updates h)
+  in
+  let queries = History.queries h in
+  let strong_convergence =
+    List.for_all
+      (fun (q : _ History.event) ->
+        List.for_all
+          (fun (q' : _ History.event) ->
+            let vq = List.map (fun (e : _ History.event) -> e.History.id) (visible_updates h rel q.History.id)
+            and vq' = List.map (fun (e : _ History.event) -> e.History.id) (visible_updates h rel q'.History.id) in
+            (not (vq = vq'))
+            ||
+            match (History.query_of q, History.query_of q') with
+            | Some (_, o), Some (_, o') -> Support.Int_set.equal o o'
+            | (None | Some _), _ -> false)
+          queries)
+      queries
+  in
+  let insert_wins =
+    List.for_all
+      (fun (q : _ History.event) ->
+        match History.query_of q with
+        | None -> true
+        | Some (Set_spec.Read, s) ->
+          let members = Support.Int_set.of_list (insert_wins_members h rel q.History.id) in
+          Support.Int_set.equal members s)
+      queries
+  in
+  !contains_po && !growth
+  && acyclic_ignoring_self n rel
+  && eventual_delivery && strong_convergence && insert_wins
+
+let of_suc_witness (h : history) ~sigma_ranks ~vis =
+  let n = History.size h in
+  let update_ids, _rank = History.update_index h in
+  let rel = Array.init (max 1 n) (fun _ -> Array.make (max 1 n) false) in
+  (* SUC visibility edges: update → query. *)
+  List.iter
+    (fun (qid, ranks) -> List.iter (fun r -> rel.(update_ids.(r)).(qid) <- true) ranks)
+    vis;
+  (* Same-element updates are ordered by σ (≤), per the proof of Prop. 3. *)
+  let pos = Array.make (max 1 (Array.length update_ids)) 0 in
+  List.iteri (fun i r -> pos.(r) <- i) sigma_ranks;
+  let _, rank = History.update_index h in
+  let upds = Array.of_list (History.updates h) in
+  let elem (e : _ History.event) = Option.map element_of (History.update_of e) in
+  Array.iteri
+    (fun i (u : _ History.event) ->
+      Array.iteri
+        (fun j (u' : _ History.event) ->
+          if i <> j && elem u = elem u' then begin
+            let r = rank.(u.History.id) and r' = rank.(u'.History.id) in
+            if pos.(r) < pos.(r') then rel.(u.History.id).(u'.History.id) <- true
+          end)
+        upds)
+    upds;
+  (* Third clause of the proof: e IW→ q if e IW→ e'' IW→ q for some
+     update e''. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (u : _ History.event) ->
+        Array.iter
+          (fun (u'' : _ History.event) ->
+            if rel.(u.History.id).(u''.History.id) then
+              List.iter
+                (fun (q : _ History.event) ->
+                  if
+                    rel.(u''.History.id).(q.History.id)
+                    && not rel.(u.History.id).(q.History.id)
+                  then begin
+                    rel.(u.History.id).(q.History.id) <- true;
+                    changed := true
+                  end)
+                (History.queries h))
+          upds)
+      upds
+  done;
+  close h rel
+
+let search (h : history) =
+  let s = Visibility.space h in
+  let update_ids = s.Visibility.update_ids in
+  let upds = Array.map (fun id -> History.event h id) update_ids in
+  let nu = Array.length upds in
+  (* Cross-process pairs of same-element updates: the orientations to try. *)
+  let pairs = ref [] in
+  for i = 0 to nu - 1 do
+    for j = i + 1 to nu - 1 do
+      let a = upds.(i) and b = upds.(j) in
+      if
+        a.History.pid <> b.History.pid
+        && Option.map element_of (History.update_of a)
+           = Option.map element_of (History.update_of b)
+      then pairs := (a.History.id, b.History.id) :: !pairs
+    done
+  done;
+  let n = History.size h in
+  let rec orientations acc = function
+    | [] -> [ acc ]
+    | (a, b) :: rest ->
+      orientations ((a, b) :: acc) rest
+      @ orientations ((b, a) :: acc) rest
+      @ orientations acc rest
+  in
+  let candidates = orientations [] !pairs in
+  List.exists
+    (fun edges ->
+      Visibility.enumerate s
+        ~on_assign:(fun _ _ -> true)
+        ~at_leaf:(fun vs ->
+          let rel = Array.init (max 1 n) (fun _ -> Array.make (max 1 n) false) in
+          List.iter (fun (a, b) -> rel.(a).(b) <- true) edges;
+          Array.iteri
+            (fun i (q : _ History.event) ->
+              Bitset.iter (fun r -> rel.(update_ids.(r)).(q.History.id) <- true) vs.(i))
+            s.Visibility.query_events;
+          verify h (close h rel)))
+    candidates

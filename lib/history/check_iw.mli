@@ -1,0 +1,44 @@
+(** Strong eventual consistency for the Insert-wins set (Definition 10)
+    — the concurrent specification of the OR-set, specialised to
+    {!Set_spec}.
+
+    Beyond SEC, the visibility relation must explain membership:
+    [x ∈ s ⟺ ∃u ∈ vis(q, I(x)), ∀u' ∈ vis(q, D(x)), ¬(u vis→ u')] for
+    every query [q = R/s]. Unlike plain SEC, this constrains visibility
+    {e between updates}, so the relation is represented explicitly as a
+    boolean matrix on event ids.
+
+    Three entry points: [verify] checks an explicit relation (extracted,
+    e.g., from the simulator's real message deliveries), [of_suc_witness]
+    builds the relation of Proposition 3's proof from a SUC witness, and
+    [search] decides existence by bounded enumeration for the paper-sized
+    histories of the unit tests. *)
+
+type history = (Set_spec.update, Set_spec.query, Set_spec.output) History.t
+
+type relation = bool array array
+(** [rel.(a).(b)] iff event [a] is visible to event [b]. *)
+
+val close : history -> relation -> relation
+(** Reflexive + growth closure: add [e → e''] whenever [e vis→ e'] and
+    [e' 7→ e''], to fixpoint. The program order itself is added first. *)
+
+val verify : history -> relation -> bool
+(** Does the (closed) relation witness Definition 10? Checks: contains
+    7→, reflexive, acyclic (ignoring self-loops), growth-closed,
+    eventual delivery (ω queries see all updates), strong convergence
+    (queries with equal visible-update sets return equal sets), and the
+    insert-wins membership property. *)
+
+val of_suc_witness :
+  history -> sigma_ranks:int list -> vis:(int * int list) list -> relation
+(** The construction of Proposition 3's proof: start from the SUC
+    visibility ([vis] maps a query's event id to the update ranks it
+    sees), orient every pair of same-element updates by [σ], and close.
+    [verify] of the result should always hold for a SUC witness — this
+    is the property test for Proposition 3. *)
+
+val search : history -> bool
+(** Existence of a Definition 10 witness, by enumerating orientations of
+    cross-process same-element update pairs and query visibility sets.
+    Exponential; intended for paper-sized histories only. *)

@@ -1,0 +1,30 @@
+(** Linearizability (Herlihy & Wing) — atomicity, the paper's reference
+    point for "strong" consistency (Section I cites the Attiya–Welch
+    separation between it and sequential consistency).
+
+    A timed history is linearizable iff some linearization in [L(O)]
+    additionally respects the {e real-time} order: if operation [a]
+    responded before operation [b] was invoked, [a] precedes [b].
+    Real-time constraints come from the runner's recorded intervals, so
+    this checker applies to executions, not to bare histories (the
+    paper's criteria never need wall-clock — that is exactly what makes
+    them cheaper).
+
+    Used to validate the ABD baseline (its runs must be linearizable)
+    and to exhibit the converse: wait-free update-consistent objects
+    answer stale reads, so their runs generally are not. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val witness :
+    history ->
+    intervals:(float * float) array ->
+    (A.update, A.query, A.output) History.event list option
+  (** [intervals.(id)] is the (invocation, response) span of event [id];
+      use an infinite response for operations that never completed
+      (they then constrain nothing after them, the standard treatment of
+      pending operations that are deemed to take effect). *)
+
+  val holds : history -> intervals:(float * float) array -> bool
+end

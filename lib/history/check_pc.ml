@@ -1,0 +1,33 @@
+module Make (A : Uqadt.S) = struct
+  module L = Linearize.Make (A)
+
+  type history = (A.update, A.query, A.output) History.t
+
+  let is_update (e : (A.update, A.query, A.output) History.event) =
+    match e.History.label with Uqadt.Update _ -> true | Uqadt.Query _ -> false
+
+  let chain_witness h p =
+    (* Rows: the whole line of process p, plus the update subsequences of
+       every other process (their program order must be respected). *)
+    let n = History.process_count h in
+    let rows =
+      Array.init n (fun q ->
+          if q = p then History.process_events h q
+          else List.filter is_update (History.process_events h q))
+    in
+    L.search rows
+
+  let witness h =
+    let n = History.process_count h in
+    let rec collect p acc =
+      if p = n then Some (Array.of_list (List.rev acc))
+      else begin
+        match chain_witness h p with
+        | None -> None
+        | Some w -> collect (p + 1) (w :: acc)
+      end
+    in
+    collect 0 []
+
+  let holds h = witness h <> None
+end

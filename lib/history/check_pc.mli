@@ -1,0 +1,16 @@
+(** Pipelined consistency (Definition 7): for every maximal chain [p] of
+    the program order — here, every process line — some linearization of
+    [U_H ∪ p] belongs to [L(O)]. Each process may thus explain the
+    updates in its own order (PRAM generalised to arbitrary UQ-ADTs). *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val witness :
+    history ->
+    (A.update, A.query, A.output) History.event list array option
+  (** One linearization per process — the [w1]/[w2] words of the paper's
+      Figure 2 — or [None] if some process has none. *)
+
+  val holds : history -> bool
+end

@@ -1,0 +1,13 @@
+module Make (A : Uqadt.S) = struct
+  module L = Linearize.Make (A)
+
+  type history = (A.update, A.query, A.output) History.t
+
+  let witness h =
+    let rows =
+      Array.init (History.process_count h) (fun p -> History.process_events h p)
+    in
+    L.search rows
+
+  let holds h = witness h <> None
+end

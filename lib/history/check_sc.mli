@@ -1,0 +1,14 @@
+(** Sequential consistency: a single linearization of {e all} events
+    belongs to [L(O)]. Not a contribution of the paper but its upper
+    reference point — update consistency sits strictly between EC and
+    SC, so the comparison tables include it. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val witness :
+    history -> (A.update, A.query, A.output) History.event list option
+  (** A linearization in [L(O)] if one exists. *)
+
+  val holds : history -> bool
+end

@@ -1,0 +1,49 @@
+module Make (A : Uqadt.S) = struct
+  type history = (A.update, A.query, A.output) History.t
+
+  let query_pair (e : (A.update, A.query, A.output) History.event) =
+    match History.query_of e with
+    | Some p -> p
+    | None -> invalid_arg "Check_sec: not a query event"
+
+  (* Queries whose visibility set equals [vs.(i)] among indices <= i,
+     together: can one state answer them all? *)
+  let group_satisfiable (s : _ Visibility.space) vs i =
+    let pairs = ref [] in
+    for j = i downto 0 do
+      if Bitset.equal vs.(j) vs.(i) then pairs := query_pair s.Visibility.query_events.(j) :: !pairs
+    done;
+    A.satisfiable !pairs
+
+  let all_groups_satisfiable (s : _ Visibility.space) vs =
+    let nq = Array.length s.Visibility.query_events in
+    let ok = ref true in
+    for i = 0 to nq - 1 do
+      if !ok then ok := group_satisfiable s vs i
+    done;
+    !ok
+
+  let search h =
+    let s = Visibility.space h in
+    let result = ref None in
+    let found =
+      Visibility.enumerate s
+        ~on_assign:(fun i vs -> group_satisfiable s vs i)
+        ~at_leaf:(fun vs ->
+          if all_groups_satisfiable s vs && Visibility.acyclic s vs then begin
+            result :=
+              Some
+                (Array.to_list
+                   (Array.mapi
+                      (fun i q -> (q, Bitset.elements vs.(i)))
+                      s.Visibility.query_events));
+            true
+          end
+          else false)
+    in
+    if found then !result else None
+
+  let witness = search
+
+  let holds h = search h <> None
+end

@@ -1,0 +1,26 @@
+(** Strong eventual consistency (Definition 6): there is an acyclic
+    reflexive visibility relation containing the program order such that
+    (eventual delivery) every update is seen by all but finitely many
+    events, (growth) visibility is stable under program-order extension,
+    and (strong convergence) queries seeing the same update set can be
+    answered from one common state.
+
+    The decision procedure searches the admissible [V(q)] assignments
+    (see {!Visibility}), pruning a branch as soon as the group of queries
+    sharing the current visibility set is jointly unsatisfiable, and
+    accepts a leaf iff the induced relation is acyclic. Note that strong
+    convergence does {e not} tie the common state to the updates seen —
+    an implementation ignoring all updates is SEC, as the paper points
+    out — which is precisely why SEC and UC are incomparable. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val witness :
+    history ->
+    ((A.update, A.query, A.output) History.event * int list) list option
+  (** For each query, the update ranks it sees, or [None] if no valid
+      visibility relation exists. *)
+
+  val holds : history -> bool
+end

@@ -1,0 +1,61 @@
+module Make (A : Uqadt.S) = struct
+  module Run = Uqadt.Run (A)
+
+  type history = (A.update, A.query, A.output) History.t
+
+  type witness = {
+    sigma : A.update list;
+    sigma_ranks : int list;
+    visibility : ((A.update, A.query, A.output) History.event * int list) list;
+  }
+
+  let update_at (s : _ Visibility.space) r =
+    match History.update_of (History.event s.Visibility.history s.Visibility.update_ids.(r)) with
+    | Some u -> u
+    | None -> invalid_arg "Check_suc: rank does not name an update"
+
+  (* Replay the updates of [v] in σ order and check the query answer. *)
+  let query_matches (s : _ Visibility.space) ~pos v (q : _ History.event) =
+    match History.query_of q with
+    | None -> false
+    | Some (qi, qo) ->
+      let ranks = Bitset.elements v in
+      let sorted = List.sort (fun a b -> Int.compare pos.(a) pos.(b)) ranks in
+      let state = Run.exec_updates A.initial (List.map (update_at s) sorted) in
+      A.equal_output (A.eval state qi) qo
+
+  let search h =
+    let s = Visibility.space h in
+    let udag = History.update_dag h in
+    let result = ref None in
+    let found =
+      Dag.linear_extensions udag (fun sigma ->
+          let sigma = Array.copy sigma in
+          let pos = Array.make (max 1 s.Visibility.n_updates) 0 in
+          Array.iteri (fun i r -> pos.(r) <- i) sigma;
+          Visibility.enumerate s
+            ~on_assign:(fun i vs ->
+              query_matches s ~pos vs.(i) s.Visibility.query_events.(i))
+            ~at_leaf:(fun vs ->
+              if Visibility.acyclic s ~sigma vs then begin
+                result :=
+                  Some
+                    {
+                      sigma = List.map (update_at s) (Array.to_list sigma);
+                      sigma_ranks = Array.to_list sigma;
+                      visibility =
+                        Array.to_list
+                          (Array.mapi
+                             (fun i q -> (q, Bitset.elements vs.(i)))
+                             s.Visibility.query_events);
+                    };
+                true
+              end
+              else false))
+    in
+    if found then !result else None
+
+  let witness = search
+
+  let holds h = search h <> None
+end

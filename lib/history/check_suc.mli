@@ -1,0 +1,27 @@
+(** Strong update consistency (Definition 9): a visibility relation as
+    in SEC, plus a total order [≤] containing it, such that every query
+    is answered by executing exactly the updates it sees, in [≤] order
+    (strong sequential convergence).
+
+    Decision procedure: enumerate the linear extensions [σ] of the
+    program order restricted to updates (the restriction of any valid
+    [≤]); for each, search the [V(q)] assignments, pruning immediately
+    when replaying [V(q)] in [σ] order does not produce the recorded
+    output; accept when the relation [7→ ∪ V-edges ∪ σ] is acyclic — the
+    witness extends to the required total order by topological sorting. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  type witness = {
+    sigma : A.update list;  (** the agreed total order on updates *)
+    sigma_ranks : int list;  (** the same order, as update ranks *)
+    visibility :
+      ((A.update, A.query, A.output) History.event * int list) list;
+        (** per query, the update ranks it sees *)
+  }
+
+  val witness : history -> witness option
+
+  val holds : history -> bool
+end

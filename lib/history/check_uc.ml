@@ -1,0 +1,33 @@
+module Make (A : Uqadt.S) = struct
+  module L = Linearize.Make (A)
+  module Run = Uqadt.Run (A)
+
+  type history = (A.update, A.query, A.output) History.t
+
+  let is_update (e : (A.update, A.query, A.output) History.event) =
+    match e.History.label with Uqadt.Update _ -> true | Uqadt.Query _ -> false
+
+  let omega_ok h s =
+    List.for_all
+      (fun e ->
+        match History.query_of e with
+        | None -> true
+        | Some (qi, qo) -> A.equal_output (A.eval s qi) qo)
+      (History.omega_queries h)
+
+  let witness h =
+    let rows =
+      Array.init (History.process_count h) (fun p ->
+          List.filter is_update (History.process_events h p))
+    in
+    match L.search ~accept_final:(omega_ok h) rows with
+    | None -> None
+    | Some events -> Some (List.filter_map History.update_of events)
+
+  let holds h = witness h <> None
+
+  let convergent_state h =
+    match witness h with
+    | None -> None
+    | Some updates -> Some (Run.final_state updates)
+end

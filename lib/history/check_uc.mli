@@ -1,0 +1,23 @@
+(** Update consistency (Definition 8) — the paper's central criterion.
+
+    A finite-update history is UC iff after removing a finite set of
+    queries, some linearization of the rest belongs to [L(O)].
+    Equivalently (the form we decide): some linear extension of the
+    program order restricted to the updates reaches a state that answers
+    every ω query exactly. The removable finite query set is taken to be
+    all non-ω queries; the ω queries sit after every update in the
+    linearization, which is always compatible with program order because
+    an ω event is the last event of its process. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val witness : history -> A.update list option
+  (** A linearization of the updates whose final state answers every ω
+      query, if one exists. *)
+
+  val holds : history -> bool
+
+  val convergent_state : history -> A.state option
+  (** The state reached by the witness linearization. *)
+end

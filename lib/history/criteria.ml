@@ -1,0 +1,54 @@
+type t = EC | SEC | PC | UC | SUC | SC | Pipelined_convergence
+
+let all = [ EC; SEC; PC; UC; SUC; SC; Pipelined_convergence ]
+
+let name = function
+  | EC -> "EC"
+  | SEC -> "SEC"
+  | PC -> "PC"
+  | UC -> "UC"
+  | SUC -> "SUC"
+  | SC -> "SC"
+  | Pipelined_convergence -> "PC+EC"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "ec" -> Some EC
+  | "sec" -> Some SEC
+  | "pc" -> Some PC
+  | "uc" -> Some UC
+  | "suc" -> Some SUC
+  | "sc" -> Some SC
+  | "pc+ec" -> Some Pipelined_convergence
+  | _ -> None
+
+let implies a b =
+  match (a, b) with
+  | UC, EC -> true
+  | SUC, (SEC | UC | EC) -> true
+  | Pipelined_convergence, (PC | EC) -> true
+  | SC, (PC | SUC | SEC | UC | EC | Pipelined_convergence) -> true
+  | x, y -> x = y
+
+module Make (A : Uqadt.S) = struct
+  module Ec = Check_ec.Make (A)
+  module Sec = Check_sec.Make (A)
+  module Pc = Check_pc.Make (A)
+  module Uc = Check_uc.Make (A)
+  module Suc = Check_suc.Make (A)
+  module Sc = Check_sc.Make (A)
+
+  type history = (A.update, A.query, A.output) History.t
+
+  let holds c h =
+    match c with
+    | EC -> Ec.holds h
+    | SEC -> Sec.holds h
+    | PC -> Pc.holds h
+    | UC -> Uc.holds h
+    | SUC -> Suc.holds h
+    | SC -> Sc.holds h
+    | Pipelined_convergence -> Pc.holds h && Ec.holds h
+
+  let classify h = List.map (fun c -> (c, holds c h)) all
+end

@@ -1,0 +1,31 @@
+(** The consistency-criteria lattice of the paper, as one enumeration
+    with a uniform dispatcher, plus the composite "pipelined
+    convergence" (PC ∧ EC) whose wait-free impossibility is
+    Proposition 1. *)
+
+type t = EC | SEC | PC | UC | SUC | SC | Pipelined_convergence
+
+val all : t list
+(** In the order the paper discusses them. *)
+
+val name : t -> string
+
+val of_name : string -> t option
+
+val implies : t -> t -> bool
+(** The criterion hierarchy: Proposition 2 (UC ⟹ EC; SUC ⟹ SEC ∧ UC)
+    plus the inclusions that follow directly from the definitions — a
+    sequentially consistent history satisfies every other criterion
+    here (its global linearization is simultaneously a PC witness for
+    every chain, a UC witness, and induces the prefix visibility that
+    makes it SUC). Used by the property tests as the oracle the
+    checkers must agree with on every generated history. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val holds : t -> history -> bool
+
+  val classify : history -> (t * bool) list
+  (** Verdict for every criterion, in {!all} order. *)
+end

@@ -1,0 +1,84 @@
+type set_history = (Set_spec.update, Set_spec.query, Set_spec.output) History.t
+
+let set = Set_spec.of_list
+
+open History
+
+let insert v = U (Set_spec.Insert v)
+
+let delete v = U (Set_spec.Delete v)
+
+let read l = Q (Set_spec.Read, set l)
+
+let read_w l = Qw (Set_spec.Read, set l)
+
+(* Fig. 1a — p1: I(1)·R/{2}·R/{1}·R/∅^ω ; p2: I(2)·R/{1}·R/{2}·R/∅^ω *)
+let fig1a : set_history =
+  make
+    [
+      [ insert 1; read [ 2 ]; read [ 1 ]; read_w [] ];
+      [ insert 2; read [ 1 ]; read [ 2 ]; read_w [] ];
+    ]
+
+(* Fig. 1b — p1: I(1)·D(2)·R/{1,2}^ω ; p2: I(2)·D(1)·R/{1,2}^ω *)
+let fig1b : set_history =
+  make
+    [
+      [ insert 1; delete 2; read_w [ 1; 2 ] ];
+      [ insert 2; delete 1; read_w [ 1; 2 ] ];
+    ]
+
+(* Fig. 1c — p1: I(1)·R/∅·R/{1,2}^ω ; p2: I(2)·R/{1,2}^ω *)
+let fig1c : set_history =
+  make
+    [
+      [ insert 1; read []; read_w [ 1; 2 ] ];
+      [ insert 2; read_w [ 1; 2 ] ];
+    ]
+
+(* Fig. 1d — p1: I(1)·R/{1}·I(2)·R/{1,2}^ω ; p2: R/{2}·R/{1,2}^ω *)
+let fig1d : set_history =
+  make
+    [
+      [ insert 1; read [ 1 ]; insert 2; read_w [ 1; 2 ] ];
+      [ read [ 2 ]; read_w [ 1; 2 ] ];
+    ]
+
+(* Fig. 2 — p1: I(1)·I(3)·R/{1,3}·R/{1,2,3}·R/{1,2}^ω ;
+            p2: I(2)·D(3)·R/{2}·R/{1,2}·R/{1,2,3}^ω *)
+let fig2 : set_history =
+  make
+    [
+      [ insert 1; insert 3; read [ 1; 3 ]; read [ 1; 2; 3 ]; read_w [ 1; 2 ] ];
+      [ insert 2; delete 3; read [ 2 ]; read [ 1; 2 ]; read_w [ 1; 2; 3 ] ];
+    ]
+
+let verdicts ~ec ~sec ~pc ~uc ~suc ~sc =
+  [
+    (Criteria.EC, ec);
+    (Criteria.SEC, sec);
+    (Criteria.PC, pc);
+    (Criteria.UC, uc);
+    (Criteria.SUC, suc);
+    (Criteria.SC, sc);
+    (Criteria.Pipelined_convergence, pc && ec);
+  ]
+
+let all =
+  [
+    ( "Fig.1a",
+      fig1a,
+      verdicts ~ec:true ~sec:false ~pc:false ~uc:false ~suc:false ~sc:false );
+    ( "Fig.1b",
+      fig1b,
+      verdicts ~ec:true ~sec:true ~pc:false ~uc:false ~suc:false ~sc:false );
+    ( "Fig.1c",
+      fig1c,
+      verdicts ~ec:true ~sec:true ~pc:false ~uc:true ~suc:false ~sc:false );
+    ( "Fig.1d",
+      fig1d,
+      verdicts ~ec:true ~sec:true ~pc:false ~uc:true ~suc:true ~sc:false );
+    ( "Fig.2",
+      fig2,
+      verdicts ~ec:false ~sec:false ~pc:true ~uc:false ~suc:false ~sc:false );
+  ]

@@ -1,0 +1,27 @@
+(** The paper's example histories, verbatim: the four histories of
+    Figure 1 (two processes sharing a set of integers) and the
+    PC-but-not-EC history of Figure 2. The expected verdicts are the
+    figure captions — they are the oracle of the unit tests and of the
+    F1/F2 experiment tables. *)
+
+type set_history = (Set_spec.update, Set_spec.query, Set_spec.output) History.t
+
+val fig1a : set_history
+(** EC but not SEC nor UC. *)
+
+val fig1b : set_history
+(** SEC but not UC. *)
+
+val fig1c : set_history
+(** SEC and UC but not SUC. *)
+
+val fig1d : set_history
+(** SUC but not PC. *)
+
+val fig2 : set_history
+(** PC but not EC (drives Proposition 1). *)
+
+val all : (string * set_history * (Criteria.t * bool) list) list
+(** [(name, history, expected verdicts)] — the expected list covers the
+    criteria each caption mentions explicitly, plus those implied by
+    Proposition 2. *)

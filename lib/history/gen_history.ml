@@ -1,0 +1,126 @@
+module Make (A : Uqadt.S) = struct
+  module Run = Uqadt.Run (A)
+
+  type history = (A.update, A.query, A.output) History.t
+
+  (* Structure shared by both regimes: per-process sequences of updates
+     and query slots, plus one final ω read per process. *)
+  type slot = Upd of A.update | Query_slot of A.query
+
+  let structure rng ~processes ~max_updates ~max_queries =
+    let updates = ref 0 and queries = ref 0 in
+    Array.init processes (fun _ ->
+        let len = Prng.int rng 4 in
+        List.init len (fun _ ->
+            if (Prng.bool rng && !updates < max_updates) || !queries >= max_queries
+            then begin
+              incr updates;
+              if !updates <= max_updates then Some (Upd (A.random_update rng)) else None
+            end
+            else begin
+              incr queries;
+              Some (Query_slot (A.random_query rng))
+            end)
+        |> List.filter_map Fun.id)
+
+  (* A random linear extension of the per-process update sequences:
+     (process, update) pairs in a global order. *)
+  let random_sigma rng slots =
+    let remaining =
+      Array.map (fun l -> List.filter_map (function Upd u -> Some u | Query_slot _ -> None) l) slots
+    in
+    let total = Array.fold_left (fun acc l -> acc + List.length l) 0 remaining in
+    let sigma = ref [] in
+    for _ = 1 to total do
+      let candidates =
+        List.filter (fun p -> remaining.(p) <> []) (List.init (Array.length remaining) Fun.id)
+      in
+      let p = List.nth candidates (Prng.int rng (List.length candidates)) in
+      match remaining.(p) with
+      | [] -> ()
+      | u :: rest ->
+        remaining.(p) <- rest;
+        sigma := (p, u) :: !sigma
+    done;
+    List.rev !sigma
+
+  (* Index of each (process, own-rank) update in sigma. *)
+  let sigma_positions sigma =
+    List.mapi (fun i (p, _) -> (p, i)) sigma
+
+  let exec_in_sigma_order sigma visible =
+    (* [visible] is a list of sigma positions; execute them in order. *)
+    let sorted = List.sort_uniq Int.compare visible in
+    Run.exec_updates A.initial (List.map (fun i -> snd (List.nth sigma i)) sorted)
+
+  let plausible rng ~processes ~max_updates ~max_queries =
+    let slots = structure rng ~processes ~max_updates ~max_queries in
+    let sigma = random_sigma rng slots in
+    let n_sigma = List.length sigma in
+    let positions_by_proc =
+      (* For process p, the sigma positions of its own updates, in
+         program order. *)
+      Array.init processes (fun p ->
+          List.filter_map (fun (q, i) -> if q = p then Some i else None) (sigma_positions sigma))
+    in
+    let steps =
+      Array.to_list
+        (Array.mapi
+           (fun p slot_list ->
+             let own_seen = ref 0 in
+             let body =
+               List.map
+                 (function
+                   | Upd u ->
+                     incr own_seen;
+                     History.U u
+                   | Query_slot qi ->
+                     (* Visible: a random sigma-prefix plus everything this
+                        process has already done itself. *)
+                     let cut = Prng.int rng (n_sigma + 1) in
+                     let own =
+                       List.filteri (fun k _ -> k < !own_seen) positions_by_proc.(p)
+                     in
+                     let prefix = List.init cut Fun.id in
+                     let state = exec_in_sigma_order sigma (own @ prefix) in
+                     History.Q (qi, A.eval state qi))
+                 slot_list
+             in
+             let final_q = A.random_query rng in
+             let final_state = exec_in_sigma_order sigma (List.init n_sigma Fun.id) in
+             body @ [ History.Qw (final_q, A.eval final_state final_q) ])
+           slots)
+    in
+    History.make steps
+
+  let arbitrary rng ~processes ~max_updates ~max_queries =
+    let slots = structure rng ~processes ~max_updates ~max_queries in
+    let random_output qi =
+      (* An output of the right type, detached from any real execution. *)
+      let k = Prng.int rng 4 in
+      let state =
+        Run.exec_updates A.initial (List.init k (fun _ -> A.random_update rng))
+      in
+      A.eval state qi
+    in
+    let steps =
+      Array.to_list
+        (Array.map
+           (fun slot_list ->
+             let body =
+               List.map
+                 (function
+                   | Upd u -> History.U u
+                   | Query_slot qi -> History.Q (qi, random_output qi))
+                 slot_list
+             in
+             let final_q = A.random_query rng in
+             body @ [ History.Qw (final_q, random_output final_q) ])
+           slots)
+    in
+    History.make steps
+
+  let convergent_mix rng ~processes ~max_updates ~max_queries =
+    if Prng.bool rng then plausible rng ~processes ~max_updates ~max_queries
+    else arbitrary rng ~processes ~max_updates ~max_queries
+end

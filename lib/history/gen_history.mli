@@ -1,0 +1,36 @@
+(** Random distributed histories for property-based testing.
+
+    Two regimes:
+
+    - [plausible] histories are sampled from actual runs of a replicated
+      execution the generator simulates abstractly (each process applies
+      a random interleaving prefix of the updates it "received"), so a
+      good share of them satisfy the weaker criteria — exercising the
+      checkers' accepting paths;
+    - [arbitrary] histories draw query outputs at random, which mostly
+      violates everything — exercising the rejecting paths.
+
+    Sizes stay small (the SEC/SUC searches are exponential): at most
+    [max_updates] updates and [max_queries] queries across at most
+    [processes] processes. *)
+
+module Make (A : Uqadt.S) : sig
+  type history = (A.update, A.query, A.output) History.t
+
+  val arbitrary :
+    Prng.t -> processes:int -> max_updates:int -> max_queries:int -> history
+
+  val plausible :
+    Prng.t -> processes:int -> max_updates:int -> max_queries:int -> history
+  (** Queries are answered by evaluating a random program-order-respecting
+      subset of the updates issued so far (its own process's prefix always
+      included), in a random linear extension; the common ω read is
+      answered from one shared linearization of all updates — so the
+      result is always update consistent by construction, and often
+      satisfies the stronger criteria too. *)
+
+  val convergent_mix :
+    Prng.t -> processes:int -> max_updates:int -> max_queries:int -> history
+  (** Coin-flip between the two regimes (useful as a single qcheck
+      generator). *)
+end

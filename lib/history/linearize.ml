@@ -1,0 +1,137 @@
+module Make (A : Uqadt.S) = struct
+  module Run = Uqadt.Run (A)
+
+  type event = (A.update, A.query, A.output) History.event
+
+  let is_update (e : event) =
+    match e.History.label with Uqadt.Update _ -> true | Uqadt.Query _ -> false
+
+  let search ?(accept_final = fun _ -> true) rows =
+    let remaining_updates =
+      ref (Array.fold_left (fun acc row -> acc + List.length (List.filter is_update row)) 0 rows)
+    in
+    let rows = Array.map Array.of_list rows in
+    let k = Array.length rows in
+    let pos = Array.make (max 1 k) 0 in
+    (* Memo: frontiers already explored with a given state. The state
+       after a fixed multiset of events still depends on their order, so
+       we keep a list of states per frontier. *)
+    let memo : (int list, A.state list ref) Hashtbl.t = Hashtbl.create 64 in
+    let seen_before key state =
+      match Hashtbl.find_opt memo key with
+      | None ->
+        Hashtbl.add memo key (ref [ state ]);
+        false
+      | Some states ->
+        if List.exists (A.equal_state state) !states then true
+        else begin
+          states := state :: !states;
+          false
+        end
+    in
+    let trace = ref [] in
+    let exception Found in
+    let rec go state =
+      let key = Array.to_list pos in
+      if not (seen_before key state) then begin
+        let exhausted = ref true in
+        for r = 0 to k - 1 do
+          if pos.(r) < Array.length rows.(r) then begin
+            exhausted := false;
+            let e = rows.(r).(pos.(r)) in
+            (* An ω event stands for an infinite suffix of copies; they can
+               all be placed after the last update, so we only ever
+               schedule it once no update remains. *)
+            if (not e.History.omega) || !remaining_updates = 0 then begin
+              match Run.step state e.History.label with
+              | None -> ()
+              | Some state' ->
+                pos.(r) <- pos.(r) + 1;
+                if is_update e then decr remaining_updates;
+                trace := e :: !trace;
+                go state';
+                trace := List.tl !trace;
+                if is_update e then incr remaining_updates;
+                pos.(r) <- pos.(r) - 1
+            end
+          end
+        done;
+        if !exhausted && accept_final state then raise Found
+      end
+    in
+    match go A.initial with
+    | () -> None
+    | exception Found -> Some (List.rev !trace)
+
+  let search_under ~precedence events =
+    let n = Array.length events in
+    if Dag.size precedence <> n then
+      invalid_arg "Linearize.search_under: precedence size mismatch";
+    match Dag.topo_order precedence with
+    | None -> None
+    | Some _ ->
+      let reach = Dag.reachable precedence in
+      let remaining_updates =
+        ref (Array.fold_left (fun acc e -> if is_update e then acc + 1 else acc) 0 events)
+      in
+      let consumed = Bitset.create n in
+      let memo : (int list, A.state list ref) Hashtbl.t = Hashtbl.create 64 in
+      let trace = ref [] in
+      let exception Found in
+      let rec go state =
+        if Bitset.cardinal consumed = n then raise Found;
+        let key = Bitset.elements consumed in
+        let seen =
+          match Hashtbl.find_opt memo key with
+          | None ->
+            Hashtbl.add memo key (ref [ state ]);
+            false
+          | Some states ->
+            if List.exists (A.equal_state state) !states then true
+            else begin
+              states := state :: !states;
+              false
+            end
+        in
+        if not seen then
+          for i = 0 to n - 1 do
+            if not (Bitset.mem consumed i) then begin
+              let ready = ref true in
+              for j = 0 to n - 1 do
+                if j <> i && Bitset.mem reach.(j) i && not (Bitset.mem consumed j) then
+                  ready := false
+              done;
+              let e = events.(i) in
+              if !ready && ((not e.History.omega) || !remaining_updates = 0) then begin
+                match Run.step state e.History.label with
+                | None -> ()
+                | Some state' ->
+                  Bitset.set consumed i;
+                  if is_update e then decr remaining_updates;
+                  trace := e :: !trace;
+                  go state';
+                  trace := List.tl !trace;
+                  if is_update e then incr remaining_updates;
+                  Bitset.unset consumed i
+              end
+            end
+          done
+      in
+      (match go A.initial with () -> None | exception Found -> Some (List.rev !trace))
+
+  let recognizes_events evs =
+    let remaining_updates = ref (List.length (List.filter is_update evs)) in
+    let rec go state = function
+      | [] -> true
+      | (e : event) :: rest ->
+        if e.History.omega && !remaining_updates > 0 then false
+        else begin
+          match Run.step state e.History.label with
+          | None -> false
+          | Some state' ->
+            if is_update e then decr remaining_updates;
+            go state' rest
+        end
+    in
+    go A.initial evs
+end

@@ -1,0 +1,35 @@
+(** Interleaving search: does some linearization (Definition 3) of a set
+    of per-process event rows belong to the sequential specification
+    [L(O)]?
+
+    This is the computational core of the SC, PC and UC checkers. The
+    search is a depth-first enumeration of interleavings that (1) keeps
+    every row in order (program order), (2) replays the ADT to validate
+    query outputs incrementally, (3) schedules ω events only once every
+    update has been consumed — the finite encoding of "cofinitely many
+    repetitions happen after the last update" — and (4) memoises visited
+    (frontier, state) pairs so equivalent prefixes are explored once. *)
+
+module Make (A : Uqadt.S) : sig
+  type event = (A.update, A.query, A.output) History.event
+
+  val search :
+    ?accept_final:(A.state -> bool) ->
+    event list array ->
+    event list option
+  (** [search rows] returns a witness linearization in [L(O)], or [None]
+      if none exists. [accept_final] (default: accept) additionally
+      constrains the state reached after all events — the UC checker uses
+      it to test its ω queries against the converged state. *)
+
+  val recognizes_events : event list -> bool
+  (** Replay a fixed event sequence from the initial state (membership of
+      [L(O)], ω events must sit after the last update). *)
+
+  val search_under : precedence:Dag.t -> event array -> event list option
+  (** Like {!search}, but the schedule must extend an arbitrary
+      precedence DAG over the event indices (not just per-row orders).
+      Used by the linearizability checker, whose real-time constraints
+      relate events across processes. The same ω rule and memoisation
+      apply. *)
+end

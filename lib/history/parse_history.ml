@@ -1,0 +1,84 @@
+exception Parse_error of string
+
+let example = "I(1) R{} R{1 2}w / I(2) R{1 2}w"
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_int token what =
+  match int_of_string_opt (String.trim token) with
+  | Some v -> v
+  | None -> fail "expected an integer for %s, got %S" what token
+
+(* "I(1)" / "D(2)" *)
+let parse_update token =
+  let body ctor =
+    let len = String.length token in
+    if len < 4 || token.[1] <> '(' || token.[len - 1] <> ')' then
+      fail "malformed update %S (expected e.g. %c(1))" token ctor
+    else String.sub token 2 (len - 3)
+  in
+  match token.[0] with
+  | 'I' -> Set_spec.Insert (parse_int (body 'I') "an insertion")
+  | 'D' -> Set_spec.Delete (parse_int (body 'D') "a deletion")
+  | _ -> fail "unknown update %S" token
+
+(* "R{1 2 3}" or "R{}" with optional trailing "w" *)
+let parse_read token =
+  let len = String.length token in
+  if len < 3 || token.[1] <> '{' then fail "malformed read %S (expected R{…})" token;
+  let omega = token.[len - 1] = 'w' in
+  let close = len - if omega then 2 else 1 in
+  if close < 2 || token.[close] <> '}' then fail "malformed read %S (missing '}')" token;
+  let inner = String.sub token 2 (close - 2) in
+  let elements =
+    String.split_on_char ' ' inner
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s -> parse_int s "a set element")
+  in
+  (Set_spec.of_list elements, omega)
+
+let parse_event token =
+  if token = "" then fail "empty event"
+  else begin
+    match token.[0] with
+    | 'I' | 'D' -> History.U (parse_update token)
+    | 'R' ->
+      let s, omega = parse_read token in
+      if omega then History.Qw (Set_spec.Read, s) else History.Q (Set_spec.Read, s)
+    | _ -> fail "unknown event %S (expected I(…), D(…) or R{…})" token
+  end
+
+(* Reads contain spaces ("R{1 2}"), so tokenisation tracks brace depth. *)
+let tokens_of line =
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' ->
+        incr depth;
+        Buffer.add_char buf c
+      | '}' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ' ' | '\t' when !depth = 0 -> flush ()
+      | c -> Buffer.add_char buf c)
+    line;
+  if !depth <> 0 then fail "unbalanced braces in %S" line;
+  flush ();
+  List.rev !out
+
+let parse text =
+  let processes = String.split_on_char '/' text in
+  if processes = [] then fail "empty history";
+  let steps = List.map (fun line -> List.map parse_event (tokens_of line)) processes in
+  try History.make steps
+  with Invalid_argument msg -> fail "%s" msg

@@ -1,0 +1,23 @@
+(** A tiny concrete syntax for set histories, so the CLI (and the docs)
+    can classify hand-written examples without writing OCaml.
+
+    Grammar (whitespace-separated events, processes separated by [/]):
+
+    {v
+    history  ::= process ("/" process)*
+    process  ::= event*
+    event    ::= "I(" int ")"            insertion
+               | "D(" int ")"            deletion
+               | "R{" int* "}" ["w"]     read returning the set; "w" = ω
+    v}
+
+    Example — the paper's Figure 1c:
+    ["I(1) R{} R{1 2}w / I(2) R{1 2}w"]. *)
+
+exception Parse_error of string
+
+val parse : string -> (Set_spec.update, Set_spec.query, Set_spec.output) History.t
+(** @raise Parse_error on malformed input (with a description). *)
+
+val example : string
+(** A syntax reminder for help texts. *)

@@ -1,0 +1,96 @@
+type ('u, 'q, 'o) space = {
+  history : ('u, 'q, 'o) History.t;
+  n_updates : int;
+  update_ids : int array;
+  update_rank : int array;
+  query_events : ('u, 'q, 'o) History.event array;
+  lower : Bitset.t array;
+  upper : Bitset.t array;
+  prev_query : int array;
+}
+
+let space h =
+  let update_ids, update_rank = History.update_index h in
+  let n_updates = Array.length update_ids in
+  let query_events =
+    let qs = Array.of_list (History.queries h) in
+    Array.sort
+      (fun (a : _ History.event) (b : _ History.event) ->
+        let c = Int.compare a.History.pid b.History.pid in
+        if c <> 0 then c else Int.compare a.History.seq b.History.seq)
+      qs;
+    qs
+  in
+  let nq = Array.length query_events in
+  let lower = Array.make (max 1 nq) (Bitset.create n_updates) in
+  let upper = Array.make (max 1 nq) (Bitset.create n_updates) in
+  let prev_query = Array.make (max 1 nq) (-1) in
+  for i = 0 to nq - 1 do
+    let q = query_events.(i) in
+    let lo = Bitset.create n_updates in
+    let hi = Bitset.full n_updates in
+    Array.iteri
+      (fun r uid ->
+        if History.po h uid q.History.id then Bitset.set lo r;
+        if History.po h q.History.id uid then Bitset.unset hi r)
+      update_ids;
+    (* Eventual delivery: an ω query stands for infinitely many copies,
+       so it must see every update. *)
+    lower.(i) <- (if q.History.omega then Bitset.full n_updates else lo);
+    upper.(i) <- hi;
+    if i > 0 && query_events.(i - 1).History.pid = q.History.pid then prev_query.(i) <- i - 1
+  done;
+  { history = h; n_updates; update_ids; update_rank; query_events; lower; upper; prev_query }
+
+let enumerate s ~on_assign ~at_leaf =
+  let nq = Array.length s.query_events in
+  let vs = Array.make (max 1 nq) (Bitset.create s.n_updates) in
+  let exception Accepted in
+  let rec assign i =
+    if i = Array.length s.query_events then begin
+      if at_leaf vs then raise Accepted
+    end
+    else begin
+      let lo =
+        if s.prev_query.(i) >= 0 then Bitset.union s.lower.(i) vs.(s.prev_query.(i))
+        else s.lower.(i)
+      in
+      if Bitset.subset lo s.upper.(i) then begin
+        let free = Bitset.elements (Bitset.diff s.upper.(i) lo) in
+        (* Enumerate every subset of the free updates on top of [lo]. *)
+        let rec subsets v = function
+          | [] ->
+            vs.(i) <- v;
+            if on_assign i vs then assign (i + 1)
+          | r :: rest ->
+            subsets v rest;
+            subsets (Bitset.add v r) rest
+        in
+        subsets lo free
+      end
+    end
+  in
+  if Array.length s.query_events = 0 then at_leaf vs
+  else begin
+    match assign 0 with () -> false | exception Accepted -> true
+  end
+
+let acyclic s ?sigma vs =
+  let h = s.history in
+  let g = Dag.create (History.size h) in
+  (* Program order: successor edges per process suffice for reachability. *)
+  let pdag = History.po_dag h in
+  for v = 0 to History.size h - 1 do
+    List.iter (fun w -> Dag.add_edge g v w) (Dag.succs pdag v)
+  done;
+  Array.iteri
+    (fun i (q : _ History.event) ->
+      Bitset.iter (fun r -> Dag.add_edge g s.update_ids.(r) q.History.id) vs.(i))
+    s.query_events;
+  (match sigma with
+  | None -> ()
+  | Some order ->
+    for i = 0 to Array.length order - 2 do
+      Dag.add_edge g s.update_ids.(order.(i)) s.update_ids.(order.(i + 1))
+    done);
+  Dag.is_acyclic g

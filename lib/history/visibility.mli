@@ -1,0 +1,56 @@
+(** Search space for visibility relations (Definitions 6 and 9).
+
+    Both SEC and SUC quantify existentially over an acyclic reflexive
+    relation [vis ⊇ 7→] satisfying eventual delivery and growth; only the
+    update-visibility sets [V(q) = {u ∈ U_H : u vis→ q}] of the queries
+    matter to the convergence clauses. This module derives, for each
+    query, the interval of admissible [V(q)] bitsets (indexed by update
+    rank):
+
+    - {b lower bound}: updates preceding [q] in program order (vis
+      contains 7→), the [V] of the previous query of the same process
+      (growth), and — for ω queries — {e all} updates (eventual
+      delivery: only finitely many events may miss an update, and an ω
+      event stands for infinitely many);
+    - {b upper bound}: all updates except those after [q] in program
+      order (such an edge would close a cycle with 7→).
+
+    [enumerate] walks all admissible assignments in process order with a
+    user-supplied pruning predicate, and [acyclic] verifies that a
+    complete assignment, together with the program order (and optionally
+    a total update order), admits a growth-closed acyclic extension —
+    which reduces to plain acyclicity of [7→ ∪ {u → q : u ∈ V(q)} ∪ ≤]
+    because every derived growth edge [u → e] factors through an
+    existing path [u → q 7→* e]. *)
+
+type ('u, 'q, 'o) space = {
+  history : ('u, 'q, 'o) History.t;
+  n_updates : int;
+  update_ids : int array;  (** event id of each update rank *)
+  update_rank : int array;  (** update rank of each event id, -1 for queries *)
+  query_events : ('u, 'q, 'o) History.event array;
+      (** queries sorted by (pid, seq) so same-process queries are
+          contiguous and in program order *)
+  lower : Bitset.t array;  (** per query index, excluding the growth bound *)
+  upper : Bitset.t array;
+  prev_query : int array;  (** same-process predecessor query index or -1 *)
+}
+
+val space : ('u, 'q, 'o) History.t -> ('u, 'q, 'o) space
+
+val enumerate :
+  ('u, 'q, 'o) space ->
+  on_assign:(int -> Bitset.t array -> bool) ->
+  at_leaf:(Bitset.t array -> bool) ->
+  bool
+(** Depth-first search over assignments [V : query index → bitset].
+    [on_assign i vs] is called right after [vs.(i)] is set — return
+    [false] to prune the branch. [at_leaf vs] is called on complete
+    assignments — return [true] to accept (stops the search). Returns
+    whether some leaf was accepted. *)
+
+val acyclic :
+  ('u, 'q, 'o) space -> ?sigma:int array -> Bitset.t array -> bool
+(** [acyclic space vs] — is [7→ ∪ {u → q : u ∈ V(q)}] acyclic?
+    [sigma], a permutation of update ranks, additionally chains the
+    updates in that order (the SUC total order [≤]). *)

@@ -1,0 +1,173 @@
+module Make (P : Protocol.PROTOCOL) = struct
+  type config = {
+    seed : int;
+    n_replicas : int;
+    n_clients : int;
+    replica_delay : Network.delay_model;
+    client_delay : Network.delay_model;
+    think : Network.delay_model;
+    crashes : (float * int) list;
+    final_read : P.query option;
+  }
+
+  let default_config ~n_replicas ~n_clients ~seed =
+    {
+      seed;
+      n_replicas;
+      n_clients;
+      replica_delay = Network.Uniform { lo = 1.0; hi = 10.0 };
+      client_delay = Network.Uniform { lo = 0.5; hi = 2.0 };
+      think = Network.Exponential { mean = 5.0 };
+      crashes = [];
+      final_read = None;
+    }
+
+  type result = {
+    history : (P.update, P.query, P.output) History.t;
+    converged : bool;
+    failovers : int;
+    metrics : Metrics.t;
+    ops_completed : int;
+    ops_abandoned : int;
+  }
+
+  let run config ~workload =
+    if Array.length workload <> config.n_clients then
+      invalid_arg "Clients.run: workload width must match n_clients";
+    let engine = Engine.create () in
+    let metrics = Metrics.create () in
+    let root_rng = Prng.create config.seed in
+    let net_rng = Prng.split root_rng in
+    let link_rng = Prng.split root_rng in
+    let think_rngs = Array.init config.n_clients (fun _ -> Prng.split root_rng) in
+    let replicas = Array.make config.n_replicas None in
+    let crashed = Array.make config.n_replicas false in
+    let network =
+      Network.create ~engine ~rng:net_rng ~metrics ~n:config.n_replicas
+        ~delay:config.replica_delay ~wire_size:P.message_wire_size
+        ~deliver:(fun ~dst ~src msg ->
+          match replicas.(dst) with
+          | Some r -> P.receive r ~src msg
+          | None -> ())
+        ()
+    in
+    for pid = 0 to config.n_replicas - 1 do
+      let ctx =
+        {
+          Protocol.pid;
+          n = config.n_replicas;
+          now = (fun () -> Engine.now engine);
+          send = (fun ~dst msg -> Network.send network ~src:pid ~dst msg);
+          broadcast = (fun msg -> Network.broadcast network ~src:pid msg);
+          set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
+          count_replay =
+            (fun k -> metrics.Metrics.replay_steps <- metrics.Metrics.replay_steps + k);
+        }
+      in
+      replicas.(pid) <- Some (P.create ctx)
+    done;
+    List.iter
+      (fun (time, pid) ->
+        Engine.schedule_at engine ~time (fun () ->
+            crashed.(pid) <- true;
+            Network.crash network pid))
+      config.crashes;
+    (* Client state. *)
+    let home = Array.init config.n_clients (fun c -> c mod config.n_replicas) in
+    let steps : (P.update, P.query, P.output) History.step list ref array =
+      Array.init config.n_clients (fun _ -> ref [])
+    in
+    let failovers = ref 0 in
+    let ops_completed = ref 0 in
+    let ops_abandoned = ref 0 in
+    (* Move client [c]'s home to the next live replica. Returns false if
+       every replica is down. *)
+    let live_home c =
+      let n = config.n_replicas in
+      let rec seek tried =
+        if tried = n then false
+        else if crashed.(home.(c)) then begin
+          home.(c) <- (home.(c) + 1) mod n;
+          incr failovers;
+          seek (tried + 1)
+        end
+        else true
+      in
+      (* [seek] counts a failover per hop; retract the increments that
+         only skipped consecutive dead replicas beyond the first. *)
+      let before = !failovers in
+      let ok = seek 0 in
+      if !failovers > before then failovers := before + 1;
+      ok
+    in
+    let link_gap () = Network.draw_delay link_rng config.client_delay in
+    let rec issue c script =
+      match script with
+      | [] -> ()
+      | action :: rest ->
+        if live_home c then begin
+          let target = home.(c) in
+          (* Request travels to the replica... *)
+          Engine.schedule engine ~delay:(link_gap ()) (fun () ->
+              if crashed.(target) then begin
+                (* ...which died meanwhile: retry elsewhere. *)
+                incr ops_abandoned;
+                issue c script
+              end
+              else begin
+                let replica = Option.get replicas.(target) in
+                let reply record =
+                  (* ...and the answer travels back. *)
+                  Engine.schedule engine ~delay:(link_gap ()) (fun () ->
+                      record ();
+                      incr ops_completed;
+                      let gap = Network.draw_delay think_rngs.(c) config.think in
+                      Engine.schedule engine ~delay:gap (fun () -> issue c rest))
+                in
+                match action with
+                | Protocol.Invoke_update u ->
+                  metrics.Metrics.updates_invoked <- metrics.Metrics.updates_invoked + 1;
+                  P.update replica u ~on_done:(fun () ->
+                      reply (fun () -> steps.(c) := History.U u :: !(steps.(c))))
+                | Protocol.Invoke_query q ->
+                  metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
+                  P.query replica q ~on_result:(fun output ->
+                      reply (fun () -> steps.(c) := History.Q (q, output) :: !(steps.(c))))
+              end)
+        end
+        else ops_abandoned := !ops_abandoned + List.length script
+    in
+    Array.iteri
+      (fun c script ->
+        let gap = Network.draw_delay think_rngs.(c) config.think in
+        Engine.schedule engine ~delay:gap (fun () -> issue c script))
+      workload;
+    Engine.run engine;
+    (* ω final reads, through each client's (live) home. *)
+    let finals = ref [] in
+    (match config.final_read with
+    | None -> ()
+    | Some q ->
+      for c = 0 to config.n_clients - 1 do
+        if live_home c then begin
+          let replica = Option.get replicas.(home.(c)) in
+          P.query replica q ~on_result:(fun output ->
+              steps.(c) := History.Qw (q, output) :: !(steps.(c));
+              finals := output :: !finals)
+        end
+      done;
+      Engine.run engine);
+    let converged =
+      match !finals with
+      | [] -> true
+      | o :: rest -> List.for_all (P.equal_output o) rest
+    in
+    {
+      history = History.make (List.map (fun r -> List.rev !r) (Array.to_list steps));
+      converged;
+      failovers = !failovers;
+      metrics;
+      ops_completed = !ops_completed;
+      ops_abandoned = !ops_abandoned;
+    }
+end

@@ -1,0 +1,54 @@
+(** A client/server topology over the replica protocols.
+
+    The paper's model has the {e processes themselves} replicating the
+    object; deployed systems put replicas behind a service and have
+    clients attach to one of them. This driver simulates that: each
+    client sends its operations to a {e home} replica over a
+    client-to-replica link, waits for the reply, and — when its home has
+    crashed — {e fails over} to the next live replica and retries.
+
+    The extracted history has one line per {b client}. That changes
+    which criteria hold: a client that read through a well-informed
+    replica and then fails over to a less-informed one sees its session
+    travel back in time, so pipelined (session) consistency of the
+    client history is lost — while update consistency survives, because
+    it constrains only the converged state. Experiment S1 measures
+    exactly this.
+
+    Restricted to wait-free replica protocols (a replica must answer a
+    forwarded operation within its own activation). *)
+
+module Make (P : Protocol.PROTOCOL) : sig
+  type config = {
+    seed : int;
+    n_replicas : int;
+    n_clients : int;
+    replica_delay : Network.delay_model;  (** replica-to-replica mesh *)
+    client_delay : Network.delay_model;  (** one way, client ↔ replica *)
+    think : Network.delay_model;
+    crashes : (float * int) list;  (** replica crashes *)
+    final_read : P.query option;
+  }
+
+  val default_config : n_replicas:int -> n_clients:int -> seed:int -> config
+
+  type result = {
+    history : (P.update, P.query, P.output) History.t;
+        (** one process per client *)
+    converged : bool;  (** final reads across clients agree *)
+    failovers : int;
+    metrics : Metrics.t;
+    ops_completed : int;
+    ops_abandoned : int;
+        (** operations in flight to a replica that crashed before
+            replying; the client retries elsewhere, so this counts
+            retried requests, not lost ones *)
+  }
+
+  val run :
+    config ->
+    workload:(P.update, P.query) Protocol.invocation list array ->
+    result
+  (** [workload.(c)] is client [c]'s script; clients are initially
+      assigned to replicas round-robin. *)
+end

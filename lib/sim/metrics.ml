@@ -1,0 +1,37 @@
+type t = {
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_delivered : int;
+  mutable messages_dropped : int;
+  mutable updates_invoked : int;
+  mutable queries_invoked : int;
+  mutable ops_completed : int;
+  mutable ops_incomplete : int;
+  mutable replay_steps : int;
+  mutable delivery_latency_sum : float;
+}
+
+let create () =
+  {
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_delivered = 0;
+    messages_dropped = 0;
+    updates_invoked = 0;
+    queries_invoked = 0;
+    ops_completed = 0;
+    ops_incomplete = 0;
+    replay_steps = 0;
+    delivery_latency_sum = 0.0;
+  }
+
+let mean_delivery_latency t =
+  if t.messages_delivered = 0 then 0.0
+  else t.delivery_latency_sum /. float_of_int t.messages_delivered
+
+let pp ppf t =
+  Format.fprintf ppf
+    "msgs=%d bytes=%d delivered=%d dropped=%d updates=%d queries=%d completed=%d \
+     incomplete=%d replay=%d"
+    t.messages_sent t.bytes_sent t.messages_delivered t.messages_dropped
+    t.updates_invoked t.queries_invoked t.ops_completed t.ops_incomplete t.replay_steps

@@ -1,0 +1,24 @@
+(** Run-wide counters: the observables of the complexity experiments
+    (C1–C3). Mutable; one record per run. *)
+
+type t = {
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_delivered : int;
+  mutable messages_dropped : int;  (** to/from crashed processes *)
+  mutable updates_invoked : int;
+  mutable queries_invoked : int;
+  mutable ops_completed : int;
+  mutable ops_incomplete : int;
+      (** invoked but never completed — e.g. a quorum operation cut off
+          by a partition or crash majority *)
+  mutable replay_steps : int;
+      (** update applications performed by query replays (C2) *)
+  mutable delivery_latency_sum : float;
+}
+
+val create : unit -> t
+
+val mean_delivery_latency : t -> float
+
+val pp : Format.formatter -> t -> unit

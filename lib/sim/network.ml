@@ -1,0 +1,107 @@
+type delay_model =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { scale : float; shape : float }
+
+let draw_delay rng = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> lo +. Prng.float rng (hi -. lo)
+  | Exponential { mean } -> Prng.exponential rng ~mean
+  | Pareto { scale; shape } -> Prng.pareto rng ~scale ~shape
+
+type partition = { from_time : float; to_time : float; group : int list }
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Prng.t;
+  metrics : Metrics.t;
+  n : int;
+  fifo : bool;
+  partitions : partition list;
+  delay : delay_model;
+  record_delivery :
+    (sent:float -> received:float -> src:int -> dst:int -> 'msg -> unit) option;
+  wire_size : 'msg -> int;
+  deliver : dst:int -> src:int -> 'msg -> unit;
+  crashed : bool array;
+  last_delivery : float array array;  (** per (src, dst), for FIFO channels *)
+}
+
+let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = []) ?record_delivery
+    ~delay ~wire_size ~deliver () =
+  {
+    engine;
+    rng;
+    metrics;
+    n;
+    fifo;
+    partitions;
+    delay;
+    record_delivery;
+    wire_size;
+    deliver;
+    crashed = Array.make n false;
+    last_delivery = Array.init n (fun _ -> Array.make n 0.0);
+  }
+
+let separated t ~src ~dst ~at =
+  List.find_opt
+    (fun p ->
+      p.from_time <= at && at < p.to_time
+      && List.mem src p.group <> List.mem dst p.group)
+    t.partitions
+
+(* Earliest time >= [at] when src and dst are connected: partitions only
+   delay messages (the network stays reliable). *)
+let rec connected_time t ~src ~dst ~at =
+  match separated t ~src ~dst ~at with
+  | None -> at
+  | Some p -> connected_time t ~src ~dst ~at:p.to_time
+
+let enqueue t ~src ~dst msg =
+  let now = Engine.now t.engine in
+  t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + 1;
+  t.metrics.Metrics.bytes_sent <- t.metrics.Metrics.bytes_sent + t.wire_size msg;
+  let arrival =
+    if src = dst then now (* a process receives its own broadcast instantly *)
+    else begin
+      let departure = connected_time t ~src ~dst ~at:now in
+      let arrival = departure +. draw_delay t.rng t.delay in
+      if t.fifo then Float.max arrival t.last_delivery.(src).(dst) else arrival
+    end
+  in
+  if t.fifo then t.last_delivery.(src).(dst) <- arrival;
+  Engine.schedule_at t.engine ~time:arrival (fun () ->
+      if t.crashed.(dst) then
+        t.metrics.Metrics.messages_dropped <- t.metrics.Metrics.messages_dropped + 1
+      else begin
+        t.metrics.Metrics.messages_delivered <- t.metrics.Metrics.messages_delivered + 1;
+        t.metrics.Metrics.delivery_latency_sum <-
+          t.metrics.Metrics.delivery_latency_sum +. (arrival -. now);
+        (match t.record_delivery with
+        | Some record -> record ~sent:now ~received:arrival ~src ~dst msg
+        | None -> ());
+        t.deliver ~dst ~src msg
+      end)
+
+let send t ~src ~dst msg =
+  if dst < 0 || dst >= t.n then invalid_arg "Network.send: bad destination";
+  if t.crashed.(src) then
+    t.metrics.Metrics.messages_dropped <- t.metrics.Metrics.messages_dropped + 1
+  else enqueue t ~src ~dst msg
+
+let broadcast t ~src msg =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst msg
+  done
+
+let crash t pid = t.crashed.(pid) <- true
+
+let is_crashed t pid = t.crashed.(pid)
+
+let alive t =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if t.crashed.(i) then acc else i :: acc)
+  in
+  collect (t.n - 1) []

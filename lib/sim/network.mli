@@ -1,0 +1,60 @@
+(** Simulated asynchronous message-passing network.
+
+    The paper's system model (Section VII.A): a complete, reliable
+    network between sequential crash-prone processes; no bound on
+    transfer delays. Delay models draw each message's latency from a
+    seeded distribution; [fifo] optionally enforces per-channel FIFO
+    order (pipelined consistency needs it, Algorithm 1 does not);
+    partitions hold cross-group traffic back until they heal (messages
+    are never lost — reliability — only arbitrarily delayed); messages
+    to or from crashed processes are dropped, which is harmless since a
+    crashed process by definition sends and observes nothing further. *)
+
+type delay_model =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { scale : float; shape : float }
+      (** heavy tail: the "very late messages" of Section VII.C *)
+
+val draw_delay : Prng.t -> delay_model -> float
+
+type partition = {
+  from_time : float;
+  to_time : float;
+  group : int list;  (** processes isolated from the rest in the window *)
+}
+
+type 'msg t
+
+val create :
+  engine:Engine.t ->
+  rng:Prng.t ->
+  metrics:Metrics.t ->
+  n:int ->
+  ?fifo:bool ->
+  ?partitions:partition list ->
+  ?record_delivery:
+    (sent:float -> received:float -> src:int -> dst:int -> 'msg -> unit) ->
+  delay:delay_model ->
+  wire_size:('msg -> int) ->
+  deliver:(dst:int -> src:int -> 'msg -> unit) ->
+  unit ->
+  'msg t
+(** [deliver] is invoked at the (simulated) arrival time of each message
+    not addressed to or sent by a then-crashed process. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+(** One message to every process {e other than} the sender — the paper
+    treats a sender's own copy as received instantaneously, so protocols
+    apply their own updates synchronously instead. Counts [n-1]
+    messages. *)
+
+val crash : 'msg t -> int -> unit
+(** Mark a process crashed: it no longer sends or receives. *)
+
+val is_crashed : 'msg t -> int -> bool
+
+val alive : 'msg t -> int list

@@ -1,0 +1,39 @@
+type ('u, 'q) invocation = Invoke_update of 'u | Invoke_query of 'q
+
+type 'msg ctx = {
+  pid : int;
+  n : int;
+  now : unit -> float;
+  send : dst:int -> 'msg -> unit;
+  broadcast : 'msg -> unit;
+  set_timer : delay:float -> (unit -> unit) -> unit;
+  count_replay : int -> unit;
+}
+
+module type PROTOCOL = sig
+  include Uqadt.S
+
+  type t
+
+  type message
+
+  val protocol_name : string
+
+  val create : message ctx -> t
+
+  val update : t -> update -> on_done:(unit -> unit) -> unit
+
+  val query : t -> query -> on_result:(output -> unit) -> unit
+
+  val receive : t -> src:int -> message -> unit
+
+  val message_wire_size : message -> int
+
+  val describe_message : message -> string
+
+  val log_length : t -> int
+
+  val metadata_bytes : t -> int
+
+  val certificate : t -> (int * update) list option
+end

@@ -1,0 +1,68 @@
+(** Interface between a replicated-object protocol and the simulator.
+
+    A protocol instance lives on one process. The runner hands it a
+    {!ctx} with its communication capabilities at creation. Operations
+    are asynchronous: wait-free protocols (Algorithm 1, Algorithm 2, the
+    CRDTs) complete them in the same activation; quorum protocols (the
+    ABD baseline) complete them from a later message receipt — the gap
+    between the two is exactly experiment C4. *)
+
+type ('u, 'q) invocation = Invoke_update of 'u | Invoke_query of 'q
+(** One scripted operation of a workload; shared across protocols so
+    workload generators are protocol-independent. *)
+
+type 'msg ctx = {
+  pid : int;
+  n : int;
+  now : unit -> float;
+  send : dst:int -> 'msg -> unit;
+  broadcast : 'msg -> unit;
+      (** to every process except self: a sender receives its own
+          message instantaneously (Section VII.B), which protocols model
+          by applying their own updates synchronously *)
+  set_timer : delay:float -> (unit -> unit) -> unit;
+  count_replay : int -> unit;
+      (** report update applications done while answering a query (C2) *)
+}
+
+module type PROTOCOL = sig
+  (** The object's abstract data type (its sequential specification),
+      re-exported flat so instances can be constrained with plain
+      [with type] equalities. *)
+  include Uqadt.S
+
+  type t
+  (** One replica's protocol state. *)
+
+  type message
+
+  val protocol_name : string
+
+  val create : message ctx -> t
+
+  val update : t -> update -> on_done:(unit -> unit) -> unit
+  (** Perform an update; [on_done] when it is locally complete. *)
+
+  val query : t -> query -> on_result:(output -> unit) -> unit
+
+  val receive : t -> src:int -> message -> unit
+
+  val message_wire_size : message -> int
+
+  val describe_message : message -> string
+  (** Short human-readable rendering, used by execution traces. *)
+
+  val log_length : t -> int
+  (** Retained update-log entries (C3: GC ablation). *)
+
+  val metadata_bytes : t -> int
+  (** Approximate footprint of the replica's protocol metadata. *)
+
+  val certificate : t -> (int * update) list option
+  (** The replica's current linearization of the updates it knows, as
+      [(origin pid, update)] pairs, if the protocol maintains one.
+      At quiescence all correct replicas of an update-consistent
+      protocol must return the {e same} list, and executing it must
+      explain their final reads — the checkable core of Proposition 4
+      at scales where the generic SUC search is intractable. *)
+end

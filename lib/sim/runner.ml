@@ -1,0 +1,228 @@
+module Make (P : Protocol.PROTOCOL) = struct
+  type action = (P.update, P.query) Protocol.invocation
+
+  type config = {
+    seed : int;
+    n : int;
+    delay : Network.delay_model;
+    fifo : bool;
+    partitions : Network.partition list;
+    crashes : (float * int) list;
+    think : Network.delay_model;
+    final_read : P.query option;
+    deadline : float;
+    trace : bool;
+  }
+
+  let default_config ~n ~seed =
+    {
+      seed;
+      n;
+      delay = Network.Uniform { lo = 1.0; hi = 10.0 };
+      fifo = false;
+      partitions = [];
+      crashes = [];
+      think = Network.Exponential { mean = 5.0 };
+      final_read = None;
+      deadline = 1e7;
+      trace = false;
+    }
+
+  type result = {
+    history : (P.update, P.query, P.output) History.t;
+    metrics : Metrics.t;
+    op_latencies : float list;
+    final_outputs : (int * P.output) list;
+    converged : bool;
+    certificates : (int * (int * P.update) list) list;
+    certificates_agree : bool;
+    log_lengths : (int * int) list;
+    metadata_bytes : (int * int) list;
+    sim_duration : float;
+    trace : Trace.t option;
+    intervals : (float * float) array;
+  }
+
+  let run config ~workload =
+    let n = config.n in
+    if Array.length workload <> n then
+      invalid_arg "Runner.run: workload width must match config.n";
+    let engine = Engine.create () in
+    let metrics = Metrics.create () in
+    let trace = if config.trace then Some (Trace.create ()) else None in
+    let root_rng = Prng.create config.seed in
+    let net_rng = Prng.split root_rng in
+    let think_rngs = Array.init n (fun _ -> Prng.split root_rng) in
+    let replicas = Array.make n None in
+    let record_delivery =
+      Option.map
+        (fun tr ~sent ~received ~src ~dst msg ->
+          Trace.record_delivery tr ~sent ~received ~src ~dst (P.describe_message msg))
+        trace
+    in
+    let network =
+      Network.create ~engine ~rng:net_rng ~metrics ~n ~fifo:config.fifo
+        ~partitions:config.partitions ?record_delivery ~delay:config.delay
+        ~wire_size:P.message_wire_size
+        ~deliver:(fun ~dst ~src msg ->
+          match replicas.(dst) with
+          | Some r -> P.receive r ~src msg
+          | None -> ())
+        ()
+    in
+    let crashed = Array.make n false in
+    (* Per-process recorded steps, reversed, with (start, finish ref)
+       intervals recorded in lockstep. *)
+    let steps : (P.update, P.query, P.output) History.step list ref array =
+      Array.init n (fun _ -> ref [])
+    in
+    let op_times : (float * float ref) list ref array = Array.init n (fun _ -> ref []) in
+    let latencies = ref [] in
+    for pid = 0 to n - 1 do
+      let ctx =
+        {
+          Protocol.pid;
+          n;
+          now = (fun () -> Engine.now engine);
+          send = (fun ~dst msg -> Network.send network ~src:pid ~dst msg);
+          broadcast = (fun msg -> Network.broadcast network ~src:pid msg);
+          set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
+          count_replay =
+            (fun k -> metrics.Metrics.replay_steps <- metrics.Metrics.replay_steps + k);
+        }
+      in
+      replicas.(pid) <- Some (P.create ctx)
+    done;
+    let replica pid =
+      match replicas.(pid) with
+      | Some r -> r
+      | None -> invalid_arg "Runner: replica not initialised"
+    in
+    (* Sequential script driver for one process. *)
+    let rec issue pid script =
+      if not crashed.(pid) then begin
+        match script with
+        | [] -> ()
+        | action :: rest ->
+          let started = Engine.now engine in
+          let continue () =
+            if not crashed.(pid) then begin
+              metrics.Metrics.ops_completed <- metrics.Metrics.ops_completed + 1;
+              latencies := (Engine.now engine -. started) :: !latencies;
+              let gap = Network.draw_delay think_rngs.(pid) config.think in
+              Engine.schedule engine ~delay:gap (fun () -> issue pid rest)
+            end
+          in
+          (match action with
+          | Protocol.Invoke_update u ->
+            metrics.Metrics.updates_invoked <- metrics.Metrics.updates_invoked + 1;
+            steps.(pid) := History.U u :: !(steps.(pid));
+            let finish = ref Float.infinity in
+            op_times.(pid) := (started, finish) :: !(op_times.(pid));
+            Option.iter
+              (fun tr ->
+                Trace.record_op tr ~time:started ~pid
+                  (Format.asprintf "%a" P.pp_update u))
+              trace;
+            P.update (replica pid) u ~on_done:(fun () ->
+                finish := Engine.now engine;
+                continue ())
+          | Protocol.Invoke_query q ->
+            metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
+            P.query (replica pid) q ~on_result:(fun output ->
+                if not crashed.(pid) then begin
+                  steps.(pid) := History.Q (q, output) :: !(steps.(pid));
+                  op_times.(pid) :=
+                    (started, ref (Engine.now engine)) :: !(op_times.(pid));
+                  Option.iter
+                    (fun tr ->
+                      Trace.record_op tr ~time:(Engine.now engine) ~pid
+                        (Format.asprintf "%a/%a" P.pp_query q P.pp_output output))
+                    trace;
+                  continue ()
+                end))
+      end
+    in
+    Array.iteri
+      (fun pid script ->
+        let gap = Network.draw_delay think_rngs.(pid) config.think in
+        Engine.schedule engine ~delay:gap (fun () -> issue pid script))
+      workload;
+    List.iter
+      (fun (time, pid) ->
+        Engine.schedule_at engine ~time (fun () ->
+            crashed.(pid) <- true;
+            Option.iter (fun tr -> Trace.record_crash tr ~time ~pid) trace;
+            Network.crash network pid))
+      config.crashes;
+    Engine.run ~until:config.deadline engine;
+    (* Quiescence: issue the ω final reads on live processes. *)
+    let final_outputs = ref [] in
+    (match config.final_read with
+    | None -> ()
+    | Some q ->
+      for pid = 0 to n - 1 do
+        if not crashed.(pid) then begin
+          metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
+          P.query (replica pid) q ~on_result:(fun output ->
+              steps.(pid) := History.Qw (q, output) :: !(steps.(pid));
+              op_times.(pid) :=
+                (Engine.now engine, ref (Engine.now engine)) :: !(op_times.(pid));
+              Option.iter
+                (fun tr ->
+                  Trace.record_op tr ~time:(Engine.now engine) ~pid
+                    (Format.asprintf "%a/%aω" P.pp_query q P.pp_output output))
+                trace;
+              final_outputs := (pid, output) :: !final_outputs)
+        end
+      done;
+      Engine.run ~until:config.deadline engine);
+    let invoked =
+      metrics.Metrics.updates_invoked + metrics.Metrics.queries_invoked
+    in
+    metrics.Metrics.ops_incomplete <-
+      invoked - metrics.Metrics.ops_completed - List.length !final_outputs;
+    let final_outputs = List.rev !final_outputs in
+    let converged =
+      match final_outputs with
+      | [] -> true
+      | (_, o0) :: rest -> List.for_all (fun (_, o) -> P.equal_output o0 o) rest
+    in
+    let live = List.filter (fun pid -> not crashed.(pid)) (List.init n Fun.id) in
+    let certificates =
+      List.filter_map
+        (fun pid -> Option.map (fun c -> (pid, c)) (P.certificate (replica pid)))
+        live
+    in
+    let certificates_agree =
+      match certificates with
+      | [] -> true
+      | (_, c0) :: rest ->
+        List.for_all
+          (fun (_, c) ->
+            List.length c = List.length c0
+            && List.for_all2
+                 (fun (p, u) (p', u') -> p = p' && P.equal_update u u')
+                 c c0)
+          rest
+    in
+    let intervals =
+      Array.to_list op_times
+      |> List.concat_map (fun r -> List.rev_map (fun (s, f) -> (s, !f)) !r)
+      |> Array.of_list
+    in
+    {
+      history = History.make (List.map (fun r -> List.rev !r) (Array.to_list steps));
+      metrics;
+      op_latencies = List.rev !latencies;
+      final_outputs;
+      converged;
+      certificates;
+      certificates_agree;
+      log_lengths = List.map (fun pid -> (pid, P.log_length (replica pid))) live;
+      metadata_bytes = List.map (fun pid -> (pid, P.metadata_bytes (replica pid))) live;
+      sim_duration = Engine.now engine;
+      trace;
+      intervals;
+    }
+end

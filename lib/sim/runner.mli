@@ -1,0 +1,56 @@
+(** Drives one protocol over one workload through the simulator and
+    extracts everything the experiments need: the distributed history
+    (for the consistency checkers), metric counters, per-operation
+    latencies, the final converged (or not) reads, and the replicas'
+    linearization certificates.
+
+    Each simulated process is sequential: it issues its next operation a
+    think-time after the previous one completed, crashes at its
+    scheduled time if any, and — once every live process has exhausted
+    its script and the network has quiesced — issues one final read,
+    recorded as an ω query, so that the extracted history can be judged
+    for EC/UC exactly as the paper's figures are. *)
+
+module Make (P : Protocol.PROTOCOL) : sig
+  type action = (P.update, P.query) Protocol.invocation
+
+  type config = {
+    seed : int;
+    n : int;
+    delay : Network.delay_model;
+    fifo : bool;
+    partitions : Network.partition list;
+    crashes : (float * int) list;  (** (time, pid) *)
+    think : Network.delay_model;  (** gap between consecutive local ops *)
+    final_read : P.query option;
+    deadline : float;  (** hard stop for the whole simulation *)
+    trace : bool;  (** record an execution trace (see {!Trace}) *)
+  }
+
+  val default_config : n:int -> seed:int -> config
+  (** Uniform delays in [1, 10], think times exponential(5), no faults,
+      final read for none (set it per ADT), deadline 1e7. *)
+
+  type result = {
+    history : (P.update, P.query, P.output) History.t;
+    metrics : Metrics.t;
+    op_latencies : float list;
+    final_outputs : (int * P.output) list;  (** completed final reads *)
+    converged : bool;  (** all completed final reads are equal *)
+    certificates : (int * (int * P.update) list) list;
+    certificates_agree : bool;
+    log_lengths : (int * int) list;
+    metadata_bytes : (int * int) list;
+    sim_duration : float;
+    trace : Trace.t option;  (** present iff [config.trace] *)
+    intervals : (float * float) array;
+        (** per history event (indexed by event id): invocation and
+            response times. An update that never completed (a stalled
+            quorum operation) has an infinite response time. Feed these
+            to {!Check_lin} to decide linearizability of the run. *)
+  }
+
+  val run : config -> workload:action list array -> result
+  (** [workload.(p)] is process p's script. Raises [Invalid_argument] if
+      the workload width differs from [config.n]. *)
+end

@@ -1,0 +1,59 @@
+type event =
+  | Op of { time : float; pid : int; label : string }
+  | Delivery of { sent : float; received : float; src : int; dst : int; label : string }
+  | Crash of { time : float; pid : int }
+
+type t = { mutable events : event list }
+
+let create () = { events = [] }
+
+let record_op t ~time ~pid label = t.events <- Op { time; pid; label } :: t.events
+
+let record_delivery t ~sent ~received ~src ~dst label =
+  t.events <- Delivery { sent; received; src; dst; label } :: t.events
+
+let record_crash t ~time ~pid = t.events <- Crash { time; pid } :: t.events
+
+let length t = List.length t.events
+
+let time_of = function
+  | Op { time; _ } -> time
+  | Delivery { received; _ } -> received
+  | Crash { time; _ } -> time
+
+let render t ~n =
+  let events = List.sort (fun a b -> Float.compare (time_of a) (time_of b)) (List.rev t.events) in
+  let lane_width = 14 in
+  let buf = Buffer.create 1024 in
+  let pad s =
+    if String.length s >= lane_width then String.sub s 0 lane_width
+    else s ^ String.make (lane_width - String.length s) ' '
+  in
+  Buffer.add_string buf (pad "t");
+  for p = 0 to n - 1 do
+    Buffer.add_string buf (pad (Printf.sprintf "p%d" p))
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (pad (Printf.sprintf "%.1f" (time_of ev)));
+      (match ev with
+      | Op { pid; label; _ } ->
+        for p = 0 to n - 1 do
+          Buffer.add_string buf (pad (if p = pid then label else "·"))
+        done
+      | Delivery { sent; received; src; dst; label } ->
+        for p = 0 to n - 1 do
+          if p = dst then
+            Buffer.add_string buf
+              (pad (Printf.sprintf "«p%d %s" src label))
+          else Buffer.add_string buf (pad "·")
+        done;
+        Buffer.add_string buf (Printf.sprintf " (in flight %.1f)" (received -. sent))
+      | Crash { pid; _ } ->
+        for p = 0 to n - 1 do
+          Buffer.add_string buf (pad (if p = pid then "✗ crash" else "·"))
+        done);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf

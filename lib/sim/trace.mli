@@ -1,0 +1,25 @@
+(** Execution traces and their rendering.
+
+    The runner (with [trace = true]) records every operation invocation,
+    completion and message delivery; {!render} prints a lane-per-process
+    chronology — the closest plain text comes to the space-time diagrams
+    used to reason about the paper's histories. Meant for the examples,
+    for debugging protocols, and for EXPERIMENTS.md illustrations. *)
+
+type t
+
+val create : unit -> t
+
+val record_op : t -> time:float -> pid:int -> string -> unit
+
+val record_delivery :
+  t -> sent:float -> received:float -> src:int -> dst:int -> string -> unit
+
+val record_crash : t -> time:float -> pid:int -> unit
+
+val length : t -> int
+
+val render : t -> n:int -> string
+(** One line per recorded event in time order: a timestamp column, one
+    lane per process (the acting process's lane carries the label), and
+    message arrows printed as [src⟶dst] with their network latency. *)

@@ -1,0 +1,105 @@
+type state = int Support.Int_map.t
+
+type update = Deposit of int * int | Withdraw of int * int | Transfer of int * int * int
+
+type query = Balance of int | Total
+
+type output = int
+
+let name = "bank"
+
+let initial = Support.Int_map.empty
+
+let balance s a = Option.value ~default:0 (Support.Int_map.find_opt a s)
+
+let credit s a amount = Support.Int_map.add a (balance s a + amount) s
+
+let apply s = function
+  | Deposit (a, amount) -> credit s a amount
+  | Withdraw (a, amount) -> if balance s a >= amount then credit s a (-amount) else s
+  | Transfer (src, dst, amount) ->
+    if src <> dst && balance s src >= amount then credit (credit s src (-amount)) dst amount
+    else s
+
+let eval s = function
+  | Balance a -> balance s a
+  | Total -> Support.Int_map.fold (fun _ b acc -> acc + b) s 0
+
+let equal_state = Support.Int_map.equal Int.equal
+
+let equal_update a b =
+  match (a, b) with
+  | Deposit (x, n), Deposit (x', n') | Withdraw (x, n), Withdraw (x', n') ->
+    x = x' && n = n'
+  | Transfer (x, y, n), Transfer (x', y', n') -> x = x' && y = y' && n = n'
+  | (Deposit _ | Withdraw _ | Transfer _), _ -> false
+
+let equal_query a b =
+  match (a, b) with
+  | Balance x, Balance x' -> x = x'
+  | Total, Total -> true
+  | (Balance _ | Total), _ -> false
+
+let equal_output = Int.equal
+
+let pp_state ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (a, b) -> Format.fprintf ppf "a%d:%d" a b))
+    (Support.Int_map.bindings s)
+
+let pp_update ppf = function
+  | Deposit (a, n) -> Format.fprintf ppf "dep(a%d,%d)" a n
+  | Withdraw (a, n) -> Format.fprintf ppf "wdr(a%d,%d)" a n
+  | Transfer (x, y, n) -> Format.fprintf ppf "xfer(a%d→a%d,%d)" x y n
+
+let pp_query ppf = function
+  | Balance a -> Format.fprintf ppf "bal(a%d)" a
+  | Total -> Format.fprintf ppf "total"
+
+let pp_output = Format.pp_print_int
+
+let update_wire_size = function
+  | Deposit (a, n) | Withdraw (a, n) -> 1 + Wire.pair_size (abs a) (abs n)
+  | Transfer (x, y, n) -> 1 + Wire.pair_size (abs x) (abs y) + Wire.varint_size (abs n)
+
+let commutative = false
+
+(* A witness state exists iff per-account balances are consistent and
+   non-negative, and any requested total can cover the named accounts
+   (unnamed accounts can absorb the remainder, but never negatively). *)
+let satisfiable pairs =
+  let balances = Hashtbl.create 8 in
+  let totals = ref [] in
+  let consistent = ref true in
+  List.iter
+    (fun (q, o) ->
+      match q with
+      | Balance a -> (
+        if o < 0 then consistent := false;
+        match Hashtbl.find_opt balances a with
+        | Some o' when o' <> o -> consistent := false
+        | Some _ -> ()
+        | None -> Hashtbl.add balances a o)
+      | Total ->
+        if o < 0 then consistent := false;
+        totals := o :: !totals)
+    pairs;
+  let named_sum = Hashtbl.fold (fun _ b acc -> acc + b) balances 0 in
+  !consistent
+  &&
+  match List.sort_uniq Int.compare !totals with
+  | [] -> true
+  | [ t ] -> t >= named_sum
+  | _ :: _ :: _ -> false
+
+let random_update rng =
+  let account () = Prng.int rng 3 in
+  let amount () = 1 + Prng.int rng 20 in
+  match Prng.int rng 3 with
+  | 0 -> Deposit (account (), amount ())
+  | 1 -> Withdraw (account (), amount ())
+  | _ -> Transfer (account (), account (), amount ())
+
+let random_query rng = if Prng.int rng 4 = 0 then Total else Balance (Prng.int rng 3)

@@ -1,0 +1,32 @@
+(** A bank: accounts with overdraft protection.
+
+    [Deposit] always applies; [Withdraw] and [Transfer] silently do
+    nothing when the source balance is insufficient, so every reachable
+    state keeps all balances non-negative {e in whichever order the
+    updates are linearized}. This is the kind of state-conditional
+    semantics that has no commutative (CRDT) formulation — a PN-counter
+    balance can go negative under concurrency — and therefore the
+    motivating case for the universal construction: update consistency
+    applies the guard in one agreed order, preserving the invariant on
+    every replica. *)
+
+type state = int Support.Int_map.t
+(** account → balance; absent accounts hold 0. *)
+
+type update =
+  | Deposit of int * int  (** account, amount > 0 *)
+  | Withdraw of int * int
+  | Transfer of int * int * int  (** from, to, amount *)
+
+type query = Balance of int | Total
+
+type output = int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output
+
+val balance : state -> int -> int

@@ -1,0 +1,39 @@
+type state = int
+type update = Add of int
+type query = Value
+type output = int
+
+let name = "counter"
+
+let initial = 0
+
+let apply s (Add n) = s + n
+
+let eval s Value = s
+
+let equal_state = Int.equal
+
+let equal_update (Add x) (Add y) = x = y
+
+let equal_query Value Value = true
+
+let equal_output = Int.equal
+
+let pp_state = Format.pp_print_int
+
+let pp_update ppf (Add n) =
+  if n >= 0 then Format.fprintf ppf "inc(%d)" n else Format.fprintf ppf "dec(%d)" (-n)
+
+let pp_query ppf Value = Format.fprintf ppf "V"
+
+let pp_output = Format.pp_print_int
+
+let update_wire_size (Add n) = 1 + Wire.varint_size (abs n)
+
+let commutative = true
+
+let satisfiable pairs = Support.all_outputs_equal equal_output pairs
+
+let random_update rng = Add (Prng.int_in rng (-3) 3)
+
+let random_query _rng = Value

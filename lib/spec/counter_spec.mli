@@ -1,0 +1,15 @@
+(** A shared counter: increment/decrement by an amount, read the value.
+    Addition commutes, so the counter is a CRDT (the paper's other
+    Section VII.C example). *)
+
+type state = int
+type update = Add of int
+type query = Value
+type output = int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,43 @@
+type state = bool
+type update = Enable | Disable
+type query = Read
+type output = bool
+
+let name = "flag"
+
+let initial = false
+
+let apply _ = function Enable -> true | Disable -> false
+
+let eval s Read = s
+
+let equal_state = Bool.equal
+
+let equal_update a b =
+  match (a, b) with
+  | Enable, Enable | Disable, Disable -> true
+  | Enable, Disable | Disable, Enable -> false
+
+let equal_query Read Read = true
+
+let equal_output = Bool.equal
+
+let pp_state = Format.pp_print_bool
+
+let pp_update ppf = function
+  | Enable -> Format.fprintf ppf "on"
+  | Disable -> Format.fprintf ppf "off"
+
+let pp_query ppf Read = Format.fprintf ppf "r"
+
+let pp_output = Format.pp_print_bool
+
+let update_wire_size _ = 1
+
+let commutative = false
+
+let satisfiable pairs = Support.all_outputs_equal equal_output pairs
+
+let random_update rng = if Prng.bool rng then Enable else Disable
+
+let random_query _rng = Read

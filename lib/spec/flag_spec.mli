@@ -1,0 +1,16 @@
+(** A boolean flag with [enable]/[disable] updates and a [read] query.
+    The minimal object on which enable-wins vs disable-wins concurrent
+    semantics differ; under update consistency the winner is simply the
+    last update in the common linearization. *)
+
+type state = bool
+type update = Enable | Disable
+type query = Read
+type output = bool
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,38 @@
+type state = Support.Int_set.t
+type update = Insert of int
+type query = Read
+type output = Support.Int_set.t
+
+let name = "gset"
+
+let initial = Support.Int_set.empty
+
+let apply s (Insert v) = Support.Int_set.add v s
+
+let eval s Read = s
+
+let equal_state = Support.Int_set.equal
+
+let equal_update (Insert x) (Insert y) = x = y
+
+let equal_query Read Read = true
+
+let equal_output = Support.Int_set.equal
+
+let pp_state = Support.pp_int_set
+
+let pp_update ppf (Insert v) = Format.fprintf ppf "I(%d)" v
+
+let pp_query ppf Read = Format.fprintf ppf "R"
+
+let pp_output = Support.pp_int_set
+
+let update_wire_size (Insert v) = 1 + Wire.varint_size (abs v)
+
+let commutative = true
+
+let satisfiable pairs = Support.all_outputs_equal equal_output pairs
+
+let random_update rng = Insert (Prng.int rng 8)
+
+let random_query _rng = Read

@@ -1,0 +1,16 @@
+(** The grow-only set (G-Set): insert-only, hence all updates commute and
+    the type is a pure CRDT — the paper's Section VII.C example of an
+    object whose naive apply-on-receive implementation is already update
+    consistent. *)
+
+type state = Support.Int_set.t
+type update = Insert of int
+type query = Read
+type output = Support.Int_set.t
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,38 @@
+type state = int list (* reversed: head is the most recent append *)
+type update = Append of int
+type query = Read
+type output = int list
+
+let name = "log"
+
+let initial = []
+
+let apply s (Append v) = v :: s
+
+let eval s Read = List.rev s
+
+let equal_state a b = a = b
+
+let equal_update (Append x) (Append y) = x = y
+
+let equal_query Read Read = true
+
+let equal_output a b = a = b
+
+let pp_state ppf s = Support.pp_int_list ppf (List.rev s)
+
+let pp_update ppf (Append v) = Format.fprintf ppf "app(%d)" v
+
+let pp_query ppf Read = Format.fprintf ppf "r"
+
+let pp_output = Support.pp_int_list
+
+let update_wire_size (Append v) = 1 + Wire.varint_size (abs v)
+
+let commutative = false
+
+let satisfiable pairs = Support.all_outputs_equal equal_output pairs
+
+let random_update rng = Append (Prng.int rng 8)
+
+let random_query _rng = Read

@@ -1,0 +1,16 @@
+(** An append-only log: [append v] pushes at the tail, [read] returns the
+    whole sequence. Appends do not commute (the order is observable), so
+    this is the simplest object where update consistency visibly picks
+    one linearization. *)
+
+type state = int list
+type update = Append of int
+type query = Read
+type output = int list
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,69 @@
+type state = int Support.Int_map.t
+type update = Put of int * int | Del of int
+type query = Get of int | Size
+type output = Found of int option | Count of int
+
+let name = "map"
+
+let initial = Support.Int_map.empty
+
+let apply s = function
+  | Put (k, v) -> Support.Int_map.add k v s
+  | Del k -> Support.Int_map.remove k s
+
+let eval s = function
+  | Get k -> Found (Support.Int_map.find_opt k s)
+  | Size -> Count (Support.Int_map.cardinal s)
+
+let equal_state = Support.Int_map.equal Int.equal
+
+let equal_update a b =
+  match (a, b) with
+  | Put (k, v), Put (k', v') -> k = k' && v = v'
+  | Del k, Del k' -> k = k'
+  | Put _, Del _ | Del _, Put _ -> false
+
+let equal_query a b =
+  match (a, b) with
+  | Get k, Get k' -> k = k'
+  | Size, Size -> true
+  | Get _, Size | Size, Get _ -> false
+
+let equal_output a b =
+  match (a, b) with
+  | Found x, Found y -> x = y
+  | Count x, Count y -> x = y
+  | Found _, Count _ | Count _, Found _ -> false
+
+let pp_state ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%d↦%d" k v))
+    (Support.Int_map.bindings s)
+
+let pp_update ppf = function
+  | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
+  | Del k -> Format.fprintf ppf "del(%d)" k
+
+let pp_query ppf = function
+  | Get k -> Format.fprintf ppf "get(%d)" k
+  | Size -> Format.fprintf ppf "size"
+
+let pp_output ppf = function
+  | Found v -> Support.pp_int_option ppf v
+  | Count n -> Format.pp_print_int ppf n
+
+let update_wire_size = function
+  | Put (k, v) -> 1 + Wire.pair_size (abs k) (abs v)
+  | Del k -> 1 + Wire.varint_size (abs k)
+
+let commutative = false
+
+let satisfiable pairs = Support.keyed_outputs_consistent equal_query equal_output pairs
+
+let random_update rng =
+  if Prng.int rng 3 = 0 then Del (Prng.int rng 4)
+  else Put (Prng.int rng 4, Prng.int rng 8)
+
+let random_query rng = if Prng.int rng 4 = 0 then Size else Get (Prng.int rng 4)

@@ -1,0 +1,16 @@
+(** A key-value dictionary: [put (k, v)], [del k] updates; [get k] query
+    returning the bound value (if any) and [size] returning the number of
+    bindings. The classic Wuu-Bernstein "dictionary" object cited by the
+    paper. *)
+
+type state = int Support.Int_map.t
+type update = Put of int * int | Del of int
+type query = Get of int | Size
+type output = Found of int option | Count of int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

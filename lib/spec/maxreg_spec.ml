@@ -1,0 +1,38 @@
+type state = int
+type update = Propose of int
+type query = Read
+type output = int
+
+let name = "maxreg"
+
+let initial = 0
+
+let apply s (Propose v) = max s v
+
+let eval s Read = s
+
+let equal_state = Int.equal
+
+let equal_update (Propose x) (Propose y) = x = y
+
+let equal_query Read Read = true
+
+let equal_output = Int.equal
+
+let pp_state = Format.pp_print_int
+
+let pp_update ppf (Propose v) = Format.fprintf ppf "p(%d)" v
+
+let pp_query ppf Read = Format.fprintf ppf "r"
+
+let pp_output = Format.pp_print_int
+
+let update_wire_size (Propose v) = 1 + Wire.varint_size (abs v)
+
+let commutative = true
+
+let satisfiable pairs = Support.all_outputs_equal equal_output pairs
+
+let random_update rng = Propose (Prng.int rng 16)
+
+let random_query _rng = Read

@@ -1,0 +1,16 @@
+(** A max-register: [propose v] raises the state to [max state v]; [read]
+    returns the maximum proposed so far. Updates commute and are
+    idempotent, so the reachable states form a join semi-lattice — the
+    other CRDT sufficient condition cited by the paper (Section I). *)
+
+type state = int
+type update = Propose of int
+type query = Read
+type output = int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,48 @@
+type state = int Support.Int_map.t
+type update = Write of int * int
+type query = Read of int
+type output = int
+
+let name = "memory"
+
+let initial_value = 0
+
+let initial = Support.Int_map.empty
+
+let lookup s x =
+  match Support.Int_map.find_opt x s with Some v -> v | None -> initial_value
+
+let apply s (Write (x, v)) = Support.Int_map.add x v s
+
+let eval s (Read x) = lookup s x
+
+let equal_state = Support.Int_map.equal Int.equal
+
+let equal_update (Write (x, v)) (Write (x', v')) = x = x' && v = v'
+
+let equal_query (Read x) (Read x') = x = x'
+
+let equal_output = Int.equal
+
+let pp_state ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (x, v) -> Format.fprintf ppf "%d↦%d" x v))
+    (Support.Int_map.bindings s)
+
+let pp_update ppf (Write (x, v)) = Format.fprintf ppf "w(%d,%d)" x v
+
+let pp_query ppf (Read x) = Format.fprintf ppf "r(%d)" x
+
+let pp_output = Format.pp_print_int
+
+let update_wire_size (Write (x, v)) = 1 + Wire.pair_size (abs x) (abs v)
+
+let commutative = false
+
+let satisfiable pairs = Support.keyed_outputs_consistent equal_query equal_output pairs
+
+let random_update rng = Write (Prng.int rng 4, Prng.int rng 8)
+
+let random_query rng = Read (Prng.int rng 4)

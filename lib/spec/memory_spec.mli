@@ -1,0 +1,21 @@
+(** The shared memory object of Algorithm 2: a set [X] of integer-named
+    registers holding integer values. [write (x, v)] updates register
+    [x]; [read x] returns its current value, or the initial value 0 if
+    never written. *)
+
+type state = int Support.Int_map.t
+type update = Write of int * int
+type query = Read of int
+type output = int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output
+
+val initial_value : int
+(** The value returned for a never-written register (0). *)
+
+val lookup : state -> int -> int

@@ -1,0 +1,70 @@
+type state = int list
+
+type update = Insert of int | Extract_min
+
+type query = Min | Size
+
+type output = Min_value of int option | Count of int
+
+let name = "pqueue"
+
+let initial = []
+
+let rec place v = function
+  | [] -> [ v ]
+  | x :: rest when v <= x -> v :: x :: rest
+  | x :: rest -> x :: place v rest
+
+let apply s = function
+  | Insert v -> place v s
+  | Extract_min -> ( match s with [] -> [] | _ :: rest -> rest)
+
+let eval s = function
+  | Min -> Min_value (match s with [] -> None | v :: _ -> Some v)
+  | Size -> Count (List.length s)
+
+let equal_state a b = a = b
+
+let equal_update a b =
+  match (a, b) with
+  | Insert x, Insert y -> x = y
+  | Extract_min, Extract_min -> true
+  | Insert _, Extract_min | Extract_min, Insert _ -> false
+
+let equal_query a b =
+  match (a, b) with
+  | Min, Min | Size, Size -> true
+  | Min, Size | Size, Min -> false
+
+let equal_output a b =
+  match (a, b) with
+  | Min_value x, Min_value y -> x = y
+  | Count x, Count y -> x = y
+  | Min_value _, Count _ | Count _, Min_value _ -> false
+
+let pp_state = Support.pp_int_list
+
+let pp_update ppf = function
+  | Insert v -> Format.fprintf ppf "ins(%d)" v
+  | Extract_min -> Format.fprintf ppf "extract"
+
+let pp_query ppf = function
+  | Min -> Format.fprintf ppf "min"
+  | Size -> Format.fprintf ppf "size"
+
+let pp_output ppf = function
+  | Min_value v -> Support.pp_int_option ppf v
+  | Count n -> Format.pp_print_int ppf n
+
+let update_wire_size = function
+  | Insert v -> 1 + Wire.varint_size (abs v)
+  | Extract_min -> 1
+
+let commutative = false
+
+let satisfiable pairs = Support.keyed_outputs_consistent equal_query equal_output pairs
+
+let random_update rng =
+  if Prng.int rng 3 = 0 then Extract_min else Insert (Prng.int rng 16)
+
+let random_query rng = if Prng.bool rng then Min else Size

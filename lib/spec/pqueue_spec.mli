@@ -1,0 +1,22 @@
+(** A priority queue, with the paper's Section I decomposition applied
+    to its pop: [Insert v] and [Extract_min] (a no-op when empty) are
+    updates; [Min] peeks without removing and [Size] counts. Classic
+    job-scheduler shape: concurrent extract-mins on different replicas
+    are exactly the race that needs a common linearization to agree on
+    who took which job. *)
+
+type state = int list
+(** Sorted ascending; the minimum at the head. *)
+
+type update = Insert of int | Extract_min
+
+type query = Min | Size
+
+type output = Min_value of int option | Count of int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,83 @@
+module Make (A : Uqadt.S) (B : Uqadt.S) = struct
+  type state = A.state * B.state
+  type update = (A.update, B.update) Either.t
+  type query = (A.query, B.query) Either.t
+  type output = (A.output, B.output) Either.t
+
+  let name = A.name ^ "*" ^ B.name
+
+  let initial = (A.initial, B.initial)
+
+  let apply (sa, sb) = function
+    | Either.Left u -> (A.apply sa u, sb)
+    | Either.Right u -> (sa, B.apply sb u)
+
+  let eval (sa, sb) = function
+    | Either.Left q -> Either.Left (A.eval sa q)
+    | Either.Right q -> Either.Right (B.eval sb q)
+
+  let equal_state (sa, sb) (sa', sb') = A.equal_state sa sa' && B.equal_state sb sb'
+
+  let equal_either eq_a eq_b x y =
+    match (x, y) with
+    | Either.Left a, Either.Left a' -> eq_a a a'
+    | Either.Right b, Either.Right b' -> eq_b b b'
+    | Either.Left _, Either.Right _ | Either.Right _, Either.Left _ -> false
+
+  let equal_update = equal_either A.equal_update B.equal_update
+
+  let equal_query = equal_either A.equal_query B.equal_query
+
+  let equal_output = equal_either A.equal_output B.equal_output
+
+  let pp_either pp_a pp_b ppf = function
+    | Either.Left a -> Format.fprintf ppf "L.%a" pp_a a
+    | Either.Right b -> Format.fprintf ppf "R.%a" pp_b b
+
+  let pp_state ppf (sa, sb) =
+    Format.fprintf ppf "(%a, %a)" A.pp_state sa B.pp_state sb
+
+  let pp_update = pp_either A.pp_update B.pp_update
+
+  let pp_query = pp_either A.pp_query B.pp_query
+
+  let pp_output = pp_either A.pp_output B.pp_output
+
+  let update_wire_size = function
+    | Either.Left u -> 1 + A.update_wire_size u
+    | Either.Right u -> 1 + B.update_wire_size u
+
+  let commutative = A.commutative && B.commutative
+
+  (* A joint state exists iff one exists per component: the components
+     are independent. *)
+  let satisfiable pairs =
+    let lefts =
+      List.filter_map
+        (function
+          | Either.Left q, Either.Left o -> Some (q, o)
+          | (Either.Left _ | Either.Right _), _ -> None)
+        pairs
+    and rights =
+      List.filter_map
+        (function
+          | Either.Right q, Either.Right o -> Some (q, o)
+          | (Either.Left _ | Either.Right _), _ -> None)
+        pairs
+    and well_formed =
+      List.for_all
+        (function
+          | Either.Left _, Either.Left _ | Either.Right _, Either.Right _ -> true
+          | Either.Left _, Either.Right _ | Either.Right _, Either.Left _ -> false)
+        pairs
+    in
+    well_formed && A.satisfiable lefts && B.satisfiable rights
+
+  let random_update rng =
+    if Prng.bool rng then Either.Left (A.random_update rng)
+    else Either.Right (B.random_update rng)
+
+  let random_query rng =
+    if Prng.bool rng then Either.Left (A.random_query rng)
+    else Either.Right (B.random_query rng)
+end

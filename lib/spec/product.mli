@@ -1,0 +1,11 @@
+(** Product of two UQ-ADTs: states are pairs, every operation targets one
+    component. Shows the framework is compositional — a program can share
+    one update-consistent object combining, say, a set and a counter, and
+    all criteria/checkers/protocols apply unchanged. *)
+
+module Make (A : Uqadt.S) (B : Uqadt.S) :
+  Uqadt.S
+    with type state = A.state * B.state
+     and type update = (A.update, B.update) Either.t
+     and type query = (A.query, B.query) Either.t
+     and type output = (A.output, B.output) Either.t

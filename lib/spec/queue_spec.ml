@@ -1,0 +1,61 @@
+type state = int list (* front at the head *)
+type update = Enqueue of int | Dequeue
+type query = Front | Contents
+type output = Head of int option | All of int list
+
+let name = "queue"
+
+let initial = []
+
+let apply s = function
+  | Enqueue v -> s @ [ v ]
+  | Dequeue -> ( match s with [] -> [] | _ :: rest -> rest)
+
+let eval s = function
+  | Front -> Head (match s with [] -> None | v :: _ -> Some v)
+  | Contents -> All s
+
+let equal_state a b = a = b
+
+let equal_update a b =
+  match (a, b) with
+  | Enqueue x, Enqueue y -> x = y
+  | Dequeue, Dequeue -> true
+  | Enqueue _, Dequeue | Dequeue, Enqueue _ -> false
+
+let equal_query a b =
+  match (a, b) with
+  | Front, Front | Contents, Contents -> true
+  | Front, Contents | Contents, Front -> false
+
+let equal_output a b =
+  match (a, b) with
+  | Head x, Head y -> x = y
+  | All x, All y -> x = y
+  | Head _, All _ | All _, Head _ -> false
+
+let pp_state = Support.pp_int_list
+
+let pp_update ppf = function
+  | Enqueue v -> Format.fprintf ppf "enq(%d)" v
+  | Dequeue -> Format.fprintf ppf "deq"
+
+let pp_query ppf = function
+  | Front -> Format.fprintf ppf "front"
+  | Contents -> Format.fprintf ppf "all"
+
+let pp_output ppf = function
+  | Head h -> Support.pp_int_option ppf h
+  | All l -> Support.pp_int_list ppf l
+
+let update_wire_size = function
+  | Enqueue v -> 1 + Wire.varint_size (abs v)
+  | Dequeue -> 1
+
+let commutative = false
+
+let satisfiable pairs = Support.keyed_outputs_consistent equal_query equal_output pairs
+
+let random_update rng = if Prng.int rng 3 = 0 then Dequeue else Enqueue (Prng.int rng 8)
+
+let random_query rng = if Prng.bool rng then Front else Contents

@@ -1,0 +1,17 @@
+(** A FIFO queue with the pop split into a query and an update, exactly
+    as the paper prescribes for UQ-ADTs (Section I): [enqueue v] and
+    [dequeue] are updates ([dequeue] on an empty queue is a no-op);
+    [front] is a query returning the head without removing it, and
+    [contents] returns the whole queue. *)
+
+type state = int list
+type update = Enqueue of int | Dequeue
+type query = Front | Contents
+type output = Head of int option | All of int list
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,38 @@
+type state = int
+type update = Write of int
+type query = Read
+type output = int
+
+let name = "register"
+
+let initial = 0
+
+let apply _ (Write v) = v
+
+let eval s Read = s
+
+let equal_state = Int.equal
+
+let equal_update (Write x) (Write y) = x = y
+
+let equal_query Read Read = true
+
+let equal_output = Int.equal
+
+let pp_state = Format.pp_print_int
+
+let pp_update ppf (Write v) = Format.fprintf ppf "w(%d)" v
+
+let pp_query ppf Read = Format.fprintf ppf "r"
+
+let pp_output = Format.pp_print_int
+
+let update_wire_size (Write v) = 1 + Wire.varint_size (abs v)
+
+let commutative = false
+
+let satisfiable pairs = Support.all_outputs_equal equal_output pairs
+
+let random_update rng = Write (Prng.int rng 8)
+
+let random_query _rng = Read

@@ -1,0 +1,16 @@
+(** A single read/write register: [write v] replaces the value, [read]
+    returns the last written value or the initial value 0. The smallest
+    non-commutative UQ-ADT; Algorithm 2's shared memory is a family of
+    these. *)
+
+type state = int
+type update = Write of int
+type query = Read
+type output = int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

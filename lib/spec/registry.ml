@@ -1,0 +1,21 @@
+let all : (string * Uqadt.packed) list =
+  [
+    ("set", (module Set_spec));
+    ("gset", (module Gset_spec));
+    ("counter", (module Counter_spec));
+    ("register", (module Register_spec));
+    ("memory", (module Memory_spec));
+    ("maxreg", (module Maxreg_spec));
+    ("flag", (module Flag_spec));
+    ("log", (module Log_spec));
+    ("queue", (module Queue_spec));
+    ("stack", (module Stack_spec));
+    ("map", (module Map_spec));
+    ("text", (module Text_spec));
+    ("bank", (module Bank_spec));
+    ("pqueue", (module Pqueue_spec));
+  ]
+
+let find name = List.assoc_opt name all
+
+let names = List.map fst all

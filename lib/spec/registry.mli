@@ -1,0 +1,9 @@
+(** Name-indexed registry of all packaged ADT instances, used by the CLI
+    and the model checker to iterate "for every object type". *)
+
+val all : (string * Uqadt.packed) list
+(** Association list, stable order. *)
+
+val find : string -> Uqadt.packed option
+
+val names : string list

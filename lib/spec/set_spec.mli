@@ -1,0 +1,18 @@
+(** The replicated set [S_Val] (Example 1 of the paper) over support
+    [int]: updates insert [I(v)] and delete [D(v)], a single query [R]
+    returning the whole content. This is the paper's running example and
+    the object of the Section VI case study. *)
+
+type state = Support.Int_set.t
+type update = Insert of int | Delete of int
+type query = Read
+type output = Support.Int_set.t
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output
+
+val of_list : int list -> state

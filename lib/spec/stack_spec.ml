@@ -1,0 +1,61 @@
+type state = int list (* top at the head *)
+type update = Push of int | Pop
+type query = Top | Contents
+type output = Peek of int option | All of int list
+
+let name = "stack"
+
+let initial = []
+
+let apply s = function
+  | Push v -> v :: s
+  | Pop -> ( match s with [] -> [] | _ :: rest -> rest)
+
+let eval s = function
+  | Top -> Peek (match s with [] -> None | v :: _ -> Some v)
+  | Contents -> All s
+
+let equal_state a b = a = b
+
+let equal_update a b =
+  match (a, b) with
+  | Push x, Push y -> x = y
+  | Pop, Pop -> true
+  | Push _, Pop | Pop, Push _ -> false
+
+let equal_query a b =
+  match (a, b) with
+  | Top, Top | Contents, Contents -> true
+  | Top, Contents | Contents, Top -> false
+
+let equal_output a b =
+  match (a, b) with
+  | Peek x, Peek y -> x = y
+  | All x, All y -> x = y
+  | Peek _, All _ | All _, Peek _ -> false
+
+let pp_state = Support.pp_int_list
+
+let pp_update ppf = function
+  | Push v -> Format.fprintf ppf "push(%d)" v
+  | Pop -> Format.fprintf ppf "pop"
+
+let pp_query ppf = function
+  | Top -> Format.fprintf ppf "top"
+  | Contents -> Format.fprintf ppf "all"
+
+let pp_output ppf = function
+  | Peek h -> Support.pp_int_option ppf h
+  | All l -> Support.pp_int_list ppf l
+
+let update_wire_size = function
+  | Push v -> 1 + Wire.varint_size (abs v)
+  | Pop -> 1
+
+let commutative = false
+
+let satisfiable pairs = Support.keyed_outputs_consistent equal_query equal_output pairs
+
+let random_update rng = if Prng.int rng 3 = 0 then Pop else Push (Prng.int rng 8)
+
+let random_query rng = if Prng.bool rng then Top else Contents

@@ -1,0 +1,16 @@
+(** A stack with the pop split into the paper's "lookup top" query and
+    "delete top" update (Section I discusses exactly this decomposition):
+    [push v] and [pop] (no-op on empty) are updates; [top] and [contents]
+    are queries. *)
+
+type state = int list
+type update = Push of int | Pop
+type query = Top | Contents
+type output = Peek of int option | All of int list
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,33 @@
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+let pp_int_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (Int_set.elements s)
+
+let pp_int_list ppf l =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    l
+
+let pp_int_option ppf = function
+  | None -> Format.fprintf ppf "⊥"
+  | Some v -> Format.pp_print_int ppf v
+
+let all_outputs_equal equal_output = function
+  | [] -> true
+  | (_, o0) :: rest -> List.for_all (fun (_, o) -> equal_output o0 o) rest
+
+let keyed_outputs_consistent equal_query equal_output pairs =
+  let rec consistent = function
+    | [] -> true
+    | (q, o) :: rest ->
+      List.for_all (fun (q', o') -> (not (equal_query q q')) || equal_output o o') rest
+      && consistent rest
+  in
+  consistent pairs

@@ -1,0 +1,25 @@
+(** Shared value domains and printers for the ADT instances.
+
+    All instances use [int] as their element support [Val]; the paper's
+    definitions are parametric in the support and nothing in the
+    experiments depends on richer values. *)
+
+module Int_set : Set.S with type elt = int
+module Int_map : Map.S with type key = int
+
+val pp_int_set : Format.formatter -> Int_set.t -> unit
+(** Prints as [{1, 2, 3}]. *)
+
+val pp_int_list : Format.formatter -> int list -> unit
+(** Prints as [[1; 2; 3]]. *)
+
+val pp_int_option : Format.formatter -> int option -> unit
+
+val all_outputs_equal : ('o -> 'o -> bool) -> ('q * 'o) list -> bool
+(** Generic {!Uqadt.S.satisfiable} for single-query full-state ADTs: a
+    state exists iff all recorded outputs coincide. *)
+
+val keyed_outputs_consistent :
+  ('q -> 'q -> bool) -> ('o -> 'o -> bool) -> ('q * 'o) list -> bool
+(** {!Uqadt.S.satisfiable} for keyed reads (e.g. [read x]): a state
+    exists iff any two queries with equal keys have equal outputs. *)

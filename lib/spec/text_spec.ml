@@ -1,0 +1,69 @@
+type state = string
+type update = Insert of int * char | Delete of int
+type query = Read | Length
+type output = Text of string | Len of int
+
+let name = "text"
+
+let initial = ""
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let apply s = function
+  | Insert (pos, c) ->
+    let pos = clamp 0 (String.length s) pos in
+    String.sub s 0 pos ^ String.make 1 c ^ String.sub s pos (String.length s - pos)
+  | Delete pos ->
+    if pos < 0 || pos >= String.length s then s
+    else String.sub s 0 pos ^ String.sub s (pos + 1) (String.length s - pos - 1)
+
+let eval s = function
+  | Read -> Text s
+  | Length -> Len (String.length s)
+
+let equal_state = String.equal
+
+let equal_update a b =
+  match (a, b) with
+  | Insert (p, c), Insert (p', c') -> p = p' && c = c'
+  | Delete p, Delete p' -> p = p'
+  | Insert _, Delete _ | Delete _, Insert _ -> false
+
+let equal_query a b =
+  match (a, b) with
+  | Read, Read | Length, Length -> true
+  | Read, Length | Length, Read -> false
+
+let equal_output a b =
+  match (a, b) with
+  | Text x, Text y -> String.equal x y
+  | Len x, Len y -> x = y
+  | Text _, Len _ | Len _, Text _ -> false
+
+let pp_state ppf s = Format.fprintf ppf "%S" s
+
+let pp_update ppf = function
+  | Insert (p, c) -> Format.fprintf ppf "ins(%d,%c)" p c
+  | Delete p -> Format.fprintf ppf "del(%d)" p
+
+let pp_query ppf = function
+  | Read -> Format.fprintf ppf "r"
+  | Length -> Format.fprintf ppf "len"
+
+let pp_output ppf = function
+  | Text s -> Format.fprintf ppf "%S" s
+  | Len n -> Format.pp_print_int ppf n
+
+let update_wire_size = function
+  | Insert (p, _) -> 2 + Wire.varint_size (abs p)
+  | Delete p -> 1 + Wire.varint_size (abs p)
+
+let commutative = false
+
+let satisfiable pairs = Support.keyed_outputs_consistent equal_query equal_output pairs
+
+let random_update rng =
+  if Prng.int rng 3 = 0 then Delete (Prng.int rng 6)
+  else Insert (Prng.int rng 6, Char.chr (Char.code 'a' + Prng.int rng 26))
+
+let random_query rng = if Prng.bool rng then Read else Length

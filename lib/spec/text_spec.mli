@@ -1,0 +1,18 @@
+(** A collaborative text buffer, the motivating application of the
+    intention-preservation literature the paper discusses ([10], [11]):
+    [insert (pos, c)] inserts character [c] at position [pos] (clamped to
+    the buffer bounds, so the type remains total), [delete pos] removes
+    the character there (no-op out of bounds), [read] returns the
+    document. *)
+
+type state = string
+type update = Insert of int * char | Delete of int
+type query = Read | Length
+type output = Text of string | Len of int
+
+include
+  Uqadt.S
+    with type state := state
+     and type update := update
+     and type query := query
+     and type output := output

@@ -1,0 +1,41 @@
+(** Concrete wire codecs for every ADT's update type.
+
+    An update is framed as one tag byte (operation constructor plus the
+    sign bits of its integer arguments) followed by LEB128 varints of
+    the magnitudes — designed so the encoded length equals the ADT's
+    [update_wire_size] exactly, which the property tests assert. These
+    are the payloads Algorithm 1's broadcast carries; Section VII.C's
+    "grows logarithmically with … the number of operations" is the
+    varint width of the Lamport clock in {!Timestamp}, measured here for
+    real rather than estimated.
+
+    Decoders reject malformed frames with {!Codec.Decode_error}. *)
+
+module type S = sig
+  type update
+
+  val encode : Codec.Writer.t -> update -> unit
+
+  val decode : Codec.Reader.t -> update
+
+  val to_string : update -> string
+  (** One complete frame. *)
+
+  val of_string : string -> update
+  (** @raise Codec.Decode_error on malformed or trailing input. *)
+end
+
+module For_set : S with type update = Set_spec.update
+module For_gset : S with type update = Gset_spec.update
+module For_counter : S with type update = Counter_spec.update
+module For_register : S with type update = Register_spec.update
+module For_memory : S with type update = Memory_spec.update
+module For_maxreg : S with type update = Maxreg_spec.update
+module For_flag : S with type update = Flag_spec.update
+module For_log : S with type update = Log_spec.update
+module For_queue : S with type update = Queue_spec.update
+module For_stack : S with type update = Stack_spec.update
+module For_map : S with type update = Map_spec.update
+module For_text : S with type update = Text_spec.update
+module For_bank : S with type update = Bank_spec.update
+module For_pqueue : S with type update = Pqueue_spec.update

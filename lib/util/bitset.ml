@@ -1,0 +1,101 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 63
+
+let word_count n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make (max 1 (word_count n)) 0 }
+
+let capacity t = t.n
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let unset t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let add t i =
+  let t' = copy t in
+  set t' i;
+  t'
+
+let remove t i =
+  let t' = copy t in
+  unset t' i;
+  t'
+
+let zip_words op a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  { n = a.n; words = Array.init (Array.length a.words) (fun i -> op a.words.(i) b.words.(i)) }
+
+let union a b = zip_words ( lor ) a b
+
+let inter a b = zip_words ( land ) a b
+
+let diff a b = zip_words (fun x y -> x land lnot y) a b
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let compare a b =
+  let c = Int.compare a.n b.n in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash (t.n, t.words)
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (set t) xs;
+  t
+
+let full n =
+  let t = create n in
+  for i = 0 to n - 1 do
+    set t i
+  done;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int) (elements t)

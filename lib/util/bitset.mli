@@ -1,0 +1,60 @@
+(** Fixed-capacity bitsets over [0 .. capacity-1].
+
+    The consistency checkers explore sets of update events (the visibility
+    sets [V(q)] of Definitions 6 and 9); bitsets make membership, union and
+    equality O(capacity/63) and hashable, which keeps the backtracking
+    searches tractable. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n] (indices [0..n-1]). *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val mem : t -> int -> bool
+
+val add : t -> int -> t
+(** Functional insert: returns a new set. *)
+
+val remove : t -> int -> t
+
+val set : t -> int -> unit
+(** In-place insert. *)
+
+val unset : t -> int -> unit
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every member of [a] is in [b]. *)
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the set with capacity [n] containing [xs]. *)
+
+val full : int -> t
+(** [full n] contains every index in [0..n-1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 output function: one additive step then two xor-shift
+   multiplications (finalizer of MurmurHash3 with Stafford's mix13
+   constants). *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask = max_int in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then draw () else v
+  in
+  draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let exponential g ~mean =
+  let u = 1.0 -. float g 1.0 in
+  -.mean *. log u
+
+let pareto g ~scale ~shape =
+  let u = 1.0 -. float g 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice g a =
+  if Array.length a = 0 then invalid_arg "Prng.choice: empty array";
+  a.(int g (Array.length a))
+
+let sample_weighted g weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then invalid_arg "Prng.sample_weighted: weights must be positive";
+  let target = float g total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Prng.sample_weighted: empty list"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w > target then x else pick (acc +. w) rest
+  in
+  pick 0.0 weighted

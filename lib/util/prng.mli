@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generator.
+
+    Simulations must be reproducible from a single integer seed,
+    independently of the OCaml standard library version, so this module
+    implements the SplitMix64 generator (Steele, Lea & Flood, OOPSLA'14).
+    Each generator is an isolated mutable stream; {!split} derives an
+    independent stream, which lets every simulated process own its own
+    generator while the whole run stays a pure function of the root
+    seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator initialised from [seed]. *)
+
+val copy : t -> t
+(** [copy g] is a generator that will produce the same stream as [g]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new independent generator. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Pareto (heavy-tail) sample; [shape] > 0, [scale] > 0. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val sample_weighted : t -> (float * 'a) list -> 'a
+(** Sample proportionally to the (strictly positive) weights. *)

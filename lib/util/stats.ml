@@ -1,0 +1,91 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let rank = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+    let sorted = Array.of_list xs in
+    Array.sort Float.compare sorted;
+    {
+      count = Array.length sorted;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = sorted.(0);
+      max = sorted.(Array.length sorted - 1);
+      p50 = percentile sorted 0.5;
+      p90 = percentile sorted 0.9;
+      p99 = percentile sorted 0.99;
+    }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+type histogram = { lo : float; width : float; counts : int array }
+
+let histogram ~buckets xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  match xs with
+  | [] -> invalid_arg "Stats.histogram: empty sample"
+  | x0 :: _ ->
+    let lo = List.fold_left Float.min x0 xs in
+    let hi = List.fold_left Float.max x0 xs in
+    let width =
+      let w = (hi -. lo) /. float_of_int buckets in
+      if w <= 0.0 then 1.0 else w
+    in
+    let counts = Array.make buckets 0 in
+    let bucket_of x =
+      let b = int_of_float ((x -. lo) /. width) in
+      if b >= buckets then buckets - 1 else if b < 0 then 0 else b
+    in
+    List.iter (fun x -> let b = bucket_of x in counts.(b) <- counts.(b) + 1) xs;
+    { lo; width; counts }
+
+let pp_histogram ppf h =
+  let max_count = Array.fold_left max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let bar_len = c * 40 / max_count in
+      Format.fprintf ppf "[%10.3f, %10.3f) %6d %s@."
+        (h.lo +. (float_of_int i *. h.width))
+        (h.lo +. (float_of_int (i + 1) *. h.width))
+        c
+        (String.concat "" (List.init bar_len (fun _ -> "#"))))
+    h.counts

@@ -1,0 +1,34 @@
+(** Descriptive statistics for benchmark and convergence measurements. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a non-empty sample; raises [Invalid_argument] on []. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; [sorted] must be sorted
+    ascending and non-empty. Linear interpolation between ranks. *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+type histogram
+
+val histogram : buckets:int -> float list -> histogram
+(** Equal-width histogram over the sample range. *)
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** Renders the histogram with unicode bars, one bucket per line. *)

@@ -1,0 +1,116 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Left) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells > List.length t.headers then
+    invalid_arg "Table.add_row: more cells than headers";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let column_count t = List.length t.headers
+
+let cell_at row i = match List.nth_opt row i with Some c -> c | None -> ""
+
+let widths t =
+  let n = column_count t in
+  let w = Array.make n 0 in
+  let measure cells =
+    List.iteri (fun i c -> if i < n then w.(i) <- max w.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) t.rows;
+  w
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else begin
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let left = fill / 2 in
+      String.make left ' ' ^ s ^ String.make (fill - left) ' '
+  end
+
+let align_at t i = match List.nth_opt t.aligns i with Some a -> a | None -> Left
+
+let render t =
+  let w = widths t in
+  let n = column_count t in
+  let buf = Buffer.create 256 in
+  let line () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width ->
+        Buffer.add_string buf (String.make (width + 2) '-');
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    Buffer.add_char buf '|';
+    for i = 0 to n - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad (align_at t i) w.(i) (cell_at cells i));
+      Buffer.add_string buf " |"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  line ();
+  emit t.headers;
+  line ();
+  List.iter (function Cells c -> emit c | Separator -> line ()) (List.rev t.rows);
+  line ();
+  Buffer.contents buf
+
+let render_markdown t =
+  let w = widths t in
+  let n = column_count t in
+  let buf = Buffer.create 256 in
+  let emit cells =
+    Buffer.add_char buf '|';
+    for i = 0 to n - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad (align_at t i) w.(i) (cell_at cells i));
+      Buffer.add_string buf " |"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  Buffer.add_char buf '|';
+  for i = 0 to n - 1 do
+    let dashes = String.make (max 3 w.(i)) '-' in
+    let cell =
+      match align_at t i with
+      | Left -> ":" ^ dashes ^ " "
+      | Right -> " " ^ dashes ^ ":"
+      | Center -> ":" ^ dashes ^ ":"
+    in
+    Buffer.add_string buf cell;
+    Buffer.add_char buf '|'
+  done;
+  Buffer.add_char buf '\n';
+  List.iter (function Cells c -> emit c | Separator -> ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

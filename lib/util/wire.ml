@@ -1,0 +1,11 @@
+let varint_size n =
+  if n < 0 then invalid_arg "Wire.varint_size: negative";
+  let rec go n acc = if n < 128 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let string_size s = varint_size (String.length s) + String.length s
+
+let pair_size a b = varint_size a + varint_size b
+
+let list_size elt xs =
+  List.fold_left (fun acc x -> acc + elt x) (varint_size (List.length xs)) xs

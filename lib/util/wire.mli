@@ -1,0 +1,21 @@
+(** Wire-size accounting.
+
+    Section VII.C of the paper argues that each update costs a single
+    broadcast whose payload "only grows logarithmically with the number of
+    processes and the number of operations". To measure that claim
+    (experiment C1) we charge every simulated message the number of bytes
+    a compact varint encoding of its fields would occupy, without actually
+    serialising anything. *)
+
+val varint_size : int -> int
+(** Bytes of an LEB128 encoding of a non-negative integer (1 byte per 7
+    bits, minimum 1). *)
+
+val string_size : string -> int
+(** Length-prefixed string: varint length + bytes. *)
+
+val pair_size : int -> int -> int
+(** Two varints. *)
+
+val list_size : ('a -> int) -> 'a list -> int
+(** Varint count followed by each element. *)

@@ -1,0 +1,28 @@
+type t = { n : int; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int k ** s));
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  Array.iteri (fun i x -> cdf.(i) <- x /. total) cdf;
+  { n; cdf }
+
+let sample t rng =
+  let u = Prng.float rng 1.0 in
+  (* smallest index with cdf.(i) >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    end
+  in
+  1 + search 0 (t.n - 1)
+
+let support t = t.n

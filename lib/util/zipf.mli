@@ -1,0 +1,18 @@
+(** Zipf-distributed sampling over ranks [1..n].
+
+    Workload generators use this to produce skewed element popularity (a
+    few hot keys receive most of the updates), which is the regime where
+    concurrent insert/delete conflicts — the interesting case for update
+    consistency — actually occur. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over [1..n] with exponent [s >= 0].
+    [s = 0] degenerates to the uniform distribution. Precomputes the CDF
+    in O(n). *)
+
+val sample : t -> Prng.t -> int
+(** A rank in [1..n], O(log n) per draw by binary search on the CDF. *)
+
+val support : t -> int

@@ -1,0 +1,6 @@
+(* Shared test plumbing. *)
+
+let qtest ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000

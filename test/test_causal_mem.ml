@@ -1,0 +1,81 @@
+(* The causal-memory checker (Section IV's memory-specific criterion),
+   validated on the classic examples of Ahamad et al. and on runs of
+   Algorithm 2. *)
+
+open Helpers
+
+let w x v = History.U (Memory_spec.Write (x, v))
+
+let r x v = History.Q (Memory_spec.Read x, v)
+
+let rw x v = History.Qw (Memory_spec.Read x, v)
+
+let tests =
+  [
+    Alcotest.test_case "concurrent writes may be seen in different orders" `Quick
+      (fun () ->
+        (* The hallmark of causal (vs sequential) consistency. *)
+        let h =
+          History.make
+            [
+              [ w 0 1 ];
+              [ w 0 2 ];
+              [ r 0 1; rw 0 2 ];
+              [ r 0 2; rw 0 2 ];
+            ]
+        in
+        Alcotest.(check bool) "causal" true (Check_causal_mem.holds h);
+        let module C = Criteria.Make (Memory_spec) in
+        (* ...and indeed this one even has a total order explanation. *)
+        Alcotest.(check bool) "also UC" true (C.holds Criteria.UC h));
+    Alcotest.test_case "a writer's own order must be respected" `Quick (fun () ->
+        let h = History.make [ [ w 0 1; w 0 2 ]; [ r 0 2; rw 0 1 ] ] in
+        Alcotest.(check bool) "not causal" false (Check_causal_mem.holds h));
+    Alcotest.test_case "transitivity through reads-from" `Quick (fun () ->
+        (* p2 sees y=2, whose writer had already seen x=1; reading x=0
+           afterwards would travel back in causal time. *)
+        let h =
+          History.make
+            [
+              [ w 0 1 ];
+              [ r 0 1; w 1 2 ];
+              [ r 1 2; rw 0 0 ];
+            ]
+        in
+        Alcotest.(check bool) "not causal" false (Check_causal_mem.holds h));
+    Alcotest.test_case "the same shape with a fresh read is causal" `Quick (fun () ->
+        let h =
+          History.make
+            [
+              [ w 0 1 ];
+              [ r 0 1; w 1 2 ];
+              [ r 1 2; rw 0 1 ];
+            ]
+        in
+        Alcotest.(check bool) "causal" true (Check_causal_mem.holds h));
+    Alcotest.test_case "reads of unwritten registers are initial" `Quick (fun () ->
+        let h = History.make [ [ r 3 0 ] ] in
+        Alcotest.(check bool) "causal" true (Check_causal_mem.holds h);
+        let h_bad = History.make [ [ r 3 7 ] ] in
+        Alcotest.(check bool) "value from nowhere" false (Check_causal_mem.holds h_bad));
+    Alcotest.test_case "witness maps each read to a plausible writer" `Quick (fun () ->
+        let h = History.make [ [ w 0 5 ]; [ rw 0 5 ] ] in
+        match Check_causal_mem.witness h with
+        | Some [ (_, Some wid) ] ->
+          Alcotest.(check int) "the only write" 0 wid
+        | Some other ->
+          Alcotest.failf "unexpected witness size %d" (List.length other)
+        | None -> Alcotest.fail "expected causal");
+    qtest ~count:20 "Algorithm 2 runs are causal memory" seed_gen (fun seed ->
+        let module R = Runner.Make (Lww_memory) in
+        let rng = Prng.create seed in
+        let workload =
+          Workload.For_memory.random_writes ~rng ~n:2 ~ops_per_process:3 ~registers:2
+            ~read_ratio:0.4
+        in
+        let config =
+          { (R.default_config ~n:2 ~seed) with R.final_read = Some (Memory_spec.Read 0) }
+        in
+        let r = R.run config ~workload in
+        Check_causal_mem.holds r.R.history);
+  ]

@@ -1,0 +1,218 @@
+(* The consistency checkers beyond the paper's figures: witness
+   validity, targeted corner cases, and the criterion hierarchy as a
+   law over randomly generated histories (Proposition 2 and friends). *)
+
+open Helpers
+
+let set = Set_spec.of_list
+
+module C = Criteria.Make (Set_spec)
+module Gen = Gen_history.Make (Set_spec)
+module Run = Uqadt.Run (Set_spec)
+
+let corner_tests =
+  [
+    Alcotest.test_case "empty history satisfies everything" `Quick (fun () ->
+        let h = History.make [ [] ] in
+        List.iter
+          (fun c -> Alcotest.(check bool) (Criteria.name c) true (C.holds c h))
+          Criteria.all);
+    Alcotest.test_case "updates-only history satisfies everything" `Quick (fun () ->
+        let h =
+          History.make
+            [ [ History.U (Set_spec.Insert 1) ]; [ History.U (Set_spec.Delete 1) ] ]
+        in
+        List.iter
+          (fun c -> Alcotest.(check bool) (Criteria.name c) true (C.holds c h))
+          Criteria.all);
+    Alcotest.test_case "single sequential process is SC" `Quick (fun () ->
+        let h =
+          History.make
+            [
+              [
+                History.U (Set_spec.Insert 1);
+                History.Q (Set_spec.Read, set [ 1 ]);
+                History.U (Set_spec.Delete 1);
+                History.Qw (Set_spec.Read, set []);
+              ];
+            ]
+        in
+        Alcotest.(check bool) "SC" true (C.holds Criteria.SC h));
+    Alcotest.test_case "a wrong sequential read breaks SC but not UC" `Quick (fun () ->
+        (* The bogus read is finite, so UC may drop it; SC may not. *)
+        let h =
+          History.make
+            [
+              [
+                History.U (Set_spec.Insert 1);
+                History.Q (Set_spec.Read, set [ 9 ]);
+                History.Qw (Set_spec.Read, set [ 1 ]);
+              ];
+            ]
+        in
+        Alcotest.(check bool) "not SC" false (C.holds Criteria.SC h);
+        Alcotest.(check bool) "UC" true (C.holds Criteria.UC h));
+    Alcotest.test_case "conflicting ω reads break EC" `Quick (fun () ->
+        let h =
+          History.make
+            [
+              [ History.Qw (Set_spec.Read, set [ 1 ]) ];
+              [ History.Qw (Set_spec.Read, set [ 2 ]) ];
+            ]
+        in
+        Alcotest.(check bool) "not EC" false (C.holds Criteria.EC h));
+    Alcotest.test_case "UC picks a cross-process linearization" `Quick (fun () ->
+        (* Neither per-process order alone explains {2}: the delete of 2
+           must land before the insert of 2. *)
+        let h =
+          History.make
+            [
+              [ History.U (Set_spec.Delete 2); History.Qw (Set_spec.Read, set [ 2 ]) ];
+              [ History.U (Set_spec.Insert 2) ];
+            ]
+        in
+        let module Uc = Check_uc.Make (Set_spec) in
+        match Uc.witness h with
+        | None -> Alcotest.fail "UC witness expected"
+        | Some w ->
+          Alcotest.(check bool) "delete first" true
+            (Set_spec.equal_update (List.hd w) (Set_spec.Delete 2)));
+  ]
+
+let witness_tests =
+  [
+    Alcotest.test_case "UC witness replays to a state matching ω reads" `Quick (fun () ->
+        let module Uc = Check_uc.Make (Set_spec) in
+        match (Uc.witness Figures.fig1d, Uc.convergent_state Figures.fig1d) with
+        | Some w, Some s ->
+          Alcotest.(check bool) "replay matches" true
+            (Set_spec.equal_state (Run.final_state w) s);
+          Alcotest.(check bool) "answers ω" true
+            (Set_spec.equal_output (Set_spec.eval s Set_spec.Read) (set [ 1; 2 ]))
+        | _ -> Alcotest.fail "fig1d should be UC");
+    Alcotest.test_case "SC witness is a recognized word" `Quick (fun () ->
+        let module Sc = Check_sc.Make (Set_spec) in
+        let module L = Linearize.Make (Set_spec) in
+        let h =
+          History.make
+            [
+              [ History.U (Set_spec.Insert 1); History.Qw (Set_spec.Read, set [ 1; 2 ]) ];
+              [ History.U (Set_spec.Insert 2); History.Qw (Set_spec.Read, set [ 1; 2 ]) ];
+            ]
+        in
+        match Sc.witness h with
+        | None -> Alcotest.fail "expected SC"
+        | Some w -> Alcotest.(check bool) "recognized" true (L.recognizes_events w));
+    Alcotest.test_case "PC witnesses contain all updates and own queries" `Quick (fun () ->
+        let module Pc = Check_pc.Make (Set_spec) in
+        match Pc.witness Figures.fig2 with
+        | None -> Alcotest.fail "fig2 is PC"
+        | Some ws ->
+          Array.iteri
+            (fun p w ->
+              let updates =
+                List.filter
+                  (fun (e : _ History.event) ->
+                    match e.History.label with Uqadt.Update _ -> true | Uqadt.Query _ -> false)
+                  w
+              in
+              Alcotest.(check int) "all four updates" 4 (List.length updates);
+              List.iter
+                (fun (e : _ History.event) ->
+                  match e.History.label with
+                  | Uqadt.Update _ -> ()
+                  | Uqadt.Query _ ->
+                    Alcotest.(check int) "own queries only" p e.History.pid)
+                w)
+            ws);
+    Alcotest.test_case "SUC witness: every query explained by its visible set" `Quick
+      (fun () ->
+        let module Suc = Check_suc.Make (Set_spec) in
+        match Suc.witness Figures.fig1d with
+        | None -> Alcotest.fail "fig1d is SUC"
+        | Some w ->
+          let sigma = Array.of_list w.Suc.sigma in
+          let pos = Array.of_list w.Suc.sigma_ranks in
+          let rank_pos r =
+            let result = ref 0 in
+            Array.iteri (fun i r' -> if r = r' then result := i) pos;
+            !result
+          in
+          List.iter
+            (fun ((q : _ History.event), ranks) ->
+              match History.query_of q with
+              | None -> ()
+              | Some (qi, qo) ->
+                let ordered = List.sort (fun a b -> compare (rank_pos a) (rank_pos b)) ranks in
+                let state =
+                  Run.exec_updates Set_spec.initial
+                    (List.map (fun r -> sigma.(rank_pos r)) ordered)
+                in
+                Alcotest.(check bool) "explained" true
+                  (Set_spec.equal_output (Set_spec.eval state qi) qo))
+            w.Suc.visibility);
+    Alcotest.test_case "SEC witness: ω queries see every update" `Quick (fun () ->
+        let module Sec = Check_sec.Make (Set_spec) in
+        match Sec.witness Figures.fig1b with
+        | None -> Alcotest.fail "fig1b is SEC"
+        | Some vis ->
+          List.iter
+            (fun ((q : _ History.event), ranks) ->
+              if q.History.omega then
+                Alcotest.(check int) "sees all 4" 4 (List.length ranks))
+            vis);
+  ]
+
+(* The hierarchy law: on any history, if criterion a holds and
+   Criteria.implies a b, then b holds. *)
+let hierarchy_tests =
+  [
+    qtest ~count:150 "criterion hierarchy on random histories" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.convergent_mix rng ~processes:2 ~max_updates:3 ~max_queries:3 in
+        let verdicts = C.classify h in
+        List.for_all
+          (fun (a, holds_a) ->
+            (not holds_a)
+            || List.for_all
+                 (fun (b, holds_b) -> (not (Criteria.implies a b)) || holds_b)
+                 verdicts)
+          verdicts);
+    qtest ~count:80 "hierarchy on 3-process histories" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.convergent_mix rng ~processes:3 ~max_updates:3 ~max_queries:2 in
+        let verdicts = C.classify h in
+        List.for_all
+          (fun (a, holds_a) ->
+            (not holds_a)
+            || List.for_all
+                 (fun (b, holds_b) -> (not (Criteria.implies a b)) || holds_b)
+                 verdicts)
+          verdicts);
+    qtest ~count:100 "UC implies EC (Proposition 2, first half)" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.convergent_mix rng ~processes:2 ~max_updates:4 ~max_queries:3 in
+        (not (C.holds Criteria.UC h)) || C.holds Criteria.EC h);
+    qtest ~count:60 "SUC implies SEC and UC (Proposition 2, second half)" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.convergent_mix rng ~processes:2 ~max_updates:3 ~max_queries:2 in
+        (not (C.holds Criteria.SUC h))
+        || (C.holds Criteria.SEC h && C.holds Criteria.UC h));
+  ]
+
+(* Criteria are insensitive to process order in the encoding. *)
+let symmetry_tests =
+  [
+    qtest ~count:60 "verdicts are stable under swapping processes" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.convergent_mix rng ~processes:2 ~max_updates:3 ~max_queries:2 in
+        let swapped =
+          History.make [ History.steps_of_process h 1; History.steps_of_process h 0 ]
+        in
+        List.for_all2
+          (fun (c, v) (c', v') -> c = c' && v = v')
+          (C.classify h) (C.classify swapped));
+  ]
+
+let tests = corner_tests @ witness_tests @ hierarchy_tests @ symmetry_tests

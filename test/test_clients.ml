@@ -1,0 +1,110 @@
+(* The client/fail-over topology: availability through replica crashes,
+   convergence of client sessions, and the session-consistency loss that
+   fail-over introduces (while update consistency survives). *)
+
+open Helpers
+
+module P = Generic.Make (Set_spec)
+module Cl = Clients.Make (P)
+module C = Criteria.Make (Set_spec)
+
+let upd u = Protocol.Invoke_update u
+
+let qry = Protocol.Invoke_query Set_spec.Read
+
+let tests =
+  [
+    qtest ~count:20 "client sessions converge without faults" seed_gen (fun seed ->
+        let config =
+          { (Cl.default_config ~n_replicas:3 ~n_clients:4 ~seed) with
+            Cl.final_read = Some Set_spec.Read }
+        in
+        let rng = Prng.create seed in
+        let workload =
+          Array.init 4 (fun c ->
+              List.init 6 (fun i ->
+                  if i mod 3 = 2 then qry
+                  else upd (Set_spec.Insert ((c * 10) + Prng.int rng 5))))
+        in
+        let r = Cl.run config ~workload in
+        r.Cl.converged && r.Cl.failovers = 0 && r.Cl.ops_abandoned = 0);
+    qtest ~count:20 "clients survive a replica crash via fail-over" seed_gen (fun seed ->
+        let config =
+          {
+            (Cl.default_config ~n_replicas:3 ~n_clients:3 ~seed) with
+            Cl.crashes = [ (10.0, 0) ];
+            final_read = Some Set_spec.Read;
+          }
+        in
+        let rng = Prng.create seed in
+        let workload =
+          Array.init 3 (fun _ ->
+              List.init 8 (fun _ -> upd (Set_spec.random_update rng)))
+        in
+        let r = Cl.run config ~workload in
+        (* Every scripted op completes (possibly after a retry) and the
+           sessions converge. *)
+        r.Cl.converged && r.Cl.ops_completed = 24);
+    Alcotest.test_case "fail-over is counted and the session continues" `Quick (fun () ->
+        let config =
+          {
+            (Cl.default_config ~n_replicas:2 ~n_clients:1 ~seed:3) with
+            Cl.crashes = [ (10.0, 0) ];
+            think = Network.Constant 8.0;
+            final_read = Some Set_spec.Read;
+          }
+        in
+        (* Client 0 homes at replica 0; the crash forces it over. *)
+        let workload = [| List.init 5 (fun i -> upd (Set_spec.Insert i)) |] in
+        let r = Cl.run config ~workload in
+        Alcotest.(check bool) "failed over" true (r.Cl.failovers >= 1);
+        Alcotest.(check int) "all ops completed" 5 r.Cl.ops_completed;
+        Alcotest.(check bool) "converged" true r.Cl.converged);
+    Alcotest.test_case "two-client histories stay UC and EC through a crash" `Quick
+      (fun () ->
+        let config =
+          {
+            (Cl.default_config ~n_replicas:2 ~n_clients:2 ~seed:5) with
+            Cl.crashes = [ (12.0, 0) ];
+            final_read = Some Set_spec.Read;
+          }
+        in
+        let workload = [| [ upd (Set_spec.Insert 7); qry ]; [ qry; qry ] |] in
+        let r = Cl.run config ~workload in
+        Alcotest.(check bool) "history UC" true (C.holds Criteria.UC r.Cl.history);
+        Alcotest.(check bool) "history EC" true (C.holds Criteria.EC r.Cl.history));
+    Alcotest.test_case "a session regression is observable after fail-over" `Quick
+      (fun () ->
+        (* Deterministic regression: reader homes with the writer on
+           replica 0, reads the value, replica 0 crashes, the next read
+           lands on replica 1 which (slow mesh) has not heard the write:
+           the client's own history is no longer pipelined consistent,
+           yet remains update consistent. *)
+        let config =
+          {
+            (Cl.default_config ~n_replicas:2 ~n_clients:1 ~seed:7) with
+            Cl.replica_delay = Network.Constant 500.0;
+            client_delay = Network.Constant 0.25;
+            think = Network.Constant 3.0;
+            crashes = [ (11.0, 0) ];
+            final_read = Some Set_spec.Read;
+          }
+        in
+        let workload = [| [ upd (Set_spec.Insert 7); qry; qry; qry ] |] in
+        let r = Cl.run config ~workload in
+        Alcotest.(check bool) "failed over" true (r.Cl.failovers >= 1);
+        let reads =
+          List.filter_map History.query_of (History.process_events r.Cl.history 0)
+          |> List.map snd
+        in
+        (* First read (replica 0) sees {7}; later reads (replica 1) are
+           empty until the mesh delivers — the regression. *)
+        (match reads with
+        | first :: rest ->
+          Alcotest.(check bool) "saw own write" true (Support.Int_set.mem 7 first);
+          Alcotest.(check bool) "then lost it" true
+            (List.exists (fun o -> not (Support.Int_set.mem 7 o)) rest)
+        | [] -> Alcotest.fail "expected reads");
+        Alcotest.(check bool) "session PC broken" false (C.holds Criteria.PC r.Cl.history);
+        Alcotest.(check bool) "still UC" true (C.holds Criteria.UC r.Cl.history));
+  ]

@@ -1,0 +1,326 @@
+(* The CRDT baselines of Section VI: convergence under adversarial
+   delays, each design's signature conflict semantics, and the causal
+   delivery substrate. *)
+
+open Helpers
+
+let dummy_ctx ?(n = 2) pid : _ Protocol.ctx =
+  {
+    Protocol.pid;
+    n;
+    now = (fun () -> 0.0);
+    send = (fun ~dst:_ _ -> ());
+    broadcast = ignore;
+    set_timer = (fun ~delay:_ _ -> ());
+    count_replay = ignore;
+  }
+
+(* Convergence of every set CRDT on random conflict-heavy runs. *)
+let set_convergence =
+  let protocols :
+      (string
+      * (module Protocol.PROTOCOL
+           with type update = Set_spec.update
+            and type query = Set_spec.query
+            and type output = Set_spec.output))
+      list =
+    [
+      ("or-set", (module Orset_crdt));
+      ("2p-set", (module Twopset_crdt.Protocol_impl));
+      ("lww-set", (module Lwwset_crdt));
+      ("pn-set", (module Pnset_crdt));
+    ]
+  in
+  List.map
+    (fun (name, (module P : Protocol.PROTOCOL
+                  with type update = Set_spec.update
+                   and type query = Set_spec.query
+                   and type output = Set_spec.output)) ->
+      qtest ~count:25 (name ^ " converges on random conflict workloads") seed_gen
+        (fun seed ->
+          let module R = Runner.Make (P) in
+          let rng = Prng.create seed in
+          let workload =
+            Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:20 ~domain:6 ~skew:1.0
+              ~delete_ratio:0.4
+          in
+          let config =
+            { (R.default_config ~n:3 ~seed) with R.final_read = Some Set_spec.Read }
+          in
+          (R.run config ~workload).R.converged))
+    protocols
+
+(* Run a deterministic two-process crossing: both processes issue their
+   ops before anything is delivered. *)
+let crossed (module P : Protocol.PROTOCOL
+              with type update = Set_spec.update
+               and type query = Set_spec.query
+               and type output = Set_spec.output) scripts =
+  let module R = Runner.Make (P) in
+  let config =
+    {
+      (R.default_config ~n:2 ~seed:1) with
+      R.delay = Network.Constant 100.0;
+      think = Network.Constant 1.0;
+      final_read = Some Set_spec.Read;
+    }
+  in
+  let r = R.run config ~workload:scripts in
+  (List.map snd r.R.final_outputs, r.R.converged)
+
+let upd u = Protocol.Invoke_update u
+
+let semantics_tests =
+  [
+    Alcotest.test_case "or-set: concurrent insert beats delete" `Quick (fun () ->
+        (* p0 deletes 1 (observing p?) while p1 re-inserts 1 concurrently:
+           the unobserved insert survives. *)
+        let outs, converged =
+          crossed (module Orset_crdt)
+            [|
+              [ upd (Set_spec.Insert 1); upd (Set_spec.Delete 1) ];
+              [ upd (Set_spec.Insert 1) ];
+            |]
+        in
+        Alcotest.(check bool) "converged" true converged;
+        List.iter
+          (fun o ->
+            Alcotest.(check bool) "1 present" true (Support.Int_set.mem 1 o))
+          outs);
+    Alcotest.test_case "or-set: observed delete removes" `Quick (fun () ->
+        let module R = Runner.Make (Orset_crdt) in
+        (* Sequential on one process: delete observes the insert. *)
+        let config = { (R.default_config ~n:2 ~seed:1) with R.final_read = Some Set_spec.Read } in
+        let r =
+          R.run config
+            ~workload:[| [ upd (Set_spec.Insert 1); upd (Set_spec.Delete 1) ]; [] |]
+        in
+        List.iter
+          (fun (_, o) -> Alcotest.(check bool) "gone" false (Support.Int_set.mem 1 o))
+          r.R.final_outputs);
+    Alcotest.test_case "2p-set: an element never returns" `Quick (fun () ->
+        let outs, _ =
+          crossed (module Twopset_crdt.Protocol_impl)
+            [|
+              [ upd (Set_spec.Insert 1); upd (Set_spec.Delete 1); upd (Set_spec.Insert 1) ];
+              [];
+            |]
+        in
+        List.iter
+          (fun o -> Alcotest.(check bool) "tombstoned" false (Support.Int_set.mem 1 o))
+          outs);
+    Alcotest.test_case "pn-set: delete of absent poisons a later insert" `Quick (fun () ->
+        let outs, _ =
+          crossed (module Pnset_crdt)
+            [|
+              [ upd (Set_spec.Delete 1); upd (Set_spec.Insert 1) ];
+              [ upd (Set_spec.Delete 1) ];
+            |]
+        in
+        (* counter = -1 + 1 + -1 < 1: absent everywhere, even though a
+           sequential set would end with the last insert present or not
+           depending on order — the anomaly Section VI surveys. *)
+        List.iter
+          (fun o -> Alcotest.(check bool) "absent" false (Support.Int_set.mem 1 o))
+          outs);
+    Alcotest.test_case "lww-set: later timestamp wins per element" `Quick (fun () ->
+        let module R = Runner.Make (Lwwset_crdt) in
+        let config =
+          {
+            (R.default_config ~n:2 ~seed:1) with
+            R.delay = Network.Constant 5.0;
+            think = Network.Constant 20.0;
+            final_read = Some Set_spec.Read;
+          }
+        in
+        (* p1's delete happens after it has received p0's insert, so its
+           Lamport timestamp is larger: delete wins everywhere. *)
+        let r =
+          R.run config
+            ~workload:[| [ upd (Set_spec.Insert 1) ]; [ upd (Set_spec.Delete 1) ] |]
+        in
+        Alcotest.(check bool) "converged" true r.R.converged);
+    Alcotest.test_case "g-set: pure union, always converges" `Quick (fun () ->
+        let module R = Runner.Make (Gset_crdt.Protocol_impl) in
+        let config = { (R.default_config ~n:3 ~seed:4) with R.final_read = Some Gset_spec.Read } in
+        let workload =
+          Array.init 3 (fun p -> [ Protocol.Invoke_update (Gset_spec.Insert p) ])
+        in
+        let r = R.run config ~workload in
+        Alcotest.(check bool) "converged" true r.R.converged;
+        List.iter
+          (fun (_, o) -> Alcotest.(check int) "all three" 3 (Support.Int_set.cardinal o))
+          r.R.final_outputs);
+  ]
+
+let counter_register_tests =
+  [
+    qtest ~count:25 "g-counter converges to the true sum" seed_gen (fun seed ->
+        let module R = Runner.Make (Counters.Gcounter) in
+        let rng = Prng.create seed in
+        let workload =
+          Workload.For_counter.increments_only ~rng ~n:3 ~ops_per_process:10 ~max_amount:9
+        in
+        let expected =
+          Array.fold_left
+            (fun acc script ->
+              List.fold_left
+                (fun acc action ->
+                  match action with
+                  | Protocol.Invoke_update (Counter_spec.Add k) -> acc + k
+                  | Protocol.Invoke_query _ -> acc)
+                acc script)
+            0 workload
+        in
+        let config = { (R.default_config ~n:3 ~seed) with R.final_read = Some Counter_spec.Value } in
+        let r = R.run config ~workload in
+        r.R.converged && List.for_all (fun (_, v) -> v = expected) r.R.final_outputs);
+    qtest ~count:25 "pn-counter converges to the signed sum" seed_gen (fun seed ->
+        let module R = Runner.Make (Counters.Pncounter) in
+        let rng = Prng.create seed in
+        let workload =
+          Workload.For_counter.deposits_and_withdrawals ~rng ~n:3 ~ops_per_process:10
+            ~max_amount:50
+        in
+        let expected =
+          Array.fold_left
+            (fun acc script ->
+              List.fold_left
+                (fun acc action ->
+                  match action with
+                  | Protocol.Invoke_update (Counter_spec.Add k) -> acc + k
+                  | Protocol.Invoke_query _ -> acc)
+                acc script)
+            0 workload
+        in
+        let config = { (R.default_config ~n:3 ~seed) with R.final_read = Some Counter_spec.Value } in
+        let r = R.run config ~workload in
+        r.R.converged && List.for_all (fun (_, v) -> v = expected) r.R.final_outputs);
+    qtest ~count:25 "lww-register converges" seed_gen (fun seed ->
+        let module R = Runner.Make (Registers.Lwwreg) in
+        let rng = Prng.create seed in
+        let module G = Workload.Make (Register_spec) in
+        let workload = G.updates_only ~rng ~n:3 ~ops_per_process:8 in
+        let config = { (R.default_config ~n:3 ~seed) with R.final_read = Some Register_spec.Read } in
+        (R.run config ~workload).R.converged);
+    Alcotest.test_case "mv-register keeps concurrent writes apart" `Quick (fun () ->
+        let module R = Runner.Make (Registers.Mvreg) in
+        let config =
+          {
+            (R.default_config ~n:2 ~seed:1) with
+            R.delay = Network.Constant 100.0;
+            think = Network.Constant 1.0;
+            final_read = Some Register_spec.Read;
+          }
+        in
+        let r =
+          R.run config
+            ~workload:
+              [|
+                [ Protocol.Invoke_update (Register_spec.Write 1) ];
+                [ Protocol.Invoke_update (Register_spec.Write 2) ];
+              |]
+        in
+        Alcotest.(check bool) "converged" true r.R.converged;
+        List.iter
+          (fun (_, o) ->
+            Alcotest.(check bool) "both values" true
+              (Support.Int_set.equal o (Support.Int_set.of_list [ 1; 2 ])))
+          r.R.final_outputs);
+    Alcotest.test_case "mv-register: a later write subsumes what it saw" `Quick (fun () ->
+        let module R = Runner.Make (Registers.Mvreg) in
+        let config =
+          {
+            (R.default_config ~n:2 ~seed:1) with
+            R.delay = Network.Constant 2.0;
+            think = Network.Constant 20.0;
+            final_read = Some Register_spec.Read;
+          }
+        in
+        let r =
+          R.run config
+            ~workload:
+              [|
+                [ Protocol.Invoke_update (Register_spec.Write 1) ];
+                [
+                  (* the read stalls p1 one think-time, so its write
+                     happens after p0's has arrived *)
+                  Protocol.Invoke_query Register_spec.Read;
+                  Protocol.Invoke_update (Register_spec.Write 2);
+                ];
+              |]
+        in
+        (* p1 writes after receiving p0's write: single survivor. *)
+        List.iter
+          (fun (_, o) -> Alcotest.(check int) "singleton" 1 (Support.Int_set.cardinal o))
+          r.R.final_outputs);
+  ]
+
+let causal_tests =
+  [
+    Alcotest.test_case "in-order messages deliver immediately" `Quick (fun () ->
+        let c = Causal.create ~n:2 ~pid:1 in
+        let sender = Causal.create ~n:2 ~pid:0 in
+        let vc1 = Causal.stamp sender in
+        let delivered = Causal.receive c ~src:0 vc1 "a" in
+        Alcotest.(check (list (pair int string))) "a" [ (0, "a") ] delivered);
+    Alcotest.test_case "a gap holds messages back, then releases in order" `Quick
+      (fun () ->
+        let sender = Causal.create ~n:2 ~pid:0 in
+        let vc1 = Causal.stamp sender in
+        let vc2 = Causal.stamp sender in
+        let receiver = Causal.create ~n:2 ~pid:1 in
+        (* Second message first: buffered. *)
+        Alcotest.(check (list (pair int string))) "held" []
+          (Causal.receive receiver ~src:0 vc2 "second");
+        Alcotest.(check int) "pending" 1 (Causal.pending receiver);
+        (* First arrives: both released, in causal order. *)
+        Alcotest.(check (list (pair int string)))
+          "released" [ (0, "first"); (0, "second") ]
+          (Causal.receive receiver ~src:0 vc1 "first"));
+    Alcotest.test_case "cross-sender dependencies are respected" `Quick (fun () ->
+        let a = Causal.create ~n:3 ~pid:0 in
+        let vca = Causal.stamp a in
+        (* b saw a's message before sending. *)
+        let b = Causal.create ~n:3 ~pid:1 in
+        let (_ : (int * string) list) = Causal.receive b ~src:0 vca "from-a" in
+        let vcb = Causal.stamp b in
+        let c = Causal.create ~n:3 ~pid:2 in
+        (* b's message arrives first but depends on a's. *)
+        Alcotest.(check (list (pair int string))) "held" []
+          (Causal.receive c ~src:1 vcb "from-b");
+        Alcotest.(check (list (pair int string)))
+          "both, a first" [ (0, "from-a"); (1, "from-b") ]
+          (Causal.receive c ~src:0 vca "from-a"));
+    qtest ~count:30 "or-set leaves no pending messages at quiescence" seed_gen
+      (fun seed ->
+        let module R = Runner.Make (Orset_crdt) in
+        let rng = Prng.create seed in
+        let workload =
+          Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:15 ~domain:5 ~skew:0.8
+            ~delete_ratio:0.4
+        in
+        let config = { (R.default_config ~n:3 ~seed) with R.final_read = Some Set_spec.Read } in
+        (* Convergence of the final reads is only possible if the causal
+           buffers fully drained. *)
+        (R.run config ~workload).R.converged);
+  ]
+
+let orset_unit_tests =
+  [
+    Alcotest.test_case "or-set unit: local add/remove cycle" `Quick (fun () ->
+        let r = Orset_crdt.create (dummy_ctx 0) in
+        Orset_crdt.update r (Set_spec.Insert 5) ~on_done:ignore;
+        Alcotest.(check int) "one tag" 1 (Orset_crdt.live_tags r);
+        Orset_crdt.update r (Set_spec.Insert 5) ~on_done:ignore;
+        Alcotest.(check int) "two tags" 2 (Orset_crdt.live_tags r);
+        Orset_crdt.update r (Set_spec.Delete 5) ~on_done:ignore;
+        Alcotest.(check int) "all observed tags gone" 0 (Orset_crdt.live_tags r));
+    Alcotest.test_case "pn-set unit: counters go negative" `Quick (fun () ->
+        let r = Pnset_crdt.create (dummy_ctx 0) in
+        Pnset_crdt.update r (Set_spec.Delete 3) ~on_done:ignore;
+        Alcotest.(check int) "-1" (-1) (Pnset_crdt.count r 3));
+  ]
+
+let tests =
+  set_convergence @ semantics_tests @ counter_register_tests @ causal_tests @ orset_unit_tests

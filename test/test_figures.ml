@@ -1,0 +1,36 @@
+(* The captions of Figures 1 and 2 are the paper's own statements of
+   which criteria each history satisfies; every checker must agree. *)
+
+module C = Criteria.Make (Set_spec)
+
+let check_figure (fig_name, history, expected) =
+  List.map
+    (fun (criterion, want) ->
+      let test_name = Printf.sprintf "%s %s" fig_name (Criteria.name criterion) in
+      Alcotest.test_case test_name `Quick (fun () ->
+          Alcotest.(check bool) test_name want (C.holds criterion history)))
+    expected
+
+let insert_wins_cases =
+  [
+    Alcotest.test_case "Fig.1b admits an insert-wins explanation" `Quick (fun () ->
+        (* The OR-set converges to {1,2} on Fig.1b's program: concurrent
+           deletes do not observe the other insert, so inserts win.
+           Definition 10 is therefore satisfiable even though UC is not. *)
+        Alcotest.(check bool) "iw" true (Check_iw.search Figures.fig1b));
+    Alcotest.test_case "Fig.1a has no insert-wins explanation" `Quick (fun () ->
+        Alcotest.(check bool) "iw" false (Check_iw.search Figures.fig1a));
+    Alcotest.test_case "Fig.1d insert-wins from its SUC witness (Prop 3)" `Quick
+      (fun () ->
+        let module Suc = Check_suc.Make (Set_spec) in
+        match Suc.witness Figures.fig1d with
+        | None -> Alcotest.fail "Fig.1d should be SUC"
+        | Some w ->
+          let vis =
+            List.map (fun ((e : _ History.event), ranks) -> (e.History.id, ranks)) w.Suc.visibility
+          in
+          let rel = Check_iw.of_suc_witness Figures.fig1d ~sigma_ranks:w.Suc.sigma_ranks ~vis in
+          Alcotest.(check bool) "verify" true (Check_iw.verify Figures.fig1d rel));
+  ]
+
+let tests = List.concat_map check_figure Figures.all @ insert_wins_cases

@@ -1,0 +1,151 @@
+(* uc_history structure: histories, program order, linearization search,
+   and the random history generators. *)
+
+open Helpers
+
+let set = Set_spec.of_list
+
+let sample_history () =
+  History.make
+    [
+      [ History.U (Set_spec.Insert 1); History.Q (Set_spec.Read, set [ 1 ]) ];
+      [ History.U (Set_spec.Insert 2); History.Qw (Set_spec.Read, set [ 1; 2 ]) ];
+    ]
+
+let structure_tests =
+  [
+    Alcotest.test_case "make assigns ids, pids and seqs" `Quick (fun () ->
+        let h = sample_history () in
+        Alcotest.(check int) "4 events" 4 (History.size h);
+        Alcotest.(check int) "2 processes" 2 (History.process_count h);
+        let e = History.event h 0 in
+        Alcotest.(check int) "pid" 0 e.History.pid;
+        Alcotest.(check int) "seq" 0 e.History.seq);
+    Alcotest.test_case "updates/queries partition the events" `Quick (fun () ->
+        let h = sample_history () in
+        Alcotest.(check int) "updates" 2 (List.length (History.updates h));
+        Alcotest.(check int) "queries" 2 (List.length (History.queries h));
+        Alcotest.(check int) "omegas" 1 (List.length (History.omega_queries h)));
+    Alcotest.test_case "po relates same-process events only" `Quick (fun () ->
+        let h = sample_history () in
+        Alcotest.(check bool) "p0 chain" true (History.po h 0 1);
+        Alcotest.(check bool) "not reflexive" false (History.po h 0 0);
+        Alcotest.(check bool) "cross-process" false (History.po h 0 2));
+    Alcotest.test_case "ω must be last in its process" `Quick (fun () ->
+        Alcotest.check_raises "misplaced ω"
+          (Invalid_argument "History.make: ω event is not last in its process") (fun () ->
+            ignore
+              (History.make
+                 [ [ History.Qw (Set_spec.Read, set []); History.U (Set_spec.Insert 1) ] ])));
+    Alcotest.test_case "update_dag follows per-process update order" `Quick (fun () ->
+        let h =
+          History.make
+            [
+              [ History.U (Set_spec.Insert 1); History.U (Set_spec.Insert 2) ];
+              [ History.U (Set_spec.Insert 3) ];
+            ]
+        in
+        let g = History.update_dag h in
+        Alcotest.(check int) "3 updates" 3 (Dag.size g);
+        Alcotest.(check int) "3 extensions" 3 (Dag.count_linear_extensions g ~limit:100));
+    Alcotest.test_case "empty history is well-formed" `Quick (fun () ->
+        let h = History.make [ []; [] ] in
+        Alcotest.(check int) "no events" 0 (History.size h));
+    Alcotest.test_case "pp renders one line per process" `Quick (fun () ->
+        let rendered =
+          Format.asprintf "%a"
+            (History.pp Set_spec.pp_update Set_spec.pp_query Set_spec.pp_output)
+            (sample_history ())
+        in
+        Alcotest.(check bool) "two lines" true
+          (List.length (String.split_on_char '\n' (String.trim rendered)) = 2));
+  ]
+
+module L = Linearize.Make (Set_spec)
+
+let linearize_tests =
+  [
+    Alcotest.test_case "finds the unique valid interleaving" `Quick (fun () ->
+        let h =
+          History.make
+            [
+              [ History.U (Set_spec.Insert 1) ];
+              [ History.Q (Set_spec.Read, set [ 1 ]) ];
+            ]
+        in
+        let rows = Array.init 2 (fun p -> History.process_events h p) in
+        match L.search rows with
+        | None -> Alcotest.fail "expected a witness"
+        | Some w ->
+          Alcotest.(check int) "two events" 2 (List.length w));
+    Alcotest.test_case "rejects impossible outputs" `Quick (fun () ->
+        let h =
+          History.make
+            [ [ History.U (Set_spec.Insert 1); History.Q (Set_spec.Read, set [ 2 ]) ] ]
+        in
+        let rows = Array.init 1 (fun p -> History.process_events h p) in
+        Alcotest.(check bool) "no witness" true (L.search rows = None));
+    Alcotest.test_case "ω events are scheduled after all updates" `Quick (fun () ->
+        let h =
+          History.make
+            [
+              [ History.Qw (Set_spec.Read, set [ 1 ]) ];
+              [ History.U (Set_spec.Insert 1) ];
+            ]
+        in
+        let rows = Array.init 2 (fun p -> History.process_events h p) in
+        match L.search rows with
+        | None -> Alcotest.fail "expected a witness"
+        | Some w ->
+          (* The ω read of {1} is only valid after the insert. *)
+          let labels = List.map (fun (e : _ History.event) -> e.History.omega) w in
+          Alcotest.(check (list bool)) "update first" [ false; true ] labels);
+    Alcotest.test_case "accept_final can veto" `Quick (fun () ->
+        let h = History.make [ [ History.U (Set_spec.Insert 1) ] ] in
+        let rows = Array.init 1 (fun p -> History.process_events h p) in
+        Alcotest.(check bool) "vetoed" true
+          (L.search ~accept_final:(fun _ -> false) rows = None));
+    Alcotest.test_case "recognizes_events validates a fixed word" `Quick (fun () ->
+        let h = sample_history () in
+        (* I(1)·R/{1}·I(2)·Rω/{1,2} in that order is recognized. *)
+        let order = [ 0; 1; 2; 3 ] in
+        Alcotest.(check bool) "valid" true
+          (L.recognizes_events (List.map (History.event h) order));
+        (* Putting the ω read before I(2) is not. *)
+        let bad = [ 0; 1; 3; 2 ] in
+        Alcotest.(check bool) "invalid" false
+          (L.recognizes_events (List.map (History.event h) bad)));
+  ]
+
+module Gen = Gen_history.Make (Set_spec)
+module C = Criteria.Make (Set_spec)
+
+let gen_tests =
+  [
+    qtest ~count:100 "plausible histories are update consistent by construction" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.plausible rng ~processes:2 ~max_updates:4 ~max_queries:3 in
+        C.holds Criteria.UC h);
+    qtest ~count:100 "plausible histories are eventually consistent" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.plausible rng ~processes:3 ~max_updates:4 ~max_queries:3 in
+        C.holds Criteria.EC h);
+    qtest ~count:100 "generated histories respect the ω invariant" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.convergent_mix rng ~processes:3 ~max_updates:4 ~max_queries:4 in
+        List.for_all
+          (fun (e : _ History.event) ->
+            (not e.History.omega)
+            || List.for_all
+                 (fun (e' : _ History.event) ->
+                   e'.History.pid <> e.History.pid || e'.History.seq <= e.History.seq)
+                 (History.events h))
+          (History.events h));
+    qtest ~count:100 "generator respects size bounds" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let h = Gen.arbitrary rng ~processes:3 ~max_updates:4 ~max_queries:4 in
+        List.length (History.updates h) <= 5 && History.process_count h = 3);
+  ]
+
+let tests = structure_tests @ linearize_tests @ gen_tests

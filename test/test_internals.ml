@@ -1,0 +1,177 @@
+(* Targeted coverage of internal machinery: the visibility search space,
+   insert-wins corner cases, network partition composition, and small
+   API surfaces the larger suites exercise only indirectly. *)
+
+let set = Set_spec.of_list
+
+let visibility_tests =
+  [
+    Alcotest.test_case "bounds: po forces the lower, ω forces everything" `Quick
+      (fun () ->
+        let s = Visibility.space Figures.fig1d in
+        (* fig1d: p0 = I(1) R/{1} I(2) Rω; p1 = R/{2} Rω. Four queries,
+           sorted by (pid, seq): R/{1}, Rω(p0), R/{2}, Rω(p1). *)
+        Alcotest.(check int) "two updates" 2 s.Visibility.n_updates;
+        Alcotest.(check int) "four queries" 4 (Array.length s.Visibility.query_events);
+        (* p0's first read must see I(1) (program order) and may not see
+           I(2) (which follows it). *)
+        Alcotest.(check bool) "lower has I(1)" true (Bitset.mem s.Visibility.lower.(0) 0);
+        Alcotest.(check bool) "upper lacks I(2)" false (Bitset.mem s.Visibility.upper.(0) 1);
+        (* ω queries are pinned to the full update set. *)
+        Alcotest.(check bool) "ω lower full" true
+          (Bitset.equal s.Visibility.lower.(1) (Bitset.full 2)));
+    Alcotest.test_case "SEC tolerates what SUC rejects (future read)" `Quick (fun () ->
+        (* A read claiming {1} before any update exists: SEC can posit an
+           arbitrary witness state; SUC must execute the (empty) visible
+           set and fails. *)
+        let h =
+          History.make
+            [ [ History.Q (Set_spec.Read, set [ 1 ]); History.U (Set_spec.Insert 1) ] ]
+        in
+        let module C = Criteria.Make (Set_spec) in
+        Alcotest.(check bool) "SEC" true (C.holds Criteria.SEC h);
+        Alcotest.(check bool) "not SUC" false (C.holds Criteria.SUC h);
+        Alcotest.(check bool) "UC (read is droppable)" true (C.holds Criteria.UC h));
+    Alcotest.test_case "enumerate respects growth monotonicity" `Quick (fun () ->
+        (* Two same-process reads: the second must see at least what the
+           first saw. Count assignments and compare with the closed form:
+           V1 ⊆ V2 over a 1-update universe = 3 pairs. *)
+        let h =
+          History.make
+            [
+              [ History.Q (Set_spec.Read, set []); History.Q (Set_spec.Read, set []) ];
+              [ History.U (Set_spec.Insert 1) ];
+            ]
+        in
+        let s = Visibility.space h in
+        let count = ref 0 in
+        let (_ : bool) =
+          Visibility.enumerate s
+            ~on_assign:(fun _ _ -> true)
+            ~at_leaf:(fun vs ->
+              incr count;
+              Alcotest.(check bool) "monotone" true (Bitset.subset vs.(0) vs.(1));
+              false)
+        in
+        Alcotest.(check int) "3 assignments" 3 !count);
+  ]
+
+let insert_wins_tests =
+  [
+    Alcotest.test_case "fig1c is not insert-wins (stale ∅ read)" `Quick (fun () ->
+        (* The read R/∅ follows I(1) in program order, so it must see the
+           insertion — insert-wins then demands 1 ∈ output. *)
+        Alcotest.(check bool) "no witness" false (Check_iw.search Figures.fig1c));
+    Alcotest.test_case "close is reflexive and po-closed" `Quick (fun () ->
+        let h = Figures.fig1b in
+        let n = History.size h in
+        let rel = Check_iw.close h (Array.init n (fun _ -> Array.make n false)) in
+        for i = 0 to n - 1 do
+          Alcotest.(check bool) "reflexive" true rel.(i).(i);
+          for j = 0 to n - 1 do
+            if History.po h i j then Alcotest.(check bool) "po" true rel.(i).(j)
+          done
+        done);
+  ]
+
+let network_tests =
+  [
+    Alcotest.test_case "chained partitions delay across both windows" `Quick (fun () ->
+        let engine = Engine.create () in
+        let metrics = Metrics.create () in
+        let log = ref [] in
+        let partitions =
+          [
+            { Network.from_time = 0.0; to_time = 50.0; group = [ 0 ] };
+            { Network.from_time = 50.0; to_time = 90.0; group = [ 1 ] };
+          ]
+        in
+        let net =
+          Network.create ~engine ~rng:(Prng.create 1) ~metrics ~n:2 ~partitions
+            ~delay:(Network.Constant 1.0)
+            ~wire_size:(fun (_ : int) -> 1)
+            ~deliver:(fun ~dst:_ ~src:_ msg -> log := (Engine.now engine, msg) :: !log)
+            ()
+        in
+        (* Separated 0–50 by the first window and 50–90 by the second:
+           departure slides to 90. *)
+        Network.send net ~src:0 ~dst:1 7;
+        Engine.run engine;
+        match !log with
+        | [ (t, 7) ] -> Alcotest.(check (float 1e-9)) "after both" 91.0 t
+        | _ -> Alcotest.fail "expected one delivery");
+    Alcotest.test_case "delivery latency metric accumulates" `Quick (fun () ->
+        let engine = Engine.create () in
+        let metrics = Metrics.create () in
+        let net =
+          Network.create ~engine ~rng:(Prng.create 1) ~metrics ~n:2
+            ~delay:(Network.Constant 4.0)
+            ~wire_size:(fun (_ : int) -> 1)
+            ~deliver:(fun ~dst:_ ~src:_ _ -> ())
+            ()
+        in
+        Network.send net ~src:0 ~dst:1 1;
+        Network.send net ~src:0 ~dst:1 2;
+        Engine.run engine;
+        Alcotest.(check (float 1e-9)) "mean" 4.0 (Metrics.mean_delivery_latency metrics));
+    Alcotest.test_case "metrics pretty-printer mentions the counters" `Quick (fun () ->
+        let m = Metrics.create () in
+        m.Metrics.messages_sent <- 3;
+        let rendered = Format.asprintf "%a" Metrics.pp m in
+        Alcotest.(check bool) "has msgs=3" true
+          (String.length rendered > 0
+          &&
+          let needle = "msgs=3" in
+          let rec scan i =
+            i + String.length needle <= String.length rendered
+            && (String.sub rendered i (String.length needle) = needle || scan (i + 1))
+          in
+          scan 0));
+  ]
+
+let api_tests =
+  [
+    Alcotest.test_case "criteria names round-trip" `Quick (fun () ->
+        List.iter
+          (fun c ->
+            match Criteria.of_name (Criteria.name c) with
+            | Some c' -> Alcotest.(check bool) (Criteria.name c) true (c = c')
+            | None -> Alcotest.failf "%s does not round-trip" (Criteria.name c))
+          Criteria.all);
+    Alcotest.test_case "steps_of_process rebuilds an equal history" `Quick (fun () ->
+        let h = Figures.fig2 in
+        let rebuilt =
+          History.make
+            (List.init (History.process_count h) (History.steps_of_process h))
+        in
+        let module C = Criteria.Make (Set_spec) in
+        Alcotest.(check bool) "same verdicts" true
+          (List.for_all2
+             (fun (c, v) (c', v') -> c = c' && v = v')
+             (C.classify h) (C.classify rebuilt)));
+    Alcotest.test_case "update_index ranks align with event ids" `Quick (fun () ->
+        let ids, rank = History.update_index Figures.fig1b in
+        Alcotest.(check int) "four updates" 4 (Array.length ids);
+        Array.iteri
+          (fun r id -> Alcotest.(check int) "inverse" r rank.(id))
+          ids);
+    Alcotest.test_case "engine step executes exactly one event" `Quick (fun () ->
+        let e = Engine.create () in
+        let hits = ref 0 in
+        Engine.schedule e ~delay:1.0 (fun () -> incr hits);
+        Engine.schedule e ~delay:2.0 (fun () -> incr hits);
+        Alcotest.(check bool) "stepped" true (Engine.step e);
+        Alcotest.(check int) "one" 1 !hits;
+        Alcotest.(check bool) "stepped again" true (Engine.step e);
+        Alcotest.(check bool) "empty" false (Engine.step e));
+    Alcotest.test_case "pqueue sequential semantics" `Quick (fun () ->
+        let open Pqueue_spec in
+        let s = List.fold_left apply initial [ Insert 5; Insert 2; Insert 9; Extract_min ] in
+        Alcotest.(check bool) "min is 5" true
+          (equal_output (eval s Min) (Min_value (Some 5)));
+        Alcotest.(check bool) "two left" true (equal_output (eval s Size) (Count 2));
+        Alcotest.(check bool) "extract on empty is a no-op" true
+          (equal_state (apply initial Extract_min) initial));
+  ]
+
+let tests = visibility_tests @ insert_wins_tests @ network_tests @ api_tests

@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "update_consistency"
+    [
+      ("util", Test_util.tests);
+      ("specs", Test_specs.tests);
+      ("clocks", Test_clocks.tests);
+      ("history", Test_history.tests);
+      ("checkers", Test_checkers.tests);
+      ("sim", Test_sim.tests);
+      ("protocols", Test_protocols.tests);
+      ("crdts", Test_crdts.tests);
+      ("abd", Test_abd.tests);
+      ("tob-smr", Test_tob_smr.tests);
+      ("causal-memory", Test_causal_mem.tests);
+      ("nemesis", Test_nemesis.tests);
+      ("bank", Test_bank.tests);
+      ("undoable", Test_undoable.tests);
+      ("experiments", Test_experiments.tests);
+      ("universality", Test_universality.tests);
+      ("trace", Test_trace.tests);
+      ("linearizability", Test_linearizability.tests);
+      ("codec", Test_codec.tests);
+      ("workload", Test_workload.tests);
+      ("parse", Test_parse.tests);
+      ("persist", Test_persist.tests);
+      ("internals", Test_internals.tests);
+      ("clients", Test_clients.tests);
+      ("differential", Test_differential.tests);
+      ("figures", Test_figures.tests);
+      ("universal-smoke", Test_universal_smoke.tests);
+      ("model-check", Test_model_check.tests);
+    ]

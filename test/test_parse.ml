@@ -1,0 +1,45 @@
+(* The history concrete syntax used by `ucsim classify`. *)
+
+module C = Criteria.Make (Set_spec)
+
+let classify_equal text history =
+  List.for_all2
+    (fun (c, v) (c', v') -> c = c' && v = v')
+    (C.classify (Parse_history.parse text))
+    (C.classify history)
+
+let tests =
+  [
+    Alcotest.test_case "round-trips the paper's figures" `Quick (fun () ->
+        List.iter
+          (fun (name, text, history) ->
+            Alcotest.(check bool) name true (classify_equal text history))
+          [
+            ("fig1a", "I(1) R{2} R{1} R{}w / I(2) R{1} R{2} R{}w", Figures.fig1a);
+            ("fig1b", "I(1) D(2) R{1 2}w / I(2) D(1) R{1 2}w", Figures.fig1b);
+            ("fig1c", "I(1) R{} R{1 2}w / I(2) R{1 2}w", Figures.fig1c);
+            ("fig1d", "I(1) R{1} I(2) R{1 2}w / R{2} R{1 2}w", Figures.fig1d);
+            ( "fig2",
+              "I(1) I(3) R{1 3} R{1 2 3} R{1 2}w / I(2) D(3) R{2} R{1 2} R{1 2 3}w",
+              Figures.fig2 );
+          ]);
+    Alcotest.test_case "commas and extra spaces are tolerated" `Quick (fun () ->
+        let h = Parse_history.parse "I(1)   R{1, 2}w /  D(3)" in
+        Alcotest.(check int) "three events" 3 (History.size h));
+    Alcotest.test_case "empty process lines are allowed" `Quick (fun () ->
+        let h = Parse_history.parse "I(1) /" in
+        Alcotest.(check int) "two processes" 2 (History.process_count h);
+        Alcotest.(check int) "one event" 1 (History.size h));
+    Alcotest.test_case "negative elements parse" `Quick (fun () ->
+        let h = Parse_history.parse "I(-3) R{-3}w" in
+        Alcotest.(check int) "two events" 2 (History.size h));
+    Alcotest.test_case "malformed input is reported" `Quick (fun () ->
+        List.iter
+          (fun text ->
+            Alcotest.(check bool) text true
+              (try
+                 ignore (Parse_history.parse text);
+                 false
+               with Parse_history.Parse_error _ -> true))
+          [ "X(1)"; "I(a)"; "R{1"; "I(1) R{}w I(2)"; "I1" ]);
+  ]

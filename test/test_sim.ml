@@ -1,0 +1,228 @@
+(* uc_sim: engine ordering, network delivery semantics, crash and
+   partition behaviour, metric accounting. *)
+
+open Helpers
+
+let engine_tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick (fun () ->
+        let e = Engine.create () in
+        let order = ref [] in
+        Engine.schedule e ~delay:5.0 (fun () -> order := 5 :: !order);
+        Engine.schedule e ~delay:1.0 (fun () -> order := 1 :: !order);
+        Engine.schedule e ~delay:3.0 (fun () -> order := 3 :: !order);
+        Engine.run e;
+        Alcotest.(check (list int)) "sorted" [ 5; 3; 1 ] !order);
+    Alcotest.test_case "ties break by insertion order" `Quick (fun () ->
+        let e = Engine.create () in
+        let order = ref [] in
+        Engine.schedule e ~delay:1.0 (fun () -> order := `A :: !order);
+        Engine.schedule e ~delay:1.0 (fun () -> order := `B :: !order);
+        Engine.run e;
+        Alcotest.(check bool) "A before B" true (!order = [ `B; `A ]));
+    Alcotest.test_case "clock advances to event times" `Quick (fun () ->
+        let e = Engine.create () in
+        let seen = ref 0.0 in
+        Engine.schedule e ~delay:7.5 (fun () -> seen := Engine.now e);
+        Engine.run e;
+        Alcotest.(check (float 1e-9)) "time" 7.5 !seen);
+    Alcotest.test_case "nested scheduling works" `Quick (fun () ->
+        let e = Engine.create () in
+        let hits = ref 0 in
+        Engine.schedule e ~delay:1.0 (fun () ->
+            incr hits;
+            Engine.schedule e ~delay:1.0 (fun () -> incr hits));
+        Engine.run e;
+        Alcotest.(check int) "both ran" 2 !hits);
+    Alcotest.test_case "run ~until stops early" `Quick (fun () ->
+        let e = Engine.create () in
+        let hits = ref 0 in
+        Engine.schedule e ~delay:1.0 (fun () -> incr hits);
+        Engine.schedule e ~delay:100.0 (fun () -> incr hits);
+        Engine.run ~until:10.0 e;
+        Alcotest.(check int) "one ran" 1 !hits;
+        Alcotest.(check int) "one pending" 1 (Engine.pending e));
+    Alcotest.test_case "negative and infinite delays are rejected" `Quick (fun () ->
+        let e = Engine.create () in
+        let msg = "Engine.schedule: delay must be finite and non-negative" in
+        Alcotest.check_raises "negative" (Invalid_argument msg) (fun () ->
+            Engine.schedule e ~delay:(-1.0) ignore);
+        Alcotest.check_raises "infinite" (Invalid_argument msg) (fun () ->
+            Engine.schedule e ~delay:Float.infinity ignore));
+    Alcotest.test_case "schedule_at in the past fires now" `Quick (fun () ->
+        let e = Engine.create () in
+        let at = ref (-1.0) in
+        Engine.schedule e ~delay:5.0 (fun () ->
+            Engine.schedule_at e ~time:1.0 (fun () -> at := Engine.now e));
+        Engine.run e;
+        Alcotest.(check (float 1e-9)) "not in the past" 5.0 !at);
+  ]
+
+(* A network harness capturing deliveries. *)
+let net_harness ?(fifo = false) ?(partitions = []) ~delay ~seed n =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let log = ref [] in
+  let net =
+    Network.create ~engine ~rng:(Prng.create seed) ~metrics ~n ~fifo ~partitions ~delay
+      ~wire_size:(fun (_ : int) -> 4)
+      ~deliver:(fun ~dst ~src msg -> log := (Engine.now engine, src, dst, msg) :: !log)
+      ()
+  in
+  (engine, metrics, net, log)
+
+let network_tests =
+  [
+    Alcotest.test_case "messages arrive within the delay bounds" `Quick (fun () ->
+        let engine, _, net, log =
+          net_harness ~delay:(Network.Uniform { lo = 2.0; hi = 4.0 }) ~seed:1 2
+        in
+        for i = 1 to 20 do
+          Network.send net ~src:0 ~dst:1 i
+        done;
+        Engine.run engine;
+        Alcotest.(check int) "all delivered" 20 (List.length !log);
+        List.iter
+          (fun (t, _, _, _) -> Alcotest.(check bool) "bounds" true (t >= 2.0 && t <= 4.0))
+          !log);
+    Alcotest.test_case "fifo preserves per-channel order" `Quick (fun () ->
+        let engine, _, net, log =
+          net_harness ~fifo:true ~delay:(Network.Uniform { lo = 1.0; hi = 50.0 }) ~seed:3 2
+        in
+        for i = 1 to 30 do
+          Network.send net ~src:0 ~dst:1 i
+        done;
+        Engine.run engine;
+        let payloads = List.rev_map (fun (_, _, _, m) -> m) !log in
+        Alcotest.(check (list int)) "in order" (List.init 30 (fun i -> i + 1)) payloads);
+    Alcotest.test_case "without fifo, reordering happens" `Quick (fun () ->
+        let engine, _, net, log =
+          net_harness ~delay:(Network.Uniform { lo = 1.0; hi = 50.0 }) ~seed:3 2
+        in
+        for i = 1 to 30 do
+          Network.send net ~src:0 ~dst:1 i
+        done;
+        Engine.run engine;
+        let payloads = List.rev_map (fun (_, _, _, m) -> m) !log in
+        Alcotest.(check bool) "reordered" true
+          (payloads <> List.init 30 (fun i -> i + 1)));
+    Alcotest.test_case "broadcast reaches everyone but the sender" `Quick (fun () ->
+        let engine, metrics, net, log = net_harness ~delay:(Network.Constant 1.0) ~seed:1 4 in
+        Network.broadcast net ~src:2 7;
+        Engine.run engine;
+        Alcotest.(check int) "three copies" 3 (List.length !log);
+        Alcotest.(check bool) "not to self" true
+          (List.for_all (fun (_, _, dst, _) -> dst <> 2) !log);
+        Alcotest.(check int) "bytes counted" 12 metrics.Metrics.bytes_sent);
+    Alcotest.test_case "messages to a crashed process are dropped" `Quick (fun () ->
+        let engine, metrics, net, log = net_harness ~delay:(Network.Constant 1.0) ~seed:1 2 in
+        Network.crash net 1;
+        Network.send net ~src:0 ~dst:1 1;
+        Engine.run engine;
+        Alcotest.(check int) "no delivery" 0 (List.length !log);
+        Alcotest.(check int) "dropped" 1 metrics.Metrics.messages_dropped);
+    Alcotest.test_case "a crashed process cannot send" `Quick (fun () ->
+        let engine, _, net, log = net_harness ~delay:(Network.Constant 1.0) ~seed:1 2 in
+        Network.crash net 0;
+        Network.send net ~src:0 ~dst:1 1;
+        Engine.run engine;
+        Alcotest.(check int) "no delivery" 0 (List.length !log));
+    Alcotest.test_case "alive lists the non-crashed" `Quick (fun () ->
+        let _, _, net, _ = net_harness ~delay:(Network.Constant 1.0) ~seed:1 3 in
+        Network.crash net 1;
+        Alcotest.(check (list int)) "alive" [ 0; 2 ] (Network.alive net));
+    Alcotest.test_case "partition holds messages until it heals" `Quick (fun () ->
+        let partitions = [ { Network.from_time = 0.0; to_time = 100.0; group = [ 0 ] } ] in
+        let engine, _, net, log = net_harness ~partitions ~delay:(Network.Constant 1.0) ~seed:1 2 in
+        Network.send net ~src:0 ~dst:1 1;
+        Engine.run engine;
+        (match !log with
+        | [ (t, _, _, _) ] -> Alcotest.(check (float 1e-9)) "after heal" 101.0 t
+        | _ -> Alcotest.fail "expected one delivery");
+        Alcotest.(check bool) "reliable" true (List.length !log = 1));
+    Alcotest.test_case "same-side traffic crosses a partition window" `Quick (fun () ->
+        let partitions = [ { Network.from_time = 0.0; to_time = 100.0; group = [ 0; 1 ] } ] in
+        let engine, _, net, log = net_harness ~partitions ~delay:(Network.Constant 1.0) ~seed:1 3 in
+        Network.send net ~src:0 ~dst:1 1;
+        Engine.run engine;
+        match !log with
+        | [ (t, _, _, _) ] -> Alcotest.(check (float 1e-9)) "immediate" 1.0 t
+        | _ -> Alcotest.fail "expected one delivery");
+    qtest "draw_delay respects each model's support" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let c = Network.draw_delay rng (Network.Constant 3.0) in
+        let u = Network.draw_delay rng (Network.Uniform { lo = 1.0; hi = 2.0 }) in
+        let e = Network.draw_delay rng (Network.Exponential { mean = 5.0 }) in
+        let p = Network.draw_delay rng (Network.Pareto { scale = 2.0; shape = 1.5 }) in
+        c = 3.0 && u >= 1.0 && u <= 2.0 && e >= 0.0 && p >= 2.0);
+  ]
+
+module P = Generic.Make (Set_spec)
+module R = Runner.Make (P)
+
+let runner_tests =
+  [
+    Alcotest.test_case "metrics add up" `Quick (fun () ->
+        let workload =
+          [|
+            [ Protocol.Invoke_update (Set_spec.Insert 1); Protocol.Invoke_query Set_spec.Read ];
+            [ Protocol.Invoke_update (Set_spec.Insert 2) ];
+          |]
+        in
+        let config = { (R.default_config ~n:2 ~seed:1) with R.final_read = Some Set_spec.Read } in
+        let r = R.run config ~workload in
+        let m = r.R.metrics in
+        Alcotest.(check int) "updates" 2 m.Metrics.updates_invoked;
+        (* one scripted query + two ω reads *)
+        Alcotest.(check int) "queries" 3 m.Metrics.queries_invoked;
+        (* each update broadcast to one other process *)
+        Alcotest.(check int) "messages" 2 m.Metrics.messages_sent;
+        Alcotest.(check int) "no stalls" 0 m.Metrics.ops_incomplete);
+    Alcotest.test_case "history mirrors the workload structure" `Quick (fun () ->
+        let workload =
+          [|
+            [ Protocol.Invoke_update (Set_spec.Insert 1); Protocol.Invoke_query Set_spec.Read ];
+            [];
+          |]
+        in
+        let config = { (R.default_config ~n:2 ~seed:1) with R.final_read = Some Set_spec.Read } in
+        let r = R.run config ~workload in
+        Alcotest.(check int) "p0 has 3 events" 3
+          (List.length (History.process_events r.R.history 0));
+        Alcotest.(check int) "p1 has its ω read" 1
+          (List.length (History.process_events r.R.history 1)));
+    Alcotest.test_case "crashed processes stop issuing and reading" `Quick (fun () ->
+        let workload =
+          Array.make 2 (List.init 20 (fun i -> Protocol.Invoke_update (Set_spec.Insert i)))
+        in
+        let config =
+          {
+            (R.default_config ~n:2 ~seed:1) with
+            R.final_read = Some Set_spec.Read;
+            crashes = [ (0.5, 1) ];
+          }
+        in
+        let r = R.run config ~workload in
+        Alcotest.(check int) "only p0 answers" 1 (List.length r.R.final_outputs);
+        Alcotest.(check bool) "p0 is the survivor" true (fst (List.hd r.R.final_outputs) = 0));
+    Alcotest.test_case "workload width must match n" `Quick (fun () ->
+        let config = R.default_config ~n:3 ~seed:1 in
+        Alcotest.check_raises "width" (Invalid_argument "Runner.run: workload width must match config.n")
+          (fun () -> ignore (R.run config ~workload:[| [] |])));
+    qtest ~count:25 "same seed, same run" seed_gen (fun seed ->
+        let workload =
+          [|
+            List.init 10 (fun i -> Protocol.Invoke_update (Set_spec.Insert i));
+            List.init 10 (fun i -> Protocol.Invoke_update (Set_spec.Delete i));
+          |]
+        in
+        let config = { (R.default_config ~n:2 ~seed) with R.final_read = Some Set_spec.Read } in
+        let a = R.run config ~workload and b = R.run config ~workload in
+        a.R.metrics.Metrics.bytes_sent = b.R.metrics.Metrics.bytes_sent
+        && a.R.sim_duration = b.R.sim_duration
+        && List.for_all2
+             (fun (p, o) (p', o') -> p = p' && Set_spec.equal_output o o')
+             a.R.final_outputs b.R.final_outputs);
+  ]
+
+let tests = engine_tests @ network_tests @ runner_tests

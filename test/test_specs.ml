@@ -1,0 +1,225 @@
+(* uc_spec: every ADT instance obeys Definition 1's shape, its own
+   sequential semantics, and its declared commutativity. *)
+
+open Helpers
+
+(* Generic laws every instance must satisfy. *)
+let generic_laws (name, (module A : Uqadt.S)) =
+  [
+    qtest (name ^ ": queries do not change observable state") seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module R = Uqadt.Run (A) in
+        let state = R.exec_updates A.initial (List.init 5 (fun _ -> A.random_update rng)) in
+        let q = A.random_query rng in
+        let o1 = A.eval state q in
+        (* evaluating twice gives the same output: G is a function *)
+        A.equal_output o1 (A.eval state q));
+    qtest (name ^ ": equal_update is reflexive") seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let u = A.random_update rng in
+        A.equal_update u u);
+    qtest (name ^ ": update_wire_size is positive") seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        A.update_wire_size (A.random_update rng) > 0);
+    qtest (name ^ ": declared commutativity holds on random pairs") seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module R = Uqadt.Run (A) in
+        let base = R.exec_updates A.initial (List.init 3 (fun _ -> A.random_update rng)) in
+        let u1 = A.random_update rng and u2 = A.random_update rng in
+        let ab = A.apply (A.apply base u1) u2 and ba = A.apply (A.apply base u2) u1 in
+        (not A.commutative) || A.equal_state ab ba);
+    qtest (name ^ ": singleton query sets are satisfiable") seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module R = Uqadt.Run (A) in
+        let state = R.exec_updates A.initial (List.init 4 (fun _ -> A.random_update rng)) in
+        let q = A.random_query rng in
+        A.satisfiable [ (q, A.eval state q) ]);
+    qtest (name ^ ": consistent snapshots are jointly satisfiable") seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module R = Uqadt.Run (A) in
+        let state = R.exec_updates A.initial (List.init 4 (fun _ -> A.random_update rng)) in
+        let pairs =
+          List.init 3 (fun _ ->
+              let q = A.random_query rng in
+              (q, A.eval state q))
+        in
+        A.satisfiable pairs);
+    qtest (name ^ ": recognizes its own executions") seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module R = Uqadt.Run (A) in
+        let rec build state i acc =
+          if i = 0 then List.rev acc
+          else if Prng.bool rng then begin
+            let u = A.random_update rng in
+            build (A.apply state u) (i - 1) (Uqadt.Update u :: acc)
+          end
+          else begin
+            let q = A.random_query rng in
+            build state (i - 1) (Uqadt.Query (q, A.eval state q) :: acc)
+          end
+        in
+        R.recognizes (build A.initial 8 []));
+  ]
+
+(* Targeted semantics per instance. *)
+
+let set_tests =
+  let open Set_spec in
+  [
+    Alcotest.test_case "set: insert then read" `Quick (fun () ->
+        let s = apply (apply initial (Insert 1)) (Insert 2) in
+        Alcotest.(check bool) "has both" true
+          (equal_output (eval s Read) (of_list [ 1; 2 ])));
+    Alcotest.test_case "set: delete removes" `Quick (fun () ->
+        let s = apply (apply initial (Insert 1)) (Delete 1) in
+        Alcotest.(check bool) "empty" true (equal_output (eval s Read) (of_list [])));
+    Alcotest.test_case "set: delete of absent is a no-op" `Quick (fun () ->
+        let s = apply initial (Delete 9) in
+        Alcotest.(check bool) "still initial" true (equal_state s initial));
+    Alcotest.test_case "set: insert is idempotent" `Quick (fun () ->
+        let s1 = apply initial (Insert 1) in
+        Alcotest.(check bool) "same" true (equal_state s1 (apply s1 (Insert 1))));
+    Alcotest.test_case "set: insert/delete do not commute" `Quick (fun () ->
+        let a = apply (apply initial (Insert 1)) (Delete 1) in
+        let b = apply (apply initial (Delete 1)) (Insert 1) in
+        Alcotest.(check bool) "differ" false (equal_state a b));
+    Alcotest.test_case "set: satisfiable iff equal reads" `Quick (fun () ->
+        Alcotest.(check bool) "ok" true
+          (satisfiable [ (Read, of_list [ 1 ]); (Read, of_list [ 1 ]) ]);
+        Alcotest.(check bool) "not ok" false
+          (satisfiable [ (Read, of_list [ 1 ]); (Read, of_list [ 2 ]) ]));
+  ]
+
+let register_and_memory_tests =
+  [
+    Alcotest.test_case "register: last write wins sequentially" `Quick (fun () ->
+        let open Register_spec in
+        let s = apply (apply initial (Write 3)) (Write 7) in
+        Alcotest.(check int) "reads 7" 7 (eval s Read));
+    Alcotest.test_case "memory: registers are independent" `Quick (fun () ->
+        let open Memory_spec in
+        let s = apply (apply initial (Write (0, 5))) (Write (1, 6)) in
+        Alcotest.(check int) "r0" 5 (eval s (Read 0));
+        Alcotest.(check int) "r1" 6 (eval s (Read 1));
+        Alcotest.(check int) "unwritten" initial_value (eval s (Read 2)));
+    Alcotest.test_case "memory: satisfiable respects keys" `Quick (fun () ->
+        let open Memory_spec in
+        Alcotest.(check bool) "different keys ok" true
+          (satisfiable [ (Read 0, 1); (Read 1, 2) ]);
+        Alcotest.(check bool) "same key conflict" false
+          (satisfiable [ (Read 0, 1); (Read 0, 2) ]));
+    Alcotest.test_case "maxreg: propose keeps the max" `Quick (fun () ->
+        let open Maxreg_spec in
+        let s = apply (apply (apply initial (Propose 5)) (Propose 2)) (Propose 9) in
+        Alcotest.(check int) "max" 9 (eval s Read));
+    Alcotest.test_case "flag: enable then disable reads false" `Quick (fun () ->
+        let open Flag_spec in
+        let s = apply (apply initial Enable) Disable in
+        Alcotest.(check bool) "off" false (eval s Read));
+  ]
+
+let counter_tests =
+  let open Counter_spec in
+  [
+    Alcotest.test_case "counter: adds accumulate" `Quick (fun () ->
+        let s = apply (apply initial (Add 5)) (Add (-2)) in
+        Alcotest.(check int) "3" 3 (eval s Value));
+    qtest "counter: order of adds is irrelevant" QCheck2.Gen.(list (int_range (-5) 5))
+      (fun xs ->
+        let forward = List.fold_left (fun s n -> apply s (Add n)) initial xs in
+        let backward = List.fold_left (fun s n -> apply s (Add n)) initial (List.rev xs) in
+        equal_state forward backward);
+  ]
+
+let sequence_tests =
+  [
+    Alcotest.test_case "log: appends preserve order" `Quick (fun () ->
+        let open Log_spec in
+        let s = apply (apply initial (Append 1)) (Append 2) in
+        Alcotest.(check (list int)) "order" [ 1; 2 ] (eval s Read));
+    Alcotest.test_case "queue: FIFO order, dequeue drops the front" `Quick (fun () ->
+        let open Queue_spec in
+        let s = apply (apply (apply initial (Enqueue 1)) (Enqueue 2)) Dequeue in
+        Alcotest.(check bool) "front is 2" true
+          (equal_output (eval s Front) (Head (Some 2))));
+    Alcotest.test_case "queue: dequeue on empty is a no-op" `Quick (fun () ->
+        let open Queue_spec in
+        Alcotest.(check bool) "still empty" true (equal_state (apply initial Dequeue) initial));
+    Alcotest.test_case "stack: LIFO order, pop drops the top" `Quick (fun () ->
+        let open Stack_spec in
+        let s = apply (apply (apply initial (Push 1)) (Push 2)) Pop in
+        Alcotest.(check bool) "top is 1" true (equal_output (eval s Top) (Peek (Some 1))));
+    Alcotest.test_case "map: put/get/del/size" `Quick (fun () ->
+        let open Map_spec in
+        let s = apply (apply (apply initial (Put (1, 10))) (Put (2, 20))) (Del 1) in
+        Alcotest.(check bool) "get 1 gone" true (equal_output (eval s (Get 1)) (Found None));
+        Alcotest.(check bool) "get 2" true (equal_output (eval s (Get 2)) (Found (Some 20)));
+        Alcotest.(check bool) "size" true (equal_output (eval s Size) (Count 1)));
+    Alcotest.test_case "text: insert clamps position" `Quick (fun () ->
+        let open Text_spec in
+        let s = apply initial (Insert (100, 'x')) in
+        Alcotest.(check string) "appended" "x" s);
+    Alcotest.test_case "text: delete out of bounds is a no-op" `Quick (fun () ->
+        let open Text_spec in
+        Alcotest.(check string) "same" "ab"
+          (apply (apply (apply initial (Insert (0, 'a'))) (Insert (1, 'b'))) (Delete 5)));
+    Alcotest.test_case "text: middle insert and delete" `Quick (fun () ->
+        let open Text_spec in
+        let s =
+          List.fold_left apply initial
+            [ Insert (0, 'a'); Insert (1, 'c'); Insert (1, 'b'); Delete 0 ]
+        in
+        Alcotest.(check string) "bc" "bc" s);
+  ]
+
+let product_tests =
+  let module P = Product.Make (Set_spec) (Counter_spec) in
+  [
+    Alcotest.test_case "product: components evolve independently" `Quick (fun () ->
+        let s =
+          List.fold_left P.apply P.initial
+            [ Either.Left (Set_spec.Insert 1); Either.Right (Counter_spec.Add 5) ]
+        in
+        Alcotest.(check bool) "set side" true
+          (P.equal_output (P.eval s (Either.Left Set_spec.Read))
+             (Either.Left (Set_spec.of_list [ 1 ])));
+        Alcotest.(check bool) "counter side" true
+          (P.equal_output (P.eval s (Either.Right Counter_spec.Value)) (Either.Right 5)));
+    Alcotest.test_case "product: commutative only if both are" `Quick (fun () ->
+        let module C = Product.Make (Counter_spec) (Maxreg_spec) in
+        let module N = Product.Make (Counter_spec) (Set_spec) in
+        Alcotest.(check bool) "counter*maxreg" true C.commutative;
+        Alcotest.(check bool) "counter*set" false N.commutative);
+    Alcotest.test_case "product: satisfiable splits by side" `Quick (fun () ->
+        Alcotest.(check bool) "consistent" true
+          (P.satisfiable
+             [
+               (Either.Left Set_spec.Read, Either.Left (Set_spec.of_list [ 1 ]));
+               (Either.Right Counter_spec.Value, Either.Right 3);
+             ]);
+        Alcotest.(check bool) "conflicting counter" false
+          (P.satisfiable
+             [
+               (Either.Right Counter_spec.Value, Either.Right 3);
+               (Either.Right Counter_spec.Value, Either.Right 4);
+             ]));
+  ]
+
+let registry_tests =
+  [
+    Alcotest.test_case "registry: every name resolves" `Quick (fun () ->
+        List.iter
+          (fun name ->
+            match Registry.find name with
+            | Some (module A : Uqadt.S) ->
+              Alcotest.(check string) "name matches" name A.name
+            | None -> Alcotest.failf "%s missing" name)
+          Registry.names);
+    Alcotest.test_case "registry: unknown name is None" `Quick (fun () ->
+        Alcotest.(check bool) "none" true (Registry.find "nosuch" = None));
+  ]
+
+let tests =
+  List.concat_map generic_laws Registry.all
+  @ set_tests @ register_and_memory_tests @ counter_tests @ sequence_tests
+  @ product_tests @ registry_tests

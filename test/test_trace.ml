@@ -1,0 +1,67 @@
+(* Trace recording and the space-time renderer. *)
+
+module P = Generic.Make (Set_spec)
+module R = Runner.Make (P)
+
+let traced_run () =
+  let config =
+    {
+      (R.default_config ~n:2 ~seed:8) with
+      R.final_read = Some Set_spec.Read;
+      crashes = [ (30.0, 1) ];
+      trace = true;
+    }
+  in
+  R.run config
+    ~workload:
+      [|
+        [ Protocol.Invoke_update (Set_spec.Insert 1); Protocol.Invoke_query Set_spec.Read ];
+        [ Protocol.Invoke_update (Set_spec.Insert 2) ];
+      |]
+
+let tests =
+  [
+    Alcotest.test_case "runner records ops, deliveries and crashes" `Quick (fun () ->
+        let r = traced_run () in
+        match r.R.trace with
+        | None -> Alcotest.fail "trace requested"
+        | Some tr ->
+          (* 3 updates+queries invoked (some possibly after crash),
+             plus deliveries, plus the crash: strictly more events than
+             operations alone. *)
+          Alcotest.(check bool) "has events" true (Trace.length tr > 3));
+    Alcotest.test_case "render shows lanes, arrows and the crash" `Quick (fun () ->
+        let r = traced_run () in
+        let rendered = Trace.render (Option.get r.R.trace) ~n:2 in
+        let has needle =
+          let n = String.length needle and h = String.length rendered in
+          let rec scan i = i + n <= h && (String.sub rendered i n = needle || scan (i + 1)) in
+          scan 0
+        in
+        Alcotest.(check bool) "lane header" true (has "p0");
+        Alcotest.(check bool) "an op label" true (has "I(1)");
+        Alcotest.(check bool) "a delivery arrow" true (has "«p");
+        Alcotest.(check bool) "the crash" true (has "crash");
+        Alcotest.(check bool) "in-flight annotation" true (has "in flight"));
+    Alcotest.test_case "no trace unless requested" `Quick (fun () ->
+        let config = { (R.default_config ~n:2 ~seed:8) with R.final_read = Some Set_spec.Read } in
+        let r = R.run config ~workload:[| []; [] |] in
+        Alcotest.(check bool) "absent" true (r.R.trace = None));
+    Alcotest.test_case "events render in time order" `Quick (fun () ->
+        let tr = Trace.create () in
+        Trace.record_op tr ~time:5.0 ~pid:0 "later";
+        Trace.record_op tr ~time:1.0 ~pid:0 "earlier";
+        let rendered = Trace.render tr ~n:1 in
+        let index_of needle =
+          let n = String.length needle and h = String.length rendered in
+          let rec scan i =
+            if i + n > h then -1
+            else if String.sub rendered i n = needle then i
+            else scan (i + 1)
+          in
+          scan 0
+        in
+        Alcotest.(check bool) "both present" true
+          (index_of "earlier" >= 0 && index_of "later" >= 0);
+        Alcotest.(check bool) "sorted" true (index_of "earlier" < index_of "later"));
+  ]

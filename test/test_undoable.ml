@@ -1,0 +1,35 @@
+(* The Karsenty–Beaudouin-Lafon inverse law, T(T(s,u),u⁻¹) = s, for all
+   four undoable instances — the soundness condition of the undo-based
+   construction. *)
+
+open Helpers
+
+let law (type s u q o un) name
+    (module A : Undoable.S
+      with type state = s
+       and type update = u
+       and type query = q
+       and type output = o
+       and type undo = un) =
+  qtest (name ^ ": undo restores the pre-state exactly") seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let module R = Uqadt.Run (A) in
+      (* Try the law from several distinct reachable states. *)
+      let rec go state i =
+        i = 0
+        ||
+        let u = A.random_update rng in
+        let after, tok = A.apply_with_undo state u in
+        A.equal_state (A.undo after tok) state
+        && A.equal_state after (A.apply state u)
+        && go after (i - 1)
+      in
+      go A.initial 25)
+
+let tests =
+  [
+    law "set" (module Undoable.Set);
+    law "register" (module Undoable.Register);
+    law "counter" (module Undoable.Counter);
+    law "memory" (module Undoable.Memory);
+  ]

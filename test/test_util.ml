@@ -1,0 +1,300 @@
+(* uc_util: PRNG, heap, bitset, stats, wire, zipf, table, dag. *)
+
+let qtest ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let prng_tests =
+  [
+    Alcotest.test_case "prng is deterministic per seed" `Quick (fun () ->
+        let a = Prng.create 7 and b = Prng.create 7 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+        done);
+    Alcotest.test_case "different seeds give different streams" `Quick (fun () ->
+        let a = Prng.create 1 and b = Prng.create 2 in
+        Alcotest.(check bool) "diverge" true (Prng.bits64 a <> Prng.bits64 b));
+    Alcotest.test_case "split is independent of parent draws" `Quick (fun () ->
+        let parent = Prng.create 5 in
+        let child = Prng.split parent in
+        let first = Prng.bits64 child in
+        let parent2 = Prng.create 5 in
+        let child2 = Prng.split parent2 in
+        Alcotest.(check int64) "same child stream" first (Prng.bits64 child2));
+    Alcotest.test_case "copy replays the stream" `Quick (fun () ->
+        let a = Prng.create 11 in
+        ignore (Prng.bits64 a);
+        let b = Prng.copy a in
+        Alcotest.(check int64) "copied" (Prng.bits64 a) (Prng.bits64 b));
+    qtest "int bound respected"
+      QCheck2.Gen.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let g = Prng.create seed in
+        let v = Prng.int g bound in
+        0 <= v && v < bound);
+    qtest "int_in range respected"
+      QCheck2.Gen.(triple small_int (int_range (-50) 50) (int_range 0 100))
+      (fun (seed, lo, width) ->
+        let g = Prng.create seed in
+        let v = Prng.int_in g lo (lo + width) in
+        lo <= v && v <= lo + width);
+    qtest "float bound respected"
+      QCheck2.Gen.small_int
+      (fun seed ->
+        let g = Prng.create seed in
+        let v = Prng.float g 3.5 in
+        0.0 <= v && v < 3.5);
+    qtest "exponential is non-negative" QCheck2.Gen.small_int (fun seed ->
+        let g = Prng.create seed in
+        Prng.exponential g ~mean:4.0 >= 0.0);
+    qtest "pareto is at least scale" QCheck2.Gen.small_int (fun seed ->
+        let g = Prng.create seed in
+        Prng.pareto g ~scale:2.0 ~shape:1.5 >= 2.0);
+    qtest "shuffle is a permutation" QCheck2.Gen.(pair small_int (list small_int))
+      (fun (seed, xs) ->
+        let g = Prng.create seed in
+        let a = Array.of_list xs in
+        Prng.shuffle g a;
+        List.sort compare (Array.to_list a) = List.sort compare xs);
+    Alcotest.test_case "int rejects non-positive bound" `Quick (fun () ->
+        let g = Prng.create 0 in
+        Alcotest.check_raises "zero" (Invalid_argument "Prng.int: bound must be positive")
+          (fun () -> ignore (Prng.int g 0)));
+    Alcotest.test_case "sample_weighted prefers heavy weights" `Quick (fun () ->
+        let g = Prng.create 1 in
+        let hits = ref 0 in
+        for _ = 1 to 1000 do
+          if Prng.sample_weighted g [ (9.0, `A); (1.0, `B) ] = `A then incr hits
+        done;
+        Alcotest.(check bool) "about 90%" true (!hits > 800 && !hits < 980));
+  ]
+
+let heap_tests =
+  [
+    qtest "pops in sorted order" QCheck2.Gen.(list int) (fun xs ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) xs;
+        let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+        drain [] = List.sort Int.compare xs);
+    qtest "length tracks pushes" QCheck2.Gen.(list int) (fun xs ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) xs;
+        Heap.length h = List.length xs);
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        Heap.push h 3;
+        Heap.push h 1;
+        Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+        Alcotest.(check int) "still two" 2 (Heap.length h));
+    Alcotest.test_case "pop_exn on empty raises" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        Alcotest.check_raises "empty" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+            ignore (Heap.pop_exn h)));
+    Alcotest.test_case "clear empties" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) [ 5; 2; 8 ];
+        Heap.clear h;
+        Alcotest.(check bool) "empty" true (Heap.is_empty h));
+    qtest "to_list holds the same elements" QCheck2.Gen.(list small_int) (fun xs ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) xs;
+        List.sort compare (Heap.to_list h) = List.sort compare xs);
+  ]
+
+(* Bitset checked against a Set.Make(Int) model. *)
+let bitset_tests =
+  let cap = 64 in
+  let module S = Set.Make (Int) in
+  let gen_ops = QCheck2.Gen.(list (int_range 0 (cap - 1))) in
+  let of_model xs = (Bitset.of_list cap xs, S.of_list xs) in
+  [
+    qtest "of_list/mem agree with the model" gen_ops (fun xs ->
+        let b, m = of_model xs in
+        List.for_all (fun i -> Bitset.mem b i = S.mem i m) (List.init cap Fun.id));
+    qtest "union agrees" QCheck2.Gen.(pair gen_ops gen_ops) (fun (xs, ys) ->
+        let bx, mx = of_model xs and by, my = of_model ys in
+        Bitset.elements (Bitset.union bx by) = S.elements (S.union mx my));
+    qtest "inter agrees" QCheck2.Gen.(pair gen_ops gen_ops) (fun (xs, ys) ->
+        let bx, mx = of_model xs and by, my = of_model ys in
+        Bitset.elements (Bitset.inter bx by) = S.elements (S.inter mx my));
+    qtest "diff agrees" QCheck2.Gen.(pair gen_ops gen_ops) (fun (xs, ys) ->
+        let bx, mx = of_model xs and by, my = of_model ys in
+        Bitset.elements (Bitset.diff bx by) = S.elements (S.diff mx my));
+    qtest "cardinal agrees" gen_ops (fun xs ->
+        let b, m = of_model xs in
+        Bitset.cardinal b = S.cardinal m);
+    qtest "subset agrees" QCheck2.Gen.(pair gen_ops gen_ops) (fun (xs, ys) ->
+        let bx, mx = of_model xs and by, my = of_model ys in
+        Bitset.subset bx by = S.subset mx my);
+    qtest "add/remove are functional" gen_ops (fun xs ->
+        let b, _ = of_model xs in
+        let b2 = Bitset.add b 0 in
+        Bitset.mem b2 0 && (Bitset.mem b 0 = List.mem 0 xs));
+    Alcotest.test_case "full has every index" `Quick (fun () ->
+        Alcotest.(check int) "cardinal" 10 (Bitset.cardinal (Bitset.full 10)));
+    Alcotest.test_case "capacity mismatch raises" `Quick (fun () ->
+        Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: capacity mismatch")
+          (fun () -> ignore (Bitset.union (Bitset.create 4) (Bitset.create 5))));
+    Alcotest.test_case "out-of-bounds raises" `Quick (fun () ->
+        Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of bounds")
+          (fun () -> ignore (Bitset.mem (Bitset.create 4) 4)));
+    qtest "equal iff same elements" QCheck2.Gen.(pair gen_ops gen_ops) (fun (xs, ys) ->
+        let bx, mx = of_model xs and by, my = of_model ys in
+        Bitset.equal bx by = S.equal mx my);
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "summary of a known sample" `Quick (fun () ->
+        let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+        Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+        Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+        Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+        Alcotest.(check (float 1e-9)) "p50" 2.5 s.Stats.p50);
+    Alcotest.test_case "percentile interpolates" `Quick (fun () ->
+        let sorted = [| 0.0; 10.0 |] in
+        Alcotest.(check (float 1e-9)) "p25" 2.5 (Stats.percentile sorted 0.25));
+    Alcotest.test_case "empty sample raises" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+          (fun () -> ignore (Stats.summarize [])));
+    qtest "percentiles are monotone" QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0))
+      (fun xs ->
+        let s = Stats.summarize xs in
+        s.Stats.min <= s.Stats.p50 && s.Stats.p50 <= s.Stats.p90
+        && s.Stats.p90 <= s.Stats.p99 && s.Stats.p99 <= s.Stats.max);
+    qtest "stddev is non-negative" QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 10.0))
+      (fun xs -> Stats.stddev xs >= 0.0);
+    Alcotest.test_case "histogram buckets cover the sample" `Quick (fun () ->
+        let h = Stats.histogram ~buckets:4 [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+        let rendered = Format.asprintf "%a" Stats.pp_histogram h in
+        Alcotest.(check bool) "renders" true (String.length rendered > 0));
+  ]
+
+let wire_tests =
+  [
+    Alcotest.test_case "varint sizes at boundaries" `Quick (fun () ->
+        List.iter
+          (fun (n, want) -> Alcotest.(check int) (string_of_int n) want (Wire.varint_size n))
+          [ (0, 1); (127, 1); (128, 2); (16383, 2); (16384, 3) ]);
+    Alcotest.test_case "negative varint raises" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Wire.varint_size: negative") (fun () ->
+            ignore (Wire.varint_size (-1))));
+    qtest "varint size is monotone" QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 100000))
+      (fun (a, b) -> a > b || Wire.varint_size a <= Wire.varint_size b);
+    Alcotest.test_case "string and list sizes" `Quick (fun () ->
+        Alcotest.(check int) "string" 6 (Wire.string_size "hello");
+        Alcotest.(check int) "list" 4 (Wire.list_size Wire.varint_size [ 1; 2; 3 ]));
+  ]
+
+let zipf_tests =
+  [
+    qtest "samples stay in support range" QCheck2.Gen.small_int (fun seed ->
+        let z = Zipf.create ~n:10 ~s:1.2 in
+        let g = Prng.create seed in
+        let v = Zipf.sample z g in
+        1 <= v && v <= 10);
+    Alcotest.test_case "skew favours rank 1" `Quick (fun () ->
+        let z = Zipf.create ~n:100 ~s:1.5 in
+        let g = Prng.create 3 in
+        let ones = ref 0 in
+        for _ = 1 to 1000 do
+          if Zipf.sample z g = 1 then incr ones
+        done;
+        Alcotest.(check bool) "rank 1 dominates" true (!ones > 300));
+    Alcotest.test_case "s=0 is roughly uniform" `Quick (fun () ->
+        let z = Zipf.create ~n:4 ~s:0.0 in
+        let g = Prng.create 3 in
+        let counts = Array.make 5 0 in
+        for _ = 1 to 4000 do
+          let v = Zipf.sample z g in
+          counts.(v) <- counts.(v) + 1
+        done;
+        Array.iteri (fun i c -> if i > 0 then Alcotest.(check bool) "balanced" true (c > 800)) counts);
+  ]
+
+let table_tests =
+  [
+    Alcotest.test_case "render aligns columns" `Quick (fun () ->
+        let t = Table.create [ "a"; "bb" ] in
+        Table.add_row t [ "xxx"; "y" ];
+        let s = Table.render t in
+        Alcotest.(check bool) "has borders" true (String.length s > 0 && s.[0] = '+'));
+    Alcotest.test_case "markdown renders a separator" `Quick (fun () ->
+        let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "k"; "v" ] in
+        Table.add_row t [ "x"; "1" ];
+        let s = Table.render_markdown t in
+        Alcotest.(check bool) "separator" true
+          (String.split_on_char '\n' s |> fun lines -> List.length lines >= 3));
+    Alcotest.test_case "ragged rows pad" `Quick (fun () ->
+        let t = Table.create [ "a"; "b"; "c" ] in
+        Table.add_row t [ "only" ];
+        Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0));
+    Alcotest.test_case "too many cells raises" `Quick (fun () ->
+        let t = Table.create [ "a" ] in
+        Alcotest.check_raises "overflow" (Invalid_argument "Table.add_row: more cells than headers")
+          (fun () -> Table.add_row t [ "x"; "y" ]));
+  ]
+
+let dag_tests =
+  [
+    Alcotest.test_case "topo order respects edges" `Quick (fun () ->
+        let g = Dag.create 4 in
+        Dag.add_edge g 0 1;
+        Dag.add_edge g 1 2;
+        Dag.add_edge g 0 3;
+        match Dag.topo_order g with
+        | None -> Alcotest.fail "acyclic graph"
+        | Some order ->
+          let pos v = Option.get (List.find_index (Int.equal v) order) in
+          Alcotest.(check bool) "0<1<2" true (pos 0 < pos 1 && pos 1 < pos 2));
+    Alcotest.test_case "cycle detected" `Quick (fun () ->
+        let g = Dag.create 2 in
+        Dag.add_edge g 0 1;
+        Dag.add_edge g 1 0;
+        Alcotest.(check bool) "cyclic" false (Dag.is_acyclic g));
+    Alcotest.test_case "linear extensions of an antichain = n!" `Quick (fun () ->
+        let g = Dag.create 4 in
+        Alcotest.(check int) "4! = 24" 24 (Dag.count_linear_extensions g ~limit:1000));
+    Alcotest.test_case "linear extensions of a chain = 1" `Quick (fun () ->
+        let g = Dag.create 4 in
+        Dag.add_edge g 0 1;
+        Dag.add_edge g 1 2;
+        Dag.add_edge g 2 3;
+        Alcotest.(check int) "chain" 1 (Dag.count_linear_extensions g ~limit:1000));
+    Alcotest.test_case "two chains of 2 = 6 extensions" `Quick (fun () ->
+        let g = Dag.create 4 in
+        Dag.add_edge g 0 1;
+        Dag.add_edge g 2 3;
+        Alcotest.(check int) "C(4,2)" 6 (Dag.count_linear_extensions g ~limit:1000));
+    Alcotest.test_case "every extension is a valid topological order" `Quick (fun () ->
+        let g = Dag.create 4 in
+        Dag.add_edge g 0 2;
+        Dag.add_edge g 1 3;
+        let ok = ref true in
+        let (_ : bool) =
+          Dag.linear_extensions g (fun order ->
+              let pos = Array.make 4 0 in
+              Array.iteri (fun i v -> pos.(v) <- i) order;
+              if pos.(0) > pos.(2) || pos.(1) > pos.(3) then ok := false;
+              false)
+        in
+        Alcotest.(check bool) "all valid" true !ok);
+    Alcotest.test_case "reachable computes transitive closure" `Quick (fun () ->
+        let g = Dag.create 4 in
+        Dag.add_edge g 0 1;
+        Dag.add_edge g 1 2;
+        let reach = Dag.reachable g in
+        Alcotest.(check bool) "0 reaches 2" true (Bitset.mem reach.(0) 2);
+        Alcotest.(check bool) "2 reaches nothing" true (Bitset.is_empty reach.(2)));
+    Alcotest.test_case "duplicate edges ignored" `Quick (fun () ->
+        let g = Dag.create 2 in
+        Dag.add_edge g 0 1;
+        Dag.add_edge g 0 1;
+        Alcotest.(check (list int)) "single succ" [ 1 ] (Dag.succs g 0));
+    Alcotest.test_case "limit caps the enumeration" `Quick (fun () ->
+        let g = Dag.create 5 in
+        Alcotest.(check int) "capped" 10 (Dag.count_linear_extensions g ~limit:10));
+  ]
+
+let tests =
+  prng_tests @ heap_tests @ bitset_tests @ stats_tests @ wire_tests @ zipf_tests
+  @ table_tests @ dag_tests

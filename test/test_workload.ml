@@ -1,0 +1,118 @@
+(* Workload generators: the shapes the experiments rely on. *)
+
+open Helpers
+
+let count_ops script = List.length script
+
+let count_queries script =
+  List.length
+    (List.filter
+       (function Protocol.Invoke_query _ -> true | Protocol.Invoke_update _ -> false)
+       script)
+
+let tests =
+  [
+    qtest "mixed: width, length and query ratio" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module G = Workload.Make (Set_spec) in
+        let w = G.mixed ~rng ~n:4 ~ops_per_process:50 ~query_ratio:0.5 in
+        Array.length w = 4
+        && Array.for_all (fun s -> count_ops s = 50) w
+        &&
+        let queries = Array.fold_left (fun acc s -> acc + count_queries s) 0 w in
+        (* 200 coin flips at p=0.5: a loose 60–140 band *)
+        queries > 60 && queries < 140);
+    qtest "updates_only has no queries" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module G = Workload.Make (Counter_spec) in
+        let w = G.updates_only ~rng ~n:3 ~ops_per_process:20 in
+        Array.for_all (fun s -> count_queries s = 0) w);
+    qtest "query_heavy: only process 0 updates" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let module G = Workload.Make (Set_spec) in
+        let w = G.query_heavy ~rng ~n:3 ~updates:10 ~queries_per_process:5 in
+        count_ops w.(0) = 15
+        && count_queries w.(0) = 5
+        && count_queries w.(1) = 5
+        && count_ops w.(1) = 5);
+    qtest "set conflict workload stays in its domain" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let w =
+          Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:30 ~domain:5 ~skew:1.0
+            ~delete_ratio:0.3
+        in
+        Array.for_all
+          (List.for_all (function
+            | Protocol.Invoke_update (Set_spec.Insert v)
+            | Protocol.Invoke_update (Set_spec.Delete v) ->
+              1 <= v && v <= 5
+            | Protocol.Invoke_query _ -> false))
+          w);
+    qtest "skew concentrates conflict on hot elements" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let w =
+          Workload.For_set.conflict ~rng ~n:2 ~ops_per_process:200 ~domain:50 ~skew:1.5
+            ~delete_ratio:0.3
+        in
+        let hot = ref 0 and total = ref 0 in
+        Array.iter
+          (List.iter (function
+            | Protocol.Invoke_update (Set_spec.Insert v)
+            | Protocol.Invoke_update (Set_spec.Delete v) ->
+              incr total;
+              if v <= 3 then incr hot
+            | Protocol.Invoke_query _ -> ()))
+          w;
+        (* Under Zipf(1.5) the top-3 of 50 carry well over a third. *)
+        !hot * 3 > !total);
+    Alcotest.test_case "insert_delete_race is the Fig.1b pattern" `Quick (fun () ->
+        let w = Workload.For_set.insert_delete_race ~n:2 in
+        Alcotest.(check int) "p0 ops" 3 (count_ops w.(0));
+        (* insert own element, delete the other's, read *)
+        match w.(0) with
+        | [ Protocol.Invoke_update (Set_spec.Insert 0);
+            Protocol.Invoke_update (Set_spec.Delete 1);
+            Protocol.Invoke_query Set_spec.Read ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected script shape");
+    Alcotest.test_case "fig2 program matches the paper's Figure 2" `Quick (fun () ->
+        let w = Workload.For_set.fig2_program () in
+        Alcotest.(check int) "two processes" 2 (Array.length w);
+        match (w.(0), w.(1)) with
+        | ( Protocol.Invoke_update (Set_spec.Insert 1) :: _,
+            Protocol.Invoke_update (Set_spec.Insert 2)
+            :: Protocol.Invoke_update (Set_spec.Delete 3) :: _ ) ->
+          ()
+        | _ -> Alcotest.fail "unexpected program");
+    qtest "memory workload respects register bound and read ratio" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let w =
+          Workload.For_memory.random_writes ~rng ~n:2 ~ops_per_process:100 ~registers:4
+            ~read_ratio:0.25
+        in
+        Array.for_all
+          (List.for_all (function
+            | Protocol.Invoke_update (Memory_spec.Write (x, _)) -> 0 <= x && x < 4
+            | Protocol.Invoke_query (Memory_spec.Read x) -> 0 <= x && x < 4))
+          w);
+    qtest "ledger increments_only is G-counter-safe" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let w =
+          Workload.For_counter.increments_only ~rng ~n:3 ~ops_per_process:20 ~max_amount:9
+        in
+        Array.for_all
+          (List.for_all (function
+            | Protocol.Invoke_update (Counter_spec.Add k) -> k > 0
+            | Protocol.Invoke_query _ -> false))
+          w);
+    qtest "text editing stays within sane positions" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let w = Workload.For_text.collaborative ~rng ~n:2 ~edits_per_process:30 in
+        Array.for_all
+          (List.for_all (function
+            | Protocol.Invoke_update (Text_spec.Insert (p, _))
+            | Protocol.Invoke_update (Text_spec.Delete p) ->
+              0 <= p && p < 40
+            | Protocol.Invoke_query _ -> false))
+          w);
+  ]

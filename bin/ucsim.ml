@@ -286,44 +286,156 @@ let run_cmd =
       $ check_arg $ trace_arg)
 
 let modelcheck_cmd =
-  let doc = "Exhaustively model-check a protocol on the standard race script." in
+  let doc =
+    "Model-check a protocol: exhaustively by default, with partial-order \
+     reduction, state deduplication, checkpointed replay and parallel domains \
+     on request."
+  in
   let which =
     let choices =
-      [ ("universal", `Universal); ("pipelined", `Pipelined); ("orset", `Orset) ]
+      [
+        ("universal", `Universal);
+        ("pipelined", `Pipelined);
+        ("orset", `Orset);
+        ("counter", `Counter);
+      ]
     in
     Arg.(value & pos 0 (enum choices) `Universal & info [] ~docv:"PROTOCOL")
   in
-  let run which =
+  let por_arg =
+    Arg.(value & flag & info [ "por" ] ~doc:"Enable sleep-set partial-order reduction.")
+  in
+  let dedup_arg =
+    Arg.(
+      value & flag
+      & info [ "dedup" ]
+          ~doc:
+            "Enable state fingerprinting (universal and counter only — needs a \
+             replica snapshot).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D" ~doc:"Explore first-level branches over D domains.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "checkpoint" ] ~docv:"K"
+          ~doc:
+            "Snapshot protocol state every K events for O(K) backtracking (0 \
+             disables; universal and counter only).")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-crashes" ] ~docv:"C" ~doc:"Also explore up to C process crashes.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "limit" ] ~docv:"L" ~doc:"Cap on complete executions.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "n" ] ~docv:"N" ~doc:"Processes (counter protocol only).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "ops" ] ~docv:"OPS"
+          ~doc:"Increments per process (counter protocol only).")
+  in
+  let run which por dedup domains checkpoint max_crashes limit n ops =
     let race =
       [|
         [ Protocol.Invoke_update (Set_spec.Insert 1); Protocol.Invoke_update (Set_spec.Delete 2) ];
         [ Protocol.Invoke_update (Set_spec.Insert 2); Protocol.Invoke_update (Set_spec.Delete 1) ];
       |]
     in
-    let print_report name executions exhaustive failures first_failure =
-      Printf.printf "protocol    %s\nschedules   %d (exhaustive: %b)\n" name executions exhaustive;
+    let print_report name executions exhaustive failures distinct firsts
+        (st : Explore.stats) =
+      Printf.printf "protocol       %s\nschedules      %d (exhaustive: %b)\n" name
+        executions exhaustive;
+      Printf.printf
+        "states         explored %d, pruned(por) %d, deduped %d\nreplay         %d protocol steps, %d checkpoint restores\n"
+        st.Explore.states_explored st.Explore.states_pruned_por
+        st.Explore.states_deduped st.Explore.protocol_steps
+        st.Explore.checkpoint_restores;
       List.iter
-        (fun (c, k) -> Printf.printf "%-4s fails  %d\n" (Criteria.name c) k)
+        (fun (c, k) ->
+          Printf.printf "%-4s fails    %d (distinct histories: %d)\n"
+            (Criteria.name c) k
+            (try List.assoc c distinct with Not_found -> 0))
         failures;
-      match first_failure with
-      | None -> ()
-      | Some text -> Printf.printf "first violation:\n%s\n" text
+      List.iter
+        (fun (c, text) ->
+          Printf.printf "first %s violation:\n%s\n" (Criteria.name c) text)
+        firsts
     in
+    let checkpoint_every = if checkpoint > 0 then checkpoint else 4 in
     match which with
     | `Universal ->
       let module M = Model_check.Make (Uni_set) in
-      let r = M.explore ~scripts:race ~final_read:Set_spec.Read () in
-      print_report "universal" r.M.executions r.M.exhaustive r.M.failures r.M.first_failure
+      let module S = Snapshot.For_generic (Set_spec) (Update_codec.For_set) in
+      let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
+      let r =
+        M.explore ~limit ~max_crashes ~por ~dedup ~checkpoint_every ?snapshot
+          ~deliveries_commute:S.deliveries_commute ~domains ~scripts:race
+          ~final_read:Set_spec.Read ()
+      in
+      print_report "universal" r.M.executions r.M.exhaustive r.M.failures
+        r.M.distinct_failures r.M.first_failures r.M.stats
     | `Pipelined ->
+      if dedup then begin
+        Printf.eprintf "modelcheck: --dedup needs a replica snapshot (universal/counter only)\n";
+        exit 1
+      end;
       let module M = Model_check.Make (Pipe_set) in
-      let r = M.explore ~scripts:race ~final_read:Set_spec.Read () in
-      print_report "pipelined" r.M.executions r.M.exhaustive r.M.failures r.M.first_failure
+      let r =
+        M.explore ~limit ~max_crashes ~por ~domains ~scripts:race
+          ~final_read:Set_spec.Read ()
+      in
+      print_report "pipelined" r.M.executions r.M.exhaustive r.M.failures
+        r.M.distinct_failures r.M.first_failures r.M.stats
     | `Orset ->
+      if dedup then begin
+        Printf.eprintf "modelcheck: --dedup needs a replica snapshot (universal/counter only)\n";
+        exit 1
+      end;
       let module M = Model_check.Make (Orset_crdt) in
-      let r = M.explore ~scripts:race ~final_read:Set_spec.Read () in
-      print_report "or-set" r.M.executions r.M.exhaustive r.M.failures r.M.first_failure
+      let r =
+        M.explore ~limit ~max_crashes ~por ~domains ~scripts:race
+          ~final_read:Set_spec.Read ()
+      in
+      print_report "or-set" r.M.executions r.M.exhaustive r.M.failures
+        r.M.distinct_failures r.M.first_failures r.M.stats
+    | `Counter ->
+      let module M = Model_check.Make (Uni_counter) in
+      let module S = Snapshot.For_generic (Counter_spec) (Update_codec.For_counter) in
+      let scripts =
+        Array.init n (fun pid ->
+            List.init ops (fun i ->
+                Protocol.Invoke_update (Counter_spec.Add ((pid * ops) + i + 1))))
+      in
+      let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
+      let state_key = if dedup then Some S.commutative_key else None in
+      let message_key = if dedup then Some S.commutative_message_key else None in
+      let r =
+        M.explore ~limit ~max_crashes ~por ~dedup ~checkpoint_every ?snapshot
+          ?state_key ?message_key ~deliveries_commute:S.deliveries_commute
+          ~domains ~scripts ~final_read:Counter_spec.Value ()
+      in
+      print_report
+        (Printf.sprintf "universal counter (n=%d, ops=%d)" n ops)
+        r.M.executions r.M.exhaustive r.M.failures r.M.distinct_failures
+        r.M.first_failures r.M.stats
   in
-  Cmd.v (Cmd.info "modelcheck" ~doc) Term.(const run $ which)
+  Cmd.v (Cmd.info "modelcheck" ~doc)
+    Term.(
+      const run $ which $ por_arg $ dedup_arg $ domains_arg $ checkpoint_arg
+      $ crashes_arg $ limit_arg $ n_arg $ ops_arg)
 
 let nemesis_cmd =
   let doc = "Run a randomized fault campaign (crashes + healing partitions)." in

@@ -1,0 +1,537 @@
+type 'replica snapshotter = {
+  save : 'replica -> string;
+  load : 'replica -> string -> unit;
+}
+
+type stats = {
+  states_explored : int;
+  states_pruned_por : int;
+  states_deduped : int;
+  checkpoint_restores : int;
+  protocol_steps : int;
+}
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module C = Criteria.Make (P)
+
+  type report = {
+    executions : int;
+    exhaustive : bool;
+    failures : (Criteria.t * int) list;
+    distinct_failures : (Criteria.t * int) list;
+    first_failures : (Criteria.t * string) list;
+    stats : stats;
+  }
+
+  type choice = Invoke of int | Deliver of int | Crash of int
+
+  (* The mutable exploration world. Unlike the seed checker, which built
+     a fresh world for every DFS node, one world per branch is mutated
+     in place and rewound on backtracking. *)
+  type world = {
+    mutable replicas : P.t array;
+    mutable scripts : (P.update, P.query) Protocol.invocation list array;
+    mutable pending : (int * (int * int * P.message)) list;  (* id -> dst, src, msg *)
+    mutable next_msg : int;
+    steps : (P.update, P.query, P.output) History.step list ref array;
+    crashed : bool array;
+  }
+
+  (* Mutable counter accumulator behind the exposed immutable [stats]. *)
+  type acc = {
+    mutable a_explored : int;
+    mutable a_pruned : int;
+    mutable a_deduped : int;
+    mutable a_restores : int;
+    mutable a_steps : int;
+  }
+
+  let fresh_acc () =
+    { a_explored = 0; a_pruned = 0; a_deduped = 0; a_restores = 0; a_steps = 0 }
+
+  (* Returns the world plus a replica-reset function: rewinding restores
+     snapshots into freshly created replicas (a fresh Lamport clock can
+     be advanced exactly to the saved value; an old one cannot move
+     backwards). *)
+  let make_world scripts0 =
+    let n = Array.length scripts0 in
+    let w =
+      {
+        replicas = [||];
+        scripts = Array.copy scripts0;
+        pending = [];
+        next_msg = 0;
+        steps = Array.init n (fun _ -> ref []);
+        crashed = Array.make n false;
+      }
+    in
+    let make_ctx pid =
+      {
+        Protocol.pid;
+        n;
+        now = (fun () -> 0.0);
+        send =
+          (fun ~dst msg ->
+            w.pending <- w.pending @ [ (w.next_msg, (dst, pid, msg)) ];
+            w.next_msg <- w.next_msg + 1);
+        broadcast =
+          (fun msg ->
+            for dst = 0 to n - 1 do
+              if dst <> pid then begin
+                w.pending <- w.pending @ [ (w.next_msg, (dst, pid, msg)) ];
+                w.next_msg <- w.next_msg + 1
+              end
+            done);
+        set_timer =
+          (fun ~delay:_ _ -> invalid_arg "Explore: protocols may not use timers");
+        count_replay = (fun _ -> ());
+      }
+    in
+    let reset_replicas () =
+      w.replicas <- Array.init n (fun pid -> P.create (make_ctx pid))
+    in
+    reset_replicas ();
+    (w, reset_replicas)
+
+  (* Execute one scheduled event. Wait-freedom is enforced: operations
+     must complete within their own activation. *)
+  let perform acc w choice =
+    acc.a_steps <- acc.a_steps + 1;
+    match choice with
+    | Invoke pid -> (
+      match w.scripts.(pid) with
+      | [] -> invalid_arg "Explore: invoke on exhausted script"
+      | action :: rest ->
+        w.scripts <- Array.copy w.scripts;
+        w.scripts.(pid) <- rest;
+        let completed = ref false in
+        (match action with
+        | Protocol.Invoke_update u ->
+          w.steps.(pid) := History.U u :: !(w.steps.(pid));
+          P.update w.replicas.(pid) u ~on_done:(fun () -> completed := true)
+        | Protocol.Invoke_query q ->
+          P.query w.replicas.(pid) q ~on_result:(fun o ->
+              w.steps.(pid) := History.Q (q, o) :: !(w.steps.(pid));
+              completed := true));
+        if not !completed then
+          invalid_arg "Explore: operation did not complete wait-free")
+    | Deliver id -> (
+      match List.assoc_opt id w.pending with
+      | None -> invalid_arg "Explore: delivering unknown message"
+      | Some (dst, src, msg) ->
+        w.pending <- List.remove_assoc id w.pending;
+        (* Deliveries to a crashed process vanish. *)
+        if not w.crashed.(dst) then P.receive w.replicas.(dst) ~src msg)
+    | Crash pid -> w.crashed.(pid) <- true
+
+  let finish w ~final_read =
+    let n = Array.length w.replicas in
+    for pid = 0 to n - 1 do
+      if not w.crashed.(pid) then
+        P.query w.replicas.(pid) final_read ~on_result:(fun o ->
+            w.steps.(pid) := History.Qw (final_read, o) :: !(w.steps.(pid)))
+    done;
+    History.make (Array.to_list (Array.map (fun r -> List.rev !r) w.steps))
+
+  let render_history h =
+    Format.asprintf "%a" (History.pp P.pp_update P.pp_query P.pp_output) h
+
+  (* ---------------- cheap (non-replica) world state ---------------- *)
+
+  type cheap = {
+    c_scripts : (P.update, P.query) Protocol.invocation list array;
+    c_pending : (int * (int * int * P.message)) list;
+    c_next : int;
+    c_steps : (P.update, P.query, P.output) History.step list array;
+    c_crashed : bool array;
+  }
+
+  let capture w =
+    {
+      c_scripts = w.scripts;  (* [perform] copies before mutating *)
+      c_pending = w.pending;
+      c_next = w.next_msg;
+      c_steps = Array.map (fun r -> !r) w.steps;
+      c_crashed = Array.copy w.crashed;
+    }
+
+  let restore_cheap w c =
+    w.scripts <- c.c_scripts;
+    w.pending <- c.c_pending;
+    w.next_msg <- c.c_next;
+    Array.iteri (fun i s -> w.steps.(i) := s) c.c_steps;
+    Array.blit c.c_crashed 0 w.crashed 0 (Array.length w.crashed)
+
+  (* ------------- transition labels and independence ---------------- *)
+
+  type lbl =
+    | L_invoke of int
+    | L_crash of int
+    | L_deliver of int * int * P.message  (* dst, src, payload *)
+
+  let lbl_string = function
+    | L_invoke p -> "I:" ^ string_of_int p
+    | L_crash p -> "C:" ^ string_of_int p
+    | L_deliver (dst, src, m) ->
+      Printf.sprintf "D:%d:%d:%s" dst src (P.describe_message m)
+
+  (* Conservative structural independence: transitions touching disjoint
+     replicas commute and never disable each other. Same-replica
+     deliveries are independent only if the caller's oracle vouches for
+     them; crashes are dependent with everything. *)
+  let independent commute a b =
+    match (a, b) with
+    | L_crash _, _ | _, L_crash _ -> false
+    | L_invoke p, L_invoke q -> p <> q
+    | L_invoke p, L_deliver (dst, _, _) | L_deliver (dst, _, _), L_invoke p ->
+      dst <> p
+    | L_deliver (d1, _, m1), L_deliver (d2, _, m2) -> d1 <> d2 || commute m1 m2
+
+  (* --------------------- state fingerprinting ---------------------- *)
+
+  (* The key covers replica states (via [key_fn]), in-flight messages,
+     script positions, crash flags AND the history recorded so far:
+     equal keys must imply equal pasts as well as equal futures,
+     otherwise cutting the second subtree could lose histories whose
+     prefixes differ (e.g. in an early query output) even though the
+     protocol states have since converged. The scripts are fixed for a
+     whole exploration, so the steps a process has taken are determined
+     by its script position except for the query {e outputs} — those are
+     the only step component that needs hashing. *)
+  let state_key key_fn msg_fn w =
+    let fp = ref Fingerprint.empty in
+    Array.iter (fun s -> fp := Fingerprint.int !fp (List.length s)) w.scripts;
+    Array.iter (fun c -> fp := Fingerprint.bool !fp c) w.crashed;
+    let msgs =
+      List.map
+        (fun (_, (dst, src, m)) -> Printf.sprintf "%d:%d:%s" dst src (msg_fn m))
+        w.pending
+    in
+    fp := Fingerprint.list Fingerprint.string !fp (List.sort String.compare msgs);
+    Array.iter (fun r -> fp := Fingerprint.string !fp (key_fn r)) w.replicas;
+    Array.iter
+      (fun steps ->
+        fp := Fingerprint.int !fp (List.length !steps);
+        List.iter
+          (function
+            | History.U _ -> ()
+            | History.Q (_, o) | History.Qw (_, o) ->
+              fp := Fingerprint.string !fp (Format.asprintf "%a" P.pp_output o))
+          !steps)
+      w.steps;
+    !fp
+
+  (* ------------------------- exploration --------------------------- *)
+
+  type frag = {
+    fr_raw : int array;  (* violating executions, by criterion index *)
+    fr_hist : (string, unit) Hashtbl.t array;  (* distinct violating histories *)
+    fr_first : string option array;
+    fr_acc : acc;
+  }
+
+  let explore ?(limit = 200_000) ?(criteria = [ Criteria.UC; Criteria.EC ])
+      ?(max_crashes = 0) ?(por = false) ?(dedup = false) ?(checkpoint_every = 4)
+      ?snapshot ?state_key:user_key ?(message_key = P.describe_message)
+      ?(deliveries_commute = fun _ _ -> false) ?(domains = 1) ~scripts
+      ~final_read () =
+    if checkpoint_every <= 0 then
+      invalid_arg "Explore: checkpoint_every must be positive";
+    let key_fn =
+      match (user_key, snapshot) with
+      | Some f, _ -> Some f
+      | None, Some s -> Some s.save
+      | None, None -> None
+    in
+    (match (dedup, key_fn) with
+    | true, None -> invalid_arg "Explore: dedup requires ~state_key or ~snapshot"
+    | _ -> ());
+    let criteria_arr = Array.of_list criteria in
+    let ncrit = Array.length criteria_arr in
+    let executions = Atomic.make 0 in
+    let hit_limit = Atomic.make false in
+    let choices_of w =
+      (* Identical enumeration order to the seed checker. *)
+      let n = Array.length w.scripts in
+      let invocations =
+        List.filter_map
+          (fun pid ->
+            if w.scripts.(pid) <> [] && not w.crashed.(pid) then Some (Invoke pid)
+            else None)
+          (List.init n Fun.id)
+      in
+      let deliveries = List.map (fun (id, _) -> Deliver id) w.pending in
+      let already_crashed =
+        Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 w.crashed
+      in
+      let crash_choices =
+        if already_crashed >= min max_crashes (Array.length w.crashed - 1) then []
+        else
+          List.filter_map
+            (fun pid ->
+              (* Only crash a process that still has something to do:
+                 crashing an idle one reaches an already-covered state. *)
+              if (not w.crashed.(pid)) && w.scripts.(pid) <> [] then
+                Some (Crash pid)
+              else None)
+            (List.init (Array.length w.crashed) Fun.id)
+      in
+      invocations @ deliveries @ crash_choices
+    in
+    let lbl_of w = function
+      | Invoke p -> L_invoke p
+      | Crash p -> L_crash p
+      | Deliver id -> (
+        match List.assoc_opt id w.pending with
+        | Some (dst, src, m) -> L_deliver (dst, src, m)
+        | None -> invalid_arg "Explore: labelling unknown message")
+    in
+    let fresh_frag () =
+      {
+        fr_raw = Array.make ncrit 0;
+        fr_hist = Array.init ncrit (fun _ -> Hashtbl.create 16);
+        fr_first = Array.make ncrit None;
+        fr_acc = fresh_acc ();
+      }
+    in
+    (* Count one complete execution and check its history. *)
+    let record_execution frag w =
+      let c = 1 + Atomic.fetch_and_add executions 1 in
+      if c >= limit then Atomic.set hit_limit true;
+      let h = finish w ~final_read in
+      let rendered = lazy (render_history h) in
+      Array.iteri
+        (fun ci crit ->
+          if not (C.holds crit h) then begin
+            frag.fr_raw.(ci) <- frag.fr_raw.(ci) + 1;
+            let s = Lazy.force rendered in
+            Hashtbl.replace frag.fr_hist.(ci) s ();
+            if frag.fr_first.(ci) = None then frag.fr_first.(ci) <- Some s
+          end)
+        criteria_arr
+    in
+    (* Explore the subtree under one first-level branch. *)
+    let run_branch (bidx, first_choice, first_sleep) =
+      let w, reset_replicas = make_world scripts in
+      let frag = fresh_frag () in
+      let acc = frag.fr_acc in
+      let initial_cheap = capture w in
+      let path = ref (Array.make 64 first_choice) in
+      let path_len = ref 0 in
+      let path_push c =
+        if !path_len = Array.length !path then begin
+          let a = Array.make (2 * !path_len) c in
+          Array.blit !path 0 a 0 !path_len;
+          path := a
+        end;
+        !path.(!path_len) <- c;
+        incr path_len
+      in
+      let path_pop () = decr path_len in
+      let checkpoints : (int * cheap * string array) Stack.t = Stack.create () in
+      let visited : (int64, string list list ref) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      (* Rewind the world to the state after the first [d] path events:
+         restore the nearest checkpoint at depth <= d and replay
+         forward — O(checkpoint_every) instead of O(d). Without a
+         snapshotter, rebuild from scratch (the seed behaviour). *)
+      let rewind_to d =
+        while
+          match Stack.top_opt checkpoints with
+          | Some (cd, _, _) -> cd > d
+          | None -> false
+        do
+          ignore (Stack.pop checkpoints)
+        done;
+        match (Stack.top_opt checkpoints, snapshot) with
+        | Some (cd, ch, snaps), Some s ->
+          restore_cheap w ch;
+          reset_replicas ();
+          Array.iteri (fun i r -> s.load r snaps.(i)) w.replicas;
+          acc.a_restores <- acc.a_restores + 1;
+          for i = cd to d - 1 do
+            perform acc w !path.(i)
+          done
+        | _ ->
+          restore_cheap w initial_cheap;
+          reset_replicas ();
+          for i = 0 to d - 1 do
+            perform acc w !path.(i)
+          done
+      in
+      (* Has this state already been explored under a sleep set included
+         in the current one? (The inclusion check is what keeps sleep
+         sets sound in the presence of state matching.) *)
+      let covered key sleep_strs =
+        match Hashtbl.find_opt visited key with
+        | None -> false
+        | Some stored ->
+          List.exists
+            (fun s0 -> List.for_all (fun x -> List.mem x sleep_strs) s0)
+            !stored
+      in
+      let record_visit key sleep_strs =
+        match Hashtbl.find_opt visited key with
+        | None -> Hashtbl.add visited key (ref [ sleep_strs ])
+        | Some stored -> stored := sleep_strs :: !stored
+      in
+      let rec dfs depth sleep =
+        if not (Atomic.get hit_limit) then begin
+          acc.a_explored <- acc.a_explored + 1;
+          let pushed =
+            match snapshot with
+            | Some s when depth mod checkpoint_every = 0 ->
+              Stack.push (depth, capture w, Array.map s.save w.replicas)
+                checkpoints;
+              true
+            | _ -> false
+          in
+          let choices = choices_of w in
+          let skip =
+            if not dedup then false
+            else begin
+              let key = state_key (Option.get key_fn) message_key w in
+              let sleep_strs =
+                List.sort_uniq String.compare (List.map lbl_string sleep)
+              in
+              if covered key sleep_strs then begin
+                acc.a_deduped <- acc.a_deduped + 1;
+                true
+              end
+              else begin
+                record_visit key sleep_strs;
+                false
+              end
+            end
+          in
+          (if not skip then
+             match choices with
+             | [] -> record_execution frag w
+             | _ ->
+               let labelled = List.map (fun c -> (c, lbl_of w c)) choices in
+               let sleep_strs = List.map lbl_string sleep in
+               let done_ = ref [] in
+               let dirty = ref false in
+               List.iter
+                 (fun (c, l) ->
+                   if not (Atomic.get hit_limit) then
+                     if por && List.mem (lbl_string l) sleep_strs then
+                       acc.a_pruned <- acc.a_pruned + 1
+                     else begin
+                       if !dirty then rewind_to depth;
+                       dirty := true;
+                       let child_sleep =
+                         if por then
+                           List.filter
+                             (fun z -> independent deliveries_commute z l)
+                             (sleep @ !done_)
+                         else []
+                       in
+                       path_push c;
+                       perform acc w c;
+                       dfs (depth + 1) child_sleep;
+                       path_pop ();
+                       done_ := !done_ @ [ l ]
+                     end)
+                 labelled);
+          if pushed then ignore (Stack.pop checkpoints)
+        end
+      in
+      (match snapshot with
+      | Some s ->
+        Stack.push (0, capture w, Array.map s.save w.replicas) checkpoints
+      | None -> ());
+      path_push first_choice;
+      perform acc w first_choice;
+      dfs 1 first_sleep;
+      (bidx, frag)
+    in
+    (* Root: enumerate first-level branches (with their sleep sets when
+       reducing), then fan out — sequentially or over domains. *)
+    let w0, _reset0 = make_world scripts in
+    let root_choices = choices_of w0 in
+    let fragments =
+      match root_choices with
+      | [] ->
+        (* Degenerate scope: the empty execution is the only one. *)
+        let frag = fresh_frag () in
+        record_execution frag w0;
+        [ (0, frag) ]
+      | _ ->
+        let labelled = List.map (fun c -> (c, lbl_of w0 c)) root_choices in
+        let branches =
+          List.mapi
+            (fun i (c, l) ->
+              let sleep =
+                if por then
+                  List.filteri (fun j _ -> j < i) labelled
+                  |> List.filter_map (fun (_, l') ->
+                         if independent deliveries_commute l' l then Some l'
+                         else None)
+                else []
+              in
+              (i, c, sleep))
+            labelled
+        in
+        if domains <= 1 then List.map run_branch branches
+        else begin
+          let d = max 1 (min domains (List.length branches)) in
+          let buckets = Array.make d [] in
+          List.iteri (fun i b -> buckets.(i mod d) <- b :: buckets.(i mod d))
+            branches;
+          let handles =
+            Array.map
+              (fun bs -> Domain.spawn (fun () -> List.map run_branch (List.rev bs)))
+              buckets
+          in
+          List.concat_map Domain.join (Array.to_list handles)
+        end
+    in
+    let fragments =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) fragments
+    in
+    let raw = Array.make ncrit 0 in
+    let first = Array.make ncrit None in
+    let hists = Array.init ncrit (fun _ -> Hashtbl.create 16) in
+    let tot = fresh_acc () in
+    tot.a_explored <- 1 (* the root node itself *);
+    List.iter
+      (fun (_, fr) ->
+        for ci = 0 to ncrit - 1 do
+          raw.(ci) <- raw.(ci) + fr.fr_raw.(ci);
+          Hashtbl.iter (fun h () -> Hashtbl.replace hists.(ci) h ()) fr.fr_hist.(ci);
+          if first.(ci) = None then first.(ci) <- fr.fr_first.(ci)
+        done;
+        let a = fr.fr_acc in
+        tot.a_explored <- tot.a_explored + a.a_explored;
+        tot.a_pruned <- tot.a_pruned + a.a_pruned;
+        tot.a_deduped <- tot.a_deduped + a.a_deduped;
+        tot.a_restores <- tot.a_restores + a.a_restores;
+        tot.a_steps <- tot.a_steps + a.a_steps)
+      fragments;
+    let per_criterion a = List.mapi (fun ci c -> (c, a.(ci))) criteria in
+    {
+      executions = Atomic.get executions;
+      exhaustive = not (Atomic.get hit_limit);
+      failures = per_criterion raw;
+      distinct_failures =
+        List.mapi (fun ci c -> (c, Hashtbl.length hists.(ci))) criteria;
+      first_failures =
+        List.filteri (fun ci _ -> first.(ci) <> None) criteria
+        |> List.map (fun c ->
+               let ci =
+                 let rec idx i = if criteria_arr.(i) = c then i else idx (i + 1) in
+                 idx 0
+               in
+               (c, Option.get first.(ci)));
+      stats =
+        {
+          states_explored = tot.a_explored;
+          states_pruned_por = tot.a_pruned;
+          states_deduped = tot.a_deduped;
+          checkpoint_restores = tot.a_restores;
+          protocol_steps = tot.a_steps;
+        };
+    }
+end

@@ -1,160 +1,1 @@
-module Make (P : Protocol.PROTOCOL) = struct
-  module C = Criteria.Make (P)
-
-  type report = {
-    executions : int;
-    exhaustive : bool;
-    failures : (Criteria.t * int) list;
-    first_failure : string option;
-  }
-
-  type choice = Invoke of int | Deliver of int | Crash of int
-
-  (* A replay of one schedule prefix from scratch. *)
-  type world = {
-    mutable replicas : P.t array;
-    mutable scripts : (P.update, P.query) Protocol.invocation list array;
-    mutable pending : (int * (int * int * P.message)) list;  (* id -> dst, src, msg *)
-    mutable next_msg : int;
-    steps : (P.update, P.query, P.output) History.step list ref array;
-    crashed : bool array;
-  }
-
-  let fresh_world scripts =
-    let n = Array.length scripts in
-    let w =
-      {
-        replicas = [||];
-        scripts = Array.copy scripts;
-        pending = [];
-        next_msg = 0;
-        steps = Array.init n (fun _ -> ref []);
-        crashed = Array.make n false;
-      }
-    in
-    let make_ctx pid =
-      {
-        Protocol.pid;
-        n;
-        now = (fun () -> 0.0);
-        send =
-          (fun ~dst msg ->
-            w.pending <- w.pending @ [ (w.next_msg, (dst, pid, msg)) ];
-            w.next_msg <- w.next_msg + 1);
-        broadcast =
-          (fun msg ->
-            for dst = 0 to n - 1 do
-              if dst <> pid then begin
-                w.pending <- w.pending @ [ (w.next_msg, (dst, pid, msg)) ];
-                w.next_msg <- w.next_msg + 1
-              end
-            done);
-        set_timer = (fun ~delay:_ _ -> invalid_arg "Model_check: protocols may not use timers");
-        count_replay = (fun _ -> ());
-      }
-    in
-    w.replicas <- Array.init n (fun pid -> P.create (make_ctx pid));
-    w
-
-  (* Execute one scheduled event. Wait-freedom is enforced: operations
-     must complete within their own activation. *)
-  let perform w = function
-    | Invoke pid -> (
-      match w.scripts.(pid) with
-      | [] -> invalid_arg "Model_check: invoke on exhausted script"
-      | action :: rest ->
-        w.scripts <- Array.copy w.scripts;
-        w.scripts.(pid) <- rest;
-        let completed = ref false in
-        (match action with
-        | Protocol.Invoke_update u ->
-          w.steps.(pid) := History.U u :: !(w.steps.(pid));
-          P.update w.replicas.(pid) u ~on_done:(fun () -> completed := true)
-        | Protocol.Invoke_query q ->
-          P.query w.replicas.(pid) q ~on_result:(fun o ->
-              w.steps.(pid) := History.Q (q, o) :: !(w.steps.(pid));
-              completed := true));
-        if not !completed then
-          invalid_arg "Model_check: operation did not complete wait-free")
-    | Deliver id -> (
-      match List.assoc_opt id w.pending with
-      | None -> invalid_arg "Model_check: delivering unknown message"
-      | Some (dst, src, msg) ->
-        w.pending <- List.remove_assoc id w.pending;
-        (* Deliveries to a crashed process vanish. *)
-        if not w.crashed.(dst) then P.receive w.replicas.(dst) ~src msg)
-    | Crash pid -> w.crashed.(pid) <- true
-
-  let replay scripts prefix =
-    let w = fresh_world scripts in
-    List.iter (perform w) (List.rev prefix);
-    w
-
-  let finish w ~final_read =
-    let n = Array.length w.replicas in
-    for pid = 0 to n - 1 do
-      if not w.crashed.(pid) then
-        P.query w.replicas.(pid) final_read ~on_result:(fun o ->
-            w.steps.(pid) := History.Qw (final_read, o) :: !(w.steps.(pid)))
-    done;
-    History.make (Array.to_list (Array.map (fun r -> List.rev !r) w.steps))
-
-  let render_history h =
-    Format.asprintf "%a" (History.pp P.pp_update P.pp_query P.pp_output) h
-
-  let explore ?(limit = 200_000) ?(criteria = [ Criteria.UC; Criteria.EC ])
-      ?(max_crashes = 0) ~scripts ~final_read () =
-    let executions = ref 0 in
-    let hit_limit = ref false in
-    let failures = List.map (fun c -> (c, ref 0)) criteria in
-    let first_failure = ref None in
-    let rec dfs prefix =
-      if not !hit_limit then begin
-        let w = replay scripts prefix in
-        let invocations =
-          List.filter_map
-            (fun pid ->
-              if w.scripts.(pid) <> [] && not w.crashed.(pid) then Some (Invoke pid)
-              else None)
-            (List.init (Array.length w.scripts) Fun.id)
-        in
-        let deliveries = List.map (fun (id, _) -> Deliver id) w.pending in
-        let already_crashed =
-          Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 w.crashed
-        in
-        let crash_choices =
-          if already_crashed >= min max_crashes (Array.length w.crashed - 1) then []
-          else
-            List.filter_map
-              (fun pid ->
-                (* Only crash a process that still has something to do:
-                   crashing an idle one reaches an already-covered state. *)
-                if (not w.crashed.(pid)) && w.scripts.(pid) <> [] then Some (Crash pid)
-                else None)
-              (List.init (Array.length w.crashed) Fun.id)
-        in
-        let choices = invocations @ deliveries @ crash_choices in
-        match choices with
-        | [] ->
-          incr executions;
-          if !executions >= limit then hit_limit := true;
-          let h = finish w ~final_read in
-          List.iter
-            (fun (c, count) ->
-              if not (C.holds c h) then begin
-                incr count;
-                if !first_failure = None then
-                  first_failure := Some (Criteria.name c ^ " violated by:\n" ^ render_history h)
-              end)
-            failures
-        | _ -> List.iter (fun choice -> dfs (choice :: prefix)) choices
-      end
-    in
-    dfs [];
-    {
-      executions = !executions;
-      exhaustive = not !hit_limit;
-      failures = List.map (fun (c, r) -> (c, !r)) failures;
-      first_failure = !first_failure;
-    }
-end
+module Make = Explore.Make

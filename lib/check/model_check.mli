@@ -8,46 +8,30 @@
     network) — extracts each distributed history, and runs the
     {!Criteria} checkers on it.
 
-    Exploration is a DFS over schedules. Replica state is rebuilt from
-    scratch along each path (protocols are mutable, so prefixes are
-    replayed rather than snapshotted); this is quadratic in path length
-    but path lengths here are ≤ ~15. The checker is restricted to
-    wait-free protocols: every operation must complete within its own
-    activation (an operation still pending when its turn passes raises
-    [Invalid_argument]).
+    This is now a thin front-end over the {!Explore} engine. With the
+    engine defaults ([explore ~scripts ~final_read ()]) the behaviour is
+    the seed checker's: exhaustive DFS over schedules, one history check
+    per complete execution, a [limit] capping enumeration. The engine
+    options — checkpointed replay, partial-order reduction, state
+    fingerprinting, parallel domains — unlock scopes the naive DFS
+    cannot finish; see {!Explore} for their semantics and soundness
+    conditions.
 
-    A [limit] caps the number of complete executions; the return says
-    whether enumeration was exhaustive. *)
+    The checker is restricted to wait-free protocols: every operation
+    must complete within its own activation (an operation still pending
+    when its turn passes raises [Invalid_argument]).
 
-module Make (P : Protocol.PROTOCOL) : sig
-  type report = {
-    executions : int;
-    exhaustive : bool;
-    failures : (Criteria.t * int) list;
-        (** per requested criterion, the number of executions whose
-            extracted history violated it *)
-    first_failure : string option;
-        (** rendering of the first violating history, for diagnosis *)
-  }
+    [max_crashes] (default 0) additionally explores crash events: at
+    every point of every schedule, up to that many processes may halt
+    (never all of them). A crashed process invokes nothing further and
+    drops deliveries; messages it had already sent remain in flight —
+    exactly the paper's failure semantics. Proposition 4's claim is
+    crash-insensitive, so the UC/EC verdicts must stay clean.
 
-  val explore :
-    ?limit:int ->
-    ?criteria:Criteria.t list ->
-    ?max_crashes:int ->
-    scripts:(P.update, P.query) Protocol.invocation list array ->
-    final_read:P.query ->
-    unit ->
-    report
-  (** Default criteria: [[UC; EC]] (the fast decidable ones — add [SUC]
-      for the full Proposition 4 statement on very small scripts).
-      Every live process issues [final_read] as its ω query at the end
-      of each execution — crashed processes are mute, matching the
-      wait-free fault model.
+    Every live process issues [final_read] as its ω query at the end of
+    each execution — crashed processes are mute, matching the wait-free
+    fault model. Default criteria: [[UC; EC]] (the fast decidable ones —
+    add [SUC] for the full Proposition 4 statement on very small
+    scripts). *)
 
-      [max_crashes] (default 0) additionally explores crash events: at
-      every point of every schedule, up to that many processes may halt
-      (never all of them). A crashed process invokes nothing further and
-      drops deliveries; messages it had already sent remain in flight —
-      exactly the paper's failure semantics. Proposition 4's claim is
-      crash-insensitive, so the UC/EC verdicts must stay clean. *)
-end
+module Make = Explore.Make

@@ -1,0 +1,40 @@
+module For_generic
+    (A : Uqadt.S)
+    (C : Update_codec.S with type update = A.update) =
+struct
+  module G = Generic.Make (A)
+  module P = Persist.Make (A) (C)
+
+  let snapshotter =
+    { Explore.save = P.snapshot_replica; load = P.restore_replica }
+
+  let deliveries_commute _ _ = true
+
+  let require_commutative what =
+    if not A.commutative then
+      invalid_arg
+        (Printf.sprintf
+           "Snapshot.%s: %s is not commutative; replay order is observable, a \
+            timestamp-blind key would merge distinguishable states"
+           what A.name)
+
+  let commutative_key replica =
+    require_commutative "commutative_key";
+    let entries =
+      List.map
+        (fun (_, origin, u) ->
+          let s = C.to_string u in
+          (* Length-prefixed so concatenation stays injective. *)
+          Printf.sprintf "%d:%d:%s" origin (String.length s) s)
+        (G.local_log replica)
+    in
+    String.concat "" (List.sort String.compare entries)
+
+  let commutative_message_key m =
+    require_commutative "commutative_message_key";
+    C.to_string (G.message_update m)
+end
+
+module For_commutative (A : Uqadt.S) = struct
+  let deliveries_commute _ _ = A.commutative
+end

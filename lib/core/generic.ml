@@ -67,7 +67,13 @@ module Make (A : Uqadt.S) = struct
 
   let certificate t = Some (List.map (fun (_, origin, u) -> (origin, u)) t.log)
 
+  let message_update { update = u; _ } = u
+
   let local_log t = t.log
+
+  let clock_value t = Lamport.value t.clock
+
+  let advance_clock t v = Lamport.merge t.clock v
 
   let restore_log t entries =
     t.log <- List.sort (fun (a, _, _) (b, _, _) -> Timestamp.compare a b) entries;

@@ -21,6 +21,12 @@ module Make (A : Uqadt.S) : sig
        and type query = A.query
        and type output = A.output
 
+  val message_update : message -> A.update
+  (** The update payload a broadcast message carries, without its
+      timestamp — for observers (like the model checker's
+      commutativity-aware state keys) to which timestamps are
+      unobservable. *)
+
   val local_log : t -> (Timestamp.t * int * A.update) list
   (** The replica's timestamp-sorted update log (timestamp, origin pid,
       update) — exposed for the experiments, the model checker and
@@ -31,4 +37,15 @@ module Make (A : Uqadt.S) : sig
       (see {!Persist}) and advance its Lamport clock past every restored
       timestamp, so operations issued after recovery still sort after
       everything the replica had acknowledged before the crash. *)
+
+  val clock_value : t -> int
+  (** The replica's current Lamport clock. Together with {!local_log}
+      this is the replica's complete protocol state — the log alone is
+      not enough for exact state reconstruction, because queries tick
+      the clock without leaving a log entry. *)
+
+  val advance_clock : t -> int -> unit
+  (** Merge an externally recorded clock value (max semantics). Used by
+      {!Persist} to make a restored replica's clock {e exactly} match
+      the snapshotted one when restoring into a fresh replica. *)
 end

@@ -71,4 +71,37 @@ module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) = str
   let snapshot replica = encode_log (G.local_log replica)
 
   let restore replica s = G.restore_log replica (decode_log s)
+
+  (* Full-fidelity replica snapshots: the log frame plus the exact
+     Lamport clock. [restore] alone under-restores the clock (queries
+     tick it without logging anything), which is fine for crash
+     recovery — the clock only needs to move forward — but not for the
+     model checker's checkpointed replay, where a rewound replica must
+     be bit-identical to the one that was snapshotted. *)
+
+  let replica_magic = "UCS"
+
+  let snapshot_replica replica =
+    let w = Codec.Writer.create () in
+    String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) replica_magic;
+    Codec.Writer.u8 w version;
+    Codec.Writer.varint w (G.clock_value replica);
+    Codec.Writer.byte_string w (encode_log (G.local_log replica));
+    Codec.Writer.contents w
+
+  let restore_replica replica s =
+    let r = Codec.Reader.of_string s in
+    String.iter
+      (fun c ->
+        if Codec.Reader.u8 r <> Char.code c then
+          raise (Codec.Decode_error "replica snapshot: bad magic"))
+      replica_magic;
+    if Codec.Reader.u8 r <> version then
+      raise (Codec.Decode_error "replica snapshot: unsupported version");
+    let clock = Codec.Reader.varint r in
+    let log = decode_log (Codec.Reader.byte_string r) in
+    if not (Codec.Reader.at_end r) then
+      raise (Codec.Decode_error "replica snapshot: trailing bytes");
+    G.restore_log replica log;
+    G.advance_clock replica clock
 end

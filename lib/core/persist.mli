@@ -27,4 +27,18 @@ module Make
 
   val restore : Generic.Make(A).t -> string -> unit
   (** Load a snapshot into a (typically fresh) replica. *)
+
+  val snapshot_replica : Generic.Make(A).t -> string
+  (** Exact protocol state: the log frame of {!snapshot} plus the
+      replica's Lamport clock. {!snapshot}/{!restore} only guarantee the
+      restored clock dominates every logged timestamp — enough for crash
+      recovery, not for replay: queries tick the clock without logging,
+      so a log-only restore can hand out lower timestamps than the
+      snapshotted replica would have. The model checker's checkpointed
+      replay ({!Explore}) needs bit-exact restoration. *)
+
+  val restore_replica : Generic.Make(A).t -> string -> unit
+  (** Load a {!snapshot_replica} frame into a {e fresh} replica, making
+      its state (log and clock) exactly equal to the snapshotted one.
+      @raise Codec.Decode_error on any malformation. *)
 end

@@ -1,0 +1,41 @@
+type t = int64
+
+(* FNV-1a, 64-bit: hash = (hash xor byte) * prime, per byte. *)
+
+let prime = 0x100000001b3L
+
+let empty = 0xcbf29ce484222325L
+
+let byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let int h n =
+  (* All 8 bytes of the native int, low to high, so small ints that
+     differ only in sign or high bits still separate. *)
+  let rec go h i n =
+    if i = 8 then h else go (byte h (n land 0xff)) (i + 1) (n asr 8)
+  in
+  go h 0 n
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  (* Terminator: the length, so concatenation boundaries matter. *)
+  int !h (String.length s)
+
+let bool h b = byte h (if b then 1 else 0)
+
+let list f h xs =
+  let h = List.fold_left f (int h (List.length xs)) xs in
+  byte h 0xfe
+
+let combine h sub =
+  let lo = Int64.to_int (Int64.logand sub 0xffffffffL) in
+  let hi = Int64.to_int (Int64.shift_right_logical sub 32) in
+  int (int h lo) hi
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let equal = Int64.equal
+
+let compare = Int64.compare

@@ -37,8 +37,194 @@ let sc_brute_force h =
   Dag.linear_extensions dag (fun order ->
       L.recognizes_events (List.map (fun i -> events.(i)) (Array.to_list order)))
 
-let tests =
+(* ---------------- protocol-vs-protocol differential ---------------- *)
+
+(* Lockstep mesh: one abstract schedule — invocations interleaved with
+   single-message FIFO flushes — executed against different protocol
+   implementations of the same object, comparing every query answer.
+   The schedule is precomputed so each protocol sees the identical
+   delivery pattern; per-(src,dst) FIFO queues model the channel
+   discipline Gc requires. *)
+type mesh_action = Act_invoke of int | Act_flush of int * int  (* src, dst *)
+
+let random_mesh rng ~n ~max_ops =
+  let ops = Array.init n (fun _ -> 1 + Prng.int rng max_ops) in
+  let remaining = Array.copy ops in
+  let actions = ref [] in
+  let total = Array.fold_left ( + ) 0 ops in
+  for _ = 1 to total do
+    (* Pick a process that still has operations, then maybe flush. *)
+    let live =
+      List.filter (fun p -> remaining.(p) > 0) (List.init n Fun.id)
+    in
+    let p = List.nth live (Prng.int rng (List.length live)) in
+    remaining.(p) <- remaining.(p) - 1;
+    actions := Act_invoke p :: !actions;
+    for _ = 1 to Prng.int rng 3 do
+      let src = Prng.int rng n and dst = Prng.int rng n in
+      if src <> dst then actions := Act_flush (src, dst) :: !actions
+    done
+  done;
+  (ops, List.rev !actions)
+
+(* Run one protocol over the schedule; returns every query answer, in
+   invocation order, per process (including a final read each). *)
+let run_mesh (type u q o m t)
+    (module P : Protocol.PROTOCOL
+      with type update = u
+       and type query = q
+       and type output = o
+       and type message = m
+       and type t = t) ~n ~invocations ~actions ~final_read =
+  let channels = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ())) in
+  let replicas =
+    Array.init n (fun pid ->
+        P.create
+          {
+            Protocol.pid;
+            n;
+            now = (fun () -> 0.0);
+            send = (fun ~dst m -> Queue.add m channels.(pid).(dst));
+            broadcast =
+              (fun m ->
+                for dst = 0 to n - 1 do
+                  if dst <> pid then Queue.add m channels.(pid).(dst)
+                done);
+            set_timer = (fun ~delay:_ _ -> ());
+            count_replay = (fun _ -> ());
+          })
+  in
+  let outputs = Array.make n [] in
+  let scripts = Array.map (fun l -> ref l) invocations in
+  let flush src dst =
+    if not (Queue.is_empty channels.(src).(dst)) then
+      P.receive replicas.(dst) ~src (Queue.pop channels.(src).(dst))
+  in
+  List.iter
+    (function
+      | Act_invoke p -> (
+        match !(scripts.(p)) with
+        | [] -> ()
+        | inv :: rest -> (
+          scripts.(p) := rest;
+          match inv with
+          | Protocol.Invoke_update u -> P.update replicas.(p) u ~on_done:ignore
+          | Protocol.Invoke_query q ->
+            P.query replicas.(p) q ~on_result:(fun o ->
+                outputs.(p) <- o :: outputs.(p))))
+      | Act_flush (src, dst) -> flush src dst)
+    actions;
+  (* Drain rounds: receives may emit further messages (heartbeats), so
+     loop until the whole mesh is quiet. *)
+  let quiet = ref false in
+  while not !quiet do
+    quiet := true;
+    Array.iteri
+      (fun src row ->
+        Array.iteri
+          (fun dst q ->
+            if not (Queue.is_empty q) then begin
+              quiet := false;
+              flush src dst
+            end)
+          row)
+      channels
+  done;
+  Array.iteri
+    (fun p r ->
+      P.query r final_read ~on_result:(fun o -> outputs.(p) <- o :: outputs.(p)))
+    replicas;
+  Array.map List.rev outputs
+
+module G_set = Generic.Make (Set_spec)
+module Memo_set = Memo.Make (Set_spec)
+module Gc_set = Gc.Make (Set_spec)
+module Undo_set = Undo.Make (Undoable.Set)
+module G_counter = Generic.Make (Counter_spec)
+module Memo_counter = Memo.Make (Counter_spec)
+module Fast_counter = Commutative.Make (Counter_spec)
+
+(* Gc only matches Generic exactly while no heartbeat fires: a replica
+   heartbeats after [heartbeat_every = 8] receives without sending, and
+   heartbeats perturb the Lamport clocks. n=3 with at most 3 updates per
+   process keeps every replica below 7 incoming messages. *)
+let set_mesh seed =
+  let rng = Prng.create seed in
+  let n = 2 + Prng.int rng 2 in
+  let ops, actions = random_mesh rng ~n ~max_ops:3 in
+  let invocations =
+    Array.map
+      (fun k ->
+        List.init k (fun _ ->
+            if Prng.int rng 4 = 0 then Protocol.Invoke_query Set_spec.Read
+            else Protocol.Invoke_update (Set_spec.random_update rng)))
+      ops
+  in
+  (n, invocations, actions)
+
+let counter_mesh seed =
+  let rng = Prng.create seed in
+  let n = 2 + Prng.int rng 2 in
+  let ops, actions = random_mesh rng ~n ~max_ops:3 in
+  let invocations =
+    Array.map
+      (fun k ->
+        List.init k (fun _ ->
+            if Prng.int rng 4 = 0 then Protocol.Invoke_query Counter_spec.Value
+            else Protocol.Invoke_update (Counter_spec.random_update rng)))
+      ops
+  in
+  (n, invocations, actions)
+
+let differential_protocol_tests =
+  let set_equal name (module P : Protocol.PROTOCOL
+                       with type update = Set_spec.update
+                        and type query = Set_spec.query
+                        and type output = Set_spec.output) =
+    qtest ~count:120
+      (Printf.sprintf "%s answers every query like Algorithm 1 (set)" name)
+      seed_gen
+      (fun seed ->
+        let n, invocations, actions = set_mesh seed in
+        let reference =
+          run_mesh (module G_set) ~n ~invocations ~actions
+            ~final_read:Set_spec.Read
+        in
+        let candidate =
+          run_mesh (module P) ~n ~invocations ~actions ~final_read:Set_spec.Read
+        in
+        reference = candidate)
+  in
+  let counter_equal name (module P : Protocol.PROTOCOL
+                           with type update = Counter_spec.update
+                            and type query = Counter_spec.query
+                            and type output = Counter_spec.output) =
+    qtest ~count:120
+      (Printf.sprintf "%s answers every query like Algorithm 1 (counter)" name)
+      seed_gen
+      (fun seed ->
+        let n, invocations, actions = counter_mesh seed in
+        let reference =
+          run_mesh (module G_counter) ~n ~invocations ~actions
+            ~final_read:Counter_spec.Value
+        in
+        let candidate =
+          run_mesh (module P) ~n ~invocations ~actions
+            ~final_read:Counter_spec.Value
+        in
+        reference = candidate)
+  in
   [
+    set_equal "Memo" (module Memo_set);
+    set_equal "Gc (heartbeat-free sizes)" (module Gc_set);
+    set_equal "Undo" (module Undo_set);
+    counter_equal "Memo" (module Memo_counter);
+    counter_equal "CRDT fast path" (module Fast_counter);
+  ]
+
+let tests =
+  differential_protocol_tests
+  @ [
     qtest ~count:150 "Check_uc agrees with brute force" seed_gen (fun seed ->
         let rng = Prng.create seed in
         let h = Gen.convergent_mix rng ~processes:2 ~max_updates:4 ~max_queries:3 in

@@ -29,4 +29,6 @@ let () =
       ("figures", Test_figures.tests);
       ("universal-smoke", Test_universal_smoke.tests);
       ("model-check", Test_model_check.tests);
+      ("explore", Test_explore.tests);
+      ("qcheck-props", Test_qcheck_props.tests);
     ]

@@ -1,0 +1,150 @@
+(* Op-log substrate scaling scenario.
+
+   Sweeps the replica log length over 2^6 .. 2^14 for three cores of the
+   universal construction on the set object:
+
+     list        the seed's cons-list core (O(n) ordered insert, full
+                 replay per query)
+     array       the array-backed oplog, checkpoints disabled (O(log n)
+                 locate + blit insert, full replay per query)
+     array+ckpt  the oplog with interval checkpoints every 32 entries
+                 (warm queries replay at most one interval)
+
+   For each (core, size) cell it measures the amortised insert cost
+   (building the whole log, divided by its length) and the steady-state
+   query cost, checks that all three cores answer the final read
+   identically, and writes the table to BENCH_oplog.json.
+
+   At size 512 the sweep enforces the refactor's acceptance criterion:
+   the checkpointed oplog core must answer queries at least 5x faster
+   than the seed list core. `--smoke` restricts the sweep to the sizes
+   up to 1024 (CI budget); the criterion is checked either way. *)
+
+let dummy_ctx ~pid ~n : _ Protocol.ctx =
+  {
+    Protocol.pid;
+    n;
+    now = (fun () -> 0.0);
+    send = (fun ~dst:_ _ -> ());
+    broadcast = (fun _ -> ());
+    broadcast_batch = (fun _ -> ());
+    set_timer = (fun ~delay:_ _ -> ());
+    count_replay = (fun _ -> ());
+  }
+
+module L = Generic_ref.Make (Set_spec)
+
+(* Two runtime instances of the array-core functor so each keeps its own
+   [checkpoint_interval] cell. *)
+module A0 = Generic.Make (Set_spec)
+module A32 = Generic.Make (Set_spec)
+
+let () = A0.checkpoint_interval := 0
+let () = A32.checkpoint_interval := 32
+
+type cell = {
+  core : string;
+  size : int;
+  insert_ns : float;  (* amortised, per inserted update *)
+  query_ns : float;  (* steady state, per query *)
+  output : Set_spec.output;
+}
+
+let measure (type t)
+    (module P : Generic.S
+      with type update = Set_spec.update
+       and type query = Set_spec.query
+       and type output = Set_spec.output
+       and type t = t) ~core ~size =
+  let rng = Prng.create 99 in
+  let r = P.create (dummy_ctx ~pid:0 ~n:3) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to size do
+    P.update r (Set_spec.random_update rng) ~on_done:ignore
+  done;
+  let build = Unix.gettimeofday () -. t0 in
+  (* One untimed query warms the checkpoint cache where there is one;
+     the timed loop then sees the steady state every replica reaches
+     after its first read. *)
+  let out = ref Set_spec.initial in
+  P.query r Set_spec.Read ~on_result:(fun o -> out := o);
+  let reps = max 100 (1_000_000 / size) in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    P.query r Set_spec.Read ~on_result:(fun o ->
+        ignore (Sys.opaque_identity o))
+  done;
+  let queries = Unix.gettimeofday () -. t1 in
+  {
+    core;
+    size;
+    insert_ns = build *. 1e9 /. float_of_int size;
+    query_ns = queries *. 1e9 /. float_of_int reps;
+    output = !out;
+  }
+
+let sweep sizes =
+  List.concat_map
+    (fun size ->
+      let cells =
+        [
+          measure (module L) ~core:"list" ~size;
+          measure (module A0) ~core:"array" ~size;
+          measure (module A32) ~core:"array+ckpt" ~size;
+        ]
+      in
+      (match cells with
+      | ref_cell :: rest ->
+        List.iter
+          (fun c ->
+            if not (Set_spec.equal_output c.output ref_cell.output) then begin
+              Printf.printf "FAIL: %s and %s disagree at size %d\n" ref_cell.core
+                c.core size;
+              exit 1
+            end)
+          rest
+      | [] -> ());
+      cells)
+    sizes
+
+let emit_json path cells =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i c ->
+      Printf.fprintf oc
+        "  {\"core\": %S, \"size\": %d, \"insert_ns_per_op\": %.1f, \
+         \"query_ns_per_op\": %.1f}%s\n"
+        c.core c.size c.insert_ns c.query_ns
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  output_string oc "]\n";
+  close_out oc
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let sizes =
+    List.filter
+      (fun s -> (not smoke) || s <= 1024)
+      [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384 ]
+  in
+  let cells = sweep sizes in
+  Printf.printf "%-12s %8s %16s %16s\n" "core" "size" "insert ns/op" "query ns/op";
+  List.iter
+    (fun c ->
+      Printf.printf "%-12s %8d %16.1f %16.1f\n" c.core c.size c.insert_ns
+        c.query_ns)
+    cells;
+  emit_json "BENCH_oplog.json" cells;
+  print_endline "wrote BENCH_oplog.json";
+  let query_at core size =
+    match List.find_opt (fun c -> c.core = core && c.size = size) cells with
+    | Some c -> c.query_ns
+    | None ->
+      Printf.printf "FAIL: missing %s measurement at size %d\n" core size;
+      exit 1
+  in
+  let speedup = query_at "list" 512 /. query_at "array+ckpt" 512 in
+  Printf.printf "query speedup at 512   %.1fx vs the seed list core%s\n" speedup
+    (if speedup >= 5.0 then " (>= 5x: PASS)" else " (< 5x: FAIL)");
+  if speedup < 5.0 then exit 1

@@ -24,7 +24,19 @@ type run_params = {
   crash_one : bool;
   check : bool;
   spacetime : bool;
+  log_core : [ `List | `Array ];
+      (* op-log substrate for the universal protocols: the seed's cons
+         list or the array-backed Oplog (the default) *)
+  checkpoint_interval : int option;
+      (* override for Generic's interval-checkpoint cadence; only
+         meaningful with [log_core = `Array] *)
 }
+
+(* [interval] is the instance's effective cadence, read back from the
+   functor instance after any --checkpoint-interval override. *)
+let describe_log_core ~interval = function
+  | `List -> "list"
+  | `Array -> Printf.sprintf "array (checkpoint interval %d)" interval
 
 let describe_metrics (m : Metrics.t) =
   Printf.printf
@@ -38,7 +50,7 @@ module type SET_PROTOCOL =
      and type query = Set_spec.query
      and type output = Set_spec.output
 
-let run_set (module P : SET_PROTOCOL) p =
+let run_set ?note (module P : SET_PROTOCOL) p =
   let module R = Runner.Make (P) in
   let rng = Prng.create p.seed in
   let workload =
@@ -57,7 +69,10 @@ let run_set (module P : SET_PROTOCOL) p =
   in
   let r = R.run config ~workload in
   (match r.R.trace with
-  | Some tr -> print_string (Trace.render tr ~n:p.n)
+  | Some tr ->
+    (* Configuration notes sort to the top of the rendered chronology. *)
+    Option.iter (fun text -> Trace.record_note tr ~time:0.0 text) note;
+    print_string (Trace.render tr ~n:p.n)
   | None -> ());
   Printf.printf "protocol           %s (object: set)\n" P.protocol_name;
   describe_metrics r.R.metrics;
@@ -144,6 +159,7 @@ let run_memory p =
   Printf.printf "converged          %b\n" r.R.converged
 
 module Uni_set = Generic.Make (Set_spec)
+module Uni_list = Generic_ref.Make (Set_spec)
 module Memo_set = Memo.Make (Set_spec)
 module Gc_set = Gc.Make (Set_spec)
 module Undo_set = Undo.Make (Undoable.Set)
@@ -152,9 +168,38 @@ module Uni_counter = Generic.Make (Counter_spec)
 module Fast_counter = Commutative.Make (Counter_spec)
 module Uni_reg = Generic.Make (Register_spec)
 
+(* The set-object universal protocol, on whichever log core was asked
+   for. Both cores exchange byte-identical messages, so the same seed
+   replays the same schedule and only the query cost differs. *)
+let run_universal_set p =
+  let interval =
+    match p.checkpoint_interval with
+    | Some k ->
+      Uni_set.checkpoint_interval := k;
+      k
+    | None -> !Uni_set.checkpoint_interval
+  in
+  let core = describe_log_core ~interval p.log_core in
+  Printf.printf "log core           %s\n" core;
+  let note = "log core: " ^ core in
+  match p.log_core with
+  | `Array -> run_set ~note (module Uni_set) p
+  | `List -> run_set ~note (module Uni_list) p
+
 (* Algorithm 1 on any registered object: generic over the packed ADT. *)
 let run_universal_on (module A : Uqadt.S) p =
-  let module P = Generic.Make (A) in
+  let module G = Generic.Make (A) in
+  let module P =
+    (val (match p.log_core with
+         | `Array ->
+           Option.iter (fun k -> G.checkpoint_interval := k) p.checkpoint_interval;
+           (module G : Generic.S
+             with type update = A.update
+              and type query = A.query
+              and type output = A.output
+              and type state = A.state)
+         | `List -> (module Generic_ref.Make (A))))
+  in
   let module R = Runner.Make (P) in
   let rng = Prng.create p.seed in
   let workload =
@@ -174,6 +219,8 @@ let run_universal_on (module A : Uqadt.S) p =
   in
   let r = R.run config ~workload in
   Printf.printf "protocol           universal (object: %s)\n" A.name;
+  Printf.printf "log core           %s\n"
+    (describe_log_core ~interval:!G.checkpoint_interval p.log_core);
   describe_metrics r.R.metrics;
   Printf.printf "converged          %b\n" r.R.converged;
   List.iter
@@ -191,7 +238,7 @@ let registry_protocols : (string * string * (run_params -> unit)) list =
 let protocols : (string * string * (run_params -> unit)) list =
   registry_protocols
   @ [
-    ("universal", "Algorithm 1 on the set", run_set (module Uni_set));
+    ("universal", "Algorithm 1 on the set", run_universal_set);
     ("memo", "Algorithm 1 + snapshot cache, set", run_set (module Memo_set));
     ("gc", "Algorithm 1 + stability GC, set (needs --fifo)", run_set (module Gc_set));
     ("undo", "undo-based construction, set", run_set (module Undo_set));
@@ -277,13 +324,44 @@ let run_cmd =
       value & flag
       & info [ "trace" ] ~doc:"Print a space-time trace of the run (set protocols only).")
   in
-  let run f seed n ops mean_delay fifo crash_one check spacetime =
-    f { seed; n; ops; mean_delay; fifo; crash_one; check; spacetime }
+  let log_core_arg =
+    Arg.(
+      value
+      & opt (enum [ ("list", `List); ("array", `Array) ]) `Array
+      & info [ "log-core" ] ~docv:"CORE"
+          ~doc:
+            "Op-log substrate for the universal protocols: the seed's cons-list \
+             core or the array-backed oplog with interval checkpoints (default).")
+  in
+  let checkpoint_interval_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-interval" ] ~docv:"K"
+          ~doc:
+            "Record an oplog state checkpoint every K entries (universal \
+             protocols on the array core; 0 disables checkpointing).")
+  in
+  let run f seed n ops mean_delay fifo crash_one check spacetime log_core
+      checkpoint_interval =
+    f
+      {
+        seed;
+        n;
+        ops;
+        mean_delay;
+        fifo;
+        crash_one;
+        check;
+        spacetime;
+        log_core;
+        checkpoint_interval;
+      }
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol $ seed_arg $ n_arg $ ops_arg $ delay_arg $ fifo_arg $ crash_arg
-      $ check_arg $ trace_arg)
+      $ check_arg $ trace_arg $ log_core_arg $ checkpoint_interval_arg)
 
 let modelcheck_cmd =
   let doc =
@@ -347,7 +425,28 @@ let modelcheck_cmd =
       & info [ "ops" ] ~docv:"OPS"
           ~doc:"Increments per process (counter protocol only).")
   in
-  let run which por dedup domains checkpoint max_crashes limit n ops =
+  let log_core_arg =
+    Arg.(
+      value
+      & opt (enum [ ("list", `List); ("array", `Array) ]) `Array
+      & info [ "log-core" ] ~docv:"CORE"
+          ~doc:
+            "Op-log substrate for the universal protocols: the seed's cons-list \
+             core or the array-backed oplog (default). Both cores must report \
+             identical verdicts — the flag exists for exactly that A/B check.")
+  in
+  let checkpoint_interval_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-interval" ] ~docv:"K"
+          ~doc:
+            "Oplog state-checkpoint cadence inside the replicas (array core \
+             only; distinct from --checkpoint, which snapshots whole replicas \
+             for explorer backtracking).")
+  in
+  let run which por dedup domains checkpoint max_crashes limit n ops log_core
+      checkpoint_interval =
     let race =
       [|
         [ Protocol.Invoke_update (Set_spec.Insert 1); Protocol.Invoke_update (Set_spec.Delete 2) ];
@@ -376,17 +475,36 @@ let modelcheck_cmd =
     in
     let checkpoint_every = if checkpoint > 0 then checkpoint else 4 in
     match which with
-    | `Universal ->
-      let module M = Model_check.Make (Uni_set) in
-      let module S = Snapshot.For_generic (Set_spec) (Update_codec.For_set) in
-      let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
-      let r =
-        M.explore ~limit ~max_crashes ~por ~dedup ~checkpoint_every ?snapshot
-          ~deliveries_commute:S.deliveries_commute ~domains ~scripts:race
-          ~final_read:Set_spec.Read ()
-      in
-      print_report "universal" r.M.executions r.M.exhaustive r.M.failures
-        r.M.distinct_failures r.M.first_failures r.M.stats
+    | `Universal -> (
+      match log_core with
+      | `Array ->
+        Option.iter (fun k -> Uni_set.checkpoint_interval := k) checkpoint_interval;
+        let module M = Model_check.Make (Uni_set) in
+        let module S = Snapshot.For_generic (Set_spec) (Update_codec.For_set) in
+        let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
+        let r =
+          M.explore ~limit ~max_crashes ~por ~dedup ~checkpoint_every ?snapshot
+            ~deliveries_commute:S.deliveries_commute ~domains ~scripts:race
+            ~final_read:Set_spec.Read ()
+        in
+        print_report
+          (Printf.sprintf "universal [log core: %s]"
+             (describe_log_core ~interval:!Uni_set.checkpoint_interval `Array))
+          r.M.executions r.M.exhaustive r.M.failures r.M.distinct_failures
+          r.M.first_failures r.M.stats
+      | `List ->
+        let module M = Model_check.Make (Uni_list) in
+        let module S =
+          Snapshot.For_replica (Set_spec) (Update_codec.For_set) (Uni_list)
+        in
+        let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
+        let r =
+          M.explore ~limit ~max_crashes ~por ~dedup ~checkpoint_every ?snapshot
+            ~deliveries_commute:S.deliveries_commute ~domains ~scripts:race
+            ~final_read:Set_spec.Read ()
+        in
+        print_report "universal [log core: list]" r.M.executions r.M.exhaustive
+          r.M.failures r.M.distinct_failures r.M.first_failures r.M.stats)
     | `Pipelined ->
       if dedup then begin
         Printf.eprintf "modelcheck: --dedup needs a replica snapshot (universal/counter only)\n";
@@ -412,30 +530,54 @@ let modelcheck_cmd =
       print_report "or-set" r.M.executions r.M.exhaustive r.M.failures
         r.M.distinct_failures r.M.first_failures r.M.stats
     | `Counter ->
-      let module M = Model_check.Make (Uni_counter) in
-      let module S = Snapshot.For_generic (Counter_spec) (Update_codec.For_counter) in
       let scripts =
         Array.init n (fun pid ->
             List.init ops (fun i ->
                 Protocol.Invoke_update (Counter_spec.Add ((pid * ops) + i + 1))))
       in
-      let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
-      let state_key = if dedup then Some S.commutative_key else None in
-      let message_key = if dedup then Some S.commutative_message_key else None in
-      let r =
-        M.explore ~limit ~max_crashes ~por ~dedup ~checkpoint_every ?snapshot
-          ?state_key ?message_key ~deliveries_commute:S.deliveries_commute
-          ~domains ~scripts ~final_read:Counter_spec.Value ()
+      let explore_counter (type t m)
+          (module G : Generic.S
+            with type update = Counter_spec.update
+             and type query = Counter_spec.query
+             and type output = Counter_spec.output
+             and type state = Counter_spec.state
+             and type t = t
+             and type message = m) core_label =
+        let module M = Model_check.Make (G) in
+        let module S =
+          Snapshot.For_replica (Counter_spec) (Update_codec.For_counter) (G)
+        in
+        let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
+        let state_key = if dedup then Some S.commutative_key else None in
+        let message_key = if dedup then Some S.commutative_message_key else None in
+        let r =
+          M.explore ~limit ~max_crashes ~por ~dedup ~checkpoint_every ?snapshot
+            ?state_key ?message_key ~deliveries_commute:S.deliveries_commute
+            ~domains ~scripts ~final_read:Counter_spec.Value ()
+        in
+        print_report
+          (Printf.sprintf "universal counter (n=%d, ops=%d) [log core: %s]" n ops
+             core_label)
+          r.M.executions r.M.exhaustive r.M.failures r.M.distinct_failures
+          r.M.first_failures r.M.stats
       in
-      print_report
-        (Printf.sprintf "universal counter (n=%d, ops=%d)" n ops)
-        r.M.executions r.M.exhaustive r.M.failures r.M.distinct_failures
-        r.M.first_failures r.M.stats
+      (match log_core with
+      | `Array ->
+        Option.iter
+          (fun k -> Uni_counter.checkpoint_interval := k)
+          checkpoint_interval;
+        explore_counter
+          (module Uni_counter)
+          (describe_log_core ~interval:!Uni_counter.checkpoint_interval `Array)
+      | `List ->
+        let module L = Generic_ref.Make (Counter_spec) in
+        explore_counter (module L) "list")
   in
   Cmd.v (Cmd.info "modelcheck" ~doc)
     Term.(
       const run $ which $ por_arg $ dedup_arg $ domains_arg $ checkpoint_arg
-      $ crashes_arg $ limit_arg $ n_arg $ ops_arg)
+      $ crashes_arg $ limit_arg $ n_arg $ ops_arg $ log_core_arg
+      $ checkpoint_interval_arg)
 
 let nemesis_cmd =
   let doc = "Run a randomized fault campaign (crashes + healing partitions)." in

@@ -36,6 +36,19 @@ let ctx pid : Bank.message Protocol.ctx =
               else match r with Some r -> Bank.receive r ~src:pid msg | None -> ()
             end)
           replicas);
+    broadcast_batch =
+      (fun msgs ->
+        List.iter
+          (fun msg ->
+            Array.iteri
+              (fun dst r ->
+                if dst <> pid then begin
+                  if down.(dst) then Queue.add (pid, msg) mailbox.(dst)
+                  else
+                    match r with Some r -> Bank.receive r ~src:pid msg | None -> ()
+                end)
+              replicas)
+          msgs);
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = (fun _ -> ());
   }

@@ -56,6 +56,8 @@ module Make (P : Protocol.PROTOCOL) = struct
           now = (fun () -> Engine.now engine);
           send = (fun ~dst msg -> Network.send network ~src:pid ~dst msg);
           broadcast = (fun msg -> Network.broadcast network ~src:pid msg);
+          broadcast_batch =
+            (fun msgs -> Network.broadcast_batch network ~src:pid msgs);
           set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
           count_replay = (fun _ -> ());
         }

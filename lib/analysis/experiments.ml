@@ -70,6 +70,7 @@ let fig2 () =
 (* ------------------------------------------------------------------ *)
 
 module Uni_set = Generic.Make (Set_spec)
+module Uni_list = Generic_ref.Make (Set_spec)
 module Memo_set = Memo.Make (Set_spec)
 module Gc_set = Gc.Make (Set_spec)
 module Undo_set = Undo.Make (Undoable.Set)
@@ -457,7 +458,7 @@ let query_cost ~seed =
           and type query = Set_spec.query
           and type output = Set_spec.output)
       list =
-    [ (module Uni_set); (module Memo_set); (module Undo_set) ]
+    [ (module Uni_list); (module Uni_set); (module Memo_set); (module Undo_set) ]
   in
   List.iter
     (fun p ->

@@ -82,6 +82,20 @@ module Make (P : Protocol.PROTOCOL) = struct
                 w.next_msg <- w.next_msg + 1
               end
             done);
+        broadcast_batch =
+          (* Batching is a wire-level optimisation; for exploration the
+             batch is just its messages, so delivery interleavings are
+             still enumerated per message. *)
+          (fun msgs ->
+            List.iter
+              (fun msg ->
+                for dst = 0 to n - 1 do
+                  if dst <> pid then begin
+                    w.pending <- w.pending @ [ (w.next_msg, (dst, pid, msg)) ];
+                    w.next_msg <- w.next_msg + 1
+                  end
+                done)
+              msgs);
         set_timer =
           (fun ~delay:_ _ -> invalid_arg "Explore: protocols may not use timers");
         count_replay = (fun _ -> ());

@@ -1,9 +1,13 @@
-module For_generic
+module For_replica
     (A : Uqadt.S)
-    (C : Update_codec.S with type update = A.update) =
+    (C : Update_codec.S with type update = A.update)
+    (G : Generic.S
+           with type state = A.state
+            and type update = A.update
+            and type query = A.query
+            and type output = A.output) =
 struct
-  module G = Generic.Make (A)
-  module P = Persist.Make (A) (C)
+  module P = Persist.Over (G) (C)
 
   let snapshotter =
     { Explore.save = P.snapshot_replica; load = P.restore_replica }
@@ -34,6 +38,11 @@ struct
     require_commutative "commutative_message_key";
     C.to_string (G.message_update m)
 end
+
+module For_generic
+    (A : Uqadt.S)
+    (C : Update_codec.S with type update = A.update) =
+  For_replica (A) (C) (Generic.Make (A))
 
 module For_commutative (A : Uqadt.S) = struct
   let deliveries_commute _ _ = A.commutative

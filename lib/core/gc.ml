@@ -8,10 +8,8 @@ module Make (A : Uqadt.S) = struct
   type t = {
     ctx : message Protocol.ctx;
     clock : Lamport.t;
-    mutable tail : (Timestamp.t * int * A.update) list;  (* sorted, after snapshot *)
-    mutable tail_len : int;
+    tail : (A.update, A.state) Oplog.t;  (* live suffix, after the snapshot *)
     mutable snapshot : A.state;
-    mutable snapshot_clock : int;  (* every entry with clock <= this is folded *)
     mutable compacted : int;
     heard : int array;  (* highest clock heard from each process *)
     mutable received_since_send : int;
@@ -25,44 +23,34 @@ module Make (A : Uqadt.S) = struct
     {
       ctx;
       clock = Lamport.create ();
-      tail = [];
-      tail_len = 0;
+      tail = Oplog.create ();
       snapshot = A.initial;
-      snapshot_clock = 0;
       compacted = 0;
       heard = Array.make ctx.Protocol.n 0;
       received_since_send = 0;
     }
 
-  let insert t entry =
-    let ts, _, _ = entry in
-    if ts.Timestamp.clock <= t.snapshot_clock then
+  (* The oplog's stability watermark is this replica's snapshot clock:
+     every entry with clock <= watermark has been folded out. *)
+  let snapshot_clock t = Oplog.watermark t.tail
+
+  let insert t ts origin u =
+    if ts.Timestamp.clock <= snapshot_clock t then
       (* Unreachable by the stability argument; a violation would mean
          the pruning rule is wrong, so fail loudly rather than corrupt
          the linearization. *)
       invalid_arg "Gc: received an update below the stability bound";
-    let rec place = function
-      | [] -> [ entry ]
-      | ((ts', _, _) as e) :: rest ->
-        if Timestamp.compare ts ts' < 0 then entry :: e :: rest else e :: place rest
-    in
-    t.tail <- place t.tail;
-    t.tail_len <- t.tail_len + 1
+    ignore (Oplog.insert t.tail { Oplog.ts; origin; payload = u })
 
   (* Fold the stable prefix of the tail into the snapshot. *)
   let compact t =
     let bound = Array.fold_left min max_int t.heard in
-    if bound > t.snapshot_clock then begin
-      let rec fold = function
-        | (ts, _, u) :: rest when ts.Timestamp.clock <= bound ->
-          t.snapshot <- A.apply t.snapshot u;
-          t.compacted <- t.compacted + 1;
-          t.tail_len <- t.tail_len - 1;
-          fold rest
-        | rest -> rest
+    if bound > snapshot_clock t then begin
+      let snapshot, folded =
+        Oplog.compact t.tail ~upto_clock:bound ~apply:A.apply t.snapshot
       in
-      t.tail <- fold t.tail;
-      t.snapshot_clock <- bound
+      t.snapshot <- snapshot;
+      t.compacted <- t.compacted + folded
     end
 
   let note_heard t pid clock = if clock > t.heard.(pid) then t.heard.(pid) <- clock
@@ -71,7 +59,7 @@ module Make (A : Uqadt.S) = struct
     let cl = Lamport.tick t.clock in
     let ts = Timestamp.make ~clock:cl ~pid:t.ctx.Protocol.pid in
     note_heard t t.ctx.Protocol.pid cl;
-    insert t (ts, t.ctx.Protocol.pid, u);
+    insert t ts t.ctx.Protocol.pid u;
     t.ctx.Protocol.broadcast (Update { ts; update = u });
     t.received_since_send <- 0;
     compact t;
@@ -82,7 +70,7 @@ module Make (A : Uqadt.S) = struct
     | Update { ts; update = u } ->
       Lamport.merge t.clock ts.Timestamp.clock;
       note_heard t src ts.Timestamp.clock;
-      insert t (ts, src, u);
+      insert t ts src u;
       t.received_since_send <- t.received_since_send + 1;
       if t.received_since_send >= heartbeat_every then begin
         (* Let idle processes contribute to everyone's stability bound. *)
@@ -98,8 +86,10 @@ module Make (A : Uqadt.S) = struct
 
   let query t q ~on_result =
     let (_ : int) = Lamport.tick t.clock in
-    let state = List.fold_left (fun s (_, _, u) -> A.apply s u) t.snapshot t.tail in
-    t.ctx.Protocol.count_replay t.tail_len;
+    let state =
+      Oplog.fold (fun s e -> A.apply s e.Oplog.payload) t.snapshot t.tail
+    in
+    t.ctx.Protocol.count_replay (Oplog.length t.tail);
     on_result (A.eval state q)
 
   let message_wire_size = function
@@ -110,15 +100,12 @@ module Make (A : Uqadt.S) = struct
     | Update { ts; update = u } -> Format.asprintf "%a%a" A.pp_update u Timestamp.pp ts
     | Heartbeat { clock } -> Printf.sprintf "hb(%d)" clock
 
-  let log_length t = t.tail_len
+  let log_length t = Oplog.length t.tail
 
   let metadata_bytes t =
-    List.fold_left
-      (fun acc (ts, origin, u) ->
-        acc + Timestamp.wire_size ts + Wire.varint_size origin + A.update_wire_size u)
-      (Wire.varint_size t.snapshot_clock
-      + Array.fold_left (fun acc c -> acc + Wire.varint_size c) 0 t.heard)
-      t.tail
+    Oplog.footprint t.tail ~payload_wire_size:A.update_wire_size
+    + Wire.varint_size (snapshot_clock t)
+    + Array.fold_left (fun acc c -> acc + Wire.varint_size c) 0 t.heard
 
   (* The compacted prefix is discarded, so no full linearization
      certificate can be produced. *)

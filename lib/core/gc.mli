@@ -6,7 +6,10 @@
     future update from any process will carry a timestamp with clock
     > c, hence sort after every log entry with clock ≤ c. That prefix of
     the total order is immutable and can be folded into a snapshot
-    state.
+    state. Since the oplog refactor the live tail is an {!Oplog} whose
+    stability watermark {e is} the snapshot clock: {!Oplog.compact}
+    folds the stable prefix, and the watermark guard backs the
+    invariant check below.
 
     The rule additionally needs per-channel FIFO delivery (run with
     [fifo = true]): a process's messages carry increasing clocks, so

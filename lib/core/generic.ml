@@ -1,54 +1,60 @@
+module type S = sig
+  include Protocol.PROTOCOL
+
+  val message_update : message -> update
+
+  val local_log : t -> (Timestamp.t * int * update) list
+
+  val restore_log : t -> (Timestamp.t * int * update) list -> unit
+
+  val clock_value : t -> int
+
+  val advance_clock : t -> int -> unit
+end
+
 module Make (A : Uqadt.S) = struct
   include A
-  module Run = Uqadt.Run (A)
 
   type message = { ts : Timestamp.t; update : A.update }
 
   type t = {
     ctx : message Protocol.ctx;
     clock : Lamport.t;
-    (* Sorted by timestamp, ascending. Entries: (timestamp, origin, update). *)
-    mutable log : (Timestamp.t * int * A.update) list;
-    mutable log_len : int;
+    log : (A.update, A.state) Oplog.t;
   }
 
   let protocol_name = "universal"
 
-  let create ctx = { ctx; clock = Lamport.create (); log = []; log_len = 0 }
+  let checkpoint_interval = ref 32
 
-  (* Timestamp-sorted insert. Late messages land in the middle; fresh
-     ones at the end, so we keep the list ascending and insert by scan. *)
-  let insert t entry =
-    let ts, _, _ = entry in
-    let rec place = function
-      | [] -> [ entry ]
-      | ((ts', _, _) as e) :: rest ->
-        if Timestamp.compare ts ts' < 0 then entry :: e :: rest else e :: place rest
-    in
-    t.log <- place t.log;
-    t.log_len <- t.log_len + 1
+  let create ctx =
+    {
+      ctx;
+      clock = Lamport.create ();
+      log = Oplog.create ~checkpoint_interval:(max 0 !checkpoint_interval) ();
+    }
 
   let update t u ~on_done =
     let cl = Lamport.tick t.clock in
     let ts = Timestamp.make ~clock:cl ~pid:t.ctx.Protocol.pid in
     (* Line 6: broadcast to all; the local copy is applied synchronously. *)
-    insert t (ts, t.ctx.Protocol.pid, u);
+    ignore
+      (Oplog.insert t.log { Oplog.ts; origin = t.ctx.Protocol.pid; payload = u });
     t.ctx.Protocol.broadcast { ts; update = u };
     on_done ()
 
   let receive t ~src { ts; update = u } =
     (* Line 9: clock_i <- max(clock_i, cl). *)
     Lamport.merge t.clock ts.Timestamp.clock;
-    insert t (ts, src, u)
+    ignore (Oplog.insert t.log { Oplog.ts; origin = src; payload = u })
 
   let query t q ~on_result =
     (* Line 13: queries also advance the clock. *)
     let (_ : int) = Lamport.tick t.clock in
-    (* Lines 14-17: replay the whole sorted log from the initial state. *)
-    let state =
-      List.fold_left (fun s (_, _, u) -> A.apply s u) A.initial t.log
-    in
-    t.ctx.Protocol.count_replay t.log_len;
+    (* Lines 14-17: replay the sorted log — from the deepest valid
+       checkpoint, per Section VII.C. *)
+    let state, steps = Oplog.replay t.log ~apply:A.apply ~initial:A.initial in
+    t.ctx.Protocol.count_replay steps;
     on_result (A.eval state q)
 
   let message_wire_size { ts; update = u } =
@@ -57,26 +63,26 @@ module Make (A : Uqadt.S) = struct
   let describe_message { ts; update = u } =
     Format.asprintf "%a%a" A.pp_update u Timestamp.pp ts
 
-  let log_length t = t.log_len
+  let log_length t = Oplog.length t.log
 
-  let metadata_bytes t =
-    List.fold_left
-      (fun acc (ts, origin, u) ->
-        acc + Timestamp.wire_size ts + Wire.varint_size origin + A.update_wire_size u)
-      0 t.log
+  let metadata_bytes t = Oplog.footprint t.log ~payload_wire_size:A.update_wire_size
 
-  let certificate t = Some (List.map (fun (_, origin, u) -> (origin, u)) t.log)
+  let certificate t =
+    Some
+      (List.rev
+         (Oplog.fold (fun acc e -> (e.Oplog.origin, e.Oplog.payload) :: acc) [] t.log))
 
   let message_update { update = u; _ } = u
 
-  let local_log t = t.log
+  let local_log t = Oplog.to_list t.log
 
   let clock_value t = Lamport.value t.clock
 
   let advance_clock t v = Lamport.merge t.clock v
 
   let restore_log t entries =
-    t.log <- List.sort (fun (a, _, _) (b, _, _) -> Timestamp.compare a b) entries;
-    t.log_len <- List.length entries;
+    Oplog.load t.log entries;
     List.iter (fun (ts, _, _) -> Lamport.merge t.clock ts.Timestamp.clock) entries
+
+  let checkpoints_live t = Oplog.checkpoints_live t.log
 end

@@ -3,15 +3,10 @@ module Make (A : Uqadt.S) = struct
 
   type message = { ts : Timestamp.t; update : A.update }
 
-  type entry = { ets : Timestamp.t; origin : int; u : A.update }
-
   type t = {
     ctx : message Protocol.ctx;
     clock : Lamport.t;
-    mutable log : entry array;  (* sorted by timestamp; only [len] used *)
-    mutable len : int;
-    mutable snapshots : (int * A.state) list;
-        (* (k, state after the first k log entries), k descending *)
+    log : (A.update, A.state) Oplog.t;
   }
 
   let protocol_name = "universal-memo"
@@ -19,58 +14,29 @@ module Make (A : Uqadt.S) = struct
   let snapshot_interval = 32
 
   let create ctx =
-    { ctx; clock = Lamport.create (); log = [||]; len = 0; snapshots = [] }
-
-  let grow t entry =
-    if t.len = Array.length t.log then begin
-      let log = Array.make (max 8 (2 * t.len)) entry in
-      Array.blit t.log 0 log 0 t.len;
-      t.log <- log
-    end
-
-  (* Position of the first entry with a timestamp greater than [ts]. *)
-  let insert_position t ts =
-    let rec scan i =
-      if i = 0 then 0
-      else if Timestamp.compare t.log.(i - 1).ets ts < 0 then i
-      else scan (i - 1)
-    in
-    scan t.len
-
-  let insert t entry =
-    grow t entry;
-    let pos = insert_position t entry.ets in
-    Array.blit t.log pos t.log (pos + 1) (t.len - pos);
-    t.log.(pos) <- entry;
-    t.len <- t.len + 1;
-    (* A late arrival invalidates every snapshot past its position. *)
-    t.snapshots <- List.filter (fun (k, _) -> k <= pos) t.snapshots
+    {
+      ctx;
+      clock = Lamport.create ();
+      log = Oplog.create ~checkpoint_interval:snapshot_interval ();
+    }
 
   let update t u ~on_done =
     let cl = Lamport.tick t.clock in
     let ts = Timestamp.make ~clock:cl ~pid:t.ctx.Protocol.pid in
-    insert t { ets = ts; origin = t.ctx.Protocol.pid; u };
+    ignore
+      (Oplog.insert t.log { Oplog.ts; origin = t.ctx.Protocol.pid; payload = u });
     t.ctx.Protocol.broadcast { ts; update = u };
     on_done ()
 
   let receive t ~src { ts; update = u } =
     Lamport.merge t.clock ts.Timestamp.clock;
-    insert t { ets = ts; origin = src; u }
+    ignore (Oplog.insert t.log { Oplog.ts; origin = src; payload = u })
 
   let query t q ~on_result =
     let (_ : int) = Lamport.tick t.clock in
-    let base, state =
-      match t.snapshots with [] -> (0, A.initial) | (k, s) :: _ -> (k, s)
-    in
-    let state = ref state in
-    for i = base to t.len - 1 do
-      state := A.apply !state t.log.(i).u;
-      (* Record checkpoints on the way so the next query starts close to
-         the end of the log. *)
-      if (i + 1) mod snapshot_interval = 0 then t.snapshots <- (i + 1, !state) :: t.snapshots
-    done;
-    t.ctx.Protocol.count_replay (t.len - base);
-    on_result (A.eval !state q)
+    let state, steps = Oplog.replay t.log ~apply:A.apply ~initial:A.initial in
+    t.ctx.Protocol.count_replay steps;
+    on_result (A.eval state q)
 
   let message_wire_size { ts; update = u } =
     Timestamp.wire_size ts + A.update_wire_size u
@@ -78,19 +44,14 @@ module Make (A : Uqadt.S) = struct
   let describe_message { ts; update = u } =
     Format.asprintf "%a%a" A.pp_update u Timestamp.pp ts
 
-  let log_length t = t.len
+  let log_length t = Oplog.length t.log
 
-  let metadata_bytes t =
-    let acc = ref 0 in
-    for i = 0 to t.len - 1 do
-      let e = t.log.(i) in
-      acc := !acc + Timestamp.wire_size e.ets + Wire.varint_size e.origin + A.update_wire_size e.u
-    done;
-    !acc
+  let metadata_bytes t = Oplog.footprint t.log ~payload_wire_size:A.update_wire_size
 
   let certificate t =
-    let rec collect i acc = if i < 0 then acc else collect (i - 1) ((t.log.(i).origin, t.log.(i).u) :: acc) in
-    Some (collect (t.len - 1) [])
+    Some
+      (List.rev
+         (Oplog.fold (fun acc e -> (e.Oplog.origin, e.Oplog.payload) :: acc) [] t.log))
 
-  let snapshots_live t = List.length t.snapshots
+  let snapshots_live t = Oplog.checkpoints_live t.log
 end

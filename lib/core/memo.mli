@@ -3,12 +3,15 @@
     intermediate states. These intermediate states are re-computed only
     if very late messages arrive."
 
-    The log is an array kept in timestamp order with periodic snapshot
-    states every [snapshot_interval] entries. A query replays only from
-    the last snapshot below the log's end (O(interval) amortised instead
-    of O(log length)); a late arrival that lands at position [k]
-    invalidates just the snapshots above [k]. Observable difference from
-    {!Generic}: none in answers (same total order), only in
+    Since the oplog refactor the checkpoint machinery lives in
+    {!Oplog}; this module is the fixed-interval instantiation of it
+    (every [snapshot_interval] entries), kept as a named protocol so
+    the C2/A1 experiment narrative and its tables keep their
+    "universal-memo" row. A query replays only from the last checkpoint
+    below the log's end (O(interval) amortised instead of O(log
+    length)); a late arrival that lands at position [k] invalidates
+    just the checkpoints above [k]. Observable difference from the
+    naive {!Generic_ref}: none in answers (same total order), only in
     [replay_steps] — which is exactly experiment C2/A1. *)
 
 module Make (A : Uqadt.S) : sig

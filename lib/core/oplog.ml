@@ -1,0 +1,197 @@
+type 'u entry = { ts : Timestamp.t; origin : int; payload : 'u }
+
+type ('u, 's) t = {
+  mutable arr : 'u entry array;
+  mutable len : int;
+  interval : int;
+  mutable checkpoints : (int * 's) list;
+      (* (k, fold of the first k entries), k strictly descending *)
+  mutable watermark : int;
+}
+
+let create ?(checkpoint_interval = 0) () =
+  if checkpoint_interval < 0 then
+    invalid_arg "Oplog.create: checkpoint interval must be non-negative";
+  { arr = [||]; len = 0; interval = checkpoint_interval; checkpoints = []; watermark = 0 }
+
+let checkpoint_interval t = t.interval
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Oplog.get: index out of bounds";
+  t.arr.(i)
+
+(* First position whose timestamp is greater than [ts]. Timestamps are
+   (clock, pid) pairs and strictly totally ordered, so <= 0 vs > 0 is
+   the only split that matters. *)
+let locate t ts =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Timestamp.compare t.arr.(mid).ts ts <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let grow t entry =
+  if t.len = Array.length t.arr then begin
+    let arr = Array.make (max 8 (2 * t.len)) entry in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end
+
+let insert t entry =
+  if entry.ts.Timestamp.clock <= t.watermark then
+    invalid_arg "Oplog.insert: timestamp at or below the stability watermark";
+  grow t entry;
+  let pos = locate t entry.ts in
+  Array.blit t.arr pos t.arr (pos + 1) (t.len - pos);
+  t.arr.(pos) <- entry;
+  t.len <- t.len + 1;
+  (* A late arrival invalidates every checkpoint past its position;
+     an append (pos = previous length) keeps them all. *)
+  if t.checkpoints <> [] then
+    t.checkpoints <- List.filter (fun (k, _) -> k <= pos) t.checkpoints;
+  pos
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.arr.(i)
+  done;
+  !acc
+
+let to_list t =
+  List.init t.len (fun i ->
+      let e = t.arr.(i) in
+      (e.ts, e.origin, e.payload))
+
+let load t entries =
+  let entries =
+    List.sort (fun (a, _, _) (b, _, _) -> Timestamp.compare a b) entries
+  in
+  t.arr <-
+    Array.of_list
+      (List.map (fun (ts, origin, payload) -> { ts; origin; payload }) entries);
+  t.len <- Array.length t.arr;
+  t.checkpoints <- [];
+  t.watermark <- 0
+
+let replay t ~apply ~initial =
+  let base, state =
+    match t.checkpoints with [] -> (0, initial) | (k, s) :: _ -> (k, s)
+  in
+  let state = ref state in
+  for i = base to t.len - 1 do
+    state := apply !state t.arr.(i).payload;
+    (* Record states on the way so the next replay starts close to the
+       end of the log. The head checkpoint is the deepest, so [i + 1 >
+       base] never duplicates an existing one. *)
+    if t.interval > 0 && (i + 1) mod t.interval = 0 then
+      t.checkpoints <- (i + 1, !state) :: t.checkpoints
+  done;
+  (!state, t.len - base)
+
+let checkpoints_live t = List.length t.checkpoints
+
+let watermark t = t.watermark
+
+let compact t ~upto_clock ~apply snapshot =
+  if upto_clock <= t.watermark then (snapshot, 0)
+  else begin
+    (* Entries sort by (clock, pid), so the stable prefix ends where an
+       entry with clock > upto_clock would sort: below (upto_clock + 1, 0). *)
+    let stop = locate t (Timestamp.make ~clock:upto_clock ~pid:max_int) in
+    let state = ref snapshot in
+    for i = 0 to stop - 1 do
+      state := apply !state t.arr.(i).payload
+    done;
+    Array.blit t.arr stop t.arr 0 (t.len - stop);
+    t.len <- t.len - stop;
+    (* Checkpoint bases shifted by [stop]; simplest safe move is to
+       drop the cache (compacting protocols do not use it). *)
+    t.checkpoints <- [];
+    t.watermark <- upto_clock;
+    (!state, stop)
+  end
+
+let footprint t ~payload_wire_size =
+  fold
+    (fun acc e ->
+      acc + Timestamp.wire_size e.ts + Wire.varint_size e.origin
+      + payload_wire_size e.payload)
+    0 t
+
+(* Codec: byte-for-byte the frame the seed Persist wrote. *)
+
+let magic = "UCL"
+
+let version = 1
+
+let checksum s =
+  let acc = ref 0 in
+  String.iter (fun c -> acc := (!acc + Char.code c) land 0x3FFFFFFF) s;
+  !acc
+
+let encode_list ~encode_update entries =
+  let w = Codec.Writer.create () in
+  String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) magic;
+  Codec.Writer.u8 w version;
+  Codec.Writer.varint w (List.length entries);
+  List.iter
+    (fun (ts, origin, u) ->
+      Codec.Writer.varint w ts.Timestamp.clock;
+      Codec.Writer.varint w ts.Timestamp.pid;
+      Codec.Writer.varint w origin;
+      encode_update w u)
+    entries;
+  let body = Codec.Writer.contents w in
+  let tail = Codec.Writer.create () in
+  Codec.Writer.varint tail (checksum body);
+  body ^ Codec.Writer.contents tail
+
+let decode_list ~decode_update s =
+  (* The frame is self-delimiting: decode the body first, then the
+     trailing varint is the checksum of everything before it. *)
+  let r = Codec.Reader.of_string s in
+  String.iter
+    (fun c ->
+      if Codec.Reader.u8 r <> Char.code c then
+        raise (Codec.Decode_error "log snapshot: bad magic"))
+    magic;
+  if Codec.Reader.u8 r <> version then
+    raise (Codec.Decode_error "log snapshot: unsupported version");
+  let count = Codec.Reader.varint r in
+  let entries =
+    List.init count (fun _ ->
+        let clock = Codec.Reader.varint r in
+        let pid = Codec.Reader.varint r in
+        let origin = Codec.Reader.varint r in
+        let u = decode_update r in
+        (Timestamp.make ~clock ~pid, origin, u))
+  in
+  let body_len =
+    String.length s
+    - (let probe = Codec.Writer.create () in
+       Codec.Writer.varint probe (Codec.Reader.varint r);
+       if not (Codec.Reader.at_end r) then
+         raise (Codec.Decode_error "log snapshot: trailing bytes");
+       Codec.Writer.length probe)
+  in
+  let body = String.sub s 0 body_len in
+  let declared =
+    Codec.Reader.varint
+      (Codec.Reader.of_string (String.sub s body_len (String.length s - body_len)))
+  in
+  if checksum body <> declared then
+    raise (Codec.Decode_error "log snapshot: checksum mismatch");
+  entries
+
+let encode ~encode_update t = encode_list ~encode_update (to_list t)
+
+let decode ~decode_update t s = load t (decode_list ~decode_update s)

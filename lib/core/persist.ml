@@ -1,72 +1,24 @@
-module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) = struct
-  module G = Generic.Make (A)
+module type LOG_VIEW = sig
+  type t
 
-  let magic = "UCL"
+  type update
 
-  let version = 1
+  val local_log : t -> (Timestamp.t * int * update) list
 
-  let checksum s =
-    let acc = ref 0 in
-    String.iter (fun c -> acc := (!acc + Char.code c) land 0x3FFFFFFF) s;
-    !acc
+  val restore_log : t -> (Timestamp.t * int * update) list -> unit
 
-  let encode_log entries =
-    let w = Codec.Writer.create () in
-    String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) magic;
-    Codec.Writer.u8 w version;
-    Codec.Writer.varint w (List.length entries);
-    List.iter
-      (fun (ts, origin, u) ->
-        Codec.Writer.varint w ts.Timestamp.clock;
-        Codec.Writer.varint w ts.Timestamp.pid;
-        Codec.Writer.varint w origin;
-        C.encode w u)
-      entries;
-    let body = Codec.Writer.contents w in
-    let tail = Codec.Writer.create () in
-    Codec.Writer.varint tail (checksum body);
-    body ^ Codec.Writer.contents tail
+  val clock_value : t -> int
 
-  let decode_log s =
-    (* Split off the checksum: it is the trailing varint, so re-encode
-       candidate lengths from the end. Simpler and unambiguous: compute
-       over every prefix the checksum of that prefix and compare with
-       the varint that follows it — the frame is self-delimiting, so
-       decode the body first and the checksum after. *)
-    let r = Codec.Reader.of_string s in
-    String.iter
-      (fun c ->
-        if Codec.Reader.u8 r <> Char.code c then
-          raise (Codec.Decode_error "log snapshot: bad magic"))
-      magic;
-    if Codec.Reader.u8 r <> version then
-      raise (Codec.Decode_error "log snapshot: unsupported version");
-    let count = Codec.Reader.varint r in
-    let entries =
-      List.init count (fun _ ->
-          let clock = Codec.Reader.varint r in
-          let pid = Codec.Reader.varint r in
-          let origin = Codec.Reader.varint r in
-          let u = C.decode r in
-          (Timestamp.make ~clock ~pid, origin, u))
-    in
-    (* Everything before the current position is the body the writer
-       checksummed. *)
-    let body_len =
-      String.length s
-      - (let probe = Codec.Writer.create () in
-         Codec.Writer.varint probe (Codec.Reader.varint r);
-         if not (Codec.Reader.at_end r) then
-           raise (Codec.Decode_error "log snapshot: trailing bytes");
-         Codec.Writer.length probe)
-    in
-    let body = String.sub s 0 body_len in
-    let declared =
-      Codec.Reader.varint (Codec.Reader.of_string (String.sub s body_len (String.length s - body_len)))
-    in
-    if checksum body <> declared then
-      raise (Codec.Decode_error "log snapshot: checksum mismatch");
-    entries
+  val advance_clock : t -> int -> unit
+end
+
+module Over (G : LOG_VIEW) (C : Update_codec.S with type update = G.update) =
+struct
+  (* The log frame itself ("UCL", version, entries, checksum) is the
+     oplog substrate's single codec path. *)
+  let encode_log entries = Oplog.encode_list ~encode_update:C.encode entries
+
+  let decode_log s = Oplog.decode_list ~decode_update:C.decode s
 
   let snapshot replica = encode_log (G.local_log replica)
 
@@ -80,6 +32,8 @@ module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) = str
      be bit-identical to the one that was snapshotted. *)
 
   let replica_magic = "UCS"
+
+  let version = 1
 
   let snapshot_replica replica =
     let w = Codec.Writer.create () in
@@ -105,3 +59,6 @@ module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) = str
     G.restore_log replica log;
     G.advance_clock replica clock
 end
+
+module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) =
+  Over (Generic.Make (A)) (C)

@@ -10,13 +10,62 @@
     which then rejoins with its Lamport clock advanced past everything
     it had acknowledged — so recovery never reuses a timestamp.
 
+    The frame bytes are produced by {!Oplog.encode_list} — the shared
+    substrate's single codec path — and are unchanged from the seed
+    format, so snapshots written before the oplog refactor still
+    restore. {!Over} works over {e any} replica exposing the
+    {!LOG_VIEW} log/clock API (the oplog-core {!Generic.Make} and the
+    seed list-core {!Generic_ref.Make} alike); {!Make} is the
+    {!Generic.Make} instantiation every existing call site uses.
+
     Framing errors, version mismatches and checksum failures raise
     {!Codec.Decode_error}: a corrupted log must never silently
     mis-linearize. *)
 
-module Make
-    (A : Uqadt.S)
-    (C : Update_codec.S with type update = A.update) : sig
+(** The slice of {!Generic.S} persistence needs: the compatibility
+    list view of the log plus exact clock access. *)
+module type LOG_VIEW = sig
+  type t
+
+  type update
+
+  val local_log : t -> (Timestamp.t * int * update) list
+
+  val restore_log : t -> (Timestamp.t * int * update) list -> unit
+
+  val clock_value : t -> int
+
+  val advance_clock : t -> int -> unit
+end
+
+module Over (G : LOG_VIEW) (C : Update_codec.S with type update = G.update) : sig
+  val encode_log : (Timestamp.t * int * G.update) list -> string
+
+  val decode_log : string -> (Timestamp.t * int * G.update) list
+  (** @raise Codec.Decode_error on any malformation. *)
+
+  val snapshot : G.t -> string
+  (** Serialise a live replica's log. *)
+
+  val restore : G.t -> string -> unit
+  (** Load a snapshot into a (typically fresh) replica. *)
+
+  val snapshot_replica : G.t -> string
+  (** Exact protocol state: the log frame of {!snapshot} plus the
+      replica's Lamport clock. {!snapshot}/{!restore} only guarantee the
+      restored clock dominates every logged timestamp — enough for crash
+      recovery, not for replay: queries tick the clock without logging,
+      so a log-only restore can hand out lower timestamps than the
+      snapshotted replica would have. The model checker's checkpointed
+      replay ({!Explore}) needs bit-exact restoration. *)
+
+  val restore_replica : G.t -> string -> unit
+  (** Load a {!snapshot_replica} frame into a {e fresh} replica, making
+      its state (log and clock) exactly equal to the snapshotted one.
+      @raise Codec.Decode_error on any malformation. *)
+end
+
+module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) : sig
   val encode_log : (Timestamp.t * int * A.update) list -> string
 
   val decode_log : string -> (Timestamp.t * int * A.update) list
@@ -29,16 +78,9 @@ module Make
   (** Load a snapshot into a (typically fresh) replica. *)
 
   val snapshot_replica : Generic.Make(A).t -> string
-  (** Exact protocol state: the log frame of {!snapshot} plus the
-      replica's Lamport clock. {!snapshot}/{!restore} only guarantee the
-      restored clock dominates every logged timestamp — enough for crash
-      recovery, not for replay: queries tick the clock without logging,
-      so a log-only restore can hand out lower timestamps than the
-      snapshotted replica would have. The model checker's checkpointed
-      replay ({!Explore}) needs bit-exact restoration. *)
+  (** See {!Over.snapshot_replica}. *)
 
   val restore_replica : Generic.Make(A).t -> string -> unit
-  (** Load a {!snapshot_replica} frame into a {e fresh} replica, making
-      its state (log and clock) exactly equal to the snapshotted one.
+  (** See {!Over.restore_replica}.
       @raise Codec.Decode_error on any malformation. *)
 end

@@ -3,14 +3,13 @@ module Make (A : Undoable.S) = struct
 
   type message = { ts : Timestamp.t; update : A.update }
 
-  type entry = { ets : Timestamp.t; origin : int; u : A.update; mutable tok : A.undo }
+  (* Undo tokens are state-dependent, so they refresh on every redo. *)
+  type pending = { u : A.update; mutable tok : A.undo }
 
   type t = {
     ctx : message Protocol.ctx;
     clock : Lamport.t;
-    (* Newest first: repairs touch the recent end of the log. *)
-    mutable rlog : entry list;
-    mutable len : int;
+    log : (pending, A.state) Oplog.t;
     mutable state : A.state;
     mutable repairs : int;
   }
@@ -18,35 +17,38 @@ module Make (A : Undoable.S) = struct
   let protocol_name = "universal-undo"
 
   let create ctx =
-    { ctx; clock = Lamport.create (); rlog = []; len = 0; state = A.initial; repairs = 0 }
+    {
+      ctx;
+      clock = Lamport.create ();
+      log = Oplog.create ();
+      state = A.initial;
+      repairs = 0;
+    }
 
   (* Insert a timestamped update at its place in the total order: undo
-     every later entry, apply, redo them (refreshing their undo tokens,
-     which are state-dependent). *)
+     every later entry, apply, redo them (refreshing their undo
+     tokens). The oplog's binary search finds the position; repairs
+     touch only the suffix behind it. *)
   let insert t ts origin u =
     let before = t.repairs in
-    let rec unwind acc state = function
-      | e :: rest when Timestamp.compare ts e.ets < 0 ->
-        t.repairs <- t.repairs + 1;
-        unwind (e :: acc) (A.undo state e.tok) rest
-      | older ->
-        let state, tok = A.apply_with_undo state u in
-        let entry = { ets = ts; origin; u; tok } in
-        let state, rebuilt =
-          List.fold_left
-            (fun (state, log) e ->
-              let state, tok = A.apply_with_undo state e.u in
-              e.tok <- tok;
-              t.repairs <- t.repairs + 1;
-              (state, e :: log))
-            (state, entry :: older)
-            acc
-        in
-        t.state <- state;
-        t.rlog <- rebuilt;
-        t.len <- t.len + 1
-    in
-    unwind [] t.state t.rlog;
+    let len = Oplog.length t.log in
+    let pos = Oplog.locate t.log ts in
+    let state = ref t.state in
+    for i = len - 1 downto pos do
+      state := A.undo !state (Oplog.get t.log i).Oplog.payload.tok;
+      t.repairs <- t.repairs + 1
+    done;
+    let state', tok = A.apply_with_undo !state u in
+    state := state';
+    ignore (Oplog.insert t.log { Oplog.ts; origin; payload = { u; tok } });
+    for i = pos + 1 to len do
+      let p = (Oplog.get t.log i).Oplog.payload in
+      let state', tok = A.apply_with_undo !state p.u in
+      p.tok <- tok;
+      state := state';
+      t.repairs <- t.repairs + 1
+    done;
+    t.state <- !state;
     (* One application for the newcomer plus every undo/redo repair. *)
     t.ctx.Protocol.count_replay (1 + t.repairs - before)
 
@@ -72,16 +74,15 @@ module Make (A : Undoable.S) = struct
   let describe_message { ts; update = u } =
     Format.asprintf "%a%a" A.pp_update u Timestamp.pp ts
 
-  let log_length t = t.len
+  let log_length t = Oplog.length t.log
 
   let metadata_bytes t =
-    List.fold_left
-      (fun acc e ->
-        acc + Timestamp.wire_size e.ets + Wire.varint_size e.origin + A.update_wire_size e.u)
-      0 t.rlog
+    Oplog.footprint t.log ~payload_wire_size:(fun p -> A.update_wire_size p.u)
 
   let certificate t =
-    Some (List.rev_map (fun e -> (e.origin, e.u)) t.rlog)
+    Some
+      (List.rev
+         (Oplog.fold (fun acc e -> (e.Oplog.origin, e.Oplog.payload.u) :: acc) [] t.log))
 
   let repairs t = t.repairs
 end

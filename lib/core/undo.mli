@@ -8,7 +8,12 @@
     positioned by undoing the [k] later updates, applying the newcomer,
     and replaying the [k] — O(k) instead of the full-log replay of
     {!Generic}. Queries are O(1). Experiment A1 compares the two as the
-    late-arrival rate grows. *)
+    late-arrival rate grows.
+
+    The log itself is the shared {!Oplog} substrate (binary-search
+    positioning, blit insert); only the undo/redo repair discipline
+    lives here, with per-entry undo tokens kept mutable because they
+    are state-dependent and refresh on every redo. *)
 
 module Make (A : Undoable.S) : sig
   include

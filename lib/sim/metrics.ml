@@ -8,6 +8,7 @@ type t = {
   mutable ops_completed : int;
   mutable ops_incomplete : int;
   mutable replay_steps : int;
+  mutable batches_sent : int;
   mutable delivery_latency_sum : float;
 }
 
@@ -22,6 +23,7 @@ let create () =
     ops_completed = 0;
     ops_incomplete = 0;
     replay_steps = 0;
+    batches_sent = 0;
     delivery_latency_sum = 0.0;
   }
 

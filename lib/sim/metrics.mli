@@ -14,6 +14,9 @@ type t = {
           by a partition or crash majority *)
   mutable replay_steps : int;
       (** update applications performed by query replays (C2) *)
+  mutable batches_sent : int;
+      (** multi-message wire frames sent via batched broadcast (frames
+          carrying a single message count as plain sends) *)
   mutable delivery_latency_sum : float;
 }
 

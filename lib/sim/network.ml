@@ -19,6 +19,7 @@ type 'msg t = {
   n : int;
   fifo : bool;
   partitions : partition list;
+  envelope : int;  (** per-frame wire overhead, amortised by batching *)
   delay : delay_model;
   record_delivery :
     (sent:float -> received:float -> src:int -> dst:int -> 'msg -> unit) option;
@@ -28,8 +29,9 @@ type 'msg t = {
   last_delivery : float array array;  (** per (src, dst), for FIFO channels *)
 }
 
-let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = []) ?record_delivery
-    ~delay ~wire_size ~deliver () =
+let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = [])
+    ?(envelope = 0) ?record_delivery ~delay ~wire_size ~deliver () =
+  if envelope < 0 then invalid_arg "Network.create: envelope must be non-negative";
   {
     engine;
     rng;
@@ -37,6 +39,7 @@ let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = []) ?record_d
     n;
     fifo;
     partitions;
+    envelope;
     delay;
     record_delivery;
     wire_size;
@@ -59,10 +62,19 @@ let rec connected_time t ~src ~dst ~at =
   | None -> at
   | Some p -> connected_time t ~src ~dst ~at:p.to_time
 
-let enqueue t ~src ~dst msg =
+(* One wire frame from [src] to [dst] carrying [msgs] in order: one
+   delay draw, one envelope, one delivery event. A singleton frame is
+   exactly the seed's per-message [enqueue] (with the default zero
+   envelope the metrics are bit-identical). *)
+let enqueue t ~src ~dst msgs =
   let now = Engine.now t.engine in
-  t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + 1;
-  t.metrics.Metrics.bytes_sent <- t.metrics.Metrics.bytes_sent + t.wire_size msg;
+  let count = List.length msgs in
+  t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + count;
+  t.metrics.Metrics.bytes_sent <-
+    t.metrics.Metrics.bytes_sent + t.envelope
+    + List.fold_left (fun acc m -> acc + t.wire_size m) 0 msgs;
+  if count > 1 then
+    t.metrics.Metrics.batches_sent <- t.metrics.Metrics.batches_sent + 1;
   let arrival =
     if src = dst then now (* a process receives its own broadcast instantly *)
     else begin
@@ -74,27 +86,47 @@ let enqueue t ~src ~dst msg =
   if t.fifo then t.last_delivery.(src).(dst) <- arrival;
   Engine.schedule_at t.engine ~time:arrival (fun () ->
       if t.crashed.(dst) then
-        t.metrics.Metrics.messages_dropped <- t.metrics.Metrics.messages_dropped + 1
-      else begin
-        t.metrics.Metrics.messages_delivered <- t.metrics.Metrics.messages_delivered + 1;
-        t.metrics.Metrics.delivery_latency_sum <-
-          t.metrics.Metrics.delivery_latency_sum +. (arrival -. now);
-        (match t.record_delivery with
-        | Some record -> record ~sent:now ~received:arrival ~src ~dst msg
-        | None -> ());
-        t.deliver ~dst ~src msg
-      end)
+        t.metrics.Metrics.messages_dropped <-
+          t.metrics.Metrics.messages_dropped + count
+      else
+        List.iter
+          (fun msg ->
+            t.metrics.Metrics.messages_delivered <-
+              t.metrics.Metrics.messages_delivered + 1;
+            t.metrics.Metrics.delivery_latency_sum <-
+              t.metrics.Metrics.delivery_latency_sum +. (arrival -. now);
+            (match t.record_delivery with
+            | Some record -> record ~sent:now ~received:arrival ~src ~dst msg
+            | None -> ());
+            t.deliver ~dst ~src msg)
+          msgs)
 
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Network.send: bad destination";
   if t.crashed.(src) then
     t.metrics.Metrics.messages_dropped <- t.metrics.Metrics.messages_dropped + 1
-  else enqueue t ~src ~dst msg
+  else enqueue t ~src ~dst [ msg ]
 
 let broadcast t ~src msg =
   for dst = 0 to t.n - 1 do
     if dst <> src then send t ~src ~dst msg
   done
+
+let send_batch t ~src ~dst msgs =
+  if dst < 0 || dst >= t.n then invalid_arg "Network.send_batch: bad destination";
+  match msgs with
+  | [] -> ()
+  | msgs ->
+    if t.crashed.(src) then
+      t.metrics.Metrics.messages_dropped <-
+        t.metrics.Metrics.messages_dropped + List.length msgs
+    else enqueue t ~src ~dst msgs
+
+let broadcast_batch t ~src msgs =
+  if msgs <> [] then
+    for dst = 0 to t.n - 1 do
+      if dst <> src then send_batch t ~src ~dst msgs
+    done
 
 let crash t pid = t.crashed.(pid) <- true
 

@@ -34,6 +34,7 @@ val create :
   n:int ->
   ?fifo:bool ->
   ?partitions:partition list ->
+  ?envelope:int ->
   ?record_delivery:
     (sent:float -> received:float -> src:int -> dst:int -> 'msg -> unit) ->
   delay:delay_model ->
@@ -42,7 +43,12 @@ val create :
   unit ->
   'msg t
 (** [deliver] is invoked at the (simulated) arrival time of each message
-    not addressed to or sent by a then-crashed process. *)
+    not addressed to or sent by a then-crashed process. [envelope]
+    (default [0]) is the per-frame wire overhead in bytes charged to
+    [bytes_sent] once per frame — a batch of [k] messages to one
+    destination pays it once instead of [k] times, which is the whole
+    point of {!send_batch}/{!broadcast_batch}. With the default [0]
+    every byte count is identical to the unbatched accounting. *)
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
@@ -51,6 +57,16 @@ val broadcast : 'msg t -> src:int -> 'msg -> unit
     treats a sender's own copy as received instantaneously, so protocols
     apply their own updates synchronously instead. Counts [n-1]
     messages. *)
+
+val send_batch : 'msg t -> src:int -> dst:int -> 'msg list -> unit
+(** One wire frame carrying the messages in order: one delay draw, one
+    envelope charge, one delivery event delivering them back-to-back
+    (all-or-nothing if the destination crashes first). [[]] is a
+    no-op. Frames with at least two messages count in
+    [Metrics.batches_sent]. *)
+
+val broadcast_batch : 'msg t -> src:int -> 'msg list -> unit
+(** {!send_batch} to every process other than the sender. *)
 
 val crash : 'msg t -> int -> unit
 (** Mark a process crashed: it no longer sends or receives. *)

@@ -6,6 +6,7 @@ type 'msg ctx = {
   now : unit -> float;
   send : dst:int -> 'msg -> unit;
   broadcast : 'msg -> unit;
+  broadcast_batch : 'msg list -> unit;
   set_timer : delay:float -> (unit -> unit) -> unit;
   count_replay : int -> unit;
 }

@@ -20,6 +20,12 @@ type 'msg ctx = {
       (** to every process except self: a sender receives its own
           message instantaneously (Section VII.B), which protocols model
           by applying their own updates synchronously *)
+  broadcast_batch : 'msg list -> unit;
+      (** semantically [List.iter broadcast], but the transport may pack
+          the messages into one wire frame per destination — amortising
+          the per-message envelope overhead — and delivers the batch
+          back-to-back in order. Observable only in the message/byte
+          metrics, never in protocol outcomes. *)
   set_timer : delay:float -> (unit -> unit) -> unit;
   count_replay : int -> unit;
       (** report update applications done while answering a query (C2) *)

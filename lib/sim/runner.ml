@@ -12,6 +12,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     final_read : P.query option;
     deadline : float;
     trace : bool;
+    batch_window : float option;
+    envelope : int;
   }
 
   let default_config ~n ~seed =
@@ -26,6 +28,8 @@ module Make (P : Protocol.PROTOCOL) = struct
       final_read = None;
       deadline = 1e7;
       trace = false;
+      batch_window = None;
+      envelope = 0;
     }
 
   type result = {
@@ -62,8 +66,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     let network =
       Network.create ~engine ~rng:net_rng ~metrics ~n ~fifo:config.fifo
-        ~partitions:config.partitions ?record_delivery ~delay:config.delay
-        ~wire_size:P.message_wire_size
+        ~partitions:config.partitions ~envelope:config.envelope ?record_delivery
+        ~delay:config.delay ~wire_size:P.message_wire_size
         ~deliver:(fun ~dst ~src msg ->
           match replicas.(dst) with
           | Some r -> P.receive r ~src msg
@@ -78,6 +82,21 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     let op_times : (float * float ref) list ref array = Array.init n (fun _ -> ref []) in
     let latencies = ref [] in
+    (* Per-process broadcast buffers for window batching: the first
+       broadcast of a window schedules a flush [batch_window] later;
+       everything buffered until then leaves as one frame per
+       destination. Flushes are engine events, so they drain inside the
+       main [Engine.run] and respect crashes (a crashed source's buffer
+       is dropped by the network like any of its sends). *)
+    let batch_bufs = Array.init n (fun _ -> Queue.create ()) in
+    let flush_batch pid =
+      let q = batch_bufs.(pid) in
+      if not (Queue.is_empty q) then begin
+        let msgs = List.of_seq (Queue.to_seq q) in
+        Queue.clear q;
+        Network.broadcast_batch network ~src:pid msgs
+      end
+    in
     for pid = 0 to n - 1 do
       let ctx =
         {
@@ -85,7 +104,16 @@ module Make (P : Protocol.PROTOCOL) = struct
           n;
           now = (fun () -> Engine.now engine);
           send = (fun ~dst msg -> Network.send network ~src:pid ~dst msg);
-          broadcast = (fun msg -> Network.broadcast network ~src:pid msg);
+          broadcast =
+            (match config.batch_window with
+            | None -> fun msg -> Network.broadcast network ~src:pid msg
+            | Some window ->
+              fun msg ->
+                if Queue.is_empty batch_bufs.(pid) then
+                  Engine.schedule engine ~delay:window (fun () -> flush_batch pid);
+                Queue.add msg batch_bufs.(pid));
+          broadcast_batch =
+            (fun msgs -> Network.broadcast_batch network ~src:pid msgs);
           set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
           count_replay =
             (fun k -> metrics.Metrics.replay_steps <- metrics.Metrics.replay_steps + k);

@@ -25,11 +25,23 @@ module Make (P : Protocol.PROTOCOL) : sig
     final_read : P.query option;
     deadline : float;  (** hard stop for the whole simulation *)
     trace : bool;  (** record an execution trace (see {!Trace}) *)
+    batch_window : float option;
+        (** when set, a process's broadcasts are buffered and flushed as
+            one {!Network.broadcast_batch} frame per destination this
+            many time units after the window opens — back-to-back
+            updates amortise the per-frame envelope. [None] (the
+            default) sends every broadcast immediately, exactly as the
+            seed runner did. *)
+    envelope : int;
+        (** per-frame wire overhead passed to {!Network.create};
+            default [0], which keeps byte accounting identical to the
+            seed. *)
   }
 
   val default_config : n:int -> seed:int -> config
   (** Uniform delays in [1, 10], think times exponential(5), no faults,
-      final read for none (set it per ADT), deadline 1e7. *)
+      final read for none (set it per ADT), deadline 1e7, no batching,
+      zero envelope. *)
 
   type result = {
     history : (P.update, P.query, P.output) History.t;

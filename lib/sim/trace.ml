@@ -2,6 +2,7 @@ type event =
   | Op of { time : float; pid : int; label : string }
   | Delivery of { sent : float; received : float; src : int; dst : int; label : string }
   | Crash of { time : float; pid : int }
+  | Note of { time : float; text : string }
 
 type t = { mutable events : event list }
 
@@ -14,12 +15,15 @@ let record_delivery t ~sent ~received ~src ~dst label =
 
 let record_crash t ~time ~pid = t.events <- Crash { time; pid } :: t.events
 
+let record_note t ~time text = t.events <- Note { time; text } :: t.events
+
 let length t = List.length t.events
 
 let time_of = function
   | Op { time; _ } -> time
   | Delivery { received; _ } -> received
   | Crash { time; _ } -> time
+  | Note { time; _ } -> time
 
 let render t ~n =
   let events = List.sort (fun a b -> Float.compare (time_of a) (time_of b)) (List.rev t.events) in
@@ -53,7 +57,10 @@ let render t ~n =
       | Crash { pid; _ } ->
         for p = 0 to n - 1 do
           Buffer.add_string buf (pad (if p = pid then "✗ crash" else "·"))
-        done);
+        done
+      | Note { text; _ } ->
+        (* A full-width annotation line, not tied to any lane. *)
+        Buffer.add_string buf ("# " ^ text));
       Buffer.add_char buf '\n')
     events;
   Buffer.contents buf

@@ -17,6 +17,11 @@ val record_delivery :
 
 val record_crash : t -> time:float -> pid:int -> unit
 
+val record_note : t -> time:float -> string -> unit
+(** A free-form annotation rendered as its own full-width line —
+    used to record run configuration (e.g. which log core and
+    checkpoint interval a run was driven with) inside the trace. *)
+
 val length : t -> int
 
 val render : t -> n:int -> string

@@ -189,6 +189,7 @@ let tests =
               now = (fun () -> 0.0);
               send = (fun ~dst:_ _ -> ());
               broadcast = (fun _ -> ());
+              broadcast_batch = (fun _ -> ());
               set_timer = (fun ~delay:_ _ -> ());
               count_replay = (fun _ -> ());
             }

@@ -23,6 +23,7 @@ let () =
       ("workload", Test_workload.tests);
       ("parse", Test_parse.tests);
       ("persist", Test_persist.tests);
+      ("oplog", Test_oplog.tests);
       ("internals", Test_internals.tests);
       ("clients", Test_clients.tests);
       ("differential", Test_differential.tests);

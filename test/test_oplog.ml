@@ -1,0 +1,224 @@
+(* QCheck properties for the shared oplog substrate (lib/core/oplog.ml):
+   insertion of any permutation equals the timestamp sort, checkpointed
+   replay at every interval equals the full replay, compaction folds
+   exactly the stable prefix, and the persistence codec round-trips at
+   its declared wire size. *)
+
+open Helpers
+
+(* A random batch of entries with pairwise-distinct timestamps (clock
+   collisions are disambiguated by pid, exactly as the protocol's
+   (Lamport clock, pid) pairs are), in a shuffled insertion order. *)
+let entry_batch rng =
+  let n = Prng.int rng 80 in
+  let raw = List.init n (fun _ -> (1 + Prng.int rng 50, Prng.int rng 4)) in
+  let uniq = List.sort_uniq compare raw in
+  let entries =
+    List.map
+      (fun (clock, pid) ->
+        (Timestamp.make ~clock ~pid, pid, Set_spec.random_update rng))
+      uniq
+  in
+  let arr = Array.of_list entries in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let by_timestamp entries =
+  List.sort (fun (a, _, _) (b, _, _) -> Timestamp.compare a b) entries
+
+let insert_all log entries =
+  List.iter
+    (fun (ts, origin, payload) ->
+      ignore (Oplog.insert log { Oplog.ts; origin; payload }))
+    entries
+
+let fold_states entries =
+  List.fold_left (fun s (_, _, u) -> Set_spec.apply s u) Set_spec.initial entries
+
+(* Reimplemented from the frame spec, to pin the format rather than the
+   implementation: additive byte sum modulo 2^30. *)
+let frame_checksum s =
+  let acc = ref 0 in
+  String.iter (fun c -> acc := (!acc + Char.code c) land 0x3FFFFFFF) s;
+  !acc
+
+let tests =
+  [
+    qtest ~count:300 "inserting any permutation equals the timestamp sort"
+      seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = entry_batch rng in
+        let log = Oplog.create () in
+        insert_all log entries;
+        Oplog.length log = List.length entries
+        && Oplog.to_list log = by_timestamp entries);
+    qtest ~count:300 "insert returns the landing position" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let entries = entry_batch rng in
+        let log = Oplog.create () in
+        List.for_all
+          (fun (ts, origin, payload) ->
+            let pos = Oplog.insert log { Oplog.ts; origin; payload } in
+            Timestamp.equal (Oplog.get log pos).Oplog.ts ts
+            && pos = Oplog.locate log ts - 1)
+          entries);
+    qtest ~count:200
+      "checkpointed replay equals full replay at every interval" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = entry_batch rng in
+        List.for_all
+          (fun interval ->
+            let log = Oplog.create ~checkpoint_interval:interval () in
+            let inserted = ref [] in
+            List.for_all
+              (fun ((_, _, _) as e) ->
+                let ts, origin, payload = e in
+                ignore (Oplog.insert log { Oplog.ts; origin; payload });
+                inserted := e :: !inserted;
+                (* Replay mid-stream at random points, so checkpoints
+                   recorded by one replay get invalidated by the next
+                   late insert. *)
+                Prng.int rng 3 > 0
+                ||
+                let state, steps =
+                  Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+                in
+                steps >= 0
+                && Set_spec.equal_state state
+                     (fold_states (by_timestamp !inserted)))
+              entries
+            &&
+            let state, _ =
+              Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+            in
+            Set_spec.equal_state state (fold_states (by_timestamp entries)))
+          [ 1; 2; 3; 4; 5; 7; 8; 16; 32; 0 ]);
+    qtest ~count:200 "warm checkpoints bound replay work to one interval"
+      seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let interval = 1 + Prng.int rng 16 in
+        let n = Prng.int rng 120 in
+        let log = Oplog.create ~checkpoint_interval:interval () in
+        (* In-order arrivals: nothing invalidates, so after one replay a
+           second one starts at the deepest recorded checkpoint. *)
+        for i = 1 to n do
+          ignore
+            (Oplog.insert log
+               { Oplog.ts = Timestamp.make ~clock:i ~pid:0;
+                 origin = 0;
+                 payload = Set_spec.random_update rng;
+               })
+        done;
+        let _, steps1 =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        let _, steps2 =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        steps1 = n && steps2 = n mod interval
+        && Oplog.checkpoints_live log = n / interval);
+    qtest ~count:300 "compaction folds exactly the stable prefix" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = entry_batch rng in
+        let bound = Prng.int rng 60 in
+        let log = Oplog.create () in
+        insert_all log entries;
+        let sorted = by_timestamp entries in
+        let prefix, suffix =
+          List.partition (fun (ts, _, _) -> ts.Timestamp.clock <= bound) sorted
+        in
+        let state, folded =
+          Oplog.compact log ~upto_clock:bound ~apply:Set_spec.apply
+            Set_spec.initial
+        in
+        folded = List.length prefix
+        && Set_spec.equal_state state (fold_states prefix)
+        && Oplog.to_list log = suffix
+        && Oplog.watermark log = max bound 0
+        && (bound <= 0
+           ||
+           match
+             Oplog.insert log
+               { Oplog.ts = Timestamp.make ~clock:bound ~pid:9;
+                 origin = 9;
+                 payload = Set_spec.random_update rng;
+               }
+           with
+           | _ -> false
+           | exception Invalid_argument _ -> true));
+    qtest ~count:300 "codec round-trips at the declared wire size" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = by_timestamp (entry_batch rng) in
+        let s =
+          Oplog.encode_list ~encode_update:Update_codec.For_set.encode entries
+        in
+        let body_len =
+          3 + 1
+          + Wire.varint_size (List.length entries)
+          + List.fold_left
+              (fun acc (ts, origin, u) ->
+                acc + Timestamp.wire_size ts + Wire.varint_size origin
+                + Set_spec.update_wire_size u)
+              0 entries
+        in
+        let declared_trailer =
+          Wire.varint_size (frame_checksum (String.sub s 0 body_len))
+        in
+        String.length s = body_len + declared_trailer
+        && Oplog.decode_list ~decode_update:Update_codec.For_set.decode s
+           = entries);
+    qtest ~count:200 "codec rejects any single corrupted byte" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = by_timestamp (entry_batch rng) in
+        let s =
+          Bytes.of_string
+            (Oplog.encode_list ~encode_update:Update_codec.For_set.encode entries)
+        in
+        let i = Prng.int rng (Bytes.length s) in
+        Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 1));
+        match
+          Oplog.decode_list ~decode_update:Update_codec.For_set.decode
+            (Bytes.to_string s)
+        with
+        | decoded ->
+          (* A flip inside an update payload can decode to a different
+             valid frame only if the checksum also matched — never. *)
+          decoded <> entries && false
+        | exception Codec.Decode_error _ -> true);
+    qtest ~count:300 "load accepts any order and resets the cache" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = entry_batch rng in
+        let log = Oplog.create ~checkpoint_interval:4 () in
+        insert_all log entries;
+        let _ =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        Oplog.load log entries;
+        Oplog.checkpoints_live log = 0
+        && Oplog.watermark log = 0
+        && Oplog.to_list log = by_timestamp entries
+        &&
+        let state, steps =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        steps = List.length entries
+        && Set_spec.equal_state state (fold_states (by_timestamp entries)));
+    Alcotest.test_case "negative checkpoint interval is rejected" `Quick
+      (fun () ->
+        Alcotest.check_raises "create"
+          (Invalid_argument
+             "Oplog.create: checkpoint interval must be non-negative")
+          (fun () -> ignore (Oplog.create ~checkpoint_interval:(-1) () : (int, int) Oplog.t)));
+  ]

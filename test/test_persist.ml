@@ -12,6 +12,7 @@ let dummy_ctx pid : _ Protocol.ctx =
     now = (fun () -> 0.0);
     send = (fun ~dst:_ _ -> ());
     broadcast = ignore;
+    broadcast_batch = ignore;
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = ignore;
   }

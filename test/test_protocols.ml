@@ -132,6 +132,7 @@ let memo_gc_internals =
             now = (fun () -> 0.0);
             send = (fun ~dst:_ _ -> ());
             broadcast = ignore;
+            broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
           }
@@ -190,6 +191,7 @@ let memo_gc_internals =
             now = (fun () -> 0.0);
             send = (fun ~dst:_ _ -> ());
             broadcast = ignore;
+            broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
           }
@@ -269,6 +271,7 @@ let guard_tests =
             now = (fun () -> 0.0);
             send = (fun ~dst:_ _ -> ());
             broadcast = ignore;
+            broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
           }
@@ -305,6 +308,7 @@ let guard_tests =
             now = (fun () -> 0.0);
             send = (fun ~dst:_ _ -> ());
             broadcast = ignore;
+            broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
           }

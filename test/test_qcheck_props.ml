@@ -79,6 +79,7 @@ let dummy_ctx pid n : G_set.message Protocol.ctx =
     now = (fun () -> 0.0);
     send = (fun ~dst:_ _ -> ());
     broadcast = (fun _ -> ());
+    broadcast_batch = (fun _ -> ());
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = (fun _ -> ());
   }

@@ -59,12 +59,13 @@ let engine_tests =
   ]
 
 (* A network harness capturing deliveries. *)
-let net_harness ?(fifo = false) ?(partitions = []) ~delay ~seed n =
+let net_harness ?(fifo = false) ?(partitions = []) ?envelope ~delay ~seed n =
   let engine = Engine.create () in
   let metrics = Metrics.create () in
   let log = ref [] in
   let net =
-    Network.create ~engine ~rng:(Prng.create seed) ~metrics ~n ~fifo ~partitions ~delay
+    Network.create ~engine ~rng:(Prng.create seed) ~metrics ~n ~fifo ~partitions
+      ?envelope ~delay
       ~wire_size:(fun (_ : int) -> 4)
       ~deliver:(fun ~dst ~src msg -> log := (Engine.now engine, src, dst, msg) :: !log)
       ()
@@ -157,6 +158,55 @@ let network_tests =
         c = 3.0 && u >= 1.0 && u <= 2.0 && e >= 0.0 && p >= 2.0);
   ]
 
+let batch_tests =
+  [
+    Alcotest.test_case "send_batch delivers together and in order" `Quick (fun () ->
+        let engine, metrics, net, log =
+          net_harness ~delay:(Network.Uniform { lo = 1.0; hi = 50.0 }) ~seed:7 2
+        in
+        Network.send_batch net ~src:0 ~dst:1 [ 1; 2; 3 ];
+        Engine.run engine;
+        (* One frame: a single delay draw, so even a reordering network
+           hands the batch over atomically and in order. *)
+        let deliveries = List.rev !log in
+        Alcotest.(check (list int)) "in order" [ 1; 2; 3 ]
+          (List.map (fun (_, _, _, m) -> m) deliveries);
+        let times = List.map (fun (t, _, _, _) -> t) deliveries in
+        Alcotest.(check bool) "one arrival instant" true
+          (List.for_all (fun t -> t = List.hd times) times);
+        Alcotest.(check int) "counted per message" 3 metrics.Metrics.messages_sent;
+        Alcotest.(check int) "one multi-message frame" 1 metrics.Metrics.batches_sent);
+    Alcotest.test_case "singleton and empty sends are not batches" `Quick (fun () ->
+        let engine, metrics, net, log =
+          net_harness ~delay:(Network.Constant 1.0) ~seed:1 2
+        in
+        Network.send net ~src:0 ~dst:1 1;
+        Network.send_batch net ~src:0 ~dst:1 [ 2 ];
+        Network.send_batch net ~src:0 ~dst:1 [];
+        Engine.run engine;
+        Alcotest.(check int) "two deliveries" 2 (List.length !log);
+        Alcotest.(check int) "no batch counted" 0 metrics.Metrics.batches_sent);
+    Alcotest.test_case "envelope is charged once per frame" `Quick (fun () ->
+        let engine, metrics, net, _ =
+          net_harness ~envelope:10 ~delay:(Network.Constant 1.0) ~seed:1 3
+        in
+        (* Two frames of three 4-byte messages: 2*(10 + 12) bytes. *)
+        Network.broadcast_batch net ~src:0 [ 1; 2; 3 ];
+        Engine.run engine;
+        Alcotest.(check int) "bytes" (2 * (10 + 12)) metrics.Metrics.bytes_sent;
+        Alcotest.(check int) "two frames" 2 metrics.Metrics.batches_sent;
+        Alcotest.(check int) "six messages" 6 metrics.Metrics.messages_sent);
+    Alcotest.test_case "a batch to a crashed process drops whole" `Quick (fun () ->
+        let engine, metrics, net, log =
+          net_harness ~delay:(Network.Constant 1.0) ~seed:1 2
+        in
+        Network.crash net 1;
+        Network.send_batch net ~src:0 ~dst:1 [ 1; 2; 3 ];
+        Engine.run engine;
+        Alcotest.(check int) "no delivery" 0 (List.length !log);
+        Alcotest.(check int) "all dropped" 3 metrics.Metrics.messages_dropped);
+  ]
+
 module P = Generic.Make (Set_spec)
 module R = Runner.Make (P)
 
@@ -223,6 +273,35 @@ let runner_tests =
         && List.for_all2
              (fun (p, o) (p', o') -> p = p' && Set_spec.equal_output o o')
              a.R.final_outputs b.R.final_outputs);
+    qtest ~count:40 "a batching window preserves convergence and certificates"
+      seed_gen
+      (fun seed ->
+        let workload =
+          [|
+            List.init 12 (fun i -> Protocol.Invoke_update (Set_spec.Insert i));
+            List.init 12 (fun i ->
+                Protocol.Invoke_update
+                  (if i mod 3 = 0 then Set_spec.Delete i
+                   else Set_spec.Insert (100 + i)));
+            [];
+          |]
+        in
+        let config =
+          {
+            (R.default_config ~n:3 ~seed) with
+            R.final_read = Some Set_spec.Read;
+            think = Network.Constant 0.5;
+            batch_window = Some 2.0;
+            envelope = 8;
+          }
+        in
+        let r = R.run config ~workload in
+        (* Back-to-back updates within the 2.0 window must have shared
+           frames somewhere in the run, and batching must change no
+           protocol-level outcome. *)
+        r.R.converged && r.R.certificates_agree
+        && r.R.metrics.Metrics.batches_sent > 0
+        && List.length r.R.final_outputs = 3);
   ]
 
-let tests = engine_tests @ network_tests @ runner_tests
+let tests = engine_tests @ network_tests @ batch_tests @ runner_tests

@@ -29,6 +29,7 @@ let dummy_ctx ~pid ~n : _ Protocol.ctx =
     broadcast_batch = (fun _ -> ());
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = (fun _ -> ());
+    obs = None;
   }
 
 module Uni_set = Generic.Make (Set_spec)

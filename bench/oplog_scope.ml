@@ -18,7 +18,15 @@
    At size 512 the sweep enforces the refactor's acceptance criterion:
    the checkpointed oplog core must answer queries at least 5x faster
    than the seed list core. `--smoke` restricts the sweep to the sizes
-   up to 1024 (CI budget); the criterion is checked either way. *)
+   up to 1024 (CI budget); the criterion is checked either way.
+
+   `--obs` attaches a telemetry bundle — each core gets a replica
+   profile (pid 0/1/2) whose oplog counters are dumped at the end. The
+   measurements and the PASS/FAIL verdict are computed exactly as
+   without it. *)
+
+let obs =
+  if Array.exists (( = ) "--obs") Sys.argv then Some (Obs.create ()) else None
 
 let dummy_ctx ~pid ~n : _ Protocol.ctx =
   {
@@ -30,6 +38,7 @@ let dummy_ctx ~pid ~n : _ Protocol.ctx =
     broadcast_batch = (fun _ -> ());
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = (fun _ -> ());
+    obs = Option.map (fun o -> Obs.replica o pid) obs;
   }
 
 module L = Generic_ref.Make (Set_spec)
@@ -55,9 +64,9 @@ let measure (type t)
       with type update = Set_spec.update
        and type query = Set_spec.query
        and type output = Set_spec.output
-       and type t = t) ~core ~size =
+       and type t = t) ~core ~pid ~size =
   let rng = Prng.create 99 in
-  let r = P.create (dummy_ctx ~pid:0 ~n:3) in
+  let r = P.create (dummy_ctx ~pid ~n:3) in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to size do
     P.update r (Set_spec.random_update rng) ~on_done:ignore
@@ -88,9 +97,9 @@ let sweep sizes =
     (fun size ->
       let cells =
         [
-          measure (module L) ~core:"list" ~size;
-          measure (module A0) ~core:"array" ~size;
-          measure (module A32) ~core:"array+ckpt" ~size;
+          measure (module L) ~core:"list" ~pid:0 ~size;
+          measure (module A0) ~core:"array" ~pid:1 ~size;
+          measure (module A32) ~core:"array+ckpt" ~pid:2 ~size;
         ]
       in
       (match cells with
@@ -137,6 +146,12 @@ let () =
     cells;
   emit_json "BENCH_oplog.json" cells;
   print_endline "wrote BENCH_oplog.json";
+  (* pid 0 = list core, 1 = array, 2 = array+ckpt; verdict unaffected *)
+  Option.iter
+    (fun o ->
+      Obs.finalize o ~live:[];
+      Format.printf "telemetry:@.%a@." Obs.Registry.pp o.Obs.registry)
+    obs;
   let query_at core size =
     match List.find_opt (fun c -> c.core = core && c.size = size) cells with
     | Some c -> c.query_ns

@@ -5,6 +5,7 @@
      experiments  run the experiment suite (all or by id)
      run          simulate one protocol on a generated workload
      modelcheck   exhaustively check a protocol on a small script
+     report       render a telemetry registry dump as a table or JSON
      list         show available protocols and experiments *)
 
 let experiment_ids =
@@ -30,7 +31,51 @@ type run_params = {
   checkpoint_interval : int option;
       (* override for Generic's interval-checkpoint cadence; only
          meaningful with [log_core = `Array] *)
+  obs_on : bool;
+  trace_out : string option;
+  registry_out : string option;
+  span_dump : bool;
+  probe_interval : float option;
+  partitions : Network.partition list;
 }
+
+(* Telemetry is on as soon as any output that needs it was requested. *)
+let obs_of_params p =
+  if
+    p.obs_on || p.trace_out <> None || p.registry_out <> None || p.span_dump
+    || p.probe_interval <> None
+  then Some (Obs.create ())
+  else None
+
+let write_json file json =
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc
+
+let emit_obs p obs =
+  match obs with
+  | None -> ()
+  | Some (o : Obs.t) ->
+    (match p.trace_out with
+    | Some file ->
+      write_json file (Obs.Trace_export.to_json o.spans);
+      Printf.printf "trace written      %s (%d spans)\n" file
+        (Obs.Span.count o.spans)
+    | None -> ());
+    (match p.registry_out with
+    | Some file ->
+      write_json file (Obs.Registry.to_json o.registry);
+      Printf.printf "registry written   %s\n" file
+    | None -> ());
+    if p.span_dump then Format.printf "%a" Obs.Trace_export.pp_span_dump o.spans;
+    (match Obs.divergence_series o with
+    | [] -> ()
+    | series ->
+      Printf.printf "divergence series  %s\n"
+        (String.concat " "
+           (List.map (fun (t, d) -> Printf.sprintf "%.0f:%d" t d) series)));
+    Format.printf "telemetry:@.%a" Obs.Registry.pp o.registry
 
 (* [interval] is the instance's effective cadence, read back from the
    functor instance after any --checkpoint-interval override. *)
@@ -57,14 +102,18 @@ let run_set ?note (module P : SET_PROTOCOL) p =
     Workload.For_set.conflict ~rng ~n:p.n ~ops_per_process:p.ops ~domain:16 ~skew:1.0
       ~delete_ratio:0.3
   in
+  let obs = obs_of_params p in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
+      partitions = p.partitions;
       crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
       final_read = Some Set_spec.Read;
       trace = p.spacetime;
+      obs;
+      probe_interval = p.probe_interval;
     }
   in
   let r = R.run config ~workload in
@@ -86,7 +135,8 @@ let run_set ?note (module P : SET_PROTOCOL) p =
     Printf.printf "history UC         %b\nhistory EC         %b\n"
       (C.holds Criteria.UC r.R.history)
       (C.holds Criteria.EC r.R.history)
-  end
+  end;
+  emit_obs p obs
 
 let run_counter (module P : Protocol.PROTOCOL
                   with type update = Counter_spec.update
@@ -98,19 +148,24 @@ let run_counter (module P : Protocol.PROTOCOL
     Workload.For_counter.deposits_and_withdrawals ~rng ~n:p.n ~ops_per_process:p.ops
       ~max_amount:100
   in
+  let obs = obs_of_params p in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
+      partitions = p.partitions;
       final_read = Some Counter_spec.Value;
+      obs;
+      probe_interval = p.probe_interval;
     }
   in
   let r = R.run config ~workload in
   Printf.printf "protocol           %s (object: counter)\n" P.protocol_name;
   describe_metrics r.R.metrics;
   Printf.printf "converged          %b\n" r.R.converged;
-  List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs
+  List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs;
+  emit_obs p obs
 
 let run_register (module P : Protocol.PROTOCOL
                    with type update = Register_spec.update
@@ -120,12 +175,16 @@ let run_register (module P : Protocol.PROTOCOL
   let rng = Prng.create p.seed in
   let module G = Workload.Make (Register_spec) in
   let workload = G.mixed ~rng ~n:p.n ~ops_per_process:p.ops ~query_ratio:0.4 in
+  let obs = obs_of_params p in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
+      partitions = p.partitions;
       final_read = Some Register_spec.Read;
+      obs;
+      probe_interval = p.probe_interval;
     }
   in
   let r = R.run config ~workload in
@@ -137,7 +196,8 @@ let run_register (module P : Protocol.PROTOCOL
   | ls ->
     let s = Stats.summarize ls in
     Printf.printf "op latency         mean=%.2f p99=%.2f\n" s.Stats.mean s.Stats.p99);
-  List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs
+  List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs;
+  emit_obs p obs
 
 let run_memory p =
   let module R = Runner.Make (Lww_memory) in
@@ -146,17 +206,22 @@ let run_memory p =
     Workload.For_memory.random_writes ~rng ~n:p.n ~ops_per_process:p.ops ~registers:8
       ~read_ratio:0.4
   in
+  let obs = obs_of_params p in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
       R.delay = Network.Exponential { mean = p.mean_delay };
+      partitions = p.partitions;
       final_read = Some (Memory_spec.Read 0);
+      obs;
+      probe_interval = p.probe_interval;
     }
   in
   let r = R.run config ~workload in
   Printf.printf "protocol           lww-memory (object: memory)\n";
   describe_metrics r.R.metrics;
-  Printf.printf "converged          %b\n" r.R.converged
+  Printf.printf "converged          %b\n" r.R.converged;
+  emit_obs p obs
 
 module Uni_set = Generic.Make (Set_spec)
 module Uni_list = Generic_ref.Make (Set_spec)
@@ -208,13 +273,17 @@ let run_universal_on (module A : Uqadt.S) p =
             if Prng.int rng 4 = 0 then Protocol.Invoke_query (A.random_query rng)
             else Protocol.Invoke_update (A.random_update rng)))
   in
+  let obs = obs_of_params p in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
+      partitions = p.partitions;
       crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
       final_read = Some (A.random_query (Prng.create p.seed));
+      obs;
+      probe_interval = p.probe_interval;
     }
   in
   let r = R.run config ~workload in
@@ -225,7 +294,8 @@ let run_universal_on (module A : Uqadt.S) p =
   Printf.printf "converged          %b\n" r.R.converged;
   List.iter
     (fun (pid, o) -> Format.printf "final read p%d      %a@." pid A.pp_output o)
-    r.R.final_outputs
+    r.R.final_outputs;
+  emit_obs p obs
 
 let registry_protocols : (string * string * (run_params -> unit)) list =
   List.map
@@ -342,8 +412,82 @@ let run_cmd =
             "Record an oplog state checkpoint every K entries (universal \
              protocols on the array core; 0 disables checkpointing).")
   in
+  let obs_arg =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Enable the telemetry layer: per-replica metric registry, causal \
+             span tracing, replay-cost profiles. Off by default; runs without \
+             it are bit-identical to the uninstrumented simulator.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the span trace as Chrome/Perfetto trace-event JSON to \
+             $(docv) (implies --obs). Load it in ui.perfetto.dev.")
+  in
+  let registry_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "registry-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the metric registry dump as JSON to $(docv) (implies \
+             --obs). Render it later with `ucsim report`.")
+  in
+  let span_dump_arg =
+    Arg.(
+      value & flag
+      & info [ "span-dump" ]
+          ~doc:"Print the compact per-span dump (implies --obs).")
+  in
+  let probe_interval_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "probe-interval" ] ~docv:"DT"
+          ~doc:
+            "Sample every live replica's state fingerprint at most every \
+             $(docv) simulated time units, recording the divergence series \
+             and feeding visibility-latency accounting (implies --obs).")
+  in
+  let partition_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ from_s; to_s; group_s ] -> (
+        match (float_of_string_opt from_s, float_of_string_opt to_s) with
+        | Some from_time, Some to_time ->
+          let members = String.split_on_char ',' group_s in
+          let group = List.filter_map int_of_string_opt members in
+          if List.length group <> List.length members || group = [] then
+            Error (`Msg "partition: group must be a comma-separated pid list")
+          else Ok { Network.from_time; to_time; group }
+        | _ -> Error (`Msg "partition: FROM and TO must be numbers"))
+      | _ -> Error (`Msg "partition: expected FROM:TO:P1,P2,...")
+    in
+    let print ppf (p : Network.partition) =
+      Format.fprintf ppf "%g:%g:%s" p.Network.from_time p.Network.to_time
+        (String.concat "," (List.map string_of_int p.Network.group))
+    in
+    Arg.conv (parse, print)
+  in
+  let partitions_arg =
+    Arg.(
+      value
+      & opt_all partition_conv []
+      & info [ "partition" ] ~docv:"FROM:TO:PIDS"
+          ~doc:
+            "Isolate the comma-separated pid group from everyone else between \
+             simulated times FROM and TO (messages are delayed, not lost; the \
+             partition heals at TO). Repeatable.")
+  in
   let run f seed n ops mean_delay fifo crash_one check spacetime log_core
-      checkpoint_interval =
+      checkpoint_interval obs_on trace_out registry_out span_dump probe_interval
+      partitions =
     f
       {
         seed;
@@ -356,12 +500,20 @@ let run_cmd =
         spacetime;
         log_core;
         checkpoint_interval;
+        obs_on;
+        trace_out;
+        registry_out;
+        span_dump;
+        probe_interval;
+        partitions;
       }
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol $ seed_arg $ n_arg $ ops_arg $ delay_arg $ fifo_arg $ crash_arg
-      $ check_arg $ trace_arg $ log_core_arg $ checkpoint_interval_arg)
+      $ check_arg $ trace_arg $ log_core_arg $ checkpoint_interval_arg $ obs_arg
+      $ trace_out_arg $ registry_out_arg $ span_dump_arg $ probe_interval_arg
+      $ partitions_arg)
 
 let modelcheck_cmd =
   let doc =
@@ -687,6 +839,43 @@ let classify_cmd =
   in
   Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ history_arg $ witnesses_arg)
 
+let report_cmd =
+  let doc = "Render a telemetry registry dump (from `run --registry-out`)." in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Registry dump JSON file.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Re-emit the dump as canonical (sorted, pretty) JSON instead of a table.")
+  in
+  let run file json =
+    let contents =
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    in
+    match Obs.Registry.rows_of_json (Obs.Json.of_string contents) with
+    | exception Obs.Json.Parse_error msg ->
+      Printf.eprintf "report: %s is not JSON: %s\n" file msg;
+      exit 1
+    | exception Failure msg ->
+      Printf.eprintf "report: %s\n" msg;
+      exit 1
+    | rows ->
+      if json then
+        print_endline
+          (Obs.Json.to_string ~pretty:true (Obs.Registry.rows_to_json rows))
+      else Format.printf "%a" Obs.Registry.pp_rows rows
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg $ json_arg)
+
 let list_cmd =
   let doc = "List protocols and experiments." in
   let run () =
@@ -710,5 +899,6 @@ let () =
             modelcheck_cmd;
             nemesis_cmd;
             classify_cmd;
+            report_cmd;
             list_cmd;
           ]))

@@ -51,6 +51,7 @@ let ctx pid : Bank.message Protocol.ctx =
           msgs);
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = (fun _ -> ());
+    obs = None;
   }
 
 let replica pid = Option.get replicas.(pid)

@@ -60,6 +60,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             (fun msgs -> Network.broadcast_batch network ~src:pid msgs);
           set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
           count_replay = (fun _ -> ());
+          obs = None;
         }
       in
       replicas.(pid) <- Some (P.create ctx)

@@ -99,6 +99,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         set_timer =
           (fun ~delay:_ _ -> invalid_arg "Explore: protocols may not use timers");
         count_replay = (fun _ -> ());
+        obs = None;
       }
     in
     let reset_replicas () =

@@ -20,15 +20,21 @@ module Make (A : Uqadt.S) = struct
   let heartbeat_every = 8
 
   let create ctx =
-    {
-      ctx;
-      clock = Lamport.create ();
-      tail = Oplog.create ();
-      snapshot = A.initial;
-      compacted = 0;
-      heard = Array.make ctx.Protocol.n 0;
-      received_since_send = 0;
-    }
+    let t =
+      {
+        ctx;
+        clock = Lamport.create ();
+        tail = Oplog.create ();
+        snapshot = A.initial;
+        compacted = 0;
+        heard = Array.make ctx.Protocol.n 0;
+        received_since_send = 0;
+      }
+    in
+    Option.iter
+      (fun (r : Obs.replica) -> Oplog.set_profile t.tail (Some r.profile))
+      ctx.Protocol.obs;
+    t
 
   (* The oplog's stability watermark is this replica's snapshot clock:
      every entry with clock <= watermark has been folded out. *)

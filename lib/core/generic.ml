@@ -28,11 +28,17 @@ module Make (A : Uqadt.S) = struct
   let checkpoint_interval = ref 32
 
   let create ctx =
-    {
-      ctx;
-      clock = Lamport.create ();
-      log = Oplog.create ~checkpoint_interval:(max 0 !checkpoint_interval) ();
-    }
+    let t =
+      {
+        ctx;
+        clock = Lamport.create ();
+        log = Oplog.create ~checkpoint_interval:(max 0 !checkpoint_interval) ();
+      }
+    in
+    Option.iter
+      (fun (r : Obs.replica) -> Oplog.set_profile t.log (Some r.profile))
+      ctx.Protocol.obs;
+    t
 
   let update t u ~on_done =
     let cl = Lamport.tick t.clock in

@@ -14,11 +14,17 @@ module Make (A : Uqadt.S) = struct
   let snapshot_interval = 32
 
   let create ctx =
-    {
-      ctx;
-      clock = Lamport.create ();
-      log = Oplog.create ~checkpoint_interval:snapshot_interval ();
-    }
+    let t =
+      {
+        ctx;
+        clock = Lamport.create ();
+        log = Oplog.create ~checkpoint_interval:snapshot_interval ();
+      }
+    in
+    Option.iter
+      (fun (r : Obs.replica) -> Oplog.set_profile t.log (Some r.profile))
+      ctx.Protocol.obs;
+    t
 
   let update t u ~on_done =
     let cl = Lamport.tick t.clock in

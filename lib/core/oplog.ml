@@ -7,12 +7,24 @@ type ('u, 's) t = {
   mutable checkpoints : (int * 's) list;
       (* (k, fold of the first k entries), k strictly descending *)
   mutable watermark : int;
+  mutable profile : Obs.Profile.t option;
 }
 
 let create ?(checkpoint_interval = 0) () =
   if checkpoint_interval < 0 then
     invalid_arg "Oplog.create: checkpoint interval must be non-negative";
-  { arr = [||]; len = 0; interval = checkpoint_interval; checkpoints = []; watermark = 0 }
+  {
+    arr = [||];
+    len = 0;
+    interval = checkpoint_interval;
+    checkpoints = [];
+    watermark = 0;
+    profile = None;
+  }
+
+let set_profile t p = t.profile <- p
+
+let profiled t f = match t.profile with None -> () | Some p -> f p
 
 let checkpoint_interval t = t.interval
 
@@ -47,11 +59,23 @@ let insert t entry =
   let pos = locate t entry.ts in
   Array.blit t.arr pos t.arr (pos + 1) (t.len - pos);
   t.arr.(pos) <- entry;
+  profiled t (fun p ->
+      let shift = t.len - pos in
+      p.Obs.Profile.inserts <- p.Obs.Profile.inserts + 1;
+      if shift = 0 then p.Obs.Profile.appends <- p.Obs.Profile.appends + 1
+      else
+        p.Obs.Profile.shift_distance <- p.Obs.Profile.shift_distance + shift);
   t.len <- t.len + 1;
   (* A late arrival invalidates every checkpoint past its position;
      an append (pos = previous length) keeps them all. *)
-  if t.checkpoints <> [] then
+  if t.checkpoints <> [] then begin
+    let before = List.length t.checkpoints in
     t.checkpoints <- List.filter (fun (k, _) -> k <= pos) t.checkpoints;
+    profiled t (fun p ->
+        p.Obs.Profile.checkpoints_dropped <-
+          p.Obs.Profile.checkpoints_dropped + before
+          - List.length t.checkpoints)
+  end;
   pos
 
 let iter f t =
@@ -86,14 +110,24 @@ let replay t ~apply ~initial =
   let base, state =
     match t.checkpoints with [] -> (0, initial) | (k, s) :: _ -> (k, s)
   in
+  profiled t (fun p ->
+      p.Obs.Profile.replays <- p.Obs.Profile.replays + 1;
+      p.Obs.Profile.replay_steps <- p.Obs.Profile.replay_steps + t.len - base;
+      if base > 0 then
+        p.Obs.Profile.checkpoint_hits <- p.Obs.Profile.checkpoint_hits + 1
+      else if t.interval > 0 then
+        p.Obs.Profile.checkpoint_misses <- p.Obs.Profile.checkpoint_misses + 1);
   let state = ref state in
   for i = base to t.len - 1 do
     state := apply !state t.arr.(i).payload;
     (* Record states on the way so the next replay starts close to the
        end of the log. The head checkpoint is the deepest, so [i + 1 >
        base] never duplicates an existing one. *)
-    if t.interval > 0 && (i + 1) mod t.interval = 0 then
-      t.checkpoints <- (i + 1, !state) :: t.checkpoints
+    if t.interval > 0 && (i + 1) mod t.interval = 0 then begin
+      t.checkpoints <- (i + 1, !state) :: t.checkpoints;
+      profiled t (fun p ->
+          p.Obs.Profile.checkpoints_taken <- p.Obs.Profile.checkpoints_taken + 1)
+    end
   done;
   (!state, t.len - base)
 
@@ -113,6 +147,12 @@ let compact t ~upto_clock ~apply snapshot =
     done;
     Array.blit t.arr stop t.arr 0 (t.len - stop);
     t.len <- t.len - stop;
+    profiled t (fun p ->
+        p.Obs.Profile.compactions <- p.Obs.Profile.compactions + 1;
+        p.Obs.Profile.compacted_entries <-
+          p.Obs.Profile.compacted_entries + stop;
+        p.Obs.Profile.checkpoints_dropped <-
+          p.Obs.Profile.checkpoints_dropped + List.length t.checkpoints);
     (* Checkpoint bases shifted by [stop]; simplest safe move is to
        drop the cache (compacting protocols do not use it). *)
     t.checkpoints <- [];

@@ -53,6 +53,13 @@ val create : ?checkpoint_interval:int -> unit -> ('u, 's) t
     is how many entries {!replay} folds between recorded states.
     @raise Invalid_argument if the interval is negative. *)
 
+val set_profile : ('u, 's) t -> Obs.Profile.t option -> unit
+(** Attach (or detach, with [None] — the initial state) a telemetry
+    profile. With one attached, {!insert} counts appends vs mid-log
+    shifts, {!replay} counts passes/steps and checkpoint hit/miss/take,
+    and {!compact} counts folded entries — all plain field bumps, no
+    registry lookups on the hot path. *)
+
 val checkpoint_interval : ('u, 's) t -> int
 
 val length : ('u, 's) t -> int

@@ -17,13 +17,19 @@ module Make (A : Undoable.S) = struct
   let protocol_name = "universal-undo"
 
   let create ctx =
-    {
-      ctx;
-      clock = Lamport.create ();
-      log = Oplog.create ();
-      state = A.initial;
-      repairs = 0;
-    }
+    let t =
+      {
+        ctx;
+        clock = Lamport.create ();
+        log = Oplog.create ();
+        state = A.initial;
+        repairs = 0;
+      }
+    in
+    Option.iter
+      (fun (r : Obs.replica) -> Oplog.set_profile t.log (Some r.profile))
+      ctx.Protocol.obs;
+    t
 
   (* Insert a timestamped update at its place in the total order: undo
      every later entry, apply, redo them (refreshing their undo
@@ -49,6 +55,11 @@ module Make (A : Undoable.S) = struct
       t.repairs <- t.repairs + 1
     done;
     t.state <- !state;
+    Option.iter
+      (fun (r : Obs.replica) ->
+        r.profile.Obs.Profile.undo_repairs <-
+          r.profile.Obs.Profile.undo_repairs + t.repairs - before)
+      t.ctx.Protocol.obs;
     (* One application for the newcomer plus every undo/redo repair. *)
     t.ctx.Protocol.count_replay (1 + t.repairs - before)
 

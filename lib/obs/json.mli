@@ -1,0 +1,40 @@
+(** A minimal JSON tree, printer and parser.
+
+    The telemetry layer exports registry dumps and Chrome/Perfetto
+    traces as JSON, and [ucsim report] reads registry dumps back; the
+    repo deliberately has no JSON dependency, so this module carries
+    just enough of RFC 8259 for those round trips: objects, arrays,
+    strings (with escapes, including [\uXXXX] decoded to UTF-8),
+    numbers, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. With [pretty] (default [false]) objects and arrays break
+    over indented lines; numbers that are integral print without a
+    fraction part. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+(** {2 Accessors} — total lookups returning [option]. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val get_str : t -> string option
+
+val get_num : t -> float option
+
+val get_int : t -> int option
+
+val get_list : t -> t list option

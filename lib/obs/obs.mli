@@ -1,0 +1,59 @@
+(** The telemetry bundle threaded through a simulation.
+
+    One [Obs.t] per run, created by the caller (e.g. [ucsim run --obs])
+    and handed to {!Runner} and {!Network}; everything downstream of a
+    [None] stays on the seed code path, bit-identical to an
+    un-instrumented run. The bundle owns:
+
+    {ul
+    {- a metric {!Registry} for per-replica counters and latency
+       histograms;}
+    {- a {!Span} collector tracing each update from invocation through
+       per-replica apply;}
+    {- per-replica {!Profile} records that the op-log substrate bumps
+       directly;}
+    {- the divergence time series fed by the convergence probe.}}
+
+    {!finalize} folds profiles, visibility latencies, and the final
+    divergence into the registry once the run ends. *)
+
+module Json = Json
+module Registry = Registry
+module Span = Span
+module Profile = Profile
+module Trace_export = Trace_export
+
+(** Per-replica handle, passed to protocol replicas via
+    [Protocol.ctx.obs]. *)
+type replica = { pid : int; profile : Profile.t }
+
+type t = {
+  registry : Registry.t;
+  spans : Span.t;
+  span_wire_bytes : int;
+      (** accounting cost, in bytes, of the span stamp on each traced
+          message; 0 keeps wire-byte metrics identical to seed *)
+  mutable replicas : replica list;  (** use {!replica}, not this *)
+  mutable divergence : (float * int) list;
+      (** newest first; use {!divergence_series} *)
+}
+
+val create : ?span_wire_bytes:int -> unit -> t
+(** [span_wire_bytes] defaults to [0]. *)
+
+val replica : t -> int -> replica
+(** Find-or-create the handle for [pid]. *)
+
+val record_divergence : t -> time:float -> distinct:int -> unit
+(** One probe sample: [distinct] state fingerprints among live replicas
+    at simulated time [time]. *)
+
+val divergence_series : t -> (float * int) list
+(** Probe samples in chronological order. *)
+
+val finalize : t -> live:int list -> unit
+(** Fold end-of-run derived metrics into the registry:
+    [visibility_latency{pid=origin}] histograms and the
+    [updates_invisible] counter from the span collector, [oplog_*{pid}]
+    counters from the profiles, [probes_taken] and [divergence_final]
+    from the probe series. Call once, after the run completes. *)

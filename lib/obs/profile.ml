@@ -1,0 +1,48 @@
+type t = {
+  mutable inserts : int;
+  mutable appends : int;
+  mutable shift_distance : int;
+  mutable replays : int;
+  mutable replay_steps : int;
+  mutable checkpoint_hits : int;
+  mutable checkpoint_misses : int;
+  mutable checkpoints_taken : int;
+  mutable checkpoints_dropped : int;
+  mutable compactions : int;
+  mutable compacted_entries : int;
+  mutable undo_repairs : int;
+}
+
+let create () =
+  {
+    inserts = 0;
+    appends = 0;
+    shift_distance = 0;
+    replays = 0;
+    replay_steps = 0;
+    checkpoint_hits = 0;
+    checkpoint_misses = 0;
+    checkpoints_taken = 0;
+    checkpoints_dropped = 0;
+    compactions = 0;
+    compacted_entries = 0;
+    undo_repairs = 0;
+  }
+
+let to_rows t =
+  List.filter
+    (fun (_, v) -> v <> 0)
+    [
+      ("oplog_inserts", t.inserts);
+      ("oplog_appends", t.appends);
+      ("oplog_shift_distance", t.shift_distance);
+      ("oplog_replays", t.replays);
+      ("oplog_replay_steps", t.replay_steps);
+      ("oplog_checkpoint_hits", t.checkpoint_hits);
+      ("oplog_checkpoint_misses", t.checkpoint_misses);
+      ("oplog_checkpoints_taken", t.checkpoints_taken);
+      ("oplog_checkpoints_dropped", t.checkpoints_dropped);
+      ("oplog_compactions", t.compactions);
+      ("oplog_compacted_entries", t.compacted_entries);
+      ("undo_repairs", t.undo_repairs);
+    ]

@@ -1,0 +1,34 @@
+(** Replay-cost profile of one replica's op-log machinery.
+
+    A plain mutable record that {!Oplog} (and the protocol layers above
+    it) bump from their hot paths; {!Obs.finalize} folds the non-zero
+    fields into the registry as [oplog_*{pid=..}] counters. Kept as a
+    bare record so the substrate does not depend on registry lookup —
+    attaching a profile is a single field write. *)
+
+type t = {
+  mutable inserts : int;  (** total log insertions *)
+  mutable appends : int;  (** insertions that landed at the tail *)
+  mutable shift_distance : int;
+      (** entries shifted right by out-of-order insertions *)
+  mutable replays : int;  (** replay passes (queries and stabilization) *)
+  mutable replay_steps : int;  (** operations re-applied across replays *)
+  mutable checkpoint_hits : int;
+      (** replays that started from a checkpoint *)
+  mutable checkpoint_misses : int;
+      (** replays from [empty] despite checkpointing being on *)
+  mutable checkpoints_taken : int;
+  mutable checkpoints_dropped : int;
+      (** checkpoints invalidated by insertions or compaction *)
+  mutable compactions : int;
+  mutable compacted_entries : int;
+  mutable undo_repairs : int;
+      (** out-of-order arrivals repaired by undo/redo instead of replay *)
+}
+
+val create : unit -> t
+(** All fields zero. *)
+
+val to_rows : t -> (string * int) list
+(** [(metric name, value)] for each non-zero field, prefixed [oplog_]
+    (except [undo_repairs], which belongs to the protocol layer). *)

@@ -1,0 +1,276 @@
+type labels = (string * string) list
+
+type counter = { mutable n : int }
+
+type gauge = { mutable v : float }
+
+(* Histograms accumulate raw samples and are summarized/bucketed only at
+   dump time; runs are bounded (one sample per message or update), so
+   keeping the sample beats losing the quantiles to pre-bucketing. *)
+type hist = { mutable samples : float list; mutable nsamples : int }
+
+type metric = Counter of counter | Gauge of gauge | Hist of hist
+
+type t = { mutable metrics : ((string * labels) * metric) list }
+
+let create () = { metrics = [] }
+
+let canon labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let find_or_add t name labels make check =
+  let key = (name, canon labels) in
+  match List.assoc_opt key t.metrics with
+  | Some m -> check m
+  | None ->
+    let m = make () in
+    t.metrics <- (key, m) :: t.metrics;
+    check m
+
+let wrong_kind name m want =
+  invalid_arg
+    (Printf.sprintf "Obs.Registry: %s is a %s, not a %s" name (kind_name m)
+       want)
+
+let counter t ?(labels = []) name =
+  find_or_add t name labels
+    (fun () -> Counter { n = 0 })
+    (function Counter c -> c | m -> wrong_kind name m "counter")
+
+let gauge t ?(labels = []) name =
+  find_or_add t name labels
+    (fun () -> Gauge { v = 0.0 })
+    (function Gauge g -> g | m -> wrong_kind name m "gauge")
+
+let hist t ?(labels = []) name =
+  find_or_add t name labels
+    (fun () -> Hist { samples = []; nsamples = 0 })
+    (function Hist h -> h | m -> wrong_kind name m "histogram")
+
+let inc ?(by = 1) c = c.n <- c.n + by
+
+let counter_value c = c.n
+
+let set g v = g.v <- v
+
+let observe h x =
+  h.samples <- x :: h.samples;
+  h.nsamples <- h.nsamples + 1
+
+let hist_count h = h.nsamples
+
+(* ------------------------------- dumps -------------------------------- *)
+
+type hist_dump = {
+  count : int;
+  sum : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+type data = Count of int | Value of float | Histogram of hist_dump
+
+type row = { name : string; labels : labels; data : data }
+
+(* Log-bucket a sample: key k yields bound le = 2^k, covering (2^(k-1),
+   2^k]. Everything <= 0 pools under le = 0 (latencies of exactly zero
+   happen for self-delivery with no think time). *)
+let log_buckets samples =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let le =
+        if x <= 0.0 then 0.0
+        else Float.pow 2.0 (Float.ceil (Float.log2 x))
+      in
+      Hashtbl.replace tbl le (1 + Option.value ~default:0 (Hashtbl.find_opt tbl le)))
+    samples;
+  Hashtbl.fold (fun le c acc -> (le, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+
+let dump_hist h =
+  match h.samples with
+  | [] ->
+    {
+      count = 0;
+      sum = 0.0;
+      mean = 0.0;
+      p50 = 0.0;
+      p90 = 0.0;
+      p99 = 0.0;
+      max = 0.0;
+      buckets = [];
+    }
+  | samples ->
+    let s = Stats.summarize samples in
+    {
+      count = s.Stats.count;
+      sum = List.fold_left ( +. ) 0.0 samples;
+      mean = s.Stats.mean;
+      p50 = s.Stats.p50;
+      p90 = s.Stats.p90;
+      p99 = s.Stats.p99;
+      max = s.Stats.max;
+      buckets = log_buckets samples;
+    }
+
+(* pid=2 should sort before pid=10: compare label values numerically
+   when both parse as integers. *)
+let compare_label_value a b =
+  match (int_of_string_opt a, int_of_string_opt b) with
+  | Some x, Some y -> compare x y
+  | _ -> String.compare a b
+
+let rec compare_labels a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (ka, va) :: ra, (kb, vb) :: rb ->
+    let c = String.compare ka kb in
+    if c <> 0 then c
+    else
+      let c = compare_label_value va vb in
+      if c <> 0 then c else compare_labels ra rb
+
+let compare_row a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else compare_labels a.labels b.labels
+
+let rows t =
+  List.map
+    (fun ((name, labels), m) ->
+      let data =
+        match m with
+        | Counter c -> Count c.n
+        | Gauge g -> Value g.v
+        | Hist h -> Histogram (dump_hist h)
+      in
+      { name; labels; data })
+    t.metrics
+  |> List.sort compare_row
+
+let labels_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let pp_rows ppf rows =
+  let key r = r.name ^ labels_string r.labels in
+  let width =
+    List.fold_left (fun w r -> max w (String.length (key r))) 0 rows
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-*s  " width (key r);
+      (match r.data with
+      | Count n -> Format.fprintf ppf "%d" n
+      | Value v -> Format.fprintf ppf "%g" v
+      | Histogram h ->
+        Format.fprintf ppf
+          "count=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f" h.count
+          h.mean h.p50 h.p90 h.p99 h.max);
+      Format.fprintf ppf "@.")
+    rows
+
+let pp ppf t = pp_rows ppf (rows t)
+
+(* ----------------------------- JSON dump ------------------------------ *)
+
+let row_to_json r =
+  let labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.labels) in
+  let base = [ ("name", Json.Str r.name); ("labels", labels) ] in
+  let rest =
+    match r.data with
+    | Count n -> [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int n)) ]
+    | Value v -> [ ("type", Json.Str "gauge"); ("value", Json.Num v) ]
+    | Histogram h ->
+      [
+        ("type", Json.Str "histogram");
+        ("count", Json.Num (float_of_int h.count));
+        ("sum", Json.Num h.sum);
+        ("mean", Json.Num h.mean);
+        ("p50", Json.Num h.p50);
+        ("p90", Json.Num h.p90);
+        ("p99", Json.Num h.p99);
+        ("max", Json.Num h.max);
+        ( "buckets",
+          Json.Arr
+            (List.map
+               (fun (le, c) ->
+                 Json.Obj
+                   [ ("le", Json.Num le); ("count", Json.Num (float_of_int c)) ])
+               h.buckets) );
+      ]
+  in
+  Json.Obj (base @ rest)
+
+let rows_to_json rows = Json.Obj [ ("metrics", Json.Arr (List.map row_to_json rows)) ]
+
+let to_json t = rows_to_json (rows t)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let need what = function
+  | Some v -> v
+  | None -> fail "registry dump: missing or ill-typed %s" what
+
+let row_of_json j =
+  let open Json in
+  let name = need "name" (Option.bind (member "name" j) get_str) in
+  let labels =
+    match member "labels" j with
+    | Some (Obj fields) ->
+      List.map
+        (fun (k, v) -> (k, need ("label " ^ k) (get_str v)))
+        fields
+    | None | Some Null -> []
+    | Some _ -> fail "registry dump: labels of %s is not an object" name
+  in
+  let num key = need (key ^ " of " ^ name) (Option.bind (member key j) get_num) in
+  let data =
+    match need "type" (Option.bind (member "type" j) get_str) with
+    | "counter" -> Count (int_of_float (num "value"))
+    | "gauge" -> Value (num "value")
+    | "histogram" ->
+      let buckets =
+        match Option.bind (member "buckets" j) get_list with
+        | None -> []
+        | Some items ->
+          List.map
+            (fun b ->
+              ( need "bucket le" (Option.bind (member "le" b) get_num),
+                need "bucket count" (Option.bind (member "count" b) get_int) ))
+            items
+      in
+      Histogram
+        {
+          count = int_of_float (num "count");
+          sum = num "sum";
+          mean = num "mean";
+          p50 = num "p50";
+          p90 = num "p90";
+          p99 = num "p99";
+          max = num "max";
+          buckets;
+        }
+    | k -> fail "registry dump: unknown metric type %s" k
+  in
+  { name; labels; data }
+
+let rows_of_json j =
+  match Option.bind (Json.member "metrics" j) Json.get_list with
+  | Some items -> List.map row_of_json items
+  | None -> fail "registry dump: no \"metrics\" array"

@@ -1,0 +1,92 @@
+(** A registry of named, labelled metrics.
+
+    The telemetry counterpart of {!Metrics}: where the run-wide record
+    has one cell per observable, the registry keys every series by
+    [(name, labels)] so [messages_sent{pid=2}] and [replay_steps{pid=0}]
+    are first-class. Three metric kinds:
+
+    {ul
+    {- {b counters} — monotone integers (messages, replay steps);}
+    {- {b gauges} — last-write floats (final divergence);}
+    {- {b histograms} — float samples summarized with {!Stats} and
+       rendered as log-bucketed (powers of two) distributions, for
+       delivery and visibility latency.}}
+
+    Hot paths hold the handle returned at registration, so recording is
+    a field update — no hashing per event. Registration of the same
+    [(name, labels)] pair returns the same handle; labels are
+    canonicalized by key order. *)
+
+type labels = (string * string) list
+
+type t
+
+type counter
+
+type gauge
+
+type hist
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Find-or-create. @raise Invalid_argument if [(name, labels)] is
+    already registered as another metric kind. *)
+
+val gauge : t -> ?labels:labels -> string -> gauge
+
+val hist : t -> ?labels:labels -> string -> hist
+
+val inc : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+val observe : hist -> float -> unit
+
+val hist_count : hist -> int
+
+(** {2 Dumps}
+
+    A dump is the registry flattened to rows, sorted by name then
+    labels (label values that parse as integers sort numerically, so
+    [pid=2] precedes [pid=10]). Histogram rows carry the summary
+    quantiles and the log2 buckets, so a dump is self-contained — the
+    JSON form round-trips through {!rows_of_json}, which is how
+    [ucsim report] renders a dump written by an earlier run. *)
+
+type hist_dump = {
+  count : int;
+  sum : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+  buckets : (float * int) list;
+      (** [(le, count)]: samples in [(le/2, le]], le a power of two;
+          non-positive samples pool under [le = 0]. *)
+}
+
+type data = Count of int | Value of float | Histogram of hist_dump
+
+type row = { name : string; labels : labels; data : data }
+
+val rows : t -> row list
+
+val pp_rows : Format.formatter -> row list -> unit
+(** Aligned table: name, labels, then the value or the histogram
+    summary (count/mean/p50/p90/p99/max). *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp_rows] of {!rows}. *)
+
+val rows_to_json : row list -> Json.t
+
+val to_json : t -> Json.t
+(** [{"metrics": [...]}], one object per row. *)
+
+val rows_of_json : Json.t -> row list
+(** Inverse of {!rows_to_json} / {!to_json}.
+    @raise Failure on a value that is not a registry dump. *)

@@ -1,0 +1,130 @@
+type id = int
+
+type event =
+  | Invoke of { span : id; pid : int; time : float; label : string }
+  | Send of { span : id option; src : int; time : float }
+  | Deliver of {
+      span : id option;
+      src : int;
+      dst : int;
+      sent : float;
+      received : float;
+    }
+  | Apply of { span : id option; pid : int; time : float }
+
+type t = {
+  mutable next : id;
+  mutable events : event list;  (* newest first *)
+  mutable ambient : id option;
+}
+
+let create () = { next = 0; events = []; ambient = None }
+
+let push t e = t.events <- e :: t.events
+
+let fresh t ~pid ~time ~label =
+  let span = t.next in
+  t.next <- span + 1;
+  push t (Invoke { span; pid; time; label });
+  span
+
+let set_active t s = t.ambient <- s
+
+let active t = t.ambient
+
+let record_send t ~span ~src ~time =
+  push t (Send { span; src; time })
+
+let record_deliver t ~span ~src ~dst ~sent ~received =
+  push t (Deliver { span; src; dst; sent; received })
+
+let record_apply t ~span ~pid ~time =
+  push t (Apply { span; pid; time })
+
+let events t = List.rev t.events
+
+let count t = t.next
+
+(* ----------------------------- aggregation ---------------------------- *)
+
+type info = {
+  id : id;
+  origin : int;
+  label : string;
+  invoked : float;
+  sends : (int * float) list;
+  delivers : (int * int * float * float) list;
+  applies : (int * float) list;
+}
+
+let spans t =
+  let by_id = Hashtbl.create 64 in
+  let get span =
+    match Hashtbl.find_opt by_id span with
+    | Some r -> r
+    | None ->
+      let r =
+        ref
+          {
+            id = span;
+            origin = -1;
+            label = "";
+            invoked = 0.0;
+            sends = [];
+            delivers = [];
+            applies = [];
+          }
+      in
+      Hashtbl.add by_id span r;
+      r
+  in
+  List.iter
+    (function
+      | Invoke { span; pid; time; label } ->
+        let r = get span in
+        r := { !r with origin = pid; label; invoked = time }
+      | Send { span = Some span; src; time } ->
+        let r = get span in
+        r := { !r with sends = (src, time) :: !r.sends }
+      | Deliver { span = Some span; src; dst; sent; received } ->
+        let r = get span in
+        r := { !r with delivers = (src, dst, sent, received) :: !r.delivers }
+      | Apply { span = Some span; pid; time } ->
+        let r = get span in
+        r := { !r with applies = (pid, time) :: !r.applies }
+      | Send { span = None; _ } | Deliver { span = None; _ }
+      | Apply { span = None; _ } ->
+        ())
+    t.events;
+  (* t.events is newest-first, so the folded lists come out in recording
+     order already. *)
+  List.init t.next (fun id ->
+      match Hashtbl.find_opt by_id id with
+      | Some r -> !r
+      | None ->
+        {
+          id;
+          origin = -1;
+          label = "";
+          invoked = 0.0;
+          sends = [];
+          delivers = [];
+          applies = [];
+        })
+
+let visibility t ~live =
+  List.map
+    (fun info ->
+      let lat =
+        List.fold_left
+          (fun acc pid ->
+            match acc with
+            | None -> None
+            | Some worst -> (
+              match List.assoc_opt pid info.applies with
+              | Some at -> Some (Float.max worst (at -. info.invoked))
+              | None -> None))
+          (Some 0.0) live
+      in
+      (info, lat))
+    (spans t)

@@ -1,0 +1,87 @@
+(** Causal span tracing for update propagation.
+
+    Every update invocation opens a span; the span id then rides along
+    the ambient context ({!set_active}/{!active}) rather than the
+    message types, so the {!Network} can stamp outgoing frames with the
+    span of the update being processed and restore it around delivery —
+    protocols stay untouched. A span's life is:
+
+    invocation at the origin → one or more sends → per-replica
+    delivery → per-replica apply (including the origin's own
+    synchronous apply).
+
+    The collector records flat events; {!spans} aggregates them per
+    span id and {!visibility} derives the paper's convergence-lag
+    measure — the time until an update has been applied at every live
+    replica. *)
+
+type id = int
+
+type t
+
+type event =
+  | Invoke of { span : id; pid : int; time : float; label : string }
+  | Send of { span : id option; src : int; time : float }
+  | Deliver of {
+      span : id option;
+      src : int;
+      dst : int;
+      sent : float;
+      received : float;
+    }
+  | Apply of { span : id option; pid : int; time : float }
+
+val create : unit -> t
+
+val fresh : t -> pid:int -> time:float -> label:string -> id
+(** Allocate the next span id and record its [Invoke] event. *)
+
+val set_active : t -> id option -> unit
+(** Install the ambient span. The runner sets it around an update
+    invocation and the network around a delivery; everything recorded
+    in between inherits it. *)
+
+val active : t -> id option
+
+val record_send : t -> span:id option -> src:int -> time:float -> unit
+
+val record_deliver :
+  t ->
+  span:id option ->
+  src:int ->
+  dst:int ->
+  sent:float ->
+  received:float ->
+  unit
+
+val record_apply : t -> span:id option -> pid:int -> time:float -> unit
+
+val events : t -> event list
+(** All events in recording order. *)
+
+val count : t -> int
+(** Number of spans opened. *)
+
+(** {2 Aggregation} *)
+
+type info = {
+  id : id;
+  origin : int;
+  label : string;
+  invoked : float;
+  sends : (int * float) list;  (** [(src, time)] *)
+  delivers : (int * int * float * float) list;
+      (** [(src, dst, sent, received)] *)
+  applies : (int * float) list;  (** [(pid, time)] *)
+}
+
+val spans : t -> info list
+(** One record per opened span, sorted by id; per-span event lists in
+    recording order. Events with no span are dropped here (they are
+    still in {!events} for the trace export). *)
+
+val visibility : t -> live:int list -> (info * float option) list
+(** For each span, the visibility latency
+    [max applied-at-p over live replicas p  −  invocation time], or
+    [None] if some live replica never applied it (e.g. it was still
+    partitioned when the run ended). *)

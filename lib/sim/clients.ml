@@ -64,6 +64,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
           count_replay =
             (fun k -> metrics.Metrics.replay_steps <- metrics.Metrics.replay_steps + k);
+          obs = None;
         }
       in
       replicas.(pid) <- Some (P.create ctx)

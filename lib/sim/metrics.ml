@@ -34,6 +34,26 @@ let mean_delivery_latency t =
 let pp ppf t =
   Format.fprintf ppf
     "msgs=%d bytes=%d delivered=%d dropped=%d updates=%d queries=%d completed=%d \
-     incomplete=%d replay=%d"
+     incomplete=%d replay=%d batches=%d mean_delivery=%.3f"
     t.messages_sent t.bytes_sent t.messages_delivered t.messages_dropped
-    t.updates_invoked t.queries_invoked t.ops_completed t.ops_incomplete t.replay_steps
+    t.updates_invoked t.queries_invoked t.ops_completed t.ops_incomplete
+    t.replay_steps t.batches_sent (mean_delivery_latency t)
+
+let to_registry t registry =
+  let labels = [ ("scope", "run") ] in
+  let count name v =
+    Obs.Registry.inc ~by:v (Obs.Registry.counter registry ~labels name)
+  in
+  count "messages_sent" t.messages_sent;
+  count "bytes_sent" t.bytes_sent;
+  count "messages_delivered" t.messages_delivered;
+  count "messages_dropped" t.messages_dropped;
+  count "updates_invoked" t.updates_invoked;
+  count "queries_invoked" t.queries_invoked;
+  count "ops_completed" t.ops_completed;
+  count "ops_incomplete" t.ops_incomplete;
+  count "replay_steps" t.replay_steps;
+  count "batches_sent" t.batches_sent;
+  Obs.Registry.set
+    (Obs.Registry.gauge registry ~labels "mean_delivery_latency")
+    (mean_delivery_latency t)

@@ -23,5 +23,13 @@ type t = {
 val create : unit -> t
 
 val mean_delivery_latency : t -> float
+(** [0.] when nothing was delivered (no division by zero). *)
 
 val pp : Format.formatter -> t -> unit
+(** One line, [key=value] pairs, including [batches_sent] and the mean
+    delivery latency. *)
+
+val to_registry : t -> Obs.Registry.t -> unit
+(** Mirror the run-wide record into a telemetry registry, labelled
+    [{scope=run}] — the flat counters and the per-replica registry rows
+    then live in one dump. *)

@@ -12,6 +12,18 @@ let draw_delay rng = function
 
 type partition = { from_time : float; to_time : float; group : int list }
 
+(* Per-replica telemetry handles, resolved once at creation so the hot
+   path never looks anything up by name. *)
+type net_obs = {
+  o : Obs.t;
+  sent : Obs.Registry.counter array;
+  bytes : Obs.Registry.counter array;
+  delivered : Obs.Registry.counter array;
+  dropped : Obs.Registry.counter array;
+  batches : Obs.Registry.counter array;
+  latency : Obs.Registry.hist array;
+}
+
 type 'msg t = {
   engine : Engine.t;
   rng : Prng.t;
@@ -27,10 +39,32 @@ type 'msg t = {
   deliver : dst:int -> src:int -> 'msg -> unit;
   crashed : bool array;
   last_delivery : float array array;  (** per (src, dst), for FIFO channels *)
+  obs : net_obs option;
 }
 
+let make_net_obs o n =
+  let per name =
+    Array.init n (fun pid ->
+        Obs.Registry.counter o.Obs.registry
+          ~labels:[ ("pid", string_of_int pid) ]
+          name)
+  in
+  {
+    o;
+    sent = per "messages_sent";
+    bytes = per "bytes_sent";
+    delivered = per "messages_delivered";
+    dropped = per "messages_dropped";
+    batches = per "batches_sent";
+    latency =
+      Array.init n (fun pid ->
+          Obs.Registry.hist o.Obs.registry
+            ~labels:[ ("pid", string_of_int pid) ]
+            "delivery_latency");
+  }
+
 let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = [])
-    ?(envelope = 0) ?record_delivery ~delay ~wire_size ~deliver () =
+    ?(envelope = 0) ?record_delivery ?obs ~delay ~wire_size ~deliver () =
   if envelope < 0 then invalid_arg "Network.create: envelope must be non-negative";
   {
     engine;
@@ -46,7 +80,17 @@ let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = [])
     deliver;
     crashed = Array.make n false;
     last_delivery = Array.init n (fun _ -> Array.make n 0.0);
+    obs = Option.map (fun o -> make_net_obs o n) obs;
   }
+
+let ambient t =
+  match t.obs with None -> None | Some no -> Obs.Span.active no.o.Obs.spans
+
+(* Each message leaves stamped with the span that was ambient when it
+   was handed to the network (not when a buffered batch flushes). *)
+let stamp t msgs =
+  let span = ambient t in
+  List.map (fun m -> (m, span)) msgs
 
 let separated t ~src ~dst ~at =
   List.find_opt
@@ -65,16 +109,37 @@ let rec connected_time t ~src ~dst ~at =
 (* One wire frame from [src] to [dst] carrying [msgs] in order: one
    delay draw, one envelope, one delivery event. A singleton frame is
    exactly the seed's per-message [enqueue] (with the default zero
-   envelope the metrics are bit-identical). *)
+   envelope the metrics are bit-identical). [msgs] are (message, span)
+   pairs; stamped messages additionally pay [span_wire_bytes] each. *)
 let enqueue t ~src ~dst msgs =
   let now = Engine.now t.engine in
   let count = List.length msgs in
+  let span_bytes =
+    match t.obs with
+    | None -> 0
+    | Some no ->
+      no.o.Obs.span_wire_bytes
+      * List.length (List.filter (fun (_, s) -> s <> None) msgs)
+  in
   t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + count;
   t.metrics.Metrics.bytes_sent <-
-    t.metrics.Metrics.bytes_sent + t.envelope
-    + List.fold_left (fun acc m -> acc + t.wire_size m) 0 msgs;
+    t.metrics.Metrics.bytes_sent + t.envelope + span_bytes
+    + List.fold_left (fun acc (m, _) -> acc + t.wire_size m) 0 msgs;
   if count > 1 then
     t.metrics.Metrics.batches_sent <- t.metrics.Metrics.batches_sent + 1;
+  (match t.obs with
+  | None -> ()
+  | Some no ->
+    Obs.Registry.inc ~by:count no.sent.(src);
+    Obs.Registry.inc
+      ~by:
+        (t.envelope + span_bytes
+        + List.fold_left (fun acc (m, _) -> acc + t.wire_size m) 0 msgs)
+      no.bytes.(src);
+    if count > 1 then Obs.Registry.inc no.batches.(src);
+    List.iter
+      (fun (_, span) -> Obs.Span.record_send no.o.Obs.spans ~span ~src ~time:now)
+      msgs);
   let arrival =
     if src = dst then now (* a process receives its own broadcast instantly *)
     else begin
@@ -85,12 +150,16 @@ let enqueue t ~src ~dst msgs =
   in
   if t.fifo then t.last_delivery.(src).(dst) <- arrival;
   Engine.schedule_at t.engine ~time:arrival (fun () ->
-      if t.crashed.(dst) then
+      if t.crashed.(dst) then begin
         t.metrics.Metrics.messages_dropped <-
-          t.metrics.Metrics.messages_dropped + count
+          t.metrics.Metrics.messages_dropped + count;
+        match t.obs with
+        | None -> ()
+        | Some no -> Obs.Registry.inc ~by:count no.dropped.(dst)
+      end
       else
         List.iter
-          (fun msg ->
+          (fun (msg, span) ->
             t.metrics.Metrics.messages_delivered <-
               t.metrics.Metrics.messages_delivered + 1;
             t.metrics.Metrics.delivery_latency_sum <-
@@ -98,35 +167,57 @@ let enqueue t ~src ~dst msgs =
             (match t.record_delivery with
             | Some record -> record ~sent:now ~received:arrival ~src ~dst msg
             | None -> ());
-            t.deliver ~dst ~src msg)
+            match t.obs with
+            | None -> t.deliver ~dst ~src msg
+            | Some no ->
+              Obs.Registry.inc no.delivered.(dst);
+              Obs.Registry.observe no.latency.(dst) (arrival -. now);
+              Obs.Span.record_deliver no.o.Obs.spans ~span ~src ~dst ~sent:now
+                ~received:arrival;
+              (* Restore the ambient span afterwards so relays triggered
+                 by this delivery stamp with the delivered span only
+                 while processing it. *)
+              let saved = Obs.Span.active no.o.Obs.spans in
+              Obs.Span.set_active no.o.Obs.spans span;
+              t.deliver ~dst ~src msg;
+              Obs.Span.record_apply no.o.Obs.spans ~span ~pid:dst ~time:arrival;
+              Obs.Span.set_active no.o.Obs.spans saved)
           msgs)
+
+let drop_from_src t ~src count =
+  t.metrics.Metrics.messages_dropped <-
+    t.metrics.Metrics.messages_dropped + count;
+  match t.obs with
+  | None -> ()
+  | Some no -> Obs.Registry.inc ~by:count no.dropped.(src)
 
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Network.send: bad destination";
-  if t.crashed.(src) then
-    t.metrics.Metrics.messages_dropped <- t.metrics.Metrics.messages_dropped + 1
-  else enqueue t ~src ~dst [ msg ]
+  if t.crashed.(src) then drop_from_src t ~src 1
+  else enqueue t ~src ~dst (stamp t [ msg ])
 
 let broadcast t ~src msg =
   for dst = 0 to t.n - 1 do
     if dst <> src then send t ~src ~dst msg
   done
 
-let send_batch t ~src ~dst msgs =
+let send_stamped_batch t ~src ~dst msgs =
   if dst < 0 || dst >= t.n then invalid_arg "Network.send_batch: bad destination";
   match msgs with
   | [] -> ()
   | msgs ->
-    if t.crashed.(src) then
-      t.metrics.Metrics.messages_dropped <-
-        t.metrics.Metrics.messages_dropped + List.length msgs
+    if t.crashed.(src) then drop_from_src t ~src (List.length msgs)
     else enqueue t ~src ~dst msgs
 
-let broadcast_batch t ~src msgs =
+let send_batch t ~src ~dst msgs = send_stamped_batch t ~src ~dst (stamp t msgs)
+
+let broadcast_stamped_batch t ~src msgs =
   if msgs <> [] then
     for dst = 0 to t.n - 1 do
-      if dst <> src then send_batch t ~src ~dst msgs
+      if dst <> src then send_stamped_batch t ~src ~dst msgs
     done
+
+let broadcast_batch t ~src msgs = broadcast_stamped_batch t ~src (stamp t msgs)
 
 let crash t pid = t.crashed.(pid) <- true
 

@@ -37,6 +37,7 @@ val create :
   ?envelope:int ->
   ?record_delivery:
     (sent:float -> received:float -> src:int -> dst:int -> 'msg -> unit) ->
+  ?obs:Obs.t ->
   delay:delay_model ->
   wire_size:('msg -> int) ->
   deliver:(dst:int -> src:int -> 'msg -> unit) ->
@@ -48,7 +49,17 @@ val create :
     [bytes_sent] once per frame — a batch of [k] messages to one
     destination pays it once instead of [k] times, which is the whole
     point of {!send_batch}/{!broadcast_batch}. With the default [0]
-    every byte count is identical to the unbatched accounting. *)
+    every byte count is identical to the unbatched accounting.
+
+    When [obs] is given, the network additionally (a) mirrors the flat
+    counters into per-replica registry series ([messages_sent{pid=src}],
+    [delivery_latency{pid=dst}], …), (b) stamps every outgoing message
+    with the ambient {!Obs.Span.active} span — charging
+    [obs.span_wire_bytes] (default 0) extra wire bytes per stamped
+    message — and (c) brackets each delivery in its message's span, so
+    spans follow updates across replicas without touching message
+    types. With [obs] absent all of this is compiled away behind a
+    [None] check and the run is bit-identical to the seed. *)
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
@@ -67,6 +78,21 @@ val send_batch : 'msg t -> src:int -> dst:int -> 'msg list -> unit
 
 val broadcast_batch : 'msg t -> src:int -> 'msg list -> unit
 (** {!send_batch} to every process other than the sender. *)
+
+val send_stamped_batch :
+  'msg t -> src:int -> dst:int -> ('msg * Obs.Span.id option) list -> unit
+(** {!send_batch}, but with the span stamp of each message supplied by
+    the caller instead of read from the ambient context — for buffered
+    batching, where the frame flushes long after the spans that
+    produced its messages were active. Spans are ignored when the
+    network has no [obs]. *)
+
+val broadcast_stamped_batch :
+  'msg t -> src:int -> ('msg * Obs.Span.id option) list -> unit
+
+val ambient : 'msg t -> Obs.Span.id option
+(** The span currently stamped onto outgoing messages ([None] when
+    telemetry is off or no span is active). *)
 
 val crash : 'msg t -> int -> unit
 (** Mark a process crashed: it no longer sends or receives. *)

@@ -9,6 +9,7 @@ type 'msg ctx = {
   broadcast_batch : 'msg list -> unit;
   set_timer : delay:float -> (unit -> unit) -> unit;
   count_replay : int -> unit;
+  obs : Obs.replica option;
 }
 
 module type PROTOCOL = sig

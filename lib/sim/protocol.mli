@@ -29,6 +29,11 @@ type 'msg ctx = {
   set_timer : delay:float -> (unit -> unit) -> unit;
   count_replay : int -> unit;
       (** report update applications done while answering a query (C2) *)
+  obs : Obs.replica option;
+      (** telemetry handle for this replica; [None] (the default
+          everywhere telemetry is off) keeps the protocol on the exact
+          seed code path. Protocol cores attach the handle's profile to
+          their op-log so replay costs surface per replica. *)
 }
 
 module type PROTOCOL = sig

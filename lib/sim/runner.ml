@@ -14,6 +14,9 @@ module Make (P : Protocol.PROTOCOL) = struct
     trace : bool;
     batch_window : float option;
     envelope : int;
+    obs : Obs.t option;
+    probe_interval : float option;
+    fingerprint : (P.t -> string) option;
   }
 
   let default_config ~n ~seed =
@@ -30,7 +33,32 @@ module Make (P : Protocol.PROTOCOL) = struct
       trace = false;
       batch_window = None;
       envelope = 0;
+      obs = None;
+      probe_interval = None;
+      fingerprint = None;
     }
+
+  (* Replica state fingerprint for the divergence probe when the caller
+     supplies none: the certificate if the protocol keeps one, the log
+     length otherwise (coarse, but monotone under convergence). *)
+  let default_fingerprint r =
+    match P.certificate r with
+    | Some cert ->
+      String.concat ";"
+        (List.map
+           (fun (p, u) -> Format.asprintf "%d:%a" p P.pp_update u)
+           cert)
+    | None -> Printf.sprintf "log:%d" (P.log_length r)
+
+  (* Per-replica registry handles for the operation-level series the
+     runner itself records. *)
+  type runner_obs = {
+    upd : Obs.Registry.counter array;
+    qry : Obs.Registry.counter array;
+    comp : Obs.Registry.counter array;
+    rep : Obs.Registry.counter array;
+    lat : Obs.Registry.hist array;
+  }
 
   type result = {
     history : (P.update, P.query, P.output) History.t;
@@ -64,17 +92,78 @@ module Make (P : Protocol.PROTOCOL) = struct
           Trace.record_delivery tr ~sent ~received ~src ~dst (P.describe_message msg))
         trace
     in
+    (* Filled in below, once the probe has everything it closes over;
+       the network's deliver callback fires only when the engine runs,
+       well after assignment. *)
+    let probe_after_delivery = ref (fun () -> ()) in
     let network =
       Network.create ~engine ~rng:net_rng ~metrics ~n ~fifo:config.fifo
         ~partitions:config.partitions ~envelope:config.envelope ?record_delivery
-        ~delay:config.delay ~wire_size:P.message_wire_size
+        ?obs:config.obs ~delay:config.delay ~wire_size:P.message_wire_size
         ~deliver:(fun ~dst ~src msg ->
-          match replicas.(dst) with
+          (match replicas.(dst) with
           | Some r -> P.receive r ~src msg
-          | None -> ())
+          | None -> ());
+          !probe_after_delivery ())
         ()
     in
     let crashed = Array.make n false in
+    let pid_labels pid = [ ("pid", string_of_int pid) ] in
+    let runner_obs =
+      Option.map
+        (fun o ->
+          let per name =
+            Array.init n (fun pid ->
+                Obs.Registry.counter o.Obs.registry ~labels:(pid_labels pid)
+                  name)
+          in
+          {
+            upd = per "updates_invoked";
+            qry = per "queries_invoked";
+            comp = per "ops_completed";
+            rep = per "replay_steps";
+            lat =
+              Array.init n (fun pid ->
+                  Obs.Registry.hist o.Obs.registry ~labels:(pid_labels pid)
+                    "op_latency");
+          })
+        config.obs
+    in
+    let robs f = Option.iter f runner_obs in
+    (* Convergence-lag probe: piggybacks on existing engine activations
+       (deliveries and invocations) rather than scheduling its own
+       events, so enabling it cannot perturb the simulation schedule;
+       [interval] only rate-limits the sampling in simulated time. *)
+    let probe =
+      match (config.obs, config.probe_interval) with
+      | Some o, Some interval ->
+        let fingerprint =
+          Option.value config.fingerprint ~default:default_fingerprint
+        in
+        let last = ref Float.neg_infinity in
+        Some
+          (fun ~force () ->
+            let now = Engine.now engine in
+            if force || now -. !last >= interval then begin
+              last := now;
+              let fps = ref [] in
+              for pid = n - 1 downto 0 do
+                if not crashed.(pid) then
+                  match replicas.(pid) with
+                  | Some r -> fps := fingerprint r :: !fps
+                  | None -> ()
+              done;
+              let distinct =
+                List.length (List.sort_uniq String.compare !fps)
+              in
+              Obs.record_divergence o ~time:now ~distinct
+            end)
+      | _ -> None
+    in
+    let maybe_probe () =
+      match probe with Some p -> p ~force:false () | None -> ()
+    in
+    probe_after_delivery := maybe_probe;
     (* Per-process recorded steps, reversed, with (start, finish ref)
        intervals recorded in lockstep. *)
     let steps : (P.update, P.query, P.output) History.step list ref array =
@@ -88,13 +177,16 @@ module Make (P : Protocol.PROTOCOL) = struct
        destination. Flushes are engine events, so they drain inside the
        main [Engine.run] and respect crashes (a crashed source's buffer
        is dropped by the network like any of its sends). *)
+    (* Buffered messages carry the span that was ambient when the
+       protocol handed them over — by flush time the batching window has
+       long outlived it. *)
     let batch_bufs = Array.init n (fun _ -> Queue.create ()) in
     let flush_batch pid =
       let q = batch_bufs.(pid) in
       if not (Queue.is_empty q) then begin
         let msgs = List.of_seq (Queue.to_seq q) in
         Queue.clear q;
-        Network.broadcast_batch network ~src:pid msgs
+        Network.broadcast_stamped_batch network ~src:pid msgs
       end
     in
     for pid = 0 to n - 1 do
@@ -111,12 +203,15 @@ module Make (P : Protocol.PROTOCOL) = struct
               fun msg ->
                 if Queue.is_empty batch_bufs.(pid) then
                   Engine.schedule engine ~delay:window (fun () -> flush_batch pid);
-                Queue.add msg batch_bufs.(pid));
+                Queue.add (msg, Network.ambient network) batch_bufs.(pid));
           broadcast_batch =
             (fun msgs -> Network.broadcast_batch network ~src:pid msgs);
           set_timer = (fun ~delay thunk -> Engine.schedule engine ~delay thunk);
           count_replay =
-            (fun k -> metrics.Metrics.replay_steps <- metrics.Metrics.replay_steps + k);
+            (fun k ->
+              metrics.Metrics.replay_steps <- metrics.Metrics.replay_steps + k;
+              robs (fun ro -> Obs.Registry.inc ~by:k ro.rep.(pid)));
+          obs = Option.map (fun o -> Obs.replica o pid) config.obs;
         }
       in
       replicas.(pid) <- Some (P.create ctx)
@@ -136,7 +231,11 @@ module Make (P : Protocol.PROTOCOL) = struct
           let continue () =
             if not crashed.(pid) then begin
               metrics.Metrics.ops_completed <- metrics.Metrics.ops_completed + 1;
-              latencies := (Engine.now engine -. started) :: !latencies;
+              let elapsed = Engine.now engine -. started in
+              latencies := elapsed :: !latencies;
+              robs (fun ro ->
+                  Obs.Registry.inc ro.comp.(pid);
+                  Obs.Registry.observe ro.lat.(pid) elapsed);
               let gap = Network.draw_delay think_rngs.(pid) config.think in
               Engine.schedule engine ~delay:gap (fun () -> issue pid rest)
             end
@@ -144,6 +243,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           (match action with
           | Protocol.Invoke_update u ->
             metrics.Metrics.updates_invoked <- metrics.Metrics.updates_invoked + 1;
+            robs (fun ro -> Obs.Registry.inc ro.upd.(pid));
             steps.(pid) := History.U u :: !(steps.(pid));
             let finish = ref Float.infinity in
             op_times.(pid) := (started, finish) :: !(op_times.(pid));
@@ -152,11 +252,31 @@ module Make (P : Protocol.PROTOCOL) = struct
                 Trace.record_op tr ~time:started ~pid
                   (Format.asprintf "%a" P.pp_update u))
               trace;
-            P.update (replica pid) u ~on_done:(fun () ->
-                finish := Engine.now engine;
-                continue ())
+            let do_update () =
+              P.update (replica pid) u ~on_done:(fun () ->
+                  finish := Engine.now engine;
+                  continue ())
+            in
+            (match config.obs with
+            | None -> do_update ()
+            | Some o ->
+              (* Open the update's span and leave it ambient while the
+                 protocol processes the invocation, so broadcasts it
+                 emits are stamped; the origin applies its own update
+                 synchronously (Section VII.B), recorded on return. *)
+              let span =
+                Obs.Span.fresh o.Obs.spans ~pid ~time:started
+                  ~label:(Format.asprintf "%a" P.pp_update u)
+              in
+              Obs.Span.set_active o.Obs.spans (Some span);
+              do_update ();
+              Obs.Span.record_apply o.Obs.spans ~span:(Some span) ~pid
+                ~time:(Engine.now engine);
+              Obs.Span.set_active o.Obs.spans None;
+              maybe_probe ())
           | Protocol.Invoke_query q ->
             metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
+            robs (fun ro -> Obs.Registry.inc ro.qry.(pid));
             P.query (replica pid) q ~on_result:(fun output ->
                 if not crashed.(pid) then begin
                   steps.(pid) := History.Q (q, output) :: !(steps.(pid));
@@ -184,6 +304,9 @@ module Make (P : Protocol.PROTOCOL) = struct
             Network.crash network pid))
       config.crashes;
     Engine.run ~until:config.deadline engine;
+    (* One forced probe at quiescence: this is the sample that should
+       show the divergence gauge back at 1 once partitions healed. *)
+    (match probe with Some p -> p ~force:true () | None -> ());
     (* Quiescence: issue the ω final reads on live processes. *)
     let final_outputs = ref [] in
     (match config.final_read with
@@ -192,6 +315,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       for pid = 0 to n - 1 do
         if not crashed.(pid) then begin
           metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
+          robs (fun ro -> Obs.Registry.inc ro.qry.(pid));
           P.query (replica pid) q ~on_result:(fun output ->
               steps.(pid) := History.Qw (q, output) :: !(steps.(pid));
               op_times.(pid) :=
@@ -239,6 +363,11 @@ module Make (P : Protocol.PROTOCOL) = struct
       |> List.concat_map (fun r -> List.rev_map (fun (s, f) -> (s, !f)) !r)
       |> Array.of_list
     in
+    Option.iter
+      (fun o ->
+        Obs.finalize o ~live;
+        Metrics.to_registry metrics o.Obs.registry)
+      config.obs;
     {
       history = History.make (List.map (fun r -> List.rev !r) (Array.to_list steps));
       metrics;

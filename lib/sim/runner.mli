@@ -36,12 +36,27 @@ module Make (P : Protocol.PROTOCOL) : sig
         (** per-frame wire overhead passed to {!Network.create};
             default [0], which keeps byte accounting identical to the
             seed. *)
+    obs : Obs.t option;
+        (** telemetry bundle. [None] (the default) disables all
+            instrumentation and keeps the run bit-identical to the
+            seed: same history, same metrics, same wire bytes. *)
+    probe_interval : float option;
+        (** minimum simulated time between convergence probes. Probes
+            piggyback on deliveries and invocations — they schedule no
+            engine events — and sample every live replica's state
+            fingerprint, recording the number of distinct values as the
+            divergence series (plus one forced sample at quiescence).
+            Requires [obs]. *)
+    fingerprint : (P.t -> string) option;
+        (** replica state fingerprint for the probe; defaults to the
+            certificate rendered as text (log length if the protocol
+            keeps no certificate). *)
   }
 
   val default_config : n:int -> seed:int -> config
   (** Uniform delays in [1, 10], think times exponential(5), no faults,
       final read for none (set it per ADT), deadline 1e7, no batching,
-      zero envelope. *)
+      zero envelope, no telemetry. *)
 
   type result = {
     history : (P.update, P.query, P.output) History.t;

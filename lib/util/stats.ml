@@ -20,7 +20,9 @@ let stddev xs =
     List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
     /. float_of_int (List.length xs)
   in
-  sqrt var
+  (* All-equal samples can leave var a hair below zero in floating
+     point, and sqrt of that is NaN. *)
+  sqrt (Float.max 0.0 var)
 
 let percentile sorted q =
   let n = Array.length sorted in

@@ -14,6 +14,7 @@ let dummy_ctx ?(n = 2) pid : _ Protocol.ctx =
     broadcast_batch = ignore;
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = ignore;
+    obs = None;
   }
 
 (* Convergence of every set CRDT on random conflict-heavy runs. *)

@@ -100,6 +100,7 @@ let run_mesh (type u q o m t)
                   ms);
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = (fun _ -> ());
+            obs = None;
           })
   in
   let outputs = Array.make n [] in
@@ -274,6 +275,29 @@ let run_generic_core
     r.R.converged && r.R.certificates_agree,
     (r.R.metrics.Metrics.messages_sent, r.R.metrics.Metrics.bytes_sent) )
 
+(* Telemetry must be a pure observer. With [span_wire_bytes = 0] an
+   attached [Obs.t] — spans riding every message, convergence probes,
+   oplog profiles — may not perturb a single observable of the run:
+   same seed means the same history, the same final reads and
+   certificates, and the same metrics record down to the wire bytes. *)
+let run_set_telemetry ~seed ~obs ~probe_interval =
+  let module R = Runner.Make (G_set) in
+  let rng = Prng.create (seed lxor 0x5eed) in
+  let workload =
+    Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:15 ~domain:8 ~skew:1.0
+      ~delete_ratio:0.4
+  in
+  let config =
+    {
+      (R.default_config ~n:3 ~seed) with
+      R.final_read = Some Set_spec.Read;
+      obs;
+      probe_interval;
+    }
+  in
+  let r = R.run config ~workload in
+  (r.R.history, r.R.final_outputs, r.R.certificates, r.R.metrics)
+
 let runner_differential_tests =
   let core_vs_core fifo label =
     qtest ~count:60 label seed_gen (fun seed ->
@@ -286,6 +310,17 @@ let runner_differential_tests =
       "oplog-core Generic ≡ seed list core on random Runner schedules";
     core_vs_core true
       "oplog-core Generic ≡ seed list core on FIFO Runner schedules";
+    qtest ~count:40 "telemetry off ≡ telemetry on, byte for byte" seed_gen
+      (fun seed ->
+        let bare = run_set_telemetry ~seed ~obs:None ~probe_interval:None in
+        let o = Obs.create () in
+        let instrumented =
+          run_set_telemetry ~seed ~obs:(Some o) ~probe_interval:(Some 5.0)
+        in
+        (* identical observables, and the instruments did record *)
+        bare = instrumented
+        && Obs.Span.count o.Obs.spans > 0
+        && Obs.divergence_series o <> []);
   ]
 
 let tests =

@@ -192,6 +192,7 @@ let tests =
               broadcast_batch = (fun _ -> ());
               set_timer = (fun ~delay:_ _ -> ());
               count_replay = (fun _ -> ());
+              obs = None;
             }
         in
         match Snap_set.commutative_key replica with

@@ -7,6 +7,7 @@ let () =
       ("history", Test_history.tests);
       ("checkers", Test_checkers.tests);
       ("sim", Test_sim.tests);
+      ("obs", Test_obs.tests);
       ("protocols", Test_protocols.tests);
       ("crdts", Test_crdts.tests);
       ("abd", Test_abd.tests);

@@ -1,0 +1,303 @@
+(* The telemetry layer: JSON codec round trips, registry semantics,
+   span aggregation, and end-to-end checks on instrumented Runner runs
+   — the trace export golden test and the convergence probe under a
+   healing partition. *)
+
+module Json = Obs.Json
+module Registry = Obs.Registry
+module Span = Obs.Span
+
+(* ------------------------------ Json ------------------------------ *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("name", Json.Str "run");
+      ("ok", Json.Bool true);
+      ("missing", Json.Null);
+      ("count", Json.Num 42.0);
+      ("ratio", Json.Num 0.125);
+      ( "rows",
+        Json.Arr
+          [ Json.Num 1.0; Json.Str "a\"b\\c\n"; Json.Obj []; Json.Arr [] ] );
+    ]
+
+let json_tests =
+  [
+    Alcotest.test_case "print/parse round trip" `Quick (fun () ->
+        let compact = Json.of_string (Json.to_string sample_json) in
+        let pretty = Json.of_string (Json.to_string ~pretty:true sample_json) in
+        Alcotest.(check bool) "compact" true (compact = sample_json);
+        Alcotest.(check bool) "pretty" true (pretty = sample_json));
+    Alcotest.test_case "integral numbers print without a fraction" `Quick
+      (fun () ->
+        Alcotest.(check string) "int" "42" (Json.to_string (Json.Num 42.0));
+        Alcotest.(check string) "frac" "0.5" (Json.to_string (Json.Num 0.5)));
+    Alcotest.test_case "string escapes parse" `Quick (fun () ->
+        let v = Json.of_string {|"aé\n\t\"b\""|} in
+        Alcotest.(check bool) "decoded" true
+          (v = Json.Str "a\xc3\xa9\n\t\"b\""));
+    Alcotest.test_case "malformed input raises Parse_error" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Json.of_string s with
+            | exception Json.Parse_error _ -> ()
+            | _ -> Alcotest.failf "parsed %S" s)
+          [ "{"; "[1,]"; "nul"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]);
+    Alcotest.test_case "accessors are total" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "count" (Some 42)
+          (Option.bind (Json.member "count" sample_json) Json.get_int);
+        Alcotest.(check (option string))
+          "name" (Some "run")
+          (Option.bind (Json.member "name" sample_json) Json.get_str);
+        Alcotest.(check bool) "missing field" true
+          (Json.member "nope" sample_json = None);
+        Alcotest.(check bool) "member of non-object" true
+          (Json.member "x" (Json.Num 1.0) = None));
+  ]
+
+(* ---------------------------- Registry ---------------------------- *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "registration is find-or-create" `Quick (fun () ->
+        let r = Registry.create () in
+        let c1 = Registry.counter r ~labels:[ ("pid", "0") ] "msgs" in
+        let c2 = Registry.counter r ~labels:[ ("pid", "0") ] "msgs" in
+        Registry.inc c1;
+        Registry.inc ~by:2 c2;
+        Alcotest.(check int) "one series" 3 (Registry.counter_value c1);
+        Alcotest.(check int) "one row" 1 (List.length (Registry.rows r)));
+    Alcotest.test_case "kind clash is rejected" `Quick (fun () ->
+        let r = Registry.create () in
+        let (_ : Registry.counter) = Registry.counter r "x" in
+        match Registry.gauge r "x" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "gauge over counter accepted");
+    Alcotest.test_case "rows sort by name then numeric label" `Quick (fun () ->
+        let r = Registry.create () in
+        List.iter
+          (fun pid ->
+            Registry.inc
+              (Registry.counter r ~labels:[ ("pid", string_of_int pid) ] "m"))
+          [ 10; 2; 1 ];
+        Registry.set (Registry.gauge r "a_gauge") 1.0;
+        let names =
+          List.map
+            (fun (row : Registry.row) -> (row.name, row.labels))
+            (Registry.rows r)
+        in
+        Alcotest.(check bool) "order" true
+          (names
+          = [
+              ("a_gauge", []);
+              ("m", [ ("pid", "1") ]);
+              ("m", [ ("pid", "2") ]);
+              ("m", [ ("pid", "10") ]);
+            ]));
+    Alcotest.test_case "histograms summarize and bucket by powers of two"
+      `Quick (fun () ->
+        let r = Registry.create () in
+        let h = Registry.hist r "lat" in
+        List.iter (Registry.observe h) [ 1.0; 3.0; 3.0; 5.0; 0.0 ];
+        match Registry.rows r with
+        | [ { data = Registry.Histogram d; _ } ] ->
+          Alcotest.(check int) "count" 5 d.Registry.count;
+          Alcotest.(check (float 1e-9)) "sum" 12.0 d.Registry.sum;
+          Alcotest.(check (float 1e-9)) "max" 5.0 d.Registry.max;
+          (* 0.0 pools under le=0; 1.0 under 1; 3.0×2 under 4; 5.0 under 8 *)
+          Alcotest.(check bool) "buckets" true
+            (d.Registry.buckets
+            = [ (0.0, 1); (1.0, 1); (4.0, 2); (8.0, 1) ])
+        | _ -> Alcotest.fail "expected one histogram row");
+    Alcotest.test_case "dump JSON round-trips through rows_of_json" `Quick
+      (fun () ->
+        let r = Registry.create () in
+        Registry.inc ~by:7 (Registry.counter r ~labels:[ ("pid", "3") ] "msgs");
+        Registry.set (Registry.gauge r "div") 2.0;
+        let h = Registry.hist r ~labels:[ ("pid", "3") ] "lat" in
+        List.iter (Registry.observe h) [ 0.5; 2.0; 8.0 ];
+        let rows = Registry.rows r in
+        let back = Registry.rows_of_json (Registry.to_json r) in
+        Alcotest.(check bool) "identical rows" true (rows = back);
+        (* and through the printer, as [ucsim report] does *)
+        let reparsed =
+          Registry.rows_of_json
+            (Json.of_string (Json.to_string ~pretty:true (Registry.to_json r)))
+        in
+        Alcotest.(check bool) "identical after print/parse" true
+          (rows = reparsed));
+    Alcotest.test_case "rows_of_json rejects non-dumps" `Quick (fun () ->
+        List.iter
+          (fun j ->
+            match Registry.rows_of_json j with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "accepted a non-dump")
+          [ Json.Null; Json.Obj [ ("metrics", Json.Num 1.0) ] ]);
+  ]
+
+(* ------------------------------ Span ------------------------------ *)
+
+let span_tests =
+  [
+    Alcotest.test_case "visibility is the slowest live apply" `Quick (fun () ->
+        let t = Span.create () in
+        let s = Span.fresh t ~pid:0 ~time:1.0 ~label:"ins 1" in
+        Span.record_apply t ~span:(Some s) ~pid:0 ~time:1.0;
+        Span.record_send t ~span:(Some s) ~src:0 ~time:1.0;
+        Span.record_deliver t ~span:(Some s) ~src:0 ~dst:1 ~sent:1.0
+          ~received:4.0;
+        Span.record_apply t ~span:(Some s) ~pid:1 ~time:4.0;
+        Span.record_deliver t ~span:(Some s) ~src:0 ~dst:2 ~sent:1.0
+          ~received:7.5;
+        Span.record_apply t ~span:(Some s) ~pid:2 ~time:7.5;
+        (match Span.visibility t ~live:[ 0; 1; 2 ] with
+        | [ (info, Some lag) ] ->
+          Alcotest.(check int) "origin" 0 info.Span.origin;
+          Alcotest.(check (float 1e-9)) "lag" 6.5 lag
+        | _ -> Alcotest.fail "expected one visible span");
+        (* a live replica that never applied makes the span invisible *)
+        match Span.visibility t ~live:[ 0; 1; 2; 3 ] with
+        | [ (_, None) ] -> ()
+        | _ -> Alcotest.fail "expected an invisible span");
+    Alcotest.test_case "ambient span installs and clears" `Quick (fun () ->
+        let t = Span.create () in
+        Alcotest.(check bool) "empty" true (Span.active t = None);
+        Span.set_active t (Some 3);
+        Alcotest.(check bool) "set" true (Span.active t = Some 3);
+        Span.set_active t None;
+        Alcotest.(check bool) "cleared" true (Span.active t = None));
+  ]
+
+(* -------------------- instrumented Runner runs -------------------- *)
+
+module P = Generic.Make (Set_spec)
+module R = Runner.Make (P)
+
+let run_instrumented ~seed ~n ~partitions ~probe_interval =
+  let obs = Obs.create () in
+  let workload =
+    Array.init n (fun p ->
+        List.init 6 (fun i ->
+            Protocol.Invoke_update (Set_spec.Insert ((p * 10) + i))))
+  in
+  let config =
+    {
+      (R.default_config ~n ~seed) with
+      R.final_read = Some Set_spec.Read;
+      partitions;
+      obs = Some obs;
+      probe_interval;
+    }
+  in
+  let r = R.run config ~workload in
+  (obs, r)
+
+let field k j = Json.member k j
+let str_field k j = Option.bind (field k j) Json.get_str
+
+let span_of_event j =
+  Option.bind (field "args" j) (fun a ->
+      Option.bind (field "span" a) Json.get_int)
+
+(* Satellite: the golden test for [--trace-out]. The export must
+   survive a print/parse round trip, deliver slices must match
+   [messages_delivered] exactly, and every deliver that carries a span
+   must be preceded by a send of the same span — the trace is
+   followable. *)
+let trace_tests =
+  [
+    Alcotest.test_case "trace export is valid, complete and followable"
+      `Quick (fun () ->
+        let obs, r =
+          run_instrumented ~seed:42 ~n:3 ~partitions:[] ~probe_interval:None
+        in
+        let json =
+          Json.of_string
+            (Json.to_string ~pretty:true
+               (Obs.Trace_export.to_json obs.Obs.spans))
+        in
+        Alcotest.(check (option string))
+          "time unit" (Some "ms")
+          (str_field "displayTimeUnit" json);
+        let events =
+          match Option.bind (field "traceEvents" json) Json.get_list with
+          | Some l -> l
+          | None -> Alcotest.fail "no traceEvents array"
+        in
+        let with_ph p = List.filter (fun e -> str_field "ph" e = Some p) events in
+        let delivers = with_ph "X" in
+        Alcotest.(check int) "one slice per delivered message"
+          r.R.metrics.Metrics.messages_delivered (List.length delivers);
+        Alcotest.(check int) "one flow start per span"
+          (Span.count obs.Obs.spans)
+          (List.length (with_ph "s"));
+        let sent_spans =
+          List.filter_map span_of_event
+            (List.filter (fun e -> str_field "name" e = Some "send") events)
+        in
+        List.iter
+          (fun d ->
+            match span_of_event d with
+            | None -> Alcotest.fail "a deliver slice lost its span"
+            | Some s ->
+              if not (List.mem s sent_spans) then
+                Alcotest.failf "deliver of span %d has no matching send" s)
+          delivers;
+        (* every event timestamp is a number — the file loads *)
+        List.iter
+          (fun e ->
+            if Option.bind (field "ts" e) Json.get_num = None then
+              Alcotest.fail "event without ts")
+          events);
+    Alcotest.test_case "finalize folds visibility into the registry" `Quick
+      (fun () ->
+        let obs, r =
+          run_instrumented ~seed:7 ~n:3 ~partitions:[] ~probe_interval:None
+        in
+        Alcotest.(check bool) "run converged" true r.R.converged;
+        let vis =
+          List.filter
+            (fun (row : Registry.row) -> row.name = "visibility_latency")
+            (Registry.rows obs.Obs.registry)
+        in
+        Alcotest.(check int) "one histogram per origin" 3 (List.length vis);
+        let total =
+          List.fold_left
+            (fun acc (row : Registry.row) ->
+              match row.Registry.data with
+              | Registry.Histogram d -> acc + d.Registry.count
+              | _ -> acc)
+            0 vis
+        in
+        Alcotest.(check int) "every update became visible" 18 total);
+  ]
+
+(* The convergence probe: replicas split by a partition must show
+   divergence above 1 somewhere in the series, and the forced final
+   probe must read 1 once the partition heals and the run quiesces. *)
+let probe_tests =
+  [
+    Alcotest.test_case "divergence rises under a partition and heals" `Quick
+      (fun () ->
+        let obs, r =
+          run_instrumented ~seed:11 ~n:4
+            ~partitions:
+              [ { Network.from_time = 5.0; to_time = 150.0; group = [ 0; 1 ] } ]
+            ~probe_interval:(Some 10.0)
+        in
+        Alcotest.(check bool) "run converged" true r.R.converged;
+        let series = Obs.divergence_series obs in
+        Alcotest.(check bool) "probes fired" true (List.length series >= 2);
+        let peak = List.fold_left (fun m (_, d) -> max m d) 0 series in
+        Alcotest.(check bool) "diverged mid-run" true (peak > 1);
+        let _, final = List.nth series (List.length series - 1) in
+        Alcotest.(check int) "healed at quiescence" 1 final;
+        (* probe samples are chronological *)
+        let times = List.map fst series in
+        Alcotest.(check bool) "sorted" true
+          (List.sort compare times = times));
+  ]
+
+let tests = json_tests @ registry_tests @ span_tests @ trace_tests @ probe_tests

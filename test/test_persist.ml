@@ -15,6 +15,7 @@ let dummy_ctx pid : _ Protocol.ctx =
     broadcast_batch = ignore;
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = ignore;
+    obs = None;
   }
 
 let loaded_replica seed ops =

@@ -135,6 +135,7 @@ let memo_gc_internals =
             broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
+            obs = None;
           }
         in
         let counted = ref 0 in
@@ -194,6 +195,7 @@ let memo_gc_internals =
             broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
+            obs = None;
           }
         in
         let r = Undo_set.create dummy in
@@ -274,6 +276,7 @@ let guard_tests =
             broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
+            obs = None;
           }
         in
         Alcotest.(check bool) "raises" true
@@ -311,6 +314,7 @@ let guard_tests =
             broadcast_batch = ignore;
             set_timer = (fun ~delay:_ _ -> ());
             count_replay = ignore;
+            obs = None;
           }
         in
         let r = Counters.Gcounter.create dummy in

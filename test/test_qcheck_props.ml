@@ -82,6 +82,7 @@ let dummy_ctx pid n : G_set.message Protocol.ctx =
     broadcast_batch = (fun _ -> ());
     set_timer = (fun ~delay:_ _ -> ());
     count_replay = (fun _ -> ());
+    obs = None;
   }
 
 let random_log rng =

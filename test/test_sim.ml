@@ -207,6 +207,36 @@ let batch_tests =
         Alcotest.(check int) "all dropped" 3 metrics.Metrics.messages_dropped);
   ]
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let metrics_tests =
+  [
+    Alcotest.test_case "pp prints batches and mean delivery latency" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        m.Metrics.messages_sent <- 3;
+        m.Metrics.messages_delivered <- 2;
+        m.Metrics.delivery_latency_sum <- 5.0;
+        m.Metrics.batches_sent <- 4;
+        let s = Format.asprintf "%a" Metrics.pp m in
+        Alcotest.(check bool) "batches" true (contains s "batches=4");
+        Alcotest.(check bool) "mean latency" true
+          (contains s "mean_delivery=2.500"));
+    Alcotest.test_case "mean delivery latency guards division by zero" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check (float 0.0)) "empty run" 0.0
+          (Metrics.mean_delivery_latency m);
+        let s = Format.asprintf "%a" Metrics.pp m in
+        Alcotest.(check bool) "no nan in pp" true
+          (not (contains s "nan")));
+  ]
+
 module P = Generic.Make (Set_spec)
 module R = Runner.Make (P)
 
@@ -304,4 +334,5 @@ let runner_tests =
         && List.length r.R.final_outputs = 3);
   ]
 
-let tests = engine_tests @ network_tests @ batch_tests @ runner_tests
+let tests =
+  engine_tests @ network_tests @ batch_tests @ metrics_tests @ runner_tests

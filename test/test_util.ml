@@ -167,6 +167,38 @@ let stats_tests =
         let h = Stats.histogram ~buckets:4 [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
         let rendered = Format.asprintf "%a" Stats.pp_histogram h in
         Alcotest.(check bool) "renders" true (String.length rendered > 0));
+    Alcotest.test_case "single-element sample" `Quick (fun () ->
+        let s = Stats.summarize [ 7.5 ] in
+        Alcotest.(check int) "count" 1 s.Stats.count;
+        Alcotest.(check (float 1e-9)) "mean" 7.5 s.Stats.mean;
+        Alcotest.(check (float 1e-9)) "stddev" 0.0 s.Stats.stddev;
+        Alcotest.(check (float 1e-9)) "p50" 7.5 s.Stats.p50;
+        Alcotest.(check (float 1e-9)) "p99" 7.5 s.Stats.p99;
+        Alcotest.(check (float 1e-9)) "percentile q=1" 7.5
+          (Stats.percentile [| 7.5 |] 1.0));
+    Alcotest.test_case "all-equal sample has stddev 0, not NaN" `Quick (fun () ->
+        (* With values whose squares lose precision, the naive variance
+           can come out as a tiny negative number; sqrt would be NaN. *)
+        let xs = List.init 10 (fun _ -> 10.1) in
+        let s = Stats.summarize xs in
+        Alcotest.(check bool) "stddev not NaN" false (Float.is_nan s.Stats.stddev);
+        Alcotest.(check (float 1e-9)) "stddev" 0.0 s.Stats.stddev;
+        Alcotest.(check (float 1e-9)) "p90 = the value" 10.1 s.Stats.p90);
+    Alcotest.test_case "all-equal histogram has a zero-width range" `Quick
+      (fun () ->
+        (* The sample range is empty; bucketing must still place every
+           sample in the first bucket instead of dividing by zero. *)
+        let h = Stats.histogram ~buckets:4 [ 2.0; 2.0; 2.0 ] in
+        let rendered = Format.asprintf "%a" Stats.pp_histogram h in
+        Alcotest.(check bool) "first bucket holds all three" true
+          (let contains_all_three = ref false in
+           String.split_on_char '\n' rendered
+           |> List.iteri (fun i line ->
+                  if i = 0 && String.length line > 0 then
+                    contains_all_three :=
+                      String.index_opt line '3' <> None
+                      && String.index_opt line '#' <> None);
+           !contains_all_three));
   ]
 
 let wire_tests =

@@ -130,6 +130,59 @@ let emit_json path cells =
   output_string oc "]\n";
   close_out oc
 
+(* `--monitor` row: per-event cost of the online uc/ec/pc checkers on a
+   fixed PC-consistent schedule (round-robin updates, a read every 8th
+   op per process, one ω read each at the end — answered from the
+   fed-order state so every monitor stays busy to the last event
+   instead of stopping at an early violation). Reported alongside the
+   sweep; the verdict line is computed exactly as without it. *)
+let monitor_bench () =
+  let module M = Obs.Monitor.Make (Set_spec) in
+  let n = 3 and per = 32 in
+  let rng = Prng.create 7 in
+  let state = ref Set_spec.initial in
+  let feed = ref [] in
+  for i = 0 to per - 1 do
+    for p = 0 to n - 1 do
+      let u = Set_spec.random_update rng in
+      state := Set_spec.apply !state u;
+      feed := `U (p, u) :: !feed;
+      if i mod 8 = 7 then
+        feed := `Q (p, Set_spec.Read, Set_spec.eval !state Set_spec.Read) :: !feed
+    done
+  done;
+  for p = 0 to n - 1 do
+    feed := `Qw (p, Set_spec.Read, Set_spec.eval !state Set_spec.Read) :: !feed
+  done;
+  let feed = List.rev !feed in
+  let events = List.length feed in
+  let run () =
+    let m = M.create ~n ~criteria:[ Obs.Monitor.Uc; Obs.Monitor.Ec; Obs.Monitor.Pc ] in
+    List.iteri
+      (fun i ev ->
+        match ev with
+        | `U (pid, u) -> M.on_update m ~pid ~index:i ~span:None u
+        | `Q (pid, q, o) -> M.on_query m ~pid ~index:i ~span:None ~omega:false q o
+        | `Qw (pid, q, o) -> M.on_query m ~pid ~index:i ~span:None ~omega:true q o)
+      feed;
+    m
+  in
+  let warm = run () in
+  if not (M.clean warm) then begin
+    print_endline "FAIL: monitor flagged the PC-consistent bench schedule";
+    exit 1
+  end;
+  let reps = 20 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (run ()))
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-12s %8d %16s %16.1f   (uc,ec,pc online; work %d steps)\n"
+    "monitor" events "-"
+    (elapsed *. 1e9 /. float_of_int (reps * events))
+    (M.work warm)
+
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let sizes =
@@ -144,6 +197,7 @@ let () =
       Printf.printf "%-12s %8d %16.1f %16.1f\n" c.core c.size c.insert_ns
         c.query_ns)
     cells;
+  if Array.exists (( = ) "--monitor") Sys.argv then monitor_bench ();
   emit_json "BENCH_oplog.json" cells;
   print_endline "wrote BENCH_oplog.json";
   (* pid 0 = list core, 1 = array, 2 = array+ckpt; verdict unaffected *)

@@ -4,12 +4,14 @@
      figures      print the Figure 1 matrix and the Figure 2 analysis
      experiments  run the experiment suite (all or by id)
      run          simulate one protocol on a generated workload
+     replay       re-execute a journaled run and verify it reproduces it
+     diff         first structural divergence between two journals
      modelcheck   exhaustively check a protocol on a small script
      report       render a telemetry registry dump as a table or JSON
      list         show available protocols and experiments *)
 
 let experiment_ids =
-  [ "F1"; "F2"; "P1"; "P4"; "T6"; "T6b"; "C1"; "C2"; "C3"; "C4"; "C4b"; "T7"; "S1"; "C5"; "A1"; "A2"; "A3" ]
+  [ "F1"; "F2"; "P1"; "P4"; "T6"; "T6b"; "C1"; "C2"; "C3"; "C4"; "C4b"; "T7"; "S1"; "C5"; "C6"; "A1"; "A2"; "A3" ]
 
 (* ------------------------------------------------------------------ *)
 (* Protocol registry for `run`: each named protocol is paired with its
@@ -17,6 +19,7 @@ let experiment_ids =
 (* ------------------------------------------------------------------ *)
 
 type run_params = {
+  protocol : string;  (* registry name, recorded in the journal header *)
   seed : int;
   n : int;
   ops : int;
@@ -31,20 +34,159 @@ type run_params = {
   checkpoint_interval : int option;
       (* override for Generic's interval-checkpoint cadence; only
          meaningful with [log_core = `Array] *)
+  batch_window : float option;
   obs_on : bool;
   trace_out : string option;
   registry_out : string option;
   span_dump : bool;
   probe_interval : float option;
   partitions : Network.partition list;
+  journal_out : string option;
+  journal : Obs.Journal.t option;
+      (* in-memory capture used by `replay` instead of a file *)
+  monitors : Obs.Monitor.criterion list;
 }
+
+let log_core_name = function `List -> "list" | `Array -> "array"
+
+(* The journal's self-description: everything `replay` needs to rebuild
+   this run_params record and re-execute the identical schedule. *)
+let journal_header p =
+  let num i = Obs.Json.Num (float_of_int i) in
+  let opt f = function None -> Obs.Json.Null | Some v -> f v in
+  [
+    ("protocol", Obs.Json.Str p.protocol);
+    ("seed", num p.seed);
+    ("n", num p.n);
+    ("ops", num p.ops);
+    ("mean_delay", Obs.Json.Num p.mean_delay);
+    ("fifo", Obs.Json.Bool p.fifo);
+    ("crash", Obs.Json.Bool p.crash_one);
+    ("log_core", Obs.Json.Str (log_core_name p.log_core));
+    ("checkpoint_interval", opt num p.checkpoint_interval);
+    ("batch_window", opt (fun w -> Obs.Json.Num w) p.batch_window);
+    ("probe_interval", opt (fun w -> Obs.Json.Num w) p.probe_interval);
+    ( "monitors",
+      Obs.Json.Arr
+        (List.map
+           (fun c -> Obs.Json.Str (Obs.Monitor.criterion_name c))
+           p.monitors) );
+    ( "partitions",
+      Obs.Json.Arr
+        (List.map
+           (fun (pa : Network.partition) ->
+             Obs.Json.Obj
+               [
+                 ("from", Obs.Json.Num pa.Network.from_time);
+                 ("to", Obs.Json.Num pa.Network.to_time);
+                 ("group", Obs.Json.Arr (List.map num pa.Network.group));
+               ])
+           p.partitions) );
+  ]
+
+(* Inverse of [journal_header]: rebuild the run_params a journal was
+   recorded under, attaching [journal] as the replay's capture journal.
+   Raises [Failure] on a header that does not describe a run. *)
+let params_of_header ~journal header =
+  let get k = List.assoc_opt k header in
+  let missing k = failwith (Printf.sprintf "journal header: bad or missing field %S" k) in
+  let num k = match get k with Some (Obs.Json.Num f) -> f | _ -> missing k in
+  let int k = int_of_float (num k) in
+  let bool k = match get k with Some (Obs.Json.Bool b) -> b | _ -> missing k in
+  let str k = match get k with Some (Obs.Json.Str s) -> s | _ -> missing k in
+  let opt_num k =
+    match get k with
+    | Some (Obs.Json.Num f) -> Some f
+    | Some Obs.Json.Null | None -> None
+    | _ -> missing k
+  in
+  let log_core =
+    match str "log_core" with
+    | "list" -> `List
+    | "array" -> `Array
+    | s -> failwith (Printf.sprintf "journal header: unknown log core %S" s)
+  in
+  let monitors =
+    match get "monitors" with
+    | Some (Obs.Json.Arr xs) ->
+      List.map
+        (function
+          | Obs.Json.Str s -> (
+            match Obs.Monitor.criterion_of_name s with
+            | Some c -> c
+            | None -> failwith (Printf.sprintf "journal header: unknown criterion %S" s))
+          | _ -> missing "monitors")
+        xs
+    | None -> []
+    | _ -> missing "monitors"
+  in
+  let partitions =
+    match get "partitions" with
+    | Some (Obs.Json.Arr xs) ->
+      List.map
+        (function
+          | Obs.Json.Obj fields -> (
+            let fget k = List.assoc_opt k fields in
+            match (fget "from", fget "to", fget "group") with
+            | ( Some (Obs.Json.Num from_time),
+                Some (Obs.Json.Num to_time),
+                Some (Obs.Json.Arr group) ) ->
+              {
+                Network.from_time;
+                to_time;
+                group =
+                  List.map
+                    (function
+                      | Obs.Json.Num f -> int_of_float f
+                      | _ -> missing "partitions")
+                    group;
+              }
+            | _ -> missing "partitions")
+          | _ -> missing "partitions")
+        xs
+    | None -> []
+    | _ -> missing "partitions"
+  in
+  {
+    protocol = str "protocol";
+    seed = int "seed";
+    n = int "n";
+    ops = int "ops";
+    mean_delay = num "mean_delay";
+    fifo = bool "fifo";
+    crash_one = bool "crash";
+    check = false;
+    spacetime = false;
+    log_core;
+    checkpoint_interval = Option.map int_of_float (opt_num "checkpoint_interval");
+    batch_window = opt_num "batch_window";
+    obs_on = false;
+    trace_out = None;
+    registry_out = None;
+    span_dump = false;
+    probe_interval = opt_num "probe_interval";
+    partitions;
+    journal_out = None;
+    journal = Some journal;
+    monitors;
+  }
 
 (* Telemetry is on as soon as any output that needs it was requested. *)
 let obs_of_params p =
+  let journal =
+    if p.journal_out <> None || p.journal <> None then begin
+      let j =
+        match p.journal with Some j -> j | None -> Obs.Journal.create ()
+      in
+      Obs.Journal.set_header j (journal_header p);
+      Some j
+    end
+    else None
+  in
   if
     p.obs_on || p.trace_out <> None || p.registry_out <> None || p.span_dump
-    || p.probe_interval <> None
-  then Some (Obs.create ())
+    || p.probe_interval <> None || journal <> None || p.monitors <> []
+  then Some (Obs.create ?journal ())
   else None
 
 let write_json file json =
@@ -53,13 +195,24 @@ let write_json file json =
   output_char oc '\n';
   close_out oc
 
+let trace_meta p =
+  let opt f = function None -> Obs.Json.Null | Some v -> f v in
+  [
+    ("seed", Obs.Json.Num (float_of_int p.seed));
+    ("replicas", Obs.Json.Num (float_of_int p.n));
+    ("protocol", Obs.Json.Str p.protocol);
+    ("log_core", Obs.Json.Str (log_core_name p.log_core));
+    ("batch_window", opt (fun w -> Obs.Json.Num w) p.batch_window);
+  ]
+
 let emit_obs p obs =
   match obs with
   | None -> ()
   | Some (o : Obs.t) ->
     (match p.trace_out with
     | Some file ->
-      write_json file (Obs.Trace_export.to_json o.spans);
+      write_json file
+        (Obs.Trace_export.to_json ~meta:(trace_meta p) ~replicas:p.n o.spans);
       Printf.printf "trace written      %s (%d spans)\n" file
         (Obs.Span.count o.spans)
     | None -> ());
@@ -68,6 +221,14 @@ let emit_obs p obs =
       write_json file (Obs.Registry.to_json o.registry);
       Printf.printf "registry written   %s\n" file
     | None -> ());
+    (match (o.journal, p.journal_out) with
+    | Some j, Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.Journal.to_jsonl j);
+      close_out oc;
+      Printf.printf "journal written    %s (%d events)\n" file
+        (Obs.Journal.length j)
+    | _ -> ());
     if p.span_dump then Format.printf "%a" Obs.Trace_export.pp_span_dump o.spans;
     (match Obs.divergence_series o with
     | [] -> ()
@@ -76,6 +237,24 @@ let emit_obs p obs =
         (String.concat " "
            (List.map (fun (t, d) -> Printf.sprintf "%.0f:%d" t d) series)));
     Format.printf "telemetry:@.%a" Obs.Registry.pp o.registry
+
+(* One line per requested criterion, naming the first violating event's
+   journal index and span id — the index `replay --until` accepts. *)
+let print_monitor_report ~criteria ~events violations =
+  List.iter
+    (fun c ->
+      match
+        List.find_opt (fun v -> v.Obs.Monitor.criterion = c) violations
+      with
+      | Some v ->
+        Format.printf "monitor %-10s %a@."
+          (Obs.Monitor.criterion_name c)
+          Obs.Monitor.pp_violation v
+      | None ->
+        Printf.printf "monitor %-10s clean (%d events)\n"
+          (Obs.Monitor.criterion_name c)
+          events)
+    criteria
 
 (* [interval] is the instance's effective cadence, read back from the
    functor instance after any --checkpoint-interval override. *)
@@ -103,6 +282,10 @@ let run_set ?note (module P : SET_PROTOCOL) p =
       ~delete_ratio:0.3
   in
   let obs = obs_of_params p in
+  let monitor =
+    if p.monitors = [] then None
+    else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
+  in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
@@ -112,8 +295,10 @@ let run_set ?note (module P : SET_PROTOCOL) p =
       crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
       final_read = Some Set_spec.Read;
       trace = p.spacetime;
+      batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
+      monitor;
     }
   in
   let r = R.run config ~workload in
@@ -136,6 +321,11 @@ let run_set ?note (module P : SET_PROTOCOL) p =
       (C.holds Criteria.UC r.R.history)
       (C.holds Criteria.EC r.R.history)
   end;
+  Option.iter
+    (fun m ->
+      print_monitor_report ~criteria:p.monitors ~events:(R.Mon.events_seen m)
+        (R.Mon.violations m))
+    monitor;
   emit_obs p obs
 
 let run_counter (module P : Protocol.PROTOCOL
@@ -149,6 +339,10 @@ let run_counter (module P : Protocol.PROTOCOL
       ~max_amount:100
   in
   let obs = obs_of_params p in
+  let monitor =
+    if p.monitors = [] then None
+    else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
+  in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
@@ -156,8 +350,10 @@ let run_counter (module P : Protocol.PROTOCOL
       fifo = p.fifo;
       partitions = p.partitions;
       final_read = Some Counter_spec.Value;
+      batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
+      monitor;
     }
   in
   let r = R.run config ~workload in
@@ -165,6 +361,11 @@ let run_counter (module P : Protocol.PROTOCOL
   describe_metrics r.R.metrics;
   Printf.printf "converged          %b\n" r.R.converged;
   List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs;
+  Option.iter
+    (fun m ->
+      print_monitor_report ~criteria:p.monitors ~events:(R.Mon.events_seen m)
+        (R.Mon.violations m))
+    monitor;
   emit_obs p obs
 
 let run_register (module P : Protocol.PROTOCOL
@@ -176,6 +377,10 @@ let run_register (module P : Protocol.PROTOCOL
   let module G = Workload.Make (Register_spec) in
   let workload = G.mixed ~rng ~n:p.n ~ops_per_process:p.ops ~query_ratio:0.4 in
   let obs = obs_of_params p in
+  let monitor =
+    if p.monitors = [] then None
+    else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
+  in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
@@ -183,8 +388,10 @@ let run_register (module P : Protocol.PROTOCOL
       fifo = p.fifo;
       partitions = p.partitions;
       final_read = Some Register_spec.Read;
+      batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
+      monitor;
     }
   in
   let r = R.run config ~workload in
@@ -197,6 +404,11 @@ let run_register (module P : Protocol.PROTOCOL
     let s = Stats.summarize ls in
     Printf.printf "op latency         mean=%.2f p99=%.2f\n" s.Stats.mean s.Stats.p99);
   List.iter (fun (pid, o) -> Printf.printf "final read p%d      %d\n" pid o) r.R.final_outputs;
+  Option.iter
+    (fun m ->
+      print_monitor_report ~criteria:p.monitors ~events:(R.Mon.events_seen m)
+        (R.Mon.violations m))
+    monitor;
   emit_obs p obs
 
 let run_memory p =
@@ -207,20 +419,31 @@ let run_memory p =
       ~read_ratio:0.4
   in
   let obs = obs_of_params p in
+  let monitor =
+    if p.monitors = [] then None
+    else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
+  in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
       R.delay = Network.Exponential { mean = p.mean_delay };
       partitions = p.partitions;
       final_read = Some (Memory_spec.Read 0);
+      batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
+      monitor;
     }
   in
   let r = R.run config ~workload in
   Printf.printf "protocol           lww-memory (object: memory)\n";
   describe_metrics r.R.metrics;
   Printf.printf "converged          %b\n" r.R.converged;
+  Option.iter
+    (fun m ->
+      print_monitor_report ~criteria:p.monitors ~events:(R.Mon.events_seen m)
+        (R.Mon.violations m))
+    monitor;
   emit_obs p obs
 
 module Uni_set = Generic.Make (Set_spec)
@@ -274,6 +497,10 @@ let run_universal_on (module A : Uqadt.S) p =
             else Protocol.Invoke_update (A.random_update rng)))
   in
   let obs = obs_of_params p in
+  let monitor =
+    if p.monitors = [] then None
+    else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
+  in
   let config =
     {
       (R.default_config ~n:p.n ~seed:p.seed) with
@@ -282,8 +509,10 @@ let run_universal_on (module A : Uqadt.S) p =
       partitions = p.partitions;
       crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
       final_read = Some (A.random_query (Prng.create p.seed));
+      batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
+      monitor;
     }
   in
   let r = R.run config ~workload in
@@ -295,6 +524,11 @@ let run_universal_on (module A : Uqadt.S) p =
   List.iter
     (fun (pid, o) -> Format.printf "final read p%d      %a@." pid A.pp_output o)
     r.R.final_outputs;
+  Option.iter
+    (fun m ->
+      print_monitor_report ~criteria:p.monitors ~events:(R.Mon.events_seen m)
+        (R.Mon.violations m))
+    monitor;
   emit_obs p obs
 
 let registry_protocols : (string * string * (run_params -> unit)) list =
@@ -369,7 +603,7 @@ let run_cmd =
   let protocol =
     Arg.(
       required
-      & pos 0 (some (enum (List.map (fun (n, _, f) -> (n, f)) protocols))) None
+      & pos 0 (some (enum (List.map (fun (n, _, f) -> (n, (n, f))) protocols))) None
       & info [] ~docv:"PROTOCOL" ~doc:"One of the names shown by `ucsim list`.")
   in
   let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Processes.") in
@@ -485,11 +719,66 @@ let run_cmd =
              simulated times FROM and TO (messages are delayed, not lost; the \
              partition heals at TO). Repeatable.")
   in
-  let run f seed n ops mean_delay fifo crash_one check spacetime log_core
-      checkpoint_interval obs_on trace_out registry_out span_dump probe_interval
-      partitions =
+  let batch_window_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "batch-window" ] ~docv:"W"
+          ~doc:
+            "Buffer each process's broadcasts and flush them as one frame per \
+             destination $(docv) time units after the window opens.")
+  in
+  let journal_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:
+            "Record every invocation, wire frame, delivery, fault and probe \
+             into a self-describing JSONL event journal at $(docv), sealed \
+             with the run's history fingerprint (implies --obs). Re-execute \
+             it with `ucsim replay`.")
+  in
+  let monitors_conv =
+    let parse s =
+      let parts =
+        List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+          match Obs.Monitor.criterion_of_name x with
+          | Some c -> go (c :: acc) rest
+          | None ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown criterion %S (expected uc, ec or pc)"
+                   x)))
+      in
+      go [] parts
+    in
+    let print ppf cs =
+      Format.pp_print_string ppf
+        (String.concat "," (List.map Obs.Monitor.criterion_name cs))
+    in
+    Arg.conv (parse, print)
+  in
+  let monitors_arg =
+    Arg.(
+      value
+      & opt monitors_conv []
+      & info [ "monitor" ] ~docv:"CRITERIA"
+          ~doc:
+            "Comma-separated consistency criteria (uc, ec, pc) to check \
+             online as the run progresses; the first violating event is \
+             reported with its journal index and span id (implies --obs).")
+  in
+  let run (name, f) seed n ops mean_delay fifo crash_one check spacetime
+      log_core checkpoint_interval batch_window obs_on trace_out registry_out
+      span_dump probe_interval partitions journal_out monitors =
     f
       {
+        protocol = name;
         seed;
         n;
         ops;
@@ -500,20 +789,25 @@ let run_cmd =
         spacetime;
         log_core;
         checkpoint_interval;
+        batch_window;
         obs_on;
         trace_out;
         registry_out;
         span_dump;
         probe_interval;
         partitions;
+        journal_out;
+        journal = None;
+        monitors;
       }
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol $ seed_arg $ n_arg $ ops_arg $ delay_arg $ fifo_arg $ crash_arg
-      $ check_arg $ trace_arg $ log_core_arg $ checkpoint_interval_arg $ obs_arg
-      $ trace_out_arg $ registry_out_arg $ span_dump_arg $ probe_interval_arg
-      $ partitions_arg)
+      $ check_arg $ trace_arg $ log_core_arg $ checkpoint_interval_arg
+      $ batch_window_arg $ obs_arg $ trace_out_arg $ registry_out_arg
+      $ span_dump_arg $ probe_interval_arg $ partitions_arg $ journal_out_arg
+      $ monitors_arg)
 
 let modelcheck_cmd =
   let doc =
@@ -876,6 +1170,142 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg $ json_arg)
 
+let read_file file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Parse a journal file, dying with a one-line diagnostic on anything
+   malformed or truncated — same contract as `report`. *)
+let load_journal ~cmd file =
+  match Obs.Journal.of_jsonl (read_file file) with
+  | exception Obs.Journal.Parse_error msg ->
+    Printf.eprintf "%s: %s: %s\n" cmd file msg;
+    exit 1
+  | exception Failure msg ->
+    Printf.eprintf "%s: %s: %s\n" cmd file msg;
+    exit 1
+  | j -> j
+
+let replay_cmd =
+  let doc =
+    "Re-execute a journaled run (from `run --journal-out`) and verify it \
+     reproduces the recorded schedule and history fingerprint, bisecting to \
+     the first diverging event on mismatch."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Event journal (JSONL) to replay.")
+  in
+  let until_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "until" ] ~docv:"K"
+          ~doc:
+            "Verify the prefix up to event index $(docv) only and print that \
+             event — the index an online monitor names in a violation.")
+  in
+  let run file until =
+    let recorded = load_journal ~cmd:"replay" file in
+    let capture = Obs.Journal.create () in
+    let p =
+      match params_of_header ~journal:capture (Obs.Journal.header recorded) with
+      | exception Failure msg ->
+        Printf.eprintf "replay: %s: %s\n" file msg;
+        exit 1
+      | p -> p
+    in
+    let driver =
+      match List.find_opt (fun (n, _, _) -> n = p.protocol) protocols with
+      | Some (_, _, f) -> f
+      | None ->
+        Printf.eprintf "replay: %s: unknown protocol %S\n" file p.protocol;
+        exit 1
+    in
+    Printf.printf "replaying          %s (seed %d, %d events recorded)\n"
+      p.protocol p.seed
+      (Obs.Journal.length recorded);
+    driver p;
+    let first_diff = Obs.Journal.diff recorded capture in
+    let within i = match until with None -> true | Some k -> i <= k in
+    (match first_diff with
+    | Some (i, a, b) when within i ->
+      Printf.printf "replay DIVERGED at event %d\n  recorded: %s\n  replayed: %s\n"
+        i a b;
+      exit 1
+    | _ -> ());
+    match until with
+    | Some k ->
+      if k < 0 || k >= Obs.Journal.length recorded then begin
+        Printf.eprintf "replay: --until %d out of range (journal has %d events)\n"
+          k
+          (Obs.Journal.length recorded);
+        exit 1
+      end;
+      Format.printf "replay OK through event %d@.event %d          %a@." k k
+        Obs.Journal.pp_event
+        (Obs.Journal.event recorded k)
+    | None ->
+      let fp_rec = Obs.Journal.fingerprint recorded in
+      let fp_new = Obs.Journal.fingerprint capture in
+      if fp_rec <> fp_new then begin
+        let show = function Some s -> s | None -> "(none)" in
+        Printf.printf
+          "replay FAILED: fingerprint mismatch (recorded %s, replayed %s)\n"
+          (show fp_rec) (show fp_new);
+        exit 1
+      end;
+      Printf.printf "replay OK          %d events, fingerprint %s\n"
+        (Obs.Journal.length recorded)
+        (match fp_rec with Some s -> s | None -> "(none)")
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ until_arg)
+
+let diff_cmd =
+  let doc =
+    "Print the first structural divergence between two event journals (or \
+     report them identical)."
+  in
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"A" ~doc:"First journal.")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"B" ~doc:"Second journal.")
+  in
+  let run fa fb =
+    let a = load_journal ~cmd:"diff" fa in
+    let b = load_journal ~cmd:"diff" fb in
+    match Obs.Journal.diff a b with
+    | Some (i, ea, eb) ->
+      Printf.printf "first divergence at event %d\n  %s: %s\n  %s: %s\n" i fa ea
+        fb eb;
+      exit 1
+    | None ->
+      let pa = Obs.Journal.fingerprint a and pb = Obs.Journal.fingerprint b in
+      if pa <> pb then begin
+        let show = function Some s -> s | None -> "(none)" in
+        Printf.printf
+          "events identical but fingerprints differ (%s vs %s)\n" (show pa)
+          (show pb);
+        exit 1
+      end;
+      Printf.printf "journals identical (%d events, fingerprint %s)\n"
+        (Obs.Journal.length a)
+        (match pa with Some s -> s | None -> "(none)")
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ file_a $ file_b)
+
 let list_cmd =
   let doc = "List protocols and experiments." in
   let run () =
@@ -896,6 +1326,8 @@ let () =
             figures_cmd;
             experiments_cmd;
             run_cmd;
+            replay_cmd;
+            diff_cmd;
             modelcheck_cmd;
             nemesis_cmd;
             classify_cmd;

@@ -69,6 +69,12 @@ val crdt_fastpath : seed:int -> Table.t
 (** C5 — commutative types: the universal construction vs the
     apply-on-receive fast path vs native state-based CRDTs. *)
 
+val monitor_latency : seed:int -> Table.t
+(** C6 — online monitor detection latency: journal length, first
+    violating event index and how far into the run it falls, for
+    Algorithm 1 (clean end to end) vs the pipelined replica (caught
+    mid-journal), against the post-hoc PC/UC verdicts. *)
+
 val undo_ablation : seed:int -> Table.t
 (** A1 — replay work under increasingly heavy-tailed delays (late
     messages): full replay vs undo/redo repair. *)

@@ -119,6 +119,26 @@ let update_dag h =
     h.procs;
   g
 
+let fingerprint pp_u pp_q pp_o h =
+  (* FNV-1a over each process line: rendered event labels plus ω flags.
+     Rendering with the spec's printers makes the hash independent of
+     in-memory representation, so a journaled run and its replay agree
+     iff they extracted the same history. *)
+  let fp = ref Fingerprint.empty in
+  Array.iter
+    (fun ids ->
+      fp := Fingerprint.int !fp (Array.length ids);
+      Array.iter
+        (fun id ->
+          let e = h.events.(id) in
+          fp :=
+            Fingerprint.string !fp
+              (Format.asprintf "%a" (Uqadt.pp_operation pp_u pp_q pp_o) e.label);
+          fp := Fingerprint.bool !fp e.omega)
+        ids)
+    h.procs;
+  Fingerprint.to_hex !fp
+
 let pp pp_u pp_q pp_o ppf h =
   let pp_event ppf e =
     Uqadt.pp_operation pp_u pp_q pp_o ppf e.label;

@@ -80,6 +80,18 @@ val update_index : ('u, 'q, 'o) t -> int array * int array
 val update_dag : ('u, 'q, 'o) t -> Dag.t
 (** Program order restricted to updates, on update ranks. *)
 
+val fingerprint :
+  (Format.formatter -> 'u -> unit) ->
+  (Format.formatter -> 'q -> unit) ->
+  (Format.formatter -> 'o -> unit) ->
+  ('u, 'q, 'o) t ->
+  string
+(** FNV-1a hash (16 hex digits) of the per-process event lines,
+    rendered with the given printers. Two histories fingerprint equal
+    iff every process issued the same operations with the same outputs
+    in the same order — the replay-determinism check of
+    [ucsim replay]. *)
+
 val pp :
   (Format.formatter -> 'u -> unit) ->
   (Format.formatter -> 'q -> unit) ->

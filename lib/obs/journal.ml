@@ -1,0 +1,390 @@
+type event =
+  | Update of { pid : int; time : float; span : int option; label : string }
+  | Query of {
+      pid : int;
+      invoked : float;
+      completed : float;
+      span : int option;
+      label : string;
+      output : string;
+      omega : bool;
+    }
+  | Frame of {
+      src : int;
+      dst : int;
+      count : int;
+      bytes : int;
+      sent : float;
+      arrival : float;
+      spans : int option list;
+    }
+  | Deliver of { src : int; dst : int; count : int; time : float }
+  | Drop of { pid : int; count : int; time : float }
+  | Crash of { pid : int; time : float }
+  | Partition of { from_time : float; to_time : float; group : int list }
+  | Probe of { time : float; distinct : int }
+
+type t = {
+  mutable header : (string * Json.t) list;
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable fingerprint : string option;
+}
+
+exception Parse_error of string
+
+let create ?(header = []) () =
+  { header; rev_events = []; count = 0; fingerprint = None }
+
+let set_header t fields = t.header <- fields
+
+let header t = t.header
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let events t = List.rev t.rev_events
+
+let event t i =
+  if i < 0 || i >= t.count then invalid_arg "Journal.event: index out of range";
+  List.nth t.rev_events (t.count - 1 - i)
+
+let seal t ~fingerprint = t.fingerprint <- Some fingerprint
+
+let fingerprint t = t.fingerprint
+
+(* The journal's notion of "when": invocation time for operations, the
+   departure time for frames — the order events were recorded in. *)
+let event_time = function
+  | Update { time; _ } -> time
+  | Query { invoked; _ } -> invoked
+  | Frame { sent; _ } -> sent
+  | Deliver { time; _ } -> time
+  | Drop { time; _ } -> time
+  | Crash { time; _ } -> time
+  | Partition { from_time; _ } -> from_time
+  | Probe { time; _ } -> time
+
+(* ------------------------------ encoding ------------------------------ *)
+
+let num_i i = Json.Num (float_of_int i)
+
+let span_json = function None -> Json.Null | Some s -> num_i s
+
+let event_to_json = function
+  | Update { pid; time; span; label } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "update");
+        ("pid", num_i pid);
+        ("t", Json.Num time);
+        ("span", span_json span);
+        ("label", Json.Str label);
+      ]
+  | Query { pid; invoked; completed; span; label; output; omega } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "query");
+        ("pid", num_i pid);
+        ("t", Json.Num invoked);
+        ("td", Json.Num completed);
+        ("span", span_json span);
+        ("label", Json.Str label);
+        ("out", Json.Str output);
+        ("omega", Json.Bool omega);
+      ]
+  | Frame { src; dst; count; bytes; sent; arrival; spans } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "frame");
+        ("src", num_i src);
+        ("dst", num_i dst);
+        ("n", num_i count);
+        ("bytes", num_i bytes);
+        ("t", Json.Num sent);
+        ("at", Json.Num arrival);
+        ("spans", Json.Arr (List.map span_json spans));
+      ]
+  | Deliver { src; dst; count; time } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "deliver");
+        ("src", num_i src);
+        ("dst", num_i dst);
+        ("n", num_i count);
+        ("t", Json.Num time);
+      ]
+  | Drop { pid; count; time } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "drop");
+        ("pid", num_i pid);
+        ("n", num_i count);
+        ("t", Json.Num time);
+      ]
+  | Crash { pid; time } ->
+    Json.Obj
+      [ ("ev", Json.Str "crash"); ("pid", num_i pid); ("t", Json.Num time) ]
+  | Partition { from_time; to_time; group } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "partition");
+        ("from", Json.Num from_time);
+        ("to", Json.Num to_time);
+        ("group", Json.Arr (List.map num_i group));
+      ]
+  | Probe { time; distinct } ->
+    Json.Obj
+      [ ("ev", Json.Str "probe"); ("t", Json.Num time); ("distinct", num_i distinct) ]
+
+(* ------------------------------ decoding ------------------------------ *)
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let req j key get what =
+  match Option.bind (Json.member key j) get with
+  | Some v -> v
+  | None -> fail "missing or ill-typed field %S in %s event" key what
+
+let req_int j key what = req j key Json.get_int what
+
+let req_num j key what = req j key Json.get_num what
+
+let req_str j key what = req j key Json.get_str what
+
+let req_bool j key what =
+  match Json.member key j with
+  | Some (Json.Bool b) -> b
+  | _ -> fail "missing or ill-typed field %S in %s event" key what
+
+let opt_span j key what =
+  match Json.member key j with
+  | Some Json.Null | None -> None
+  | Some v -> (
+    match Json.get_int v with
+    | Some s -> Some s
+    | None -> fail "ill-typed span in %s event" what)
+
+let event_of_json j =
+  match Option.bind (Json.member "ev" j) Json.get_str with
+  | Some "update" ->
+    Update
+      {
+        pid = req_int j "pid" "update";
+        time = req_num j "t" "update";
+        span = opt_span j "span" "update";
+        label = req_str j "label" "update";
+      }
+  | Some "query" ->
+    Query
+      {
+        pid = req_int j "pid" "query";
+        invoked = req_num j "t" "query";
+        completed = req_num j "td" "query";
+        span = opt_span j "span" "query";
+        label = req_str j "label" "query";
+        output = req_str j "out" "query";
+        omega = req_bool j "omega" "query";
+      }
+  | Some "frame" ->
+    let spans =
+      match Json.member "spans" j with
+      | Some (Json.Arr items) ->
+        List.map
+          (function
+            | Json.Null -> None
+            | v -> (
+              match Json.get_int v with
+              | Some s -> Some s
+              | None -> fail "ill-typed span in frame event"))
+          items
+      | _ -> fail "missing spans array in frame event"
+    in
+    Frame
+      {
+        src = req_int j "src" "frame";
+        dst = req_int j "dst" "frame";
+        count = req_int j "n" "frame";
+        bytes = req_int j "bytes" "frame";
+        sent = req_num j "t" "frame";
+        arrival = req_num j "at" "frame";
+        spans;
+      }
+  | Some "deliver" ->
+    Deliver
+      {
+        src = req_int j "src" "deliver";
+        dst = req_int j "dst" "deliver";
+        count = req_int j "n" "deliver";
+        time = req_num j "t" "deliver";
+      }
+  | Some "drop" ->
+    Drop
+      {
+        pid = req_int j "pid" "drop";
+        count = req_int j "n" "drop";
+        time = req_num j "t" "drop";
+      }
+  | Some "crash" ->
+    Crash { pid = req_int j "pid" "crash"; time = req_num j "t" "crash" }
+  | Some "partition" ->
+    let group =
+      match Json.member "group" j with
+      | Some (Json.Arr items) ->
+        List.map
+          (fun v ->
+            match Json.get_int v with
+            | Some p -> p
+            | None -> fail "ill-typed group member in partition event")
+          items
+      | _ -> fail "missing group array in partition event"
+    in
+    Partition
+      {
+        from_time = req_num j "from" "partition";
+        to_time = req_num j "to" "partition";
+        group;
+      }
+  | Some "probe" ->
+    Probe
+      { time = req_num j "t" "probe"; distinct = req_int j "distinct" "probe" }
+  | Some other -> fail "unknown event kind %S" other
+  | None -> fail "event line without an \"ev\" field"
+
+(* ------------------------------- JSONL -------------------------------- *)
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  let line j =
+    Buffer.add_string buf (Json.to_string j);
+    Buffer.add_char buf '\n'
+  in
+  line
+    (Json.Obj
+       (("journal", Json.Str "ucsim") :: ("version", Json.Num 1.0) :: t.header));
+  List.iter (fun e -> line (event_to_json e)) (events t);
+  line
+    (Json.Obj
+       [
+         ( "fingerprint",
+           match t.fingerprint with None -> Json.Null | Some s -> Json.Str s );
+         ("events", num_i t.count);
+       ]);
+  Buffer.contents buf
+
+let of_jsonl s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  let parse_line (ln, l) =
+    match Json.of_string l with
+    | j -> (ln, j)
+    | exception Json.Parse_error msg -> fail "line %d: %s" ln msg
+  in
+  match lines with
+  | [] -> fail "empty journal"
+  | header_line :: rest -> (
+    let _, hj = parse_line header_line in
+    (match Option.bind (Json.member "journal" hj) Json.get_str with
+    | Some "ucsim" -> ()
+    | _ -> fail "not a ucsim journal (missing header line)");
+    (match Option.bind (Json.member "version" hj) Json.get_int with
+    | Some 1 -> ()
+    | Some v -> fail "unsupported journal version %d" v
+    | None -> fail "journal header without a version");
+    let header =
+      match hj with
+      | Json.Obj fields ->
+        List.filter (fun (k, _) -> k <> "journal" && k <> "version") fields
+      | _ -> []
+    in
+    match List.rev rest with
+    | [] -> fail "truncated journal (missing footer line)"
+    | footer_line :: rev_body ->
+      let _, fj = parse_line footer_line in
+      (match Json.member "events" fj with
+      | Some _ -> ()
+      | None -> fail "truncated journal (missing footer line)");
+      let declared =
+        match Option.bind (Json.member "events" fj) Json.get_int with
+        | Some n -> n
+        | None -> fail "ill-typed event count in footer"
+      in
+      let fingerprint =
+        match Json.member "fingerprint" fj with
+        | Some (Json.Str s) -> Some s
+        | Some Json.Null | None -> None
+        | Some _ -> fail "ill-typed fingerprint in footer"
+      in
+      let body = List.rev rev_body in
+      let evs =
+        List.map
+          (fun line ->
+            let ln, j = parse_line line in
+            try event_of_json j
+            with Parse_error msg -> fail "line %d: %s" ln msg)
+          body
+      in
+      if List.length evs <> declared then
+        fail "truncated journal: footer declares %d events, found %d" declared
+          (List.length evs);
+      {
+        header;
+        rev_events = List.rev evs;
+        count = declared;
+        fingerprint;
+      })
+
+(* ------------------------------ printing ------------------------------ *)
+
+let pp_span ppf = function
+  | None -> ()
+  | Some s -> Format.fprintf ppf " span=%d" s
+
+let pp_event ppf = function
+  | Update { pid; time; span; label } ->
+    Format.fprintf ppf "update p%d @%g%a %s" pid time pp_span span label
+  | Query { pid; invoked; completed; span; label; output; omega } ->
+    Format.fprintf ppf "query%s p%d @%g..%g%a %s -> %s"
+      (if omega then "ω" else "")
+      pid invoked completed pp_span span label output
+  | Frame { src; dst; count; bytes; sent; arrival; _ } ->
+    Format.fprintf ppf "frame %d->%d n=%d bytes=%d @%g..%g" src dst count bytes
+      sent arrival
+  | Deliver { src; dst; count; time } ->
+    Format.fprintf ppf "deliver %d->%d n=%d @%g" src dst count time
+  | Drop { pid; count; time } ->
+    Format.fprintf ppf "drop p%d n=%d @%g" pid count time
+  | Crash { pid; time } -> Format.fprintf ppf "crash p%d @%g" pid time
+  | Partition { from_time; to_time; group } ->
+    Format.fprintf ppf "partition [%s] @%g..%g"
+      (String.concat "," (List.map string_of_int group))
+      from_time to_time
+  | Probe { time; distinct } ->
+    Format.fprintf ppf "probe @%g distinct=%d" time distinct
+
+(* ------------------------------- diff --------------------------------- *)
+
+let diff a b =
+  (* Both journals record events in simulated-time order, so walking the
+     two streams index by index aligns them by timestamp; the first
+     position where the events (or one stream's end) disagree is the
+     first structural divergence. *)
+  let render = function
+    | Some e -> Format.asprintf "%a" pp_event e
+    | None -> "(end of journal)"
+  in
+  let rec walk i ea eb =
+    match (ea, eb) with
+    | [], [] -> None
+    | x :: xs, y :: ys when x = y -> walk (i + 1) xs ys
+    | xs, ys ->
+      let hd = function [] -> None | e :: _ -> Some e in
+      Some (i, render (hd xs), render (hd ys))
+  in
+  walk 0 (events a) (events b)

@@ -3,6 +3,8 @@ module Registry = Registry
 module Span = Span
 module Profile = Profile
 module Trace_export = Trace_export
+module Journal = Journal
+module Monitor = Monitor
 
 type replica = { pid : int; profile : Profile.t }
 
@@ -12,15 +14,17 @@ type t = {
   span_wire_bytes : int;
   mutable replicas : replica list;
   mutable divergence : (float * int) list;
+  mutable journal : Journal.t option;
 }
 
-let create ?(span_wire_bytes = 0) () =
+let create ?(span_wire_bytes = 0) ?journal () =
   {
     registry = Registry.create ();
     spans = Span.create ();
     span_wire_bytes;
     replicas = [];
     divergence = [];
+    journal;
   }
 
 let replica t pid =

@@ -22,6 +22,8 @@ module Registry = Registry
 module Span = Span
 module Profile = Profile
 module Trace_export = Trace_export
+module Journal = Journal
+module Monitor = Monitor
 
 (** Per-replica handle, passed to protocol replicas via
     [Protocol.ctx.obs]. *)
@@ -36,10 +38,13 @@ type t = {
   mutable replicas : replica list;  (** use {!replica}, not this *)
   mutable divergence : (float * int) list;
       (** newest first; use {!divergence_series} *)
+  mutable journal : Journal.t option;
+      (** when set, {!Runner} and {!Network} record every simulation
+          event into it; [None] (the default) records nothing *)
 }
 
-val create : ?span_wire_bytes:int -> unit -> t
-(** [span_wire_bytes] defaults to [0]. *)
+val create : ?span_wire_bytes:int -> ?journal:Journal.t -> unit -> t
+(** [span_wire_bytes] defaults to [0]; [journal] to [None]. *)
 
 val replica : t -> int -> replica
 (** Find-or-create the handle for [pid]. *)

@@ -1,7 +1,7 @@
 type id = int
 
 type event =
-  | Invoke of { span : id; pid : int; time : float; label : string }
+  | Invoke of { span : id; pid : int; time : float; label : string; local : bool }
   | Send of { span : id option; src : int; time : float }
   | Deliver of {
       span : id option;
@@ -22,10 +22,10 @@ let create () = { next = 0; events = []; ambient = None }
 
 let push t e = t.events <- e :: t.events
 
-let fresh t ~pid ~time ~label =
+let fresh ?(local = false) t ~pid ~time ~label =
   let span = t.next in
   t.next <- span + 1;
-  push t (Invoke { span; pid; time; label });
+  push t (Invoke { span; pid; time; label; local });
   span
 
 let set_active t s = t.ambient <- s
@@ -51,6 +51,7 @@ type info = {
   id : id;
   origin : int;
   label : string;
+  local : bool;
   invoked : float;
   sends : (int * float) list;
   delivers : (int * int * float * float) list;
@@ -69,6 +70,7 @@ let spans t =
             id = span;
             origin = -1;
             label = "";
+            local = false;
             invoked = 0.0;
             sends = [];
             delivers = [];
@@ -80,9 +82,9 @@ let spans t =
   in
   List.iter
     (function
-      | Invoke { span; pid; time; label } ->
+      | Invoke { span; pid; time; label; local } ->
         let r = get span in
-        r := { !r with origin = pid; label; invoked = time }
+        r := { !r with origin = pid; label; local; invoked = time }
       | Send { span = Some span; src; time } ->
         let r = get span in
         r := { !r with sends = (src, time) :: !r.sends }
@@ -106,6 +108,7 @@ let spans t =
           id;
           origin = -1;
           label = "";
+          local = false;
           invoked = 0.0;
           sends = [];
           delivers = [];
@@ -113,18 +116,22 @@ let spans t =
         })
 
 let visibility t ~live =
-  List.map
+  (* Local spans (query invocations) never propagate, so they have no
+     visibility latency and would otherwise all count as invisible. *)
+  List.filter_map
     (fun info ->
-      let lat =
-        List.fold_left
-          (fun acc pid ->
-            match acc with
-            | None -> None
-            | Some worst -> (
-              match List.assoc_opt pid info.applies with
-              | Some at -> Some (Float.max worst (at -. info.invoked))
-              | None -> None))
-          (Some 0.0) live
-      in
-      (info, lat))
+      if info.local then None
+      else
+        let lat =
+          List.fold_left
+            (fun acc pid ->
+              match acc with
+              | None -> None
+              | Some worst -> (
+                match List.assoc_opt pid info.applies with
+                | Some at -> Some (Float.max worst (at -. info.invoked))
+                | None -> None))
+            (Some 0.0) live
+        in
+        Some (info, lat))
     (spans t)

@@ -20,7 +20,7 @@ type id = int
 type t
 
 type event =
-  | Invoke of { span : id; pid : int; time : float; label : string }
+  | Invoke of { span : id; pid : int; time : float; label : string; local : bool }
   | Send of { span : id option; src : int; time : float }
   | Deliver of {
       span : id option;
@@ -33,8 +33,11 @@ type event =
 
 val create : unit -> t
 
-val fresh : t -> pid:int -> time:float -> label:string -> id
-(** Allocate the next span id and record its [Invoke] event. *)
+val fresh : ?local:bool -> t -> pid:int -> time:float -> label:string -> id
+(** Allocate the next span id and record its [Invoke] event. A [local]
+    span (default false) marks an invocation that never propagates —
+    query invocations, which exist so journal and monitor events can
+    cite a causal id — and is excluded from {!visibility}. *)
 
 val set_active : t -> id option -> unit
 (** Install the ambient span. The runner sets it around an update
@@ -68,6 +71,7 @@ type info = {
   id : id;
   origin : int;
   label : string;
+  local : bool;
   invoked : float;
   sends : (int * float) list;  (** [(src, time)] *)
   delivers : (int * int * float * float) list;
@@ -81,7 +85,7 @@ val spans : t -> info list
     still in {!events} for the trace export). *)
 
 val visibility : t -> live:int list -> (info * float option) list
-(** For each span, the visibility latency
+(** For each non-local span, the visibility latency
     [max applied-at-p over live replicas p  −  invocation time], or
     [None] if some live replica never applied it (e.g. it was still
     partitioned when the run ended). *)

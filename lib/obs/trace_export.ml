@@ -22,7 +22,7 @@ let flow ph span ~pid ~time extra =
     @ extra)
 
 let event_json = function
-  | Span.Invoke { span; pid; time; label } ->
+  | Span.Invoke { span; pid; time; label; local = _ } ->
     [
       Json.Obj
         ([
@@ -84,8 +84,40 @@ let event_json = function
     | Some s -> [ base; flow "f" s ~pid ~time [ ("bp", Json.Str "e") ] ]
     | None -> [ base ])
 
-let to_json spans =
-  let events = List.concat_map event_json (Span.events spans) in
+(* Perfetto metadata events: ph:"M" rows are not rendered on the
+   timeline; "process_name" labels each replica track and a
+   "ucsim_config" row carries the run's self-description (seed,
+   log-core choice, batch window, …) so a trace file alone identifies
+   the run that produced it. *)
+let meta_json ?(meta = []) ?replicas () =
+  let name_row ~pid name args =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", num pid);
+        ("tid", Json.Num 0.0);
+        ("args", Json.Obj args);
+      ]
+  in
+  let process_names =
+    match replicas with
+    | None -> []
+    | Some n ->
+      List.init n (fun pid ->
+          name_row ~pid "process_name"
+            [ ("name", Json.Str (Printf.sprintf "replica %d" pid)) ])
+  in
+  let config =
+    match meta with [] -> [] | meta -> [ name_row ~pid:0 "ucsim_config" meta ]
+  in
+  process_names @ config
+
+let to_json ?meta ?replicas spans =
+  let events =
+    meta_json ?meta ?replicas ()
+    @ List.concat_map event_json (Span.events spans)
+  in
   Json.Obj
     [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ]
 

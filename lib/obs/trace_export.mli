@@ -9,8 +9,14 @@
     Simulated time (arbitrary units, conventionally ms) maps to trace
     microseconds at [×1000]. *)
 
-val to_json : Span.t -> Json.t
-(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+val to_json :
+  ?meta:(string * Json.t) list -> ?replicas:int -> Span.t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. When [replicas]
+    is given, one [ph:"M"] "process_name" metadata event labels each
+    replica's track; when [meta] is non-empty, a [ph:"M"]
+    "ucsim_config" metadata event carries it as [args] — seed, replica
+    count, log-core choice, batch window — making the trace file
+    self-describing. Neither adds renderable events. *)
 
 val pp_span_dump : Format.formatter -> Span.t -> unit
 (** Compact OTLP-like dump, one block per span: id, label, origin,

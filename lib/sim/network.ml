@@ -86,6 +86,14 @@ let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = [])
 let ambient t =
   match t.obs with None -> None | Some no -> Obs.Span.active no.o.Obs.spans
 
+let journal t f =
+  match t.obs with
+  | None -> ()
+  | Some no -> (
+    match no.o.Obs.journal with
+    | None -> ()
+    | Some j -> Obs.Journal.record j (f ()))
+
 (* Each message leaves stamped with the span that was ambient when it
    was handed to the network (not when a buffered batch flushes). *)
 let stamp t msgs =
@@ -121,21 +129,19 @@ let enqueue t ~src ~dst msgs =
       no.o.Obs.span_wire_bytes
       * List.length (List.filter (fun (_, s) -> s <> None) msgs)
   in
+  let frame_bytes =
+    t.envelope + span_bytes
+    + List.fold_left (fun acc (m, _) -> acc + t.wire_size m) 0 msgs
+  in
   t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + count;
-  t.metrics.Metrics.bytes_sent <-
-    t.metrics.Metrics.bytes_sent + t.envelope + span_bytes
-    + List.fold_left (fun acc (m, _) -> acc + t.wire_size m) 0 msgs;
+  t.metrics.Metrics.bytes_sent <- t.metrics.Metrics.bytes_sent + frame_bytes;
   if count > 1 then
     t.metrics.Metrics.batches_sent <- t.metrics.Metrics.batches_sent + 1;
   (match t.obs with
   | None -> ()
   | Some no ->
     Obs.Registry.inc ~by:count no.sent.(src);
-    Obs.Registry.inc
-      ~by:
-        (t.envelope + span_bytes
-        + List.fold_left (fun acc (m, _) -> acc + t.wire_size m) 0 msgs)
-      no.bytes.(src);
+    Obs.Registry.inc ~by:frame_bytes no.bytes.(src);
     if count > 1 then Obs.Registry.inc no.batches.(src);
     List.iter
       (fun (_, span) -> Obs.Span.record_send no.o.Obs.spans ~span ~src ~time:now)
@@ -149,15 +155,30 @@ let enqueue t ~src ~dst msgs =
     end
   in
   if t.fifo then t.last_delivery.(src).(dst) <- arrival;
+  journal t (fun () ->
+      Obs.Journal.Frame
+        {
+          src;
+          dst;
+          count;
+          bytes = frame_bytes;
+          sent = now;
+          arrival;
+          spans = List.map snd msgs;
+        });
   Engine.schedule_at t.engine ~time:arrival (fun () ->
       if t.crashed.(dst) then begin
         t.metrics.Metrics.messages_dropped <-
           t.metrics.Metrics.messages_dropped + count;
+        journal t (fun () ->
+            Obs.Journal.Drop { pid = dst; count; time = arrival });
         match t.obs with
         | None -> ()
         | Some no -> Obs.Registry.inc ~by:count no.dropped.(dst)
       end
-      else
+      else begin
+        journal t (fun () ->
+            Obs.Journal.Deliver { src; dst; count; time = arrival });
         List.iter
           (fun (msg, span) ->
             t.metrics.Metrics.messages_delivered <-
@@ -182,11 +203,14 @@ let enqueue t ~src ~dst msgs =
               t.deliver ~dst ~src msg;
               Obs.Span.record_apply no.o.Obs.spans ~span ~pid:dst ~time:arrival;
               Obs.Span.set_active no.o.Obs.spans saved)
-          msgs)
+          msgs
+      end)
 
 let drop_from_src t ~src count =
   t.metrics.Metrics.messages_dropped <-
     t.metrics.Metrics.messages_dropped + count;
+  journal t (fun () ->
+      Obs.Journal.Drop { pid = src; count; time = Engine.now t.engine });
   match t.obs with
   | None -> ()
   | Some no -> Obs.Registry.inc ~by:count no.dropped.(src)

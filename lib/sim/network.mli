@@ -56,10 +56,12 @@ val create :
     [delivery_latency{pid=dst}], …), (b) stamps every outgoing message
     with the ambient {!Obs.Span.active} span — charging
     [obs.span_wire_bytes] (default 0) extra wire bytes per stamped
-    message — and (c) brackets each delivery in its message's span, so
+    message — (c) brackets each delivery in its message's span, so
     spans follow updates across replicas without touching message
-    types. With [obs] absent all of this is compiled away behind a
-    [None] check and the run is bit-identical to the seed. *)
+    types, and (d) when [obs.journal] is attached, records every wire
+    frame, delivery, and drop into it. With [obs] absent all of this
+    is compiled away behind a [None] check and the run is bit-identical
+    to the seed. *)
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 

@@ -1,4 +1,6 @@
 module Make (P : Protocol.PROTOCOL) = struct
+  module Mon = Obs.Monitor.Make (P)
+
   type action = (P.update, P.query) Protocol.invocation
 
   type config = {
@@ -17,6 +19,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     obs : Obs.t option;
     probe_interval : float option;
     fingerprint : (P.t -> string) option;
+    monitor : Mon.t option;
   }
 
   let default_config ~n ~seed =
@@ -36,6 +39,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       obs = None;
       probe_interval = None;
       fingerprint = None;
+      monitor = None;
     }
 
   (* Replica state fingerprint for the divergence probe when the caller
@@ -108,6 +112,33 @@ module Make (P : Protocol.PROTOCOL) = struct
         ()
     in
     let crashed = Array.make n false in
+    (* Journal plumbing: event indices are journal positions when a
+       journal is attached (so monitor violations cite replayable
+       indices) and a plain operation counter otherwise. *)
+    let journal = Option.bind config.obs (fun o -> o.Obs.journal) in
+    let observing = journal <> None || config.monitor <> None in
+    let mon_seq = ref 0 in
+    let next_index () =
+      match journal with
+      | Some j -> Obs.Journal.length j
+      | None ->
+        let i = !mon_seq in
+        incr mon_seq;
+        i
+    in
+    let jrecord f =
+      match journal with Some j -> Obs.Journal.record j (f ()) | None -> ()
+    in
+    List.iter
+      (fun (p : Network.partition) ->
+        jrecord (fun () ->
+            Obs.Journal.Partition
+              {
+                from_time = p.Network.from_time;
+                to_time = p.Network.to_time;
+                group = p.Network.group;
+              }))
+      config.partitions;
     let pid_labels pid = [ ("pid", string_of_int pid) ] in
     let runner_obs =
       Option.map
@@ -156,7 +187,11 @@ module Make (P : Protocol.PROTOCOL) = struct
               let distinct =
                 List.length (List.sort_uniq String.compare !fps)
               in
-              Obs.record_divergence o ~time:now ~distinct
+              Obs.record_divergence o ~time:now ~distinct;
+              jrecord (fun () -> Obs.Journal.Probe { time = now; distinct });
+              Option.iter
+                (fun m -> Mon.on_probe m ~time:now ~distinct)
+                config.monitor
             end)
       | _ -> None
     in
@@ -257,8 +292,29 @@ module Make (P : Protocol.PROTOCOL) = struct
                   finish := Engine.now engine;
                   continue ())
             in
+            (* Journal the invocation (and feed the monitor) before the
+               protocol runs, so the frames its broadcast produces land
+               after their cause in the journal. *)
+            let observe_update span =
+              if observing then begin
+                let index = next_index () in
+                jrecord (fun () ->
+                    Obs.Journal.Update
+                      {
+                        pid;
+                        time = started;
+                        span;
+                        label = Format.asprintf "%a" P.pp_update u;
+                      });
+                Option.iter
+                  (fun m -> Mon.on_update m ~pid ~index ~span u)
+                  config.monitor
+              end
+            in
             (match config.obs with
-            | None -> do_update ()
+            | None ->
+              observe_update None;
+              do_update ()
             | Some o ->
               (* Open the update's span and leave it ambient while the
                  protocol processes the invocation, so broadcasts it
@@ -268,6 +324,7 @@ module Make (P : Protocol.PROTOCOL) = struct
                 Obs.Span.fresh o.Obs.spans ~pid ~time:started
                   ~label:(Format.asprintf "%a" P.pp_update u)
               in
+              observe_update (Some span);
               Obs.Span.set_active o.Obs.spans (Some span);
               do_update ();
               Obs.Span.record_apply o.Obs.spans ~span:(Some span) ~pid
@@ -277,18 +334,55 @@ module Make (P : Protocol.PROTOCOL) = struct
           | Protocol.Invoke_query q ->
             metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
             robs (fun ro -> Obs.Registry.inc ro.qry.(pid));
-            P.query (replica pid) q ~on_result:(fun output ->
-                if not crashed.(pid) then begin
-                  steps.(pid) := History.Q (q, output) :: !(steps.(pid));
-                  op_times.(pid) :=
-                    (started, ref (Engine.now engine)) :: !(op_times.(pid));
-                  Option.iter
-                    (fun tr ->
-                      Trace.record_op tr ~time:(Engine.now engine) ~pid
-                        (Format.asprintf "%a/%a" P.pp_query q P.pp_output output))
-                    trace;
-                  continue ()
-                end))
+            (* Queries get a local span (they never propagate, so it is
+               excluded from visibility metrics) purely so the journal
+               and monitor can cite a causal id for the read. *)
+            let qspan =
+              Option.map
+                (fun o ->
+                  Obs.Span.fresh ~local:true o.Obs.spans ~pid ~time:started
+                    ~label:(Format.asprintf "%a" P.pp_query q))
+                config.obs
+            in
+            let do_query () =
+              P.query (replica pid) q ~on_result:(fun output ->
+                  if not crashed.(pid) then begin
+                    steps.(pid) := History.Q (q, output) :: !(steps.(pid));
+                    op_times.(pid) :=
+                      (started, ref (Engine.now engine)) :: !(op_times.(pid));
+                    Option.iter
+                      (fun tr ->
+                        Trace.record_op tr ~time:(Engine.now engine) ~pid
+                          (Format.asprintf "%a/%a" P.pp_query q P.pp_output output))
+                      trace;
+                    if observing then begin
+                      let index = next_index () in
+                      jrecord (fun () ->
+                          Obs.Journal.Query
+                            {
+                              pid;
+                              invoked = started;
+                              completed = Engine.now engine;
+                              span = qspan;
+                              label = Format.asprintf "%a" P.pp_query q;
+                              output = Format.asprintf "%a" P.pp_output output;
+                              omega = false;
+                            });
+                      Option.iter
+                        (fun m ->
+                          Mon.on_query m ~pid ~index ~span:qspan ~omega:false q
+                            output)
+                        config.monitor
+                    end;
+                    continue ()
+                  end)
+            in
+            (match config.obs with
+            | None -> do_query ()
+            | Some o ->
+              Obs.Span.set_active o.Obs.spans qspan;
+              do_query ();
+              Obs.Span.set_active o.Obs.spans None))
       end
     in
     Array.iteri
@@ -301,6 +395,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         Engine.schedule_at engine ~time (fun () ->
             crashed.(pid) <- true;
             Option.iter (fun tr -> Trace.record_crash tr ~time ~pid) trace;
+            jrecord (fun () -> Obs.Journal.Crash { pid; time });
             Network.crash network pid))
       config.crashes;
     Engine.run ~until:config.deadline engine;
@@ -316,16 +411,52 @@ module Make (P : Protocol.PROTOCOL) = struct
         if not crashed.(pid) then begin
           metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
           robs (fun ro -> Obs.Registry.inc ro.qry.(pid));
-          P.query (replica pid) q ~on_result:(fun output ->
-              steps.(pid) := History.Qw (q, output) :: !(steps.(pid));
-              op_times.(pid) :=
-                (Engine.now engine, ref (Engine.now engine)) :: !(op_times.(pid));
-              Option.iter
-                (fun tr ->
-                  Trace.record_op tr ~time:(Engine.now engine) ~pid
-                    (Format.asprintf "%a/%aω" P.pp_query q P.pp_output output))
-                trace;
-              final_outputs := (pid, output) :: !final_outputs)
+          let started = Engine.now engine in
+          let qspan =
+            Option.map
+              (fun o ->
+                Obs.Span.fresh ~local:true o.Obs.spans ~pid ~time:started
+                  ~label:(Format.asprintf "%aω" P.pp_query q))
+              config.obs
+          in
+          let do_query () =
+            P.query (replica pid) q ~on_result:(fun output ->
+                steps.(pid) := History.Qw (q, output) :: !(steps.(pid));
+                op_times.(pid) :=
+                  (Engine.now engine, ref (Engine.now engine))
+                  :: !(op_times.(pid));
+                Option.iter
+                  (fun tr ->
+                    Trace.record_op tr ~time:(Engine.now engine) ~pid
+                      (Format.asprintf "%a/%aω" P.pp_query q P.pp_output output))
+                  trace;
+                if observing then begin
+                  let index = next_index () in
+                  jrecord (fun () ->
+                      Obs.Journal.Query
+                        {
+                          pid;
+                          invoked = started;
+                          completed = Engine.now engine;
+                          span = qspan;
+                          label = Format.asprintf "%a" P.pp_query q;
+                          output = Format.asprintf "%a" P.pp_output output;
+                          omega = true;
+                        });
+                  Option.iter
+                    (fun m ->
+                      Mon.on_query m ~pid ~index ~span:qspan ~omega:true q
+                        output)
+                    config.monitor
+                end;
+                final_outputs := (pid, output) :: !final_outputs)
+          in
+          match config.obs with
+          | None -> do_query ()
+          | Some o ->
+            Obs.Span.set_active o.Obs.spans qspan;
+            do_query ();
+            Obs.Span.set_active o.Obs.spans None
         end
       done;
       Engine.run ~until:config.deadline engine);
@@ -368,8 +499,17 @@ module Make (P : Protocol.PROTOCOL) = struct
         Obs.finalize o ~live;
         Metrics.to_registry metrics o.Obs.registry)
       config.obs;
+    let history =
+      History.make (List.map (fun r -> List.rev !r) (Array.to_list steps))
+    in
+    Option.iter
+      (fun j ->
+        Obs.Journal.seal j
+          ~fingerprint:
+            (History.fingerprint P.pp_update P.pp_query P.pp_output history))
+      journal;
     {
-      history = History.make (List.map (fun r -> List.rev !r) (Array.to_list steps));
+      history;
       metrics;
       op_latencies = List.rev !latencies;
       final_outputs;

@@ -12,6 +12,11 @@
     for EC/UC exactly as the paper's figures are. *)
 
 module Make (P : Protocol.PROTOCOL) : sig
+  module Mon : module type of Obs.Monitor.Make (P)
+  (** Online consistency monitor over this protocol's spec; create one
+      with [Mon.create] and pass it as [config.monitor] to have the
+      runner feed it every invocation as it completes. *)
+
   type action = (P.update, P.query) Protocol.invocation
 
   type config = {
@@ -51,6 +56,10 @@ module Make (P : Protocol.PROTOCOL) : sig
         (** replica state fingerprint for the probe; defaults to the
             certificate rendered as text (log length if the protocol
             keeps no certificate). *)
+    monitor : Mon.t option;
+        (** online consistency monitor, fed every update invocation and
+            completed query (with its journal event index and span id)
+            as the run progresses. [None] by default. *)
   }
 
   val default_config : n:int -> seed:int -> config
@@ -79,5 +88,12 @@ module Make (P : Protocol.PROTOCOL) : sig
 
   val run : config -> workload:action list array -> result
   (** [workload.(p)] is process p's script. Raises [Invalid_argument] if
-      the workload width differs from [config.n]. *)
+      the workload width differs from [config.n].
+
+      When [config.obs] carries a {!Obs.Journal}, the run records every
+      invocation, wire frame, delivery, drop, crash, partition window,
+      and probe sample into it in simulated-time order, and seals it
+      with the extracted history's {!History.fingerprint}. Journaling
+      only observes — the schedule, history, metrics, and wire bytes
+      are bit-identical with and without it. *)
 end

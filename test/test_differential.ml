@@ -280,12 +280,20 @@ let run_generic_core
    oplog profiles — may not perturb a single observable of the run:
    same seed means the same history, the same final reads and
    certificates, and the same metrics record down to the wire bytes. *)
-let run_set_telemetry ~seed ~obs ~probe_interval =
+let run_set_telemetry ?(ops = 15) ?(monitors = false) ~seed ~obs
+    ~probe_interval () =
   let module R = Runner.Make (G_set) in
   let rng = Prng.create (seed lxor 0x5eed) in
   let workload =
-    Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:15 ~domain:8 ~skew:1.0
-      ~delete_ratio:0.4
+    Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:ops ~domain:8
+      ~skew:1.0 ~delete_ratio:0.4
+  in
+  let monitor =
+    if monitors then
+      Some
+        (R.Mon.create ~n:3
+           ~criteria:[ Obs.Monitor.Uc; Obs.Monitor.Ec; Obs.Monitor.Pc ])
+    else None
   in
   let config =
     {
@@ -293,6 +301,7 @@ let run_set_telemetry ~seed ~obs ~probe_interval =
       R.final_read = Some Set_spec.Read;
       obs;
       probe_interval;
+      monitor;
     }
   in
   let r = R.run config ~workload in
@@ -312,15 +321,36 @@ let runner_differential_tests =
       "oplog-core Generic ≡ seed list core on FIFO Runner schedules";
     qtest ~count:40 "telemetry off ≡ telemetry on, byte for byte" seed_gen
       (fun seed ->
-        let bare = run_set_telemetry ~seed ~obs:None ~probe_interval:None in
+        let bare = run_set_telemetry ~seed ~obs:None ~probe_interval:None () in
         let o = Obs.create () in
         let instrumented =
-          run_set_telemetry ~seed ~obs:(Some o) ~probe_interval:(Some 5.0)
+          run_set_telemetry ~seed ~obs:(Some o) ~probe_interval:(Some 5.0) ()
         in
         (* identical observables, and the instruments did record *)
         bare = instrumented
         && Obs.Span.count o.Obs.spans > 0
         && Obs.divergence_series o <> []);
+    qtest ~count:15 "journal + monitors are pure observers too" seed_gen
+      (fun seed ->
+        let bare =
+          run_set_telemetry ~ops:8 ~seed ~obs:None ~probe_interval:None ()
+        in
+        let journal = Obs.Journal.create () in
+        let o = Obs.create ~journal () in
+        let observed =
+          run_set_telemetry ~ops:8 ~monitors:true ~seed ~obs:(Some o)
+            ~probe_interval:(Some 5.0) ()
+        in
+        let history, _, _, _ = bare in
+        (* identical history, final reads, certificates and metrics —
+           wire bytes included — and the journal both recorded and was
+           sealed with exactly that history's fingerprint *)
+        bare = observed
+        && Obs.Journal.length journal > 0
+        && Obs.Journal.fingerprint journal
+           = Some
+               (History.fingerprint Set_spec.pp_update Set_spec.pp_query
+                  Set_spec.pp_output history));
   ]
 
 let tests =

@@ -1,0 +1,243 @@
+(* The event journal: recording order, JSONL round trips, rejection of
+   malformed or truncated input, structural diff — and the replay
+   contract: re-executing a journaled configuration reproduces the
+   identical event stream and history fingerprint, partitions and
+   batched delivery included. *)
+
+open Helpers
+module Journal = Obs.Journal
+module Json = Obs.Json
+module P = Generic.Make (Set_spec)
+module R = Runner.Make (P)
+
+let sample_events =
+  [
+    Journal.Partition { from_time = 5.0; to_time = 20.0; group = [ 0; 1 ] };
+    Journal.Update { pid = 0; time = 1.5; span = Some 0; label = "I(3)" };
+    Journal.Frame
+      {
+        src = 0;
+        dst = 1;
+        count = 2;
+        bytes = 17;
+        sent = 1.5;
+        arrival = 4.25;
+        spans = [ Some 0; None ];
+      };
+    Journal.Deliver { src = 0; dst = 1; count = 2; time = 4.25 };
+    Journal.Query
+      {
+        pid = 1;
+        invoked = 5.0;
+        completed = 5.5;
+        span = Some 1;
+        label = "R";
+        output = "{3}";
+        omega = false;
+      };
+    Journal.Drop { pid = 2; count = 1; time = 6.0 };
+    Journal.Crash { pid = 2; time = 6.0 };
+    Journal.Probe { time = 7.0; distinct = 2 };
+    Journal.Query
+      {
+        pid = 0;
+        invoked = 9.0;
+        completed = 9.0;
+        span = Some 2;
+        label = "Rω";
+        output = "{3}";
+        omega = true;
+      };
+  ]
+
+let sample_journal () =
+  let j = Journal.create ~header:[ ("seed", Json.Num 1.0) ] () in
+  List.iter (Journal.record j) sample_events;
+  Journal.seal j ~fingerprint:"deadbeefdeadbeef";
+  j
+
+(* Drop the last (non-empty) line of a JSONL text — a truncated file. *)
+let chop_last_line s =
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  match List.rev lines with
+  | [] -> ""
+  | _ :: rev_rest -> String.concat "\n" (List.rev rev_rest) ^ "\n"
+
+let expect_parse_error what s =
+  match Journal.of_jsonl s with
+  | exception Journal.Parse_error _ -> ()
+  | _ -> Alcotest.failf "accepted %s" what
+
+let unit_tests =
+  [
+    Alcotest.test_case "recording keeps order and indices" `Quick (fun () ->
+        let j = sample_journal () in
+        Alcotest.(check int) "length" (List.length sample_events)
+          (Journal.length j);
+        Alcotest.(check bool) "order" true (Journal.events j = sample_events);
+        Alcotest.(check bool) "nth" true
+          (Journal.event j 3 = List.nth sample_events 3);
+        (match Journal.event j 99 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "out-of-range index accepted");
+        Alcotest.(check (option string))
+          "fingerprint" (Some "deadbeefdeadbeef") (Journal.fingerprint j));
+    Alcotest.test_case "every event kind survives JSON" `Quick (fun () ->
+        List.iter
+          (fun e ->
+            let e' = Journal.event_of_json (Journal.event_to_json e) in
+            if e' <> e then
+              Alcotest.failf "event changed: %s"
+                (Format.asprintf "%a" Journal.pp_event e))
+          sample_events);
+    Alcotest.test_case "JSONL round trip preserves everything" `Quick
+      (fun () ->
+        let j = sample_journal () in
+        let j' = Journal.of_jsonl (Journal.to_jsonl j) in
+        Alcotest.(check bool) "events" true
+          (Journal.events j' = sample_events);
+        Alcotest.(check bool) "header" true
+          (List.assoc_opt "seed" (Journal.header j') = Some (Json.Num 1.0));
+        Alcotest.(check (option string))
+          "fingerprint" (Some "deadbeefdeadbeef")
+          (Journal.fingerprint j');
+        Alcotest.(check bool) "diff agrees" true (Journal.diff j j' = None));
+    Alcotest.test_case "malformed journals are rejected" `Quick (fun () ->
+        let text = Journal.to_jsonl (sample_journal ()) in
+        expect_parse_error "an empty file" "";
+        expect_parse_error "a truncated file (no footer)"
+          (chop_last_line text);
+        expect_parse_error "a headerless file"
+          "{\"foo\":1}\n{\"fingerprint\":null,\"events\":0}\n";
+        expect_parse_error "an unsupported version"
+          "{\"journal\":\"ucsim\",\"version\":2}\n{\"fingerprint\":null,\"events\":0}\n";
+        expect_parse_error "a garbage event line"
+          "{\"journal\":\"ucsim\",\"version\":1}\nnot json\n{\"fingerprint\":null,\"events\":1}\n";
+        expect_parse_error "an unknown event kind"
+          "{\"journal\":\"ucsim\",\"version\":1}\n{\"ev\":\"teleport\"}\n{\"fingerprint\":null,\"events\":1}\n";
+        (* footer count contradicting the body: remove one event line *)
+        let lines =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+        in
+        let shortened =
+          match lines with
+          | header :: _dropped :: rest ->
+            String.concat "\n" (header :: rest) ^ "\n"
+          | _ -> Alcotest.fail "sample journal too short"
+        in
+        expect_parse_error "an event-count mismatch" shortened);
+    Alcotest.test_case "diff pinpoints the first divergence" `Quick (fun () ->
+        let j1 = sample_journal () in
+        (* change one event mid-stream *)
+        let j2 = Journal.create () in
+        List.iteri
+          (fun i e ->
+            Journal.record j2
+              (if i = 4 then
+                 Journal.Query
+                   {
+                     pid = 1;
+                     invoked = 5.0;
+                     completed = 5.5;
+                     span = Some 1;
+                     label = "R";
+                     output = "{}";
+                     omega = false;
+                   }
+               else e))
+          sample_events;
+        (match Journal.diff j1 j2 with
+        | Some (4, a, b) ->
+          Alcotest.(check bool) "sides differ" true (a <> b)
+        | other ->
+          Alcotest.failf "expected divergence at 4, got %s"
+            (match other with
+            | None -> "None"
+            | Some (i, _, _) -> string_of_int i));
+        (* one journal a strict prefix of the other *)
+        let prefix = Journal.create () in
+        List.iteri
+          (fun i e -> if i < 6 then Journal.record prefix e)
+          sample_events;
+        match Journal.diff j1 prefix with
+        | Some (6, _, b) ->
+          Alcotest.(check string) "exhausted side" "(end of journal)" b
+        | other ->
+          Alcotest.failf "expected divergence at 6, got %s"
+            (match other with
+            | None -> "None"
+            | Some (i, _, _) -> string_of_int i));
+  ]
+
+(* --------------------- replay determinism (QCheck) --------------------- *)
+
+let journaled_run ~seed ~partitions ~batch_window =
+  let journal = Journal.create () in
+  let obs = Obs.create ~journal () in
+  let rng = Prng.create (seed lxor 0xb5) in
+  let workload =
+    Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:8 ~domain:8 ~skew:1.0
+      ~delete_ratio:0.4
+  in
+  let config =
+    {
+      (R.default_config ~n:3 ~seed) with
+      R.final_read = Some Set_spec.Read;
+      partitions;
+      batch_window;
+      obs = Some obs;
+    }
+  in
+  let r = R.run config ~workload in
+  (journal, r.R.history)
+
+let variants =
+  [
+    ("plain", [], None);
+    ( "partitioned",
+      [ { Network.from_time = 5.0; to_time = 60.0; group = [ 0 ] } ],
+      None );
+    ("batched", [], Some 3.0);
+  ]
+
+let qcheck_tests =
+  [
+    qtest ~count:25
+      "a journaled run replays to the identical event stream and fingerprint"
+      seed_gen
+      (fun seed ->
+        List.for_all
+          (fun (_, partitions, batch_window) ->
+            let j1, h1 = journaled_run ~seed ~partitions ~batch_window in
+            let j2, _ = journaled_run ~seed ~partitions ~batch_window in
+            Journal.length j1 > 0
+            && Journal.diff j1 j2 = None
+            && Journal.fingerprint j1 = Journal.fingerprint j2
+            && Journal.fingerprint j1
+               = Some
+                   (History.fingerprint Set_spec.pp_update Set_spec.pp_query
+                      Set_spec.pp_output h1)
+            (* the serialized form replays the same journal *)
+            && Journal.diff j1 (Journal.of_jsonl (Journal.to_jsonl j1)) = None)
+          variants);
+    qtest ~count:25
+      "journals record the run: updates, frames, and one ω read per process"
+      seed_gen
+      (fun seed ->
+        let j, h = journaled_run ~seed ~partitions:[] ~batch_window:None in
+        let evs = Journal.events j in
+        let count p = List.length (List.filter p evs) in
+        count (function Journal.Update _ -> true | _ -> false)
+        = List.length (History.updates h)
+        && count (function
+             | Journal.Query { omega = true; _ } -> true
+             | _ -> false)
+           = 3
+        && count (function Journal.Frame _ -> true | _ -> false) > 0
+        (* chronological: recording order is simulated-time order *)
+        &&
+        let times = List.map Journal.event_time evs in
+        List.sort compare times = times);
+  ]
+
+let tests = unit_tests @ qcheck_tests

@@ -8,6 +8,8 @@ let () =
       ("checkers", Test_checkers.tests);
       ("sim", Test_sim.tests);
       ("obs", Test_obs.tests);
+      ("journal", Test_journal.tests);
+      ("monitor", Test_monitor.tests);
       ("protocols", Test_protocols.tests);
       ("crdts", Test_crdts.tests);
       ("abd", Test_abd.tests);

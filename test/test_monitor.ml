@@ -1,0 +1,240 @@
+(* Online monitors versus the post-hoc checkers. The contract: fed a
+   history's events in any program-order-respecting interleaving, the
+   monitor's first violation index is exactly the first prefix on which
+   the corresponding batch checker fails (and the monitor is clean iff
+   no prefix ever fails). Differentially tested on random histories,
+   on the paper's figure fixtures, and live on simulator runs — where
+   Algorithm 1 must stay clean and the non-FIFO pipelined protocol
+   must be caught at a reproducible event index. *)
+
+open Helpers
+module Monitor = Obs.Monitor
+module Journal = Obs.Journal
+module Gen = Gen_history.Make (Set_spec)
+module M = Monitor.Make (Set_spec)
+module Pc = Check_pc.Make (Set_spec)
+module Uc = Check_uc.Make (Set_spec)
+module Ec = Check_ec.Make (Set_spec)
+
+let batch_holds = function
+  | Monitor.Uc -> Uc.holds
+  | Monitor.Ec -> Ec.holds
+  | Monitor.Pc -> Pc.holds
+
+(* A feed is a program-order-respecting interleaving of a history's
+   per-process step lists. *)
+let random_feed rng h =
+  let n = History.process_count h in
+  let lines = Array.init n (fun p -> ref (History.steps_of_process h p)) in
+  let out = ref [] in
+  for _ = 1 to History.size h do
+    let live =
+      List.filter (fun p -> !(lines.(p)) <> []) (List.init n Fun.id)
+    in
+    let p = List.nth live (Prng.int rng (List.length live)) in
+    (match !(lines.(p)) with
+    | s :: rest ->
+      lines.(p) := rest;
+      out := (p, s) :: !out
+    | [] -> assert false)
+  done;
+  List.rev !out
+
+let round_robin_feed h =
+  let n = History.process_count h in
+  let lines = Array.init n (fun p -> ref (History.steps_of_process h p)) in
+  let out = ref [] in
+  let remaining () = Array.exists (fun l -> !l <> []) lines in
+  while remaining () do
+    Array.iteri
+      (fun p line ->
+        match !line with
+        | [] -> ()
+        | s :: rest ->
+          line := rest;
+          out := (p, s) :: !out)
+      lines
+  done;
+  List.rev !out
+
+let feed_monitor ~n criterion feed =
+  let m = M.create ~n ~criteria:[ criterion ] in
+  List.iteri
+    (fun i (pid, step) ->
+      match step with
+      | History.U u -> M.on_update m ~pid ~index:i ~span:None u
+      | History.Q (q, o) ->
+        M.on_query m ~pid ~index:i ~span:None ~omega:false q o
+      | History.Qw (q, o) ->
+        M.on_query m ~pid ~index:i ~span:None ~omega:true q o)
+    feed;
+  Option.map (fun v -> v.Monitor.index) (M.first_violation m)
+
+(* The naive oracle: rebuild the prefix history after every event and
+   run the batch checker on it. *)
+let first_failing_prefix ~n holds feed =
+  let lines = Array.make n [] in
+  let rec go i = function
+    | [] -> None
+    | (pid, step) :: rest ->
+      lines.(pid) <- step :: lines.(pid);
+      let h = History.make (Array.to_list (Array.map List.rev lines)) in
+      if holds h then go (i + 1) rest else Some i
+  in
+  go 0 feed
+
+let differential criterion name =
+  qtest ~count:80 name seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let h = Gen.convergent_mix rng ~processes:3 ~max_updates:4 ~max_queries:3 in
+      let n = History.process_count h in
+      let feed = random_feed rng h in
+      feed_monitor ~n criterion feed
+      = first_failing_prefix ~n (batch_holds criterion) feed)
+
+let differential_tests =
+  [
+    differential Monitor.Pc
+      "PC monitor flags exactly the first prefix Check_pc rejects";
+    differential Monitor.Uc
+      "UC monitor flags exactly the first prefix Check_uc rejects";
+    differential Monitor.Ec
+      "EC monitor flags exactly the first prefix Check_ec rejects";
+  ]
+
+(* ------------------------- figure fixtures ------------------------- *)
+
+let figure_tests =
+  [
+    Alcotest.test_case "figure fixtures match the caption verdicts" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, h, expected) ->
+            let n = History.process_count h in
+            let feed = round_robin_feed h in
+            List.iter
+              (fun (criterion, batch_criterion) ->
+                match List.assoc_opt batch_criterion expected with
+                | None -> ()
+                | Some want ->
+                  let monitored = feed_monitor ~n criterion feed in
+                  let naive =
+                    first_failing_prefix ~n (batch_holds criterion) feed
+                  in
+                  Alcotest.(check (option int))
+                    (Printf.sprintf "%s %s index" name
+                       (Monitor.criterion_name criterion))
+                    naive monitored;
+                  (* a caption saying "not C" means some prefix — at the
+                     latest the full history — must fail *)
+                  if not want then
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s violates %s" name
+                         (Monitor.criterion_name criterion))
+                      true (monitored <> None))
+              [
+                (Monitor.Uc, Criteria.UC);
+                (Monitor.Ec, Criteria.EC);
+                (Monitor.Pc, Criteria.PC);
+              ])
+          Figures.all);
+  ]
+
+(* --------------------------- live runs ----------------------------- *)
+
+module G_set = Generic.Make (Set_spec)
+module Rg = Runner.Make (G_set)
+module Pipe_set = Pipelined.Make (Set_spec)
+module Rp = Runner.Make (Pipe_set)
+
+let all_criteria = [ Monitor.Uc; Monitor.Ec; Monitor.Pc ]
+
+let monitored_generic_run seed =
+  let obs = Obs.create () in
+  let mon = Rg.Mon.create ~n:3 ~criteria:all_criteria in
+  let rng = Prng.create seed in
+  let workload =
+    Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:4 ~domain:16 ~skew:1.0
+      ~delete_ratio:0.3
+  in
+  let config =
+    {
+      (Rg.default_config ~n:3 ~seed) with
+      Rg.final_read = Some Set_spec.Read;
+      obs = Some obs;
+      monitor = Some mon;
+    }
+  in
+  let r = Rg.run config ~workload in
+  (mon, r.Rg.history)
+
+let monitored_pipe_run seed =
+  let journal = Journal.create () in
+  let obs = Obs.create ~journal () in
+  let mon = Rp.Mon.create ~n:3 ~criteria:all_criteria in
+  let rng = Prng.create seed in
+  let workload =
+    Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:4 ~domain:16 ~skew:1.0
+      ~delete_ratio:0.3
+  in
+  let config =
+    {
+      (Rp.default_config ~n:3 ~seed) with
+      Rp.final_read = Some Set_spec.Read;
+      obs = Some obs;
+      monitor = Some mon;
+    }
+  in
+  let r = Rp.run config ~workload in
+  (journal, mon, r.Rp.history)
+
+let live_tests =
+  [
+    Alcotest.test_case "Algorithm 1 stays clean under every monitor" `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let mon, h = monitored_generic_run seed in
+            Alcotest.(check bool)
+              (Printf.sprintf "clean (seed %d)" seed)
+              true (Rg.Mon.clean mon);
+            Alcotest.(check bool) "saw events" true (Rg.Mon.events_seen mon > 0);
+            Alcotest.(check bool) "post-hoc agrees" true (Uc.holds h))
+          [ 1; 7; 42 ]);
+    Alcotest.test_case "non-FIFO pipelined is caught live, reproducibly"
+      `Quick (fun () ->
+        let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        let violating =
+          List.filter
+            (fun s ->
+              let _, m, _ = monitored_pipe_run s in
+              not (Rp.Mon.clean m))
+            seeds
+        in
+        Alcotest.(check bool) "some seed violates" true (violating <> []);
+        let seed = List.hd violating in
+        let j1, m1, h = monitored_pipe_run seed in
+        let j2, m2, _ = monitored_pipe_run seed in
+        Alcotest.(check bool) "journals identical on re-run" true
+          (Journal.diff j1 j2 = None);
+        match (Rp.Mon.first_violation m1, Rp.Mon.first_violation m2) with
+        | Some v1, Some v2 ->
+          Alcotest.(check int) "same first index" v1.Monitor.index
+            v2.Monitor.index;
+          Alcotest.(check bool) "span recorded" true (v1.Monitor.span <> None);
+          (* the index locates an operation event in the journal, the
+             one `replay --until` re-reaches *)
+          (match Journal.event j1 v1.Monitor.index with
+          | Journal.Update _ | Journal.Query _ -> ()
+          | _ -> Alcotest.fail "violation index names a non-operation event");
+          let confirmed =
+            match v1.Monitor.criterion with
+            | Monitor.Uc -> not (Uc.holds h)
+            | Monitor.Ec -> not (Ec.holds h)
+            | Monitor.Pc -> not (Pc.holds h)
+          in
+          Alcotest.(check bool) "post-hoc checker confirms" true confirmed
+        | _ -> Alcotest.fail "violation vanished on the re-run");
+  ]
+
+let tests = differential_tests @ figure_tests @ live_tests

@@ -251,6 +251,80 @@ let trace_tests =
             if Option.bind (field "ts" e) Json.get_num = None then
               Alcotest.fail "event without ts")
           events);
+    Alcotest.test_case "trace export leads with metadata events" `Quick
+      (fun () ->
+        let obs, _ =
+          run_instrumented ~seed:42 ~n:3 ~partitions:[] ~probe_interval:None
+        in
+        let meta =
+          [ ("seed", Json.Num 42.0); ("protocol", Json.Str "universal") ]
+        in
+        let json =
+          Json.of_string
+            (Json.to_string
+               (Obs.Trace_export.to_json ~meta ~replicas:3 obs.Obs.spans))
+        in
+        let events =
+          match Option.bind (field "traceEvents" json) Json.get_list with
+          | Some l -> l
+          | None -> Alcotest.fail "no traceEvents array"
+        in
+        let metas, rest =
+          List.partition (fun e -> str_field "ph" e = Some "M") events
+        in
+        (* one process_name row per replica plus one config row, and
+           they precede every span event *)
+        Alcotest.(check int) "metadata rows" 4 (List.length metas);
+        let prefix_len = List.length metas in
+        List.iteri
+          (fun i e ->
+            if i < prefix_len && str_field "ph" e <> Some "M" then
+              Alcotest.fail "metadata does not lead the event list")
+          events;
+        Alcotest.(check int) "replica names" 3
+          (List.length
+             (List.filter
+                (fun e -> str_field "name" e = Some "process_name")
+                metas));
+        (match
+           List.find_opt
+             (fun e -> str_field "name" e = Some "ucsim_config")
+             metas
+         with
+        | None -> Alcotest.fail "no ucsim_config metadata row"
+        | Some row ->
+          let args = Option.get (field "args" row) in
+          Alcotest.(check (option string))
+            "protocol in config" (Some "universal")
+            (str_field "protocol" args);
+          Alcotest.(check (option int))
+            "seed in config" (Some 42)
+            (Option.bind (field "seed" args) Json.get_int));
+        (* with no metadata requested the export is unchanged *)
+        Alcotest.(check int) "no gratuitous metadata"
+          (List.length rest)
+          (match
+             Option.bind
+               (field "traceEvents"
+                  (Obs.Trace_export.to_json obs.Obs.spans))
+               Json.get_list
+           with
+          | Some l -> List.length l
+          | None -> 0));
+    Alcotest.test_case "corrupted registry dumps are rejected" `Quick
+      (fun () ->
+        let r = Registry.create () in
+        Registry.inc (Registry.counter r ~labels:[ ("pid", "0") ] "msgs");
+        let text = Json.to_string ~pretty:true (Registry.to_json r) in
+        (* truncation makes it unparseable *)
+        let truncated = String.sub text 0 (String.length text / 2) in
+        (match Json.of_string truncated with
+        | exception Json.Parse_error _ -> ()
+        | _ -> Alcotest.fail "truncated dump parsed as JSON");
+        (* structural corruption is caught by rows_of_json *)
+        match Registry.rows_of_json (Json.Obj [ ("metrics", Json.Str "?") ]) with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "corrupted dump accepted");
     Alcotest.test_case "finalize folds visibility into the registry" `Quick
       (fun () ->
         let obs, r =

@@ -267,6 +267,37 @@ let test_uc_on_run =
         (Staged.stage (fun () -> sink (C.holds Criteria.UC history)));
     ]
 
+(* C7: the multicore engine end to end — domain spawn, mailbox
+   exchange, quiescence — against the sequential virtual-time Runner on
+   the same scripts. On a single-core host the gap is pure engine
+   overhead; with real cores it becomes the scaling headroom that
+   BENCH_throughput.json quantifies. *)
+let test_parallel_engine =
+  let module B = Throughput.Bench (Counter_spec) in
+  let module Seq = Runner.Make (B.G) in
+  let scripts = B.uniform_scripts ~seed:11 ~domains:2 ~ops:64 ~query_ratio:0.0 in
+  Test.make_grouped ~name:"C7-parallel" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"parallel-universal-2dom"
+        (Staged.stage (fun () ->
+             let cfg =
+               {
+                 (B.E.default_config ~domains:2) with
+                 B.E.final_read = Some Counter_spec.Value;
+               }
+             in
+             sink (B.E.run cfg ~workload:scripts)));
+      Test.make ~name:"sequential-universal-2proc"
+        (Staged.stage (fun () ->
+             let cfg =
+               {
+                 (Seq.default_config ~n:2 ~seed:11) with
+                 Seq.final_read = Some Counter_spec.Value;
+               }
+             in
+             sink (Seq.run cfg ~workload:scripts)));
+    ]
+
 let all_tests =
   [
     test_query_cost;
@@ -277,6 +308,7 @@ let all_tests =
     test_receive_cost;
     test_late_message;
     test_uc_on_run;
+    test_parallel_engine;
   ]
 
 let run_bechamel () =

@@ -1,0 +1,103 @@
+(* Multicore engine throughput-scaling scenario.
+
+   Sweeps the domain count over {1, 2, 4, 8} running the universal
+   construction on the counter (the commutative hot path) and, at each
+   domain count, a Zipf-contended or-set row. Every cell is a full
+   [Throughput] differential run: aggregate ops/sec and p99 latency are
+   reported, and the cell's `ok` is the Proposition 4 parallel-vs-
+   sequential fingerprint differential — replica logs pairwise equal,
+   ω reads equal to the timestamp-order fold, a sequential-core replica
+   restored from the converged log agreeing, and (counter) a full
+   sequential Runner of the same scripts agreeing.
+
+   The verdict of this scope is correctness, not speed: throughput is
+   whatever the hardware gives (on a single-core container the sweep
+   measures mailbox/scheduling overhead and scales *down*; the >= 2x
+   target at 4 domains needs >= 4 cores), so the exit code reflects
+   only the differential. The table is written to
+   BENCH_throughput.json; `--smoke` restricts the sweep to {1, 2}
+   domains and fewer ops (CI budget). *)
+
+module T_counter = Throughput.Bench (Counter_spec)
+module T_set = Throughput.Bench (Set_spec)
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let obs =
+    if Array.exists (( = ) "--obs") Sys.argv then Some (Obs.create ()) else None
+  in
+  let domain_counts =
+    List.filter (fun d -> (not smoke) || d <= 2) [ 1; 2; 4; 8 ]
+  in
+  let ops = if smoke then 2_000 else 20_000 in
+  let seed = 42 in
+  let failures = ref [] in
+  let cell spec v ~ops_per_domain ~row_of =
+    let r = row_of ~ops_per_domain v in
+    if not r.Throughput.ok then failures := spec :: !failures;
+    r
+  in
+  let rows =
+    List.concat_map
+      (fun domains ->
+        let counter =
+          let scripts =
+            T_counter.uniform_scripts ~seed ~domains ~ops ~query_ratio:0.0
+          in
+          cell
+            (Printf.sprintf "counter/%d" domains)
+            (T_counter.measure ?obs ~domains ~final_read:Counter_spec.Value
+               ~scripts ())
+            ~ops_per_domain:ops ~row_of:T_counter.row
+        in
+        let set =
+          let scripts =
+            Throughput.set_zipf_scripts ~seed ~domains ~ops:(ops / 2) ~skew:1.0
+              ~delete_ratio:0.3
+          in
+          cell
+            (Printf.sprintf "set/%d" domains)
+            (T_set.measure ?obs ~domains ~final_read:Set_spec.Read ~scripts ())
+            ~ops_per_domain:(ops / 2) ~row_of:T_set.row
+        in
+        [ counter; set ])
+      domain_counts
+  in
+  Printf.printf "%-8s %8s %10s %14s %10s %10s %6s\n" "spec" "domains" "ops"
+    "ops/sec" "p99 us" "stalls" "ok";
+  List.iter
+    (fun (r : Throughput.row) ->
+      Printf.printf "%-8s %8d %10d %14.0f %10.2f %10d %6b\n" r.Throughput.spec
+        r.Throughput.domains r.Throughput.total_ops r.Throughput.ops_per_sec
+        r.Throughput.p99_us r.Throughput.mailbox_stalls r.Throughput.ok)
+    rows;
+  Throughput.emit_json "BENCH_throughput.json" rows;
+  print_endline "wrote BENCH_throughput.json";
+  Option.iter
+    (fun o ->
+      Obs.finalize o ~live:[];
+      Format.printf "telemetry:@.%a@." Obs.Registry.pp o.Obs.registry)
+    obs;
+  (* Scaling summary: informative, hardware-dependent, never the verdict. *)
+  let counter_at d =
+    List.find_opt
+      (fun (r : Throughput.row) ->
+        r.Throughput.spec = "counter" && r.Throughput.domains = d)
+      rows
+  in
+  (match (counter_at 1, counter_at (if smoke then 2 else 4)) with
+  | Some one, Some many ->
+    let ratio = many.Throughput.ops_per_sec /. one.Throughput.ops_per_sec in
+    Printf.printf
+      "counter scaling %dx1 -> %d domains   %.2fx aggregate ops/sec (%d core%s \
+       available)\n"
+      1 many.Throughput.domains ratio
+      (Domain.recommended_domain_count ())
+      (if Domain.recommended_domain_count () = 1 then "" else "s")
+  | _ -> ());
+  match !failures with
+  | [] -> print_endline "differential: every cell converged to the sequential fold (PASS)"
+  | specs ->
+    Printf.printf "FAIL: parallel/sequential differential mismatch in: %s\n"
+      (String.concat ", " (List.rev specs));
+    exit 1

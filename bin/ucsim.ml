@@ -1306,6 +1306,155 @@ let diff_cmd =
   in
   Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ file_a $ file_b)
 
+let bench_cmd =
+  let doc =
+    "Run the multicore replica engine: one domain per replica executing the \
+     universal construction, bounded MPSC mailboxes in between, and the \
+     Proposition 4 parallel-vs-sequential differential as the verdict."
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) Registry.names)) "counter"
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:"Object to bench (see `ucsim list` objects).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Replica domains to spawn.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Closed-loop operations per domain.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:
+            "Zipf skew for the contended set workload (set spec only; 0 = \
+             uniform random updates).")
+  in
+  let query_ratio_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "query-ratio" ] ~docv:"R"
+          ~doc:"Fraction of invocations that are queries.")
+  in
+  let mailbox_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "mailbox" ] ~docv:"CAP" ~doc:"Mailbox capacity (frames).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"K" ~doc:"Broadcast every K local updates.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the row as JSON.")
+  in
+  let obs_arg =
+    Arg.(value & flag & info [ "obs" ] ~doc:"Print per-domain telemetry rows.")
+  in
+  let run spec domains ops zipf seed query_ratio mailbox batch json obs_flag =
+    let obs = if obs_flag then Some (Obs.create ()) else None in
+    let clip s =
+      if String.length s <= 96 then s else String.sub s 0 93 ^ "..."
+    in
+    let describe (r : Throughput.row) ~state ~checks =
+      Printf.printf "spec               %s\n" r.Throughput.spec;
+      Printf.printf "domains            %d (machine recommends %d)\n"
+        r.Throughput.domains
+        (Domain.recommended_domain_count ());
+      Printf.printf "ops                %d total, %d per domain\n"
+        r.Throughput.total_ops r.Throughput.ops_per_domain;
+      Printf.printf "updates            %d\n" r.Throughput.updates;
+      Printf.printf "wall               %.4f s\n" r.Throughput.wall_s;
+      Printf.printf "throughput         %.0f ops/sec\n" r.Throughput.ops_per_sec;
+      Printf.printf "latency p50 / p99  %.2f / %.2f us\n" r.Throughput.p50_us
+        r.Throughput.p99_us;
+      Printf.printf "mailbox depth max  %d (stalls %d)\n"
+        r.Throughput.mailbox_max_depth r.Throughput.mailbox_stalls;
+      Printf.printf "converged state    %s\n" (clip state);
+      List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) checks;
+      Printf.printf "differential       %s\n"
+        (if r.Throughput.ok then "PASS" else "FAIL")
+    in
+    let row =
+      if spec = "set" && zipf > 0.0 then begin
+        let module B = Throughput.Bench (Set_spec) in
+        let scripts =
+          Throughput.set_zipf_scripts ~seed ~domains ~ops ~skew:zipf
+            ~delete_ratio:0.3
+        in
+        let v =
+          B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ~domains
+            ~final_read:Set_spec.Read ~scripts ()
+        in
+        let r = B.row ~ops_per_domain:ops v in
+        describe r ~state:v.B.state_repr
+          ~checks:
+            [
+              ("logs agree", string_of_bool v.B.logs_agree);
+              ("omega = ts-fold", string_of_bool v.B.omega_matches_fold);
+              ("replay = ts-fold", string_of_bool v.B.replay_matches_fold);
+              ("updates conserved", string_of_bool v.B.updates_conserved);
+              ( "sequential runner",
+                match v.B.runner_matches with
+                | None -> "n/a (non-commutative)"
+                | Some b -> string_of_bool b );
+            ];
+        r
+      end
+      else begin
+        let packed =
+          match Registry.find spec with
+          | Some p -> p
+          | None -> assert false (* enum converter already validated *)
+        in
+        let module A = (val packed : Uqadt.S) in
+        let module B = Throughput.Bench (A) in
+        let scripts = B.uniform_scripts ~seed ~domains ~ops ~query_ratio in
+        let final_read = A.random_query (Prng.create seed) in
+        let v =
+          B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ~domains
+            ~final_read ~scripts ()
+        in
+        let r = B.row ~ops_per_domain:ops v in
+        describe r ~state:v.B.state_repr
+          ~checks:
+            [
+              ("logs agree", string_of_bool v.B.logs_agree);
+              ("omega = ts-fold", string_of_bool v.B.omega_matches_fold);
+              ("replay = ts-fold", string_of_bool v.B.replay_matches_fold);
+              ("updates conserved", string_of_bool v.B.updates_conserved);
+              ( "sequential runner",
+                match v.B.runner_matches with
+                | None -> "n/a (non-commutative)"
+                | Some b -> string_of_bool b );
+            ];
+        r
+      end
+    in
+    Option.iter (fun path -> Throughput.emit_json path [ row ]) json;
+    Option.iter
+      (fun o ->
+        Obs.finalize o ~live:[];
+        Format.printf "telemetry:@.%a@." Obs.Registry.pp o.Obs.registry)
+      obs;
+    if not row.Throughput.ok then exit 1
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const run $ spec_arg $ domains_arg $ ops_arg $ zipf_arg $ seed_arg
+      $ query_ratio_arg $ mailbox_arg $ batch_arg $ json_arg $ obs_arg)
+
 let list_cmd =
   let doc = "List protocols and experiments." in
   let run () =
@@ -1330,6 +1479,7 @@ let () =
             diff_cmd;
             modelcheck_cmd;
             nemesis_cmd;
+            bench_cmd;
             classify_cmd;
             report_cmd;
             list_cmd;

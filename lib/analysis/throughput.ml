@@ -1,0 +1,243 @@
+(* Wall-clock throughput of the multicore replica engine, with the
+   Proposition 4 differential that makes the numbers trustworthy.
+
+   The engine ([Parallel_engine]) runs one replica per domain under a
+   real OS schedule, so no two runs deliver messages in the same order.
+   Under strong update consistency that must not matter: the state
+   reached depends only on the timestamp total order of the update
+   multiset (Prop. 4). This module turns that theorem into an oracle.
+   After a parallel run quiesces it checks, per seed:
+
+   1. every replica holds the identical timestamp-sorted log
+      (pairwise convergence — certificates and logs compare equal);
+   2. every replica's ω answer equals the query evaluated on the
+      timestamp-order fold of that log's update multiset;
+   3. a fresh replica of the {e sequential} core, restored from the
+      converged log ([Generic.restore_log], the persistence/replay
+      path) and queried, answers the same;
+   4. for commutative specs, a full sequential [Runner] simulation of
+      the very same per-process scripts reaches the same ω answer
+      (sound only under commutativity: the virtual-time runner assigns
+      different timestamps, and order-independence is what erases
+      that difference);
+   5. no update was lost or duplicated: the converged log length
+      equals the number of updates the clients issued.
+
+   Any mismatch is a bug in the engine (or a domain-safety bug in the
+   cores), never schedule noise — which is exactly why the CI smoke can
+   gate on it while throughput numbers remain hardware-dependent. *)
+
+let dummy_ctx ~pid ~n : _ Protocol.ctx =
+  {
+    Protocol.pid;
+    n;
+    now = (fun () -> 0.0);
+    send = (fun ~dst:_ _ -> ());
+    broadcast = (fun _ -> ());
+    broadcast_batch = (fun _ -> ());
+    set_timer = (fun ~delay:_ _ -> ());
+    count_replay = (fun _ -> ());
+    obs = None;
+  }
+
+type row = {
+  spec : string;
+  domains : int;
+  ops_per_domain : int;
+  total_ops : int;
+  updates : int;
+  wall_s : float;
+  ops_per_sec : float;
+  p50_us : float;
+  p99_us : float;
+  mailbox_max_depth : int;
+  mailbox_stalls : int;
+  ok : bool;
+}
+
+let emit_json path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"spec\": %S, \"domains\": %d, \"ops_per_domain\": %d, \
+         \"total_ops\": %d, \"updates\": %d, \"wall_s\": %.6f, \
+         \"ops_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, \
+         \"mailbox_max_depth\": %d, \"mailbox_stalls\": %d, \"ok\": %b}%s\n"
+        r.spec r.domains r.ops_per_domain r.total_ops r.updates r.wall_s
+        r.ops_per_sec r.p50_us r.p99_us r.mailbox_max_depth r.mailbox_stalls
+        r.ok
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
+
+module Bench (A : Uqadt.S) = struct
+  module G = Generic.Make (A)
+  module E = Parallel_engine.Make (G)
+  module Run = Uqadt.Run (A)
+  module Seq = Runner.Make (G)
+
+  type verdict = {
+    run : E.result;
+    latency : Stats.summary option;
+    logs_agree : bool;
+    omega_matches_fold : bool;
+    replay_matches_fold : bool;
+    runner_matches : bool option;  (* [None] for non-commutative specs *)
+    updates_conserved : bool;
+    state_repr : string;  (* rendered timestamp-order fold *)
+  }
+
+  let ok v =
+    v.run.E.outputs_agree && v.run.E.certificates_agree && v.logs_agree
+    && v.omega_matches_fold && v.replay_matches_fold && v.updates_conserved
+    && v.runner_matches <> Some false
+
+  (* Independent per-domain client streams: one [Prng.fork] child per
+     domain off a root seeded by the caller, so the whole workload is a
+     pure function of (seed, domains, ops) while no two domains ever
+     walk correlated streams. *)
+  let uniform_scripts ~seed ~domains ~ops ~query_ratio =
+    let root = Prng.create seed in
+    let script () =
+      (* explicit loop: the draw order is part of the determinism
+         contract, and [List.init]'s evaluation order is not *)
+      let g = Prng.fork root in
+      let acc = ref [] in
+      for _ = 1 to ops do
+        let inv =
+          if query_ratio > 0.0 && Prng.float g 1.0 < query_ratio then
+            Protocol.Invoke_query (A.random_query g)
+          else Protocol.Invoke_update (A.random_update g)
+        in
+        acc := inv :: !acc
+      done;
+      List.rev !acc
+    in
+    let scripts = Array.make domains [] in
+    for pid = 0 to domains - 1 do
+      scripts.(pid) <- script ()
+    done;
+    scripts
+
+  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?obs
+      ?(seq_seed = 0) ~domains ~final_read ~scripts () =
+    let cfg =
+      {
+        E.domains;
+        mailbox_capacity;
+        envelope = 0;
+        batch_every;
+        final_read = Some final_read;
+        obs;
+      }
+    in
+    let run = E.run cfg ~workload:scripts in
+    let logs = Array.map G.local_log run.E.replicas in
+    let log0 = logs.(0) in
+    let logs_agree = Array.for_all (( = ) log0) logs in
+    let updates = List.map (fun (_, _, u) -> u) log0 in
+    let folded = Run.final_state updates in
+    let expected = A.eval folded final_read in
+    let omega_matches_fold =
+      run.E.outputs <> []
+      && List.for_all (fun (_, o) -> A.equal_output o expected) run.E.outputs
+    in
+    (* The sequential core replays the converged log through the exact
+       persistence-restore path the crash-recovery tests exercise. *)
+    let fresh = G.create (dummy_ctx ~pid:0 ~n:1) in
+    G.restore_log fresh log0;
+    let replayed = ref None in
+    G.query fresh final_read ~on_result:(fun o -> replayed := Some o);
+    let replay_matches_fold =
+      match !replayed with
+      | Some o -> A.equal_output o expected
+      | None -> false
+    in
+    let updates_conserved = List.length log0 = run.E.updates_total in
+    let runner_matches =
+      if not A.commutative then None
+      else begin
+        let sc =
+          {
+            (Seq.default_config ~n:domains ~seed:seq_seed) with
+            Seq.final_read = Some final_read;
+          }
+        in
+        let sr = Seq.run sc ~workload:scripts in
+        Some
+          (sr.Seq.converged
+          && sr.Seq.final_outputs <> []
+          && List.for_all
+               (fun (_, o) -> A.equal_output o expected)
+               sr.Seq.final_outputs)
+      end
+    in
+    {
+      run;
+      latency = E.latency_summary run;
+      logs_agree;
+      omega_matches_fold;
+      replay_matches_fold;
+      runner_matches;
+      updates_conserved;
+      state_repr = Format.asprintf "%a" A.pp_state folded;
+    }
+
+  let row ~ops_per_domain v =
+    let p50, p99 =
+      match v.latency with
+      | None -> (0.0, 0.0)
+      | Some s -> (s.Stats.p50 *. 1e6, s.Stats.p99 *. 1e6)
+    in
+    let reports = v.run.E.reports in
+    {
+      spec = A.name;
+      domains = Array.length reports;
+      ops_per_domain;
+      total_ops = v.run.E.ops_total;
+      updates = v.run.E.updates_total;
+      wall_s = v.run.E.wall_seconds;
+      ops_per_sec = v.run.E.throughput;
+      p50_us = p50;
+      p99_us = p99;
+      mailbox_max_depth =
+        Array.fold_left
+          (fun acc r -> max acc r.Parallel_engine.mailbox_max_depth)
+          0 reports;
+      mailbox_stalls =
+        Array.fold_left
+          (fun acc r -> acc + r.Parallel_engine.mailbox_stalls)
+          0 reports;
+      ok = ok v;
+    }
+end
+
+(* The Zipf-skewed or-set workload the sequential experiments use
+   ([Workload.For_set.conflict] shape), cut per domain: hot keys are
+   shared across every domain, so late arrivals really do land mid-log
+   and the engine's convergence is tested under genuine contention. *)
+let set_zipf_scripts ~seed ~domains ~ops ~skew ~delete_ratio =
+  let root = Prng.create seed in
+  let script () =
+    let g = Prng.fork root in
+    let z = Zipf.create ~n:512 ~s:skew in
+    let acc = ref [] in
+    for _ = 1 to ops do
+      let v = Zipf.sample z g in
+      let inv =
+        if Prng.float g 1.0 < delete_ratio then
+          Protocol.Invoke_update (Set_spec.Delete v)
+        else Protocol.Invoke_update (Set_spec.Insert v)
+      in
+      acc := inv :: !acc
+    done;
+    List.rev !acc
+  in
+  let scripts = Array.make domains [] in
+  for pid = 0 to domains - 1 do
+    scripts.(pid) <- script ()
+  done;
+  scripts

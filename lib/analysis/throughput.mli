@@ -1,0 +1,90 @@
+(** Wall-clock throughput runs of the multicore engine
+    ({!Parallel_engine}) with the Proposition 4 parallel-vs-sequential
+    differential.
+
+    The differential is what makes a nondeterministic wall-clock run
+    checkable: whatever delivery order the OS schedule produced, a
+    strong-update-consistent run must end with (1) every replica
+    holding the same timestamp-sorted log, (2) every ω answer equal to
+    the query on the timestamp-order fold of that log's updates, (3) a
+    fresh {e sequential}-core replica restored from the log answering
+    identically, (4) for commutative specs, a full sequential {!Runner}
+    of the same scripts agreeing, and (5) exactly the issued updates in
+    the log. {!Bench.ok} is the conjunction; CI gates on it. *)
+
+val dummy_ctx : pid:int -> n:int -> 'msg Protocol.ctx
+(** A context that drops every message — for replicas used as
+    sequential replay oracles. *)
+
+type row = {
+  spec : string;
+  domains : int;
+  ops_per_domain : int;
+  total_ops : int;
+  updates : int;
+  wall_s : float;
+  ops_per_sec : float;
+  p50_us : float;
+  p99_us : float;
+  mailbox_max_depth : int;
+  mailbox_stalls : int;
+  ok : bool;  (** the differential verdict, never a throughput bound *)
+}
+(** One BENCH_throughput.json record. *)
+
+val emit_json : string -> row list -> unit
+
+module Bench (A : Uqadt.S) : sig
+  module G : Generic.S with type update = A.update and type query = A.query
+                        and type output = A.output and type state = A.state
+  module E : module type of Parallel_engine.Make (G)
+
+  type verdict = {
+    run : E.result;
+    latency : Stats.summary option;
+    logs_agree : bool;
+    omega_matches_fold : bool;
+    replay_matches_fold : bool;
+    runner_matches : bool option;  (** [None] for non-commutative specs *)
+    updates_conserved : bool;
+    state_repr : string;  (** rendered timestamp-order fold *)
+  }
+
+  val ok : verdict -> bool
+
+  val uniform_scripts :
+    seed:int ->
+    domains:int ->
+    ops:int ->
+    query_ratio:float ->
+    (A.update, A.query) Protocol.invocation list array
+  (** One {!Prng.fork}ed client stream per domain off [seed]; each
+      script mixes [A.random_update] with [A.random_query] at
+      [query_ratio]. A pure function of its arguments. *)
+
+  val measure :
+    ?mailbox_capacity:int ->
+    ?batch_every:int ->
+    ?obs:Obs.t ->
+    ?seq_seed:int ->
+    domains:int ->
+    final_read:A.query ->
+    scripts:(A.update, A.query) Protocol.invocation list array ->
+    unit ->
+    verdict
+  (** Run the engine on the scripts with an ω [final_read] everywhere,
+      then run the full differential described above. *)
+
+  val row : ops_per_domain:int -> verdict -> row
+end
+
+val set_zipf_scripts :
+  seed:int ->
+  domains:int ->
+  ops:int ->
+  skew:float ->
+  delete_ratio:float ->
+  (Set_spec.update, Set_spec.query) Protocol.invocation list array
+(** Zipf-skewed or-set insert/delete mix (the C-series conflict
+    workload shape) cut per domain: hot keys collide across domains, so
+    convergence is exercised under real contention. *)

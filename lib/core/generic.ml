@@ -5,6 +5,9 @@ module type S = sig
 
   val local_log : t -> (Timestamp.t * int * update) list
 
+  val encode_log :
+    t -> encode_update:(Codec.Writer.t -> update -> unit) -> string
+
   val restore_log : t -> (Timestamp.t * int * update) list -> unit
 
   val clock_value : t -> int
@@ -81,6 +84,9 @@ module Make (A : Uqadt.S) = struct
   let message_update { update = u; _ } = u
 
   let local_log t = Oplog.to_list t.log
+
+  let encode_log t ~encode_update =
+    Oplog.encode ~update_wire_size:A.update_wire_size ~encode_update t.log
 
   let clock_value t = Lamport.value t.clock
 

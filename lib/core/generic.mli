@@ -38,6 +38,15 @@ module type S = sig
       update) — exposed for the experiments, the model checker and
       {!Persist}. *)
 
+  val encode_log :
+    t -> encode_update:(Codec.Writer.t -> update -> unit) -> string
+  (** The log serialised in the {!Oplog} "UCL" frame — byte-for-byte
+      [Oplog.encode_list (local_log t)], but cores backed by the array
+      substrate encode straight off the backing array into an
+      exactly pre-sized buffer ({!Oplog.encode}), skipping the
+      {!local_log} list materialisation. The {!Persist} snapshot hot
+      path. *)
+
   val restore_log : t -> (Timestamp.t * int * update) list -> unit
   (** Crash recovery: replace the replica's log with a decoded snapshot
       (see {!Persist}) and advance its Lamport clock past every restored

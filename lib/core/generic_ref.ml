@@ -70,6 +70,10 @@ module Make (A : Uqadt.S) = struct
 
   let local_log t = t.log
 
+  (* The list core has no backing array to stream from; the list path
+     is the reference the fast [Oplog.encode] is pinned against. *)
+  let encode_log t ~encode_update = Oplog.encode_list ~encode_update t.log
+
   let clock_value t = Lamport.value t.clock
 
   let advance_clock t v = Lamport.merge t.clock v

@@ -232,6 +232,40 @@ let decode_list ~decode_update s =
     raise (Codec.Decode_error "log snapshot: checksum mismatch");
   entries
 
-let encode ~encode_update t = encode_list ~encode_update (to_list t)
+(* Same frame as [encode_list], produced straight off the backing
+   array: no [to_list] materialisation, and with [update_wire_size]
+   available the buffer is pre-sized to the exact frame length so the
+   writer never reallocates. This is the hot path for [Persist]
+   snapshots of array-core replicas. *)
+let encode ?update_wire_size ~encode_update t =
+  let header_size = String.length magic + 1 + Wire.varint_size t.len in
+  let body_size =
+    match update_wire_size with
+    | None -> header_size + (16 * t.len) (* capacity hint only *)
+    | Some size ->
+      let acc = ref header_size in
+      for i = 0 to t.len - 1 do
+        let e = t.arr.(i) in
+        acc :=
+          !acc + Timestamp.wire_size e.ts + Wire.varint_size e.origin
+          + size e.payload
+      done;
+      !acc
+  in
+  (* + 5: room for the trailing checksum varint (<= 2^30 fits in 5). *)
+  let w = Codec.Writer.create ~size:(body_size + 5) () in
+  String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) magic;
+  Codec.Writer.u8 w version;
+  Codec.Writer.varint w t.len;
+  for i = 0 to t.len - 1 do
+    let e = t.arr.(i) in
+    Codec.Writer.varint w e.ts.Timestamp.clock;
+    Codec.Writer.varint w e.ts.Timestamp.pid;
+    Codec.Writer.varint w e.origin;
+    encode_update w e.payload
+  done;
+  let body = Codec.Writer.contents w in
+  Codec.Writer.varint w (checksum body);
+  Codec.Writer.contents w
 
 let decode ~decode_update t s = load t (decode_list ~decode_update s)

@@ -142,8 +142,15 @@ val decode_list :
     truncation, trailing bytes, or checksum mismatch. *)
 
 val encode :
-  encode_update:(Codec.Writer.t -> 'u -> unit) -> ('u, 's) t -> string
-(** [encode_list] of {!to_list}. *)
+  ?update_wire_size:('u -> int) ->
+  encode_update:(Codec.Writer.t -> 'u -> unit) ->
+  ('u, 's) t ->
+  string
+(** Byte-for-byte the frame [encode_list (to_list t)] produces, but
+    encoded straight from the backing array — no intermediate list —
+    with the writer pre-sized to the exact frame length when
+    [update_wire_size] is given (the {!Wire} accounting the specs
+    already expose). The persistence hot path. *)
 
 val decode :
   decode_update:(Codec.Reader.t -> 'u) -> ('u, 's) t -> string -> unit

@@ -5,6 +5,9 @@ module type LOG_VIEW = sig
 
   val local_log : t -> (Timestamp.t * int * update) list
 
+  val encode_log :
+    t -> encode_update:(Codec.Writer.t -> update -> unit) -> string
+
   val restore_log : t -> (Timestamp.t * int * update) list -> unit
 
   val clock_value : t -> int
@@ -15,12 +18,13 @@ end
 module Over (G : LOG_VIEW) (C : Update_codec.S with type update = G.update) =
 struct
   (* The log frame itself ("UCL", version, entries, checksum) is the
-     oplog substrate's single codec path. *)
+     oplog substrate's single codec path; the replica picks the fastest
+     encoder for its storage (array cores stream the backing array). *)
   let encode_log entries = Oplog.encode_list ~encode_update:C.encode entries
 
   let decode_log s = Oplog.decode_list ~decode_update:C.decode s
 
-  let snapshot replica = encode_log (G.local_log replica)
+  let snapshot replica = G.encode_log replica ~encode_update:C.encode
 
   let restore replica s = G.restore_log replica (decode_log s)
 
@@ -40,7 +44,7 @@ struct
     String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) replica_magic;
     Codec.Writer.u8 w version;
     Codec.Writer.varint w (G.clock_value replica);
-    Codec.Writer.byte_string w (encode_log (G.local_log replica));
+    Codec.Writer.byte_string w (G.encode_log replica ~encode_update:C.encode);
     Codec.Writer.contents w
 
   let restore_replica replica s =

@@ -31,6 +31,9 @@ module type LOG_VIEW = sig
 
   val local_log : t -> (Timestamp.t * int * update) list
 
+  val encode_log :
+    t -> encode_update:(Codec.Writer.t -> update -> unit) -> string
+
   val restore_log : t -> (Timestamp.t * int * update) list -> unit
 
   val clock_value : t -> int

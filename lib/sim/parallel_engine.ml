@@ -1,0 +1,372 @@
+(* Domain-per-replica execution of a replica protocol.
+
+   The discrete-event [Runner] interleaves every replica on one core
+   under a deterministic virtual clock; this engine runs the same
+   protocol cores truly concurrently, one OCaml 5 domain per replica,
+   connected by bounded MPSC mailboxes ([Mpsc]). Nothing about the
+   protocol changes: each domain owns its replica and is the only
+   mutator of it, messages travel as immutable frames, and the byte
+   accounting per frame (envelope + per-message wire size, batches
+   counted when a frame carries more than one message) matches the
+   sequential [Network] exactly.
+
+   Why this is sound to check: under strong update consistency the
+   state a replica reaches depends only on the timestamp total order of
+   the updates it has received, never on their arrival order (Prop. 4).
+   So however the OS schedules the domains, once every mailbox is
+   drained all replicas must hold the same timestamp-sorted log, and
+   that log replayed sequentially must equal a sequential fold of the
+   same update multiset. The engine enforces the first property
+   (convergence of outputs and certificates) itself; the analysis layer
+   pins the second against the sequential cores.
+
+   Domain-safety inventory (the audit the multicore port forced):
+   - [Prng]: each domain's client draws from its own [Prng.fork]ed
+     stream; generators are never shared across domains.
+   - [Oplog]/protocol state: strictly domain-private; published to the
+     coordinating domain only through [Domain.join].
+   - [Generic.Make.checkpoint_interval]: a per-functor ref read at
+     [create] time — replicas are created inside their domains but the
+     ref is only written before [run] starts, on the main domain, and
+     the spawn itself is a synchronisation point.
+   - [Obs]: [Obs.replica] mutates a shared list, so per-replica
+     profiles are pre-created sequentially before spawning, and all
+     registry writes happen after the joins, on the main domain. *)
+
+type domain_report = {
+  pid : int;
+  ops : int;  (* invocations completed (updates + queries) *)
+  updates : int;
+  queries : int;
+  frames_sent : int;
+  messages_sent : int;
+  bytes_sent : int;
+  batches_sent : int;
+  messages_received : int;
+  mailbox_stalls : int;  (* pushes that found a peer's mailbox full *)
+  mailbox_max_depth : int;  (* deepest this replica's own mailbox got *)
+  replay_steps : int;
+  latencies : float array;  (* seconds per invocation, in issue order *)
+}
+
+module Make (P : Protocol.PROTOCOL) = struct
+  type frame = { src : int; msgs : P.message list }
+
+  type config = {
+    domains : int;
+    mailbox_capacity : int;
+    envelope : int;  (* per-frame overhead bytes, as [Runner.config] *)
+    batch_every : int;  (* flush broadcasts every k updates; 1 = unbatched *)
+    final_read : P.query option;  (* the ω read every replica answers *)
+    obs : Obs.t option;
+  }
+
+  let default_config ~domains =
+    {
+      domains;
+      mailbox_capacity = 1024;
+      envelope = 0;
+      batch_every = 1;
+      final_read = None;
+      obs = None;
+    }
+
+  type result = {
+    reports : domain_report array;
+    replicas : P.t array;
+    outputs : (int * P.output) list;  (* ω answers, when [final_read] *)
+    outputs_agree : bool;
+    certificates_agree : bool;
+    log_lengths : int array;
+    wall_seconds : float;  (* max domain end - min domain start *)
+    ops_total : int;
+    updates_total : int;
+    throughput : float;  (* aggregate invocations per wall second *)
+  }
+
+  (* Mutable per-domain accumulator; strictly domain-private until the
+     join, then folded into the immutable report. *)
+  type local = {
+    mutable l_updates : int;
+    mutable l_queries : int;
+    mutable l_frames : int;
+    mutable l_messages : int;
+    mutable l_bytes : int;
+    mutable l_batches : int;
+    mutable l_received : int;
+    mutable l_stalls : int;
+    mutable l_depth : int;
+    mutable l_replay : int;
+  }
+
+  let run config ~(workload : (P.update, P.query) Protocol.invocation list array)
+      =
+    let n = config.domains in
+    if n <= 0 then invalid_arg "Parallel_engine.run: domains must be positive";
+    if Array.length workload <> n then
+      invalid_arg "Parallel_engine.run: one workload script per domain";
+    if config.batch_every <= 0 then
+      invalid_arg "Parallel_engine.run: batch_every must be positive";
+    let mailboxes = Array.init n (fun _ -> Mpsc.create config.mailbox_capacity) in
+    (* In-flight frame count: bumped before a frame is pushed, dropped
+       after its messages have been processed. Zero (together with all
+       clients done) therefore means: no frame is queued anywhere and
+       none is being processed whose handler could still send. *)
+    let outstanding = Atomic.make 0 in
+    let clients_running = Atomic.make n in
+    let quiesced = Atomic.make false in
+    let started = Atomic.make 0 in
+    (* Pre-resolve Obs handles on this domain; [Obs.replica] mutates
+       shared state and must not run concurrently. *)
+    let profiles =
+      match config.obs with
+      | None -> [||]
+      | Some o -> Array.init n (fun pid -> Obs.replica o pid)
+    in
+    let reports = Array.make n None in
+    let replicas = Array.make n None in
+    let outputs = Array.make n None in
+    let spans = Array.make n (0.0, 0.0) in
+    let t0 = Unix.gettimeofday () in
+    let body pid () =
+      let l =
+        {
+          l_updates = 0;
+          l_queries = 0;
+          l_frames = 0;
+          l_messages = 0;
+          l_bytes = 0;
+          l_batches = 0;
+          l_received = 0;
+          l_stalls = 0;
+          l_depth = 0;
+          l_replay = 0;
+        }
+      in
+      let mybox = mailboxes.(pid) in
+      let replica = ref None in
+      let draining = ref false in
+      let drain () =
+        if not !draining then begin
+          draining := true;
+          let d = Mpsc.length mybox in
+          if d > l.l_depth then l.l_depth <- d;
+          let rec go () =
+            match Mpsc.try_pop mybox with
+            | None -> ()
+            | Some { src; msgs } ->
+              (match !replica with
+              | Some r -> List.iter (fun m -> P.receive r ~src m) msgs
+              | None -> assert false);
+              l.l_received <- l.l_received + List.length msgs;
+              Atomic.decr outstanding;
+              go ()
+          in
+          go ();
+          draining := false
+        end
+      in
+      let deliver ~dst frame =
+        let count = List.length frame.msgs in
+        let bytes =
+          config.envelope
+          + List.fold_left (fun acc m -> acc + P.message_wire_size m) 0 frame.msgs
+        in
+        l.l_frames <- l.l_frames + 1;
+        l.l_messages <- l.l_messages + count;
+        l.l_bytes <- l.l_bytes + bytes;
+        if count > 1 then l.l_batches <- l.l_batches + 1;
+        Atomic.incr outstanding;
+        let spins = ref 0 in
+        while not (Mpsc.try_push mailboxes.(dst) frame) do
+          l.l_stalls <- l.l_stalls + 1;
+          (* Drain our own mailbox while the peer's is full: every
+             domain always makes progress on its own queue, so no
+             cycle of full mailboxes can deadlock. *)
+          drain ();
+          incr spins;
+          if !spins > 64 then Unix.sleepf 50e-6 else Domain.cpu_relax ()
+        done
+      in
+      let pending = ref [] (* reversed broadcast buffer, batching mode *) in
+      let flush () =
+        match !pending with
+        | [] -> ()
+        | msgs ->
+          let msgs = List.rev msgs in
+          pending := [];
+          for dst = 0 to n - 1 do
+            if dst <> pid then deliver ~dst { src = pid; msgs }
+          done
+      in
+      let broadcast_now msg =
+        for dst = 0 to n - 1 do
+          if dst <> pid then deliver ~dst { src = pid; msgs = [ msg ] }
+        done
+      in
+      let ctx =
+        {
+          Protocol.pid;
+          n;
+          now = (fun () -> Unix.gettimeofday () -. t0);
+          send = (fun ~dst msg -> deliver ~dst { src = pid; msgs = [ msg ] });
+          broadcast =
+            (if config.batch_every = 1 then broadcast_now
+             else fun msg ->
+               pending := msg :: !pending;
+               if List.length !pending >= config.batch_every then flush ());
+          broadcast_batch =
+            (fun msgs -> if msgs <> [] then
+                for dst = 0 to n - 1 do
+                  if dst <> pid then deliver ~dst { src = pid; msgs }
+                done);
+          (* No protocol core uses timers; the wall clock is real here,
+             so a virtual-time timer has no meaning. *)
+          set_timer = (fun ~delay:_ _ -> ());
+          count_replay = (fun k -> l.l_replay <- l.l_replay + k);
+          obs = (if profiles = [||] then None else Some profiles.(pid));
+        }
+      in
+      let r = P.create ctx in
+      replica := Some r;
+      (* Start barrier: nobody issues until every replica exists, so no
+         frame can arrive at a mailbox whose owner isn't ready. *)
+      Atomic.incr started;
+      while Atomic.get started < n do
+        Domain.cpu_relax ()
+      done;
+      let t_begin = Unix.gettimeofday () in
+      let script = workload.(pid) in
+      let lats = Array.make (List.length script) 0.0 in
+      List.iteri
+        (fun i inv ->
+          drain ();
+          let s = Unix.gettimeofday () in
+          (match inv with
+          | Protocol.Invoke_update u ->
+            l.l_updates <- l.l_updates + 1;
+            P.update r u ~on_done:ignore
+          | Protocol.Invoke_query q ->
+            l.l_queries <- l.l_queries + 1;
+            P.query r q ~on_result:ignore);
+          lats.(i) <- Unix.gettimeofday () -. s)
+        script;
+      flush ();
+      Atomic.decr clients_running;
+      (* Quiescence: drain until every client is done and no frame is
+         in flight anywhere. The first domain to observe that state
+         closes the mailboxes (a safety net for blocked waiters; by
+         then every queue is provably empty). *)
+      let idle = ref 0 in
+      while not (Atomic.get quiesced) do
+        drain ();
+        if Atomic.get clients_running = 0 && Atomic.get outstanding = 0 then begin
+          if Atomic.compare_and_set quiesced false true then
+            Array.iter Mpsc.close mailboxes
+        end
+        else begin
+          incr idle;
+          if !idle > 64 then Unix.sleepf 50e-6 else Domain.cpu_relax ()
+        end
+      done;
+      drain ();
+      (match config.final_read with
+      | None -> ()
+      | Some q ->
+        l.l_queries <- l.l_queries + 1;
+        P.query r q ~on_result:(fun o -> outputs.(pid) <- Some o));
+      let t_end = Unix.gettimeofday () in
+      spans.(pid) <- (t_begin, t_end);
+      replicas.(pid) <- Some r;
+      reports.(pid) <-
+        Some
+          {
+            pid;
+            ops = l.l_updates + l.l_queries;
+            updates = l.l_updates;
+            queries = l.l_queries;
+            frames_sent = l.l_frames;
+            messages_sent = l.l_messages;
+            bytes_sent = l.l_bytes;
+            batches_sent = l.l_batches;
+            messages_received = l.l_received;
+            mailbox_stalls = l.l_stalls;
+            mailbox_max_depth = l.l_depth;
+            replay_steps = l.l_replay;
+            latencies = lats;
+          }
+    in
+    let handles = Array.init n (fun pid -> Domain.spawn (body pid)) in
+    Array.iter Domain.join handles;
+    let reports = Array.map Option.get reports in
+    let replicas = Array.map Option.get replicas in
+    let outputs =
+      Array.to_list outputs
+      |> List.mapi (fun pid o -> Option.map (fun o -> (pid, o)) o)
+      |> List.filter_map Fun.id
+    in
+    let outputs_agree =
+      match outputs with
+      | [] -> true
+      | (_, first) :: rest ->
+        List.for_all (fun (_, o) -> P.equal_output first o) rest
+    in
+    let certificates_agree =
+      match Array.to_list replicas with
+      | [] -> true
+      | r0 :: rest ->
+        let c0 = P.certificate r0 in
+        List.for_all (fun r -> P.certificate r = c0) rest
+    in
+    let starts = Array.map fst spans and ends = Array.map snd spans in
+    let wall =
+      Array.fold_left Float.max neg_infinity ends
+      -. Array.fold_left Float.min infinity starts
+    in
+    let ops_total = Array.fold_left (fun acc r -> acc + r.ops) 0 reports in
+    let updates_total =
+      Array.fold_left (fun acc r -> acc + r.updates) 0 reports
+    in
+    (match config.obs with
+    | None -> ()
+    | Some o ->
+      (* All registry writes on the coordinating domain, post-join. *)
+      Array.iter
+        (fun r ->
+          let labels = [ ("pid", string_of_int r.pid) ] in
+          let reg = o.Obs.registry in
+          Obs.Registry.inc ~by:r.ops (Obs.Registry.counter reg ~labels "domain_ops");
+          Obs.Registry.inc ~by:r.updates
+            (Obs.Registry.counter reg ~labels "domain_updates");
+          Obs.Registry.inc ~by:r.bytes_sent
+            (Obs.Registry.counter reg ~labels "domain_bytes_sent");
+          Obs.Registry.inc ~by:r.frames_sent
+            (Obs.Registry.counter reg ~labels "domain_frames_sent");
+          Obs.Registry.inc ~by:r.mailbox_stalls
+            (Obs.Registry.counter reg ~labels "mailbox_stalls");
+          Obs.Registry.set
+            (Obs.Registry.gauge reg ~labels "mailbox_depth")
+            (float_of_int r.mailbox_max_depth))
+        reports);
+    {
+      reports;
+      replicas;
+      outputs;
+      outputs_agree;
+      certificates_agree;
+      log_lengths = Array.map (fun r -> P.log_length r) replicas;
+      wall_seconds = wall;
+      ops_total;
+      updates_total;
+      throughput =
+        (if wall > 0.0 then float_of_int ops_total /. wall else 0.0);
+    }
+
+  (* Latency distribution across every domain's invocations. *)
+  let latency_summary result =
+    let all =
+      Array.to_list result.reports
+      |> List.concat_map (fun r -> Array.to_list r.latencies)
+    in
+    match all with [] -> None | l -> Some (Stats.summarize l)
+end

@@ -1,0 +1,89 @@
+(** Domain-per-replica execution: the replica protocols of the
+    sequential {!Runner}, run truly concurrently on OCaml 5 domains
+    connected by bounded MPSC mailboxes ({!Mpsc}).
+
+    Each domain owns one replica plus a closed-loop client playing a
+    pre-generated invocation script; broadcasts become frames pushed
+    into every peer's mailbox, with the same per-frame byte accounting
+    as the sequential {!Network} (envelope + per-message wire size,
+    [batches_sent] when a frame carries more than one message). At the
+    end of the scripts the engine drains every mailbox to quiescence,
+    has every replica answer an optional ω read, and reports
+    convergence (outputs and update certificates) together with
+    wall-clock throughput and per-invocation latencies.
+
+    Proposition 4 is what makes the result checkable: under strong
+    update consistency the final state depends only on the timestamp
+    total order of the update multiset, never on the real-time delivery
+    interleaving the domains happened to produce — see
+    {!Throughput} in the analysis layer for the sequential
+    differential built on that.
+
+    The engine is measurement infrastructure: it is {e not}
+    deterministic (the OS schedule is real), so the deterministic
+    {!Runner}, journal, and replay remain the home of reproducible
+    experiments. Telemetry stays behind the repo-wide contract: every
+    hook is [Obs.t option] defaulting to [None], and registry writes
+    happen only after the domains have joined. *)
+
+type domain_report = {
+  pid : int;
+  ops : int;  (** invocations completed (updates + queries) *)
+  updates : int;
+  queries : int;
+  frames_sent : int;
+  messages_sent : int;
+  bytes_sent : int;
+  batches_sent : int;
+  messages_received : int;
+  mailbox_stalls : int;
+      (** pushes that found the destination mailbox full (each stall
+          drains the sender's own mailbox, so stalls cannot deadlock) *)
+  mailbox_max_depth : int;  (** deepest this replica's own mailbox got *)
+  replay_steps : int;
+  latencies : float array;  (** seconds per invocation, in issue order *)
+}
+
+module Make (P : Protocol.PROTOCOL) : sig
+  type frame = { src : int; msgs : P.message list }
+
+  type config = {
+    domains : int;
+    mailbox_capacity : int;
+    envelope : int;  (** per-frame overhead bytes, as [Runner.config] *)
+    batch_every : int;
+        (** flush broadcasts every k updates; 1 = one frame per message,
+            matching the unbatched sequential runner *)
+    final_read : P.query option;  (** ω read every replica answers *)
+    obs : Obs.t option;
+  }
+
+  val default_config : domains:int -> config
+  (** capacity 1024, envelope 0, unbatched, no ω read, [obs = None]. *)
+
+  type result = {
+    reports : domain_report array;
+    replicas : P.t array;
+        (** the replicas after quiescence, for log inspection — only
+            the coordinating domain may touch them once [run] returns *)
+    outputs : (int * P.output) list;  (** ω answers, when [final_read] *)
+    outputs_agree : bool;
+    certificates_agree : bool;
+    log_lengths : int array;
+    wall_seconds : float;  (** max domain end − min domain start *)
+    ops_total : int;
+    updates_total : int;
+    throughput : float;  (** aggregate invocations per wall second *)
+  }
+
+  val run :
+    config -> workload:(P.update, P.query) Protocol.invocation list array -> result
+  (** Spawn [config.domains] domains, play one script per domain, drain
+      to quiescence, join, and aggregate. The [workload] array must
+      have exactly [domains] entries; scripts are read-only inside the
+      domains. @raise Invalid_argument on a malformed config. *)
+
+  val latency_summary : result -> Stats.summary option
+  (** Distribution over every domain's per-invocation latencies;
+      [None] when no invocations ran. *)
+end

@@ -3,7 +3,7 @@ exception Decode_error of string
 module Writer = struct
   type t = Buffer.t
 
-  let create () = Buffer.create 16
+  let create ?(size = 16) () = Buffer.create size
 
   let u8 t b =
     if b < 0 || b > 255 then invalid_arg "Codec.Writer.u8: out of range";

@@ -11,7 +11,10 @@ exception Decode_error of string
 module Writer : sig
   type t
 
-  val create : unit -> t
+  val create : ?size:int -> unit -> t
+  (** [size] pre-allocates the underlying buffer (default 16 bytes) —
+      callers that can compute an exact frame size with {!Wire} avoid
+      every growth copy. *)
 
   val u8 : t -> int -> unit
   (** One byte; must be in [0, 255]. *)

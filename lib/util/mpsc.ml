@@ -1,0 +1,184 @@
+(* Bounded multi-producer single-consumer mailbox.
+
+   The fast path is a Vyukov-style array ring: every slot carries a
+   sequence number in an [Atomic.t]; producers claim a slot by CAS on
+   the tail ticket, publish the value, then release the slot by bumping
+   its sequence; the single consumer reads its head ticket without any
+   synchronisation of its own and releases slots by setting the
+   sequence one lap ahead. The slot sequences are the only
+   happens-before edges a transfer needs (the OCaml memory model makes
+   an [Atomic.set] after the plain payload write a release, and the
+   consumer's [Atomic.get] before the payload read an acquire).
+
+   The slow path is a mutex/condvar pair used only when a side actually
+   has to wait: waiters advertise themselves through an atomic counter
+   before sleeping, and the other side takes the lock to signal only
+   when that counter is non-zero, so the uncontended transfer never
+   touches the mutex. *)
+
+type 'a t = {
+  buf : 'a option array;
+  seq : int Atomic.t array;
+  cap : int;
+  tail : int Atomic.t;  (* next producer ticket *)
+  mutable head : int;  (* next consumer ticket; single consumer *)
+  head_pub : int Atomic.t;  (* head republished for producers' depth view *)
+  closed : bool Atomic.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  sleeping_consumers : int Atomic.t;
+  sleeping_producers : int Atomic.t;
+}
+
+exception Closed
+
+let create cap =
+  if cap <= 0 then invalid_arg "Mpsc.create: capacity must be positive";
+  {
+    buf = Array.make cap None;
+    seq = Array.init cap Atomic.make;
+    cap;
+    tail = Atomic.make 0;
+    head = 0;
+    head_pub = Atomic.make 0;
+    closed = Atomic.make false;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    sleeping_consumers = Atomic.make 0;
+    sleeping_producers = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head_pub)
+
+let is_closed t = Atomic.get t.closed
+
+(* Ring transfer without any wakeups — shared by the lock-free public
+   entry points and the locked slow paths (which must not re-take the
+   mutex they already hold). *)
+
+let rec push_raw t v =
+  let ticket = Atomic.get t.tail in
+  let slot = ticket mod t.cap in
+  let s = Atomic.get t.seq.(slot) in
+  if s = ticket then
+    if Atomic.compare_and_set t.tail ticket (ticket + 1) then begin
+      t.buf.(slot) <- Some v;
+      Atomic.set t.seq.(slot) (ticket + 1);
+      true
+    end
+    else push_raw t v (* lost the ticket race; retry *)
+  else if s < ticket then false (* slot still holds the previous lap: full *)
+  else push_raw t v (* another producer advanced the tail under us *)
+
+let pop_raw t =
+  let ticket = t.head in
+  let slot = ticket mod t.cap in
+  let s = Atomic.get t.seq.(slot) in
+  if s = ticket + 1 then begin
+    let v = t.buf.(slot) in
+    t.buf.(slot) <- None;
+    Atomic.set t.seq.(slot) (ticket + t.cap);
+    t.head <- ticket + 1;
+    Atomic.set t.head_pub (ticket + 1);
+    v
+  end
+  else None
+
+(* Wake the other side if (and only if) it advertised itself as asleep.
+   The waiter increments its counter and re-checks the ring while
+   holding the lock, so taking the lock here before signalling closes
+   the lost-wakeup window. *)
+let wake_consumer t =
+  if Atomic.get t.sleeping_consumers > 0 then begin
+    Mutex.lock t.lock;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let wake_producers t =
+  if Atomic.get t.sleeping_producers > 0 then begin
+    Mutex.lock t.lock;
+    Condition.broadcast t.nonfull;
+    Mutex.unlock t.lock
+  end
+
+let try_push t v =
+  if Atomic.get t.closed then raise Closed;
+  if push_raw t v then begin
+    wake_consumer t;
+    true
+  end
+  else false
+
+let push t v =
+  if Atomic.get t.closed then raise Closed;
+  if push_raw t v then wake_consumer t
+  else begin
+    Mutex.lock t.lock;
+    Atomic.incr t.sleeping_producers;
+    let rec wait () =
+      if Atomic.get t.closed then begin
+        Atomic.decr t.sleeping_producers;
+        Mutex.unlock t.lock;
+        raise Closed
+      end
+      else if push_raw t v then begin
+        Atomic.decr t.sleeping_producers;
+        (* The consumer may be asleep on [nonempty] with the lock
+           released inside [Condition.wait]; we already hold it. *)
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.lock
+      end
+      else begin
+        Condition.wait t.nonfull t.lock;
+        wait ()
+      end
+    in
+    wait ()
+  end
+
+let try_pop t =
+  match pop_raw t with
+  | Some _ as v ->
+    wake_producers t;
+    v
+  | None -> None
+
+let pop t =
+  match pop_raw t with
+  | Some _ as v ->
+    wake_producers t;
+    v
+  | None ->
+    Mutex.lock t.lock;
+    Atomic.incr t.sleeping_consumers;
+    let rec wait () =
+      match pop_raw t with
+      | Some _ as v ->
+        Atomic.decr t.sleeping_consumers;
+        Condition.broadcast t.nonfull;
+        Mutex.unlock t.lock;
+        v
+      | None ->
+        if Atomic.get t.closed then begin
+          Atomic.decr t.sleeping_consumers;
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+    in
+    wait ()
+
+let close t =
+  Mutex.lock t.lock;
+  Atomic.set t.closed true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.nonfull;
+  Mutex.unlock t.lock

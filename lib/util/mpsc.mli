@@ -1,0 +1,48 @@
+(** Bounded multi-producer single-consumer queue for inter-domain
+    mailboxes.
+
+    The common case — a producer publishing into a non-full queue, the
+    consumer draining a non-empty one — is lock-free: a Vyukov-style
+    array ring whose per-slot sequence numbers (each an [Atomic.t])
+    carry both the full/empty state and the release/acquire edges the
+    payload hand-off needs. A mutex/condvar slow path is entered only
+    when a side actually has to block, with waiters advertised through
+    atomic counters so the uncontended path never touches the mutex.
+
+    There must be at most one consumer ({!try_pop}/{!pop} caller);
+    producers may be any number of domains. *)
+
+type 'a t
+
+exception Closed
+(** Raised by {!try_push}/{!push} on a closed queue. *)
+
+val create : int -> 'a t
+(** A queue holding at most the given (positive) number of elements. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Instantaneous depth; racy under concurrency, exact when quiescent.
+    Never negative. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] when full. @raise Closed if the
+    queue is closed. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue, blocking on a condvar while the queue is full.
+    @raise Closed if the queue is (or becomes) closed while waiting. *)
+
+val try_pop : 'a t -> 'a option
+(** Dequeue without blocking; [None] when empty. Single consumer only. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while the queue is empty; [None] only once the
+    queue is closed {e and} drained. Single consumer only. *)
+
+val close : 'a t -> unit
+(** Mark the queue closed and wake every waiter. Pending elements
+    remain poppable; further pushes raise {!Closed}. *)
+
+val is_closed : 'a t -> bool

@@ -1,16 +1,18 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int64; gamma : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
+let create seed = { state = Int64.of_int seed; gamma = golden_gamma }
 
-let copy g = { state = g.state }
+let copy g = { state = g.state; gamma = g.gamma }
 
 (* SplitMix64 output function: one additive step then two xor-shift
    multiplications (finalizer of MurmurHash3 with Stafford's mix13
-   constants). *)
+   constants). Every generator the repo made before [fork] existed used
+   the golden-ratio gamma, and [create]/[split] still do, so seeded
+   sequences are unchanged. *)
 let bits64 g =
-  g.state <- Int64.add g.state golden_gamma;
+  g.state <- Int64.add g.state g.gamma;
   let z = g.state in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
@@ -18,7 +20,38 @@ let bits64 g =
 
 let split g =
   let seed = bits64 g in
-  { state = seed }
+  { state = seed; gamma = golden_gamma }
+
+(* MurmurHash3's fmix64 with Stafford's "variant 13" shifts — the mixer
+   SplitMix64 prescribes for deriving gammas, deliberately different
+   from the mix13 output function above so a child's gamma is not a
+   value of the parent's stream. *)
+let mix_variant13 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount64 z =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical z i) 1L = 1L then incr c
+  done;
+  !c
+
+let fork g =
+  (* Draw the child's seed with the parent's output function, then its
+     gamma from the next raw state with the variant-13 mixer, forced
+     odd; gammas with too regular a bit pattern (< 24 transitions) are
+     xor-scrambled, per Steele, Lea & Flood §5. *)
+  let seed = bits64 g in
+  g.state <- Int64.add g.state g.gamma;
+  let z = Int64.logor (mix_variant13 g.state) 1L in
+  let gamma =
+    if popcount64 (Int64.logxor z (Int64.shift_right_logical z 1)) < 24 then
+      Int64.logxor z 0xAAAAAAAAAAAAAAAAL
+    else z
+  in
+  { state = seed; gamma }
 
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";

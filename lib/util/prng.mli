@@ -17,7 +17,21 @@ val copy : t -> t
 (** [copy g] is a generator that will produce the same stream as [g]. *)
 
 val split : t -> t
-(** [split g] advances [g] and returns a new independent generator. *)
+(** [split g] advances [g] and returns a new generator seeded from its
+    output. The child keeps the parent's additive constant, which is
+    fine for the simulator's per-process streams (every child is
+    re-seeded by a full mix) and keeps historical seeded runs
+    byte-identical; for streams consumed concurrently at scale prefer
+    {!fork}. *)
+
+val fork : t -> t
+(** [fork g] advances [g] twice and returns a statistically independent
+    child stream: the full SplitMix64 [split] of Steele, Lea & Flood
+    (OOPSLA'14), drawing both the child's seed and a fresh odd additive
+    constant (gamma) so parent and child never walk the same Weyl
+    sequence. Deterministic: the same parent state always yields the
+    same child. Used for per-domain client streams in the parallel
+    engine. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -353,8 +353,68 @@ let runner_differential_tests =
                   Set_spec.pp_output history));
   ]
 
+(* Bit-identity of the sequential runner across refactors: these three
+   seeded runs reproduce `ucsim run` configurations exactly (workload
+   generator, delay model, final read), and their sealed history
+   fingerprints were captured before the multicore engine PR. The
+   parallel engine must not perturb the deterministic path — not the
+   runner, not [Prng.split]/[create] stream layout, not the workload
+   draws — so these literals must never move. *)
+let pinned_run_tests =
+  let set_fingerprint ~seed ~n ~ops =
+    let module R = Runner.Make (G_set) in
+    let rng = Prng.create seed in
+    let workload =
+      Workload.For_set.conflict ~rng ~n ~ops_per_process:ops ~domain:16
+        ~skew:1.0 ~delete_ratio:0.3
+    in
+    let config =
+      {
+        (R.default_config ~n ~seed) with
+        R.delay = Network.Exponential { mean = 10.0 };
+        final_read = Some Set_spec.Read;
+      }
+    in
+    let r = R.run config ~workload in
+    History.fingerprint Set_spec.pp_update Set_spec.pp_query Set_spec.pp_output
+      r.R.history
+  in
+  let counter_fingerprint ~seed ~n ~ops =
+    let module R = Runner.Make (G_counter) in
+    let rng = Prng.create seed in
+    let workload =
+      Workload.For_counter.deposits_and_withdrawals ~rng ~n
+        ~ops_per_process:ops ~max_amount:100
+    in
+    let config =
+      {
+        (R.default_config ~n ~seed) with
+        R.delay = Network.Exponential { mean = 10.0 };
+        final_read = Some Counter_spec.Value;
+      }
+    in
+    let r = R.run config ~workload in
+    History.fingerprint Counter_spec.pp_update Counter_spec.pp_query
+      Counter_spec.pp_output r.R.history
+  in
+  [
+    Alcotest.test_case "pinned: universal/set seed 1 n 3 ops 6" `Quick (fun () ->
+        Alcotest.(check string)
+          "fingerprint" "a3028740e43cd9ff"
+          (set_fingerprint ~seed:1 ~n:3 ~ops:6));
+    Alcotest.test_case "pinned: universal/set seed 42 n 4 ops 8" `Quick
+      (fun () ->
+        Alcotest.(check string)
+          "fingerprint" "f84ccaebdd940ba2"
+          (set_fingerprint ~seed:42 ~n:4 ~ops:8));
+    Alcotest.test_case "pinned: counter seed 7 n 3 ops 10" `Quick (fun () ->
+        Alcotest.(check string)
+          "fingerprint" "2dbc0e1fa6fad3a3"
+          (counter_fingerprint ~seed:7 ~n:3 ~ops:10));
+  ]
+
 let tests =
-  differential_protocol_tests @ runner_differential_tests
+  differential_protocol_tests @ runner_differential_tests @ pinned_run_tests
   @ [
     qtest ~count:150 "Check_uc agrees with brute force" seed_gen (fun seed ->
         let rng = Prng.create seed in

@@ -221,4 +221,31 @@ let tests =
           (Invalid_argument
              "Oplog.create: checkpoint interval must be non-negative")
           (fun () -> ignore (Oplog.create ~checkpoint_interval:(-1) () : (int, int) Oplog.t)));
+    (* The persistence hot path: [encode] now streams the backing array
+       into a pre-sized buffer instead of materialising [to_list]. The
+       frame must stay byte-for-byte the [encode_list] frame — with the
+       exact-size hint, without it, and after mid-log insertions. *)
+    qtest ~count:300 "encode streams the array byte-identically to the list path"
+      seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = entry_batch rng in
+        let log = Oplog.create () in
+        insert_all log entries;
+        let reference =
+          Oplog.encode_list ~encode_update:Update_codec.For_set.encode
+            (Oplog.to_list log)
+        in
+        Oplog.encode ~encode_update:Update_codec.For_set.encode log = reference
+        && Oplog.encode ~update_wire_size:Set_spec.update_wire_size
+             ~encode_update:Update_codec.For_set.encode log
+           = reference);
+    Alcotest.test_case "encode of an empty log matches the list path" `Quick
+      (fun () ->
+        let log : (Set_spec.update, Set_spec.state) Oplog.t = Oplog.create () in
+        Alcotest.(check string)
+          "empty frame"
+          (Oplog.encode_list ~encode_update:Update_codec.For_set.encode [])
+          (Oplog.encode ~update_wire_size:Set_spec.update_wire_size
+             ~encode_update:Update_codec.For_set.encode log));
   ]

@@ -1,0 +1,192 @@
+(* The multicore replica engine against its Proposition 4 oracle: for
+   any OS schedule the domains produce, every replica must converge to
+   the identical timestamp-sorted log, and that log must replay through
+   the sequential core to the timestamp-order fold of the update
+   multiset. Each case runs the full [Throughput] differential. *)
+
+module T_counter = Throughput.Bench (Counter_spec)
+module T_set = Throughput.Bench (Set_spec)
+module T_gset = Throughput.Bench (Gset_spec)
+
+let counter_differential () =
+  List.iter
+    (fun (domains, seed) ->
+      let scripts =
+        T_counter.uniform_scripts ~seed ~domains ~ops:120 ~query_ratio:0.1
+      in
+      let v =
+        T_counter.measure ~domains ~final_read:Counter_spec.Value ~scripts ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "counter d=%d seed=%d" domains seed)
+        true (T_counter.ok v);
+      (* Commutative: the full sequential Runner replay must have run
+         and agreed, not been skipped. *)
+      Alcotest.(check (option bool))
+        "runner differential ran" (Some true) v.T_counter.runner_matches)
+    [ (1, 3); (2, 3); (2, 17); (3, 5); (4, 11) ]
+
+let set_differential () =
+  List.iter
+    (fun (domains, seed) ->
+      let scripts =
+        T_set.uniform_scripts ~seed ~domains ~ops:150 ~query_ratio:0.0
+      in
+      let v = T_set.measure ~domains ~final_read:Set_spec.Read ~scripts () in
+      Alcotest.(check bool)
+        (Printf.sprintf "set d=%d seed=%d" domains seed)
+        true (T_set.ok v);
+      Alcotest.(check (option bool))
+        "non-commutative: no runner leg" None v.T_set.runner_matches)
+    [ (1, 1); (2, 1); (3, 9) ]
+
+let gset_differential () =
+  let scripts =
+    T_gset.uniform_scripts ~seed:2 ~domains:3 ~ops:100 ~query_ratio:0.2
+  in
+  let v = T_gset.measure ~domains:3 ~final_read:Gset_spec.Read ~scripts () in
+  Alcotest.(check bool) "gset d=3" true (T_gset.ok v)
+
+(* A mailbox far smaller than the broadcast traffic forces the
+   full-queue slow path (stall + drain-own-mailbox); correctness must
+   not depend on capacity. *)
+let tiny_mailbox_backpressure () =
+  let scripts =
+    Throughput.set_zipf_scripts ~seed:5 ~domains:3 ~ops:300 ~skew:1.2
+      ~delete_ratio:0.3
+  in
+  let v =
+    T_set.measure ~mailbox_capacity:4 ~domains:3 ~final_read:Set_spec.Read
+      ~scripts ()
+  in
+  Alcotest.(check bool) "differential holds under backpressure" true (T_set.ok v);
+  let stalls =
+    Array.fold_left
+      (fun acc r -> acc + r.Parallel_engine.mailbox_stalls)
+      0 v.T_set.run.T_set.E.reports
+  in
+  Alcotest.(check bool) "slow path actually exercised" true (stalls > 0)
+
+let batching_differential () =
+  let scripts =
+    T_set.uniform_scripts ~seed:8 ~domains:3 ~ops:128 ~query_ratio:0.0
+  in
+  let v =
+    T_set.measure ~batch_every:4 ~domains:3 ~final_read:Set_spec.Read ~scripts ()
+  in
+  Alcotest.(check bool) "batched run converges" true (T_set.ok v);
+  let batches =
+    Array.fold_left
+      (fun acc r -> acc + r.Parallel_engine.batches_sent)
+      0 v.T_set.run.T_set.E.reports
+  in
+  Alcotest.(check bool) "frames actually batched" true (batches > 0)
+
+(* Byte accounting mirrors the sequential Network: per unbatched frame
+   exactly the message wire size (envelope 0), one frame per peer per
+   update. With no queries and n domains: updates * (n-1) frames. *)
+let wire_accounting () =
+  let domains = 3 and ops = 50 in
+  let scripts = T_set.uniform_scripts ~seed:4 ~domains ~ops ~query_ratio:0.0 in
+  let v = T_set.measure ~domains ~final_read:Set_spec.Read ~scripts () in
+  let reports = v.T_set.run.T_set.E.reports in
+  Array.iter
+    (fun r ->
+      Alcotest.(check int)
+        "one frame per peer per update"
+        (ops * (domains - 1))
+        r.Parallel_engine.frames_sent;
+      Alcotest.(check int)
+        "messages = frames when unbatched" r.Parallel_engine.frames_sent
+        r.Parallel_engine.messages_sent)
+    reports;
+  (* Recompute every replica's sent bytes from the converged log: the
+     wire bytes of an update message are its timestamp + payload. *)
+  let log = T_set.G.local_log v.T_set.run.T_set.E.replicas.(0) in
+  Array.iteri
+    (fun pid r ->
+      let own = List.filter (fun (_, origin, _) -> origin = pid) log in
+      let expect =
+        (domains - 1)
+        * List.fold_left
+            (fun acc (ts, _, u) ->
+              acc + Timestamp.wire_size ts + Set_spec.update_wire_size u)
+            0 own
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "bytes of p%d" pid)
+        expect r.Parallel_engine.bytes_sent)
+    reports
+
+let per_domain_reports () =
+  let domains = 2 and ops = 40 in
+  let scripts =
+    T_counter.uniform_scripts ~seed:6 ~domains ~ops ~query_ratio:0.25
+  in
+  let v =
+    T_counter.measure ~domains ~final_read:Counter_spec.Value ~scripts ()
+  in
+  let r = v.T_counter.run in
+  Alcotest.(check int) "one report per domain" domains
+    (Array.length r.T_counter.E.reports);
+  Array.iteri
+    (fun pid rep ->
+      Alcotest.(check int) "pid recorded" pid rep.Parallel_engine.pid;
+      (* script ops + the ω read *)
+      Alcotest.(check int)
+        "ops = script + omega" (ops + 1) rep.Parallel_engine.ops;
+      Alcotest.(check int)
+        "latency per invocation" ops
+        (Array.length rep.Parallel_engine.latencies))
+    r.T_counter.E.reports;
+  Alcotest.(check int)
+    "totals add up"
+    ((ops + 1) * domains)
+    r.T_counter.E.ops_total;
+  Alcotest.(check bool)
+    "throughput positive" true
+    (r.T_counter.E.throughput > 0.0)
+
+(* Telemetry contract: a run with no observer touches no registry; the
+   same run with one attached reports per-pid rows. *)
+let obs_rows () =
+  let o = Obs.create () in
+  let domains = 2 in
+  let scripts =
+    T_set.uniform_scripts ~seed:12 ~domains ~ops:60 ~query_ratio:0.0
+  in
+  let v = T_set.measure ~obs:o ~domains ~final_read:Set_spec.Read ~scripts () in
+  Alcotest.(check bool) "observed run still converges" true (T_set.ok v);
+  let rows = Obs.Registry.rows o.Obs.registry in
+  let count name =
+    List.length (List.filter (fun r -> r.Obs.Registry.name = name) rows)
+  in
+  List.iter
+    (fun name -> Alcotest.(check int) (name ^ " per pid") domains (count name))
+    [ "domain_ops"; "domain_updates"; "mailbox_depth"; "mailbox_stalls" ]
+
+let rejects_bad_config () =
+  let scripts = T_set.uniform_scripts ~seed:1 ~domains:2 ~ops:1 ~query_ratio:0.0 in
+  Alcotest.check_raises "workload width"
+    (Invalid_argument "Parallel_engine.run: one workload script per domain")
+    (fun () ->
+      ignore (T_set.E.run (T_set.E.default_config ~domains:3) ~workload:scripts))
+
+let tests =
+  [
+    Alcotest.test_case "counter differential (incl. sequential Runner)" `Quick
+      counter_differential;
+    Alcotest.test_case "or-set differential across domain counts" `Quick
+      set_differential;
+    Alcotest.test_case "g-set differential with queries" `Quick gset_differential;
+    Alcotest.test_case "tiny mailbox: backpressure slow path" `Quick
+      tiny_mailbox_backpressure;
+    Alcotest.test_case "broadcast batching preserves convergence" `Quick
+      batching_differential;
+    Alcotest.test_case "wire accounting matches the sequential format" `Quick
+      wire_accounting;
+    Alcotest.test_case "per-domain reports and latencies" `Quick
+      per_domain_reports;
+    Alcotest.test_case "obs rows appear only when attached" `Quick obs_rows;
+    Alcotest.test_case "malformed configs rejected" `Quick rejects_bad_config;
+  ]

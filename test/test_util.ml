@@ -327,6 +327,101 @@ let dag_tests =
         Alcotest.(check int) "capped" 10 (Dag.count_linear_extensions g ~limit:10));
   ]
 
+(* [fork] (the full SplitMix64 split, fresh gamma per child) and the
+   byte-compatibility of the legacy [split]/[create] streams it must
+   not disturb: the pinned literals below were captured on the tree as
+   it stood before [fork] existed, so any drift in the historical
+   streams — which every seeded journal depends on — fails here. *)
+let fork_tests =
+  let chi_square ~cells observed =
+    let total = Array.fold_left ( + ) 0 observed in
+    let expected = float_of_int total /. float_of_int cells in
+    Array.fold_left
+      (fun acc o ->
+        let d = float_of_int o -. expected in
+        acc +. (d *. d /. expected))
+      0.0 observed
+  in
+  [
+    Alcotest.test_case "split streams are pinned (pre-fork literals)" `Quick
+      (fun () ->
+        let g = Prng.create 42 in
+        let c1 = Prng.split g in
+        let c2 = Prng.split g in
+        let check label expected got = Alcotest.(check int64) label expected got in
+        check "c1.0" 6332618229526065668L (Prng.bits64 c1);
+        check "c1.1" (-816328817471504299L) (Prng.bits64 c1);
+        check "c1.2" 8971565426155258802L (Prng.bits64 c1);
+        check "c2.0" (-245134149879684690L) (Prng.bits64 c2);
+        check "c2.1" 5693819483401481853L (Prng.bits64 c2);
+        check "c2.2" (-9098865275727344972L) (Prng.bits64 c2);
+        check "parent resumes" 5139283748462763858L (Prng.bits64 g));
+    Alcotest.test_case "seeded int stream is pinned" `Quick (fun () ->
+        let h = Prng.create 7 in
+        let draws = ref [] in
+        for _ = 1 to 4 do
+          draws := Prng.int h 100 :: !draws
+        done;
+        Alcotest.(check (list int))
+          "first draws" [ 21; 51; 36; 50 ] (List.rev !draws));
+    Alcotest.test_case "fork is deterministic in the parent state" `Quick
+      (fun () ->
+        let a = Prng.create 9 and b = Prng.create 9 in
+        let ca = Prng.fork a and cb = Prng.fork b in
+        for _ = 1 to 50 do
+          Alcotest.(check int64) "same child" (Prng.bits64 ca) (Prng.bits64 cb)
+        done;
+        (* and the parents stay in lockstep too *)
+        Alcotest.(check int64) "same parent" (Prng.bits64 a) (Prng.bits64 b));
+    Alcotest.test_case "fork children and parent diverge" `Quick (fun () ->
+        let g = Prng.create 3 in
+        let c1 = Prng.fork g in
+        let c2 = Prng.fork g in
+        let take n rng = List.init n (fun _ -> Prng.bits64 rng) in
+        let s1 = take 16 c1 and s2 = take 16 c2 and sp = take 16 g in
+        Alcotest.(check bool) "c1 <> c2" true (s1 <> s2);
+        Alcotest.(check bool) "c1 <> parent" true (s1 <> sp);
+        Alcotest.(check bool) "c2 <> parent" true (s2 <> sp));
+    Alcotest.test_case "copy preserves the forked gamma" `Quick (fun () ->
+        let c = Prng.fork (Prng.create 21) in
+        ignore (Prng.bits64 c);
+        let d = Prng.copy c in
+        for _ = 1 to 20 do
+          Alcotest.(check int64) "replays" (Prng.bits64 c) (Prng.bits64 d)
+        done);
+    Alcotest.test_case "forked child is uniform (chi-square smoke)" `Quick
+      (fun () ->
+        let c = Prng.fork (Prng.create 123) in
+        let buckets = Array.make 16 0 in
+        for _ = 1 to 4096 do
+          let b = Prng.int c 16 in
+          buckets.(b) <- buckets.(b) + 1
+        done;
+        let stat = chi_square ~cells:16 buckets in
+        (* 15 dof; 60 is far beyond any plausible quantile (p < 1e-6),
+           so only a broken generator fails — deterministic, no flake. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "chi2 %.1f < 60" stat)
+          true (stat < 60.0));
+    Alcotest.test_case "sibling forks don't correlate (chi-square smoke)" `Quick
+      (fun () ->
+        let root = Prng.create 77 in
+        let c1 = Prng.fork root in
+        let c2 = Prng.fork root in
+        (* Joint distribution of paired draws over a 4x4 grid: under
+           independence every cell is uniform. A shared Weyl sequence
+           (the pre-gamma failure mode) concentrates the diagonal. *)
+        let cells = Array.make 16 0 in
+        for _ = 1 to 4096 do
+          let i = (4 * Prng.int c1 4) + Prng.int c2 4 in
+          cells.(i) <- cells.(i) + 1
+        done;
+        let stat = chi_square ~cells:16 cells in
+        Alcotest.(check bool)
+          (Printf.sprintf "chi2 %.1f < 60" stat)
+          true (stat < 60.0));
+  ]
+
 let tests =
-  prng_tests @ heap_tests @ bitset_tests @ stats_tests @ wire_tests @ zipf_tests
-  @ table_tests @ dag_tests
+  prng_tests @ fork_tests @ heap_tests @ bitset_tests @ stats_tests
+  @ wire_tests @ zipf_tests @ table_tests @ dag_tests

@@ -7,6 +7,8 @@
      replay       re-execute a journaled run and verify it reproduces it
      diff         first structural divergence between two journals
      modelcheck   exhaustively check a protocol on a small script
+     storm        flash-crowd open-loop load with SLO verdicts
+     shrink       minimize a monitor-flagged journal to a smallest one
      report       render a telemetry registry dump as a table or JSON
      list         show available protocols and experiments *)
 
@@ -25,7 +27,7 @@ type run_params = {
   ops : int;
   mean_delay : float;
   fifo : bool;
-  crash_one : bool;
+  crashes : (float * int) list;  (* (time, pid) crash schedule *)
   check : bool;
   spacetime : bool;
   log_core : [ `List | `Array ];
@@ -41,6 +43,11 @@ type run_params = {
   span_dump : bool;
   probe_interval : float option;
   partitions : Network.partition list;
+  churn : Network.churn_event list;
+  scripts : string list list option;
+      (* explicit per-process set scripts (printed ops) overriding the
+         generated workload — how a minimized journal from `shrink`
+         replays from the file alone *)
   journal_out : string option;
   journal : Obs.Journal.t option;
       (* in-memory capture used by `replay` instead of a file *)
@@ -61,7 +68,12 @@ let journal_header p =
     ("ops", num p.ops);
     ("mean_delay", Obs.Json.Num p.mean_delay);
     ("fifo", Obs.Json.Bool p.fifo);
-    ("crash", Obs.Json.Bool p.crash_one);
+    ( "crashes",
+      Obs.Json.Arr
+        (List.map
+           (fun (time, pid) ->
+             Obs.Json.Obj [ ("t", Obs.Json.Num time); ("pid", num pid) ])
+           p.crashes) );
     ("log_core", Obs.Json.Str (log_core_name p.log_core));
     ("checkpoint_interval", opt num p.checkpoint_interval);
     ("batch_window", opt (fun w -> Obs.Json.Num w) p.batch_window);
@@ -82,6 +94,27 @@ let journal_header p =
                  ("group", Obs.Json.Arr (List.map num pa.Network.group));
                ])
            p.partitions) );
+    ( "churn",
+      Obs.Json.Arr
+        (List.map
+           (fun (ce : Network.churn_event) ->
+             Obs.Json.Obj
+               [
+                 ("t", Obs.Json.Num ce.Network.time);
+                 ("pid", num ce.Network.pid);
+                 ( "action",
+                   Obs.Json.Str (Network.churn_action_name ce.Network.action) );
+               ])
+           p.churn) );
+    ( "scripts",
+      opt
+        (fun ss ->
+          Obs.Json.Arr
+            (List.map
+               (fun s ->
+                 Obs.Json.Arr (List.map (fun op -> Obs.Json.Str op) s))
+               ss))
+        p.scripts );
   ]
 
 (* Inverse of [journal_header]: rebuild the run_params a journal was
@@ -147,6 +180,64 @@ let params_of_header ~journal header =
     | None -> []
     | _ -> missing "partitions"
   in
+  let crashes =
+    match get "crashes" with
+    | Some (Obs.Json.Arr xs) ->
+      List.map
+        (function
+          | Obs.Json.Obj fields -> (
+            let fget k = List.assoc_opt k fields in
+            match (fget "t", fget "pid") with
+            | Some (Obs.Json.Num time), Some (Obs.Json.Num pid) ->
+              (time, int_of_float pid)
+            | _ -> missing "crashes")
+          | _ -> missing "crashes")
+        xs
+    | None -> (
+      (* journals from before the explicit crash schedule carry the old
+         one-crash flag *)
+      match get "crash" with
+      | Some (Obs.Json.Bool true) -> [ (50.0, int "n" - 1) ]
+      | Some (Obs.Json.Bool false) | None -> []
+      | _ -> missing "crash")
+    | _ -> missing "crashes"
+  in
+  let churn =
+    match get "churn" with
+    | Some (Obs.Json.Arr xs) ->
+      List.map
+        (function
+          | Obs.Json.Obj fields -> (
+            let fget k = List.assoc_opt k fields in
+            match (fget "t", fget "pid", fget "action") with
+            | ( Some (Obs.Json.Num time),
+                Some (Obs.Json.Num pid),
+                Some (Obs.Json.Str a) ) -> (
+              match Network.churn_action_of_name a with
+              | Some action -> { Network.time; pid = int_of_float pid; action }
+              | None ->
+                failwith (Printf.sprintf "journal header: unknown churn action %S" a))
+            | _ -> missing "churn")
+          | _ -> missing "churn")
+        xs
+    | None -> []
+    | _ -> missing "churn"
+  in
+  let scripts =
+    match get "scripts" with
+    | Some (Obs.Json.Arr xs) ->
+      Some
+        (List.map
+           (function
+             | Obs.Json.Arr ops ->
+               List.map
+                 (function Obs.Json.Str s -> s | _ -> missing "scripts")
+                 ops
+             | _ -> missing "scripts")
+           xs)
+    | None | Some Obs.Json.Null -> None
+    | _ -> missing "scripts"
+  in
   {
     protocol = str "protocol";
     seed = int "seed";
@@ -154,7 +245,7 @@ let params_of_header ~journal header =
     ops = int "ops";
     mean_delay = num "mean_delay";
     fifo = bool "fifo";
-    crash_one = bool "crash";
+    crashes;
     check = false;
     spacetime = false;
     log_core;
@@ -166,6 +257,8 @@ let params_of_header ~journal header =
     span_dump = false;
     probe_interval = opt_num "probe_interval";
     partitions;
+    churn;
+    scripts;
     journal_out = None;
     journal = Some journal;
     monitors;
@@ -274,13 +367,34 @@ module type SET_PROTOCOL =
      and type query = Set_spec.query
      and type output = Set_spec.output
 
+(* The set drivers' workload: the explicit printed scripts when the
+   params carry them (a replayed `shrink` journal), the generated
+   conflict workload otherwise. *)
+let set_workload_of_params p =
+  match p.scripts with
+  | Some printed ->
+    if List.length printed <> p.n then
+      failwith
+        (Printf.sprintf "run: %d explicit scripts for n=%d processes"
+           (List.length printed) p.n);
+    Array.of_list
+      (List.map
+         (fun script ->
+           List.map
+             (fun tok ->
+               match Workload.For_set.parse_op tok with
+               | Some op -> op
+               | None -> failwith (Printf.sprintf "run: bad script op %S" tok))
+             script)
+         printed)
+  | None ->
+    let rng = Prng.create p.seed in
+    Workload.For_set.conflict ~rng ~n:p.n ~ops_per_process:p.ops ~domain:16
+      ~skew:1.0 ~delete_ratio:0.3
+
 let run_set ?note (module P : SET_PROTOCOL) p =
   let module R = Runner.Make (P) in
-  let rng = Prng.create p.seed in
-  let workload =
-    Workload.For_set.conflict ~rng ~n:p.n ~ops_per_process:p.ops ~domain:16 ~skew:1.0
-      ~delete_ratio:0.3
-  in
+  let workload = set_workload_of_params p in
   let obs = obs_of_params p in
   let monitor =
     if p.monitors = [] then None
@@ -292,7 +406,8 @@ let run_set ?note (module P : SET_PROTOCOL) p =
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
-      crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
+      crashes = p.crashes;
+      churn = p.churn;
       final_read = Some Set_spec.Read;
       trace = p.spacetime;
       batch_window = p.batch_window;
@@ -349,6 +464,7 @@ let run_counter (module P : Protocol.PROTOCOL
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
+      churn = p.churn;
       final_read = Some Counter_spec.Value;
       batch_window = p.batch_window;
       obs;
@@ -387,6 +503,7 @@ let run_register (module P : Protocol.PROTOCOL
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
+      churn = p.churn;
       final_read = Some Register_spec.Read;
       batch_window = p.batch_window;
       obs;
@@ -428,6 +545,7 @@ let run_memory p =
       (R.default_config ~n:p.n ~seed:p.seed) with
       R.delay = Network.Exponential { mean = p.mean_delay };
       partitions = p.partitions;
+      churn = p.churn;
       final_read = Some (Memory_spec.Read 0);
       batch_window = p.batch_window;
       obs;
@@ -446,15 +564,22 @@ let run_memory p =
     monitor;
   emit_obs p obs
 
-module Uni_set = Generic.Make (Set_spec)
-module Uni_list = Generic_ref.Make (Set_spec)
+(* The universal protocols are wrapped in {!Persist.Catchup} so a
+   joining or rejoining replica really absorbs a donor snapshot (the
+   bare functors carry the PROTOCOL stub [snapshot]/[absorb]). *)
+module Uni_set_core = Generic.Make (Set_spec)
+module Uni_set = Persist.Catchup (Uni_set_core) (Update_codec.For_set)
+module Uni_list =
+  Persist.Catchup (Generic_ref.Make (Set_spec)) (Update_codec.For_set)
 module Memo_set = Memo.Make (Set_spec)
 module Gc_set = Gc.Make (Set_spec)
 module Undo_set = Undo.Make (Undoable.Set)
 module Pipe_set = Pipelined.Make (Set_spec)
-module Uni_counter = Generic.Make (Counter_spec)
+module Uni_counter_core = Generic.Make (Counter_spec)
+module Uni_counter = Persist.Catchup (Uni_counter_core) (Update_codec.For_counter)
 module Fast_counter = Commutative.Make (Counter_spec)
-module Uni_reg = Generic.Make (Register_spec)
+module Uni_reg =
+  Persist.Catchup (Generic.Make (Register_spec)) (Update_codec.For_register)
 
 (* The set-object universal protocol, on whichever log core was asked
    for. Both cores exchange byte-identical messages, so the same seed
@@ -463,9 +588,9 @@ let run_universal_set p =
   let interval =
     match p.checkpoint_interval with
     | Some k ->
-      Uni_set.checkpoint_interval := k;
+      Uni_set_core.checkpoint_interval := k;
       k
-    | None -> !Uni_set.checkpoint_interval
+    | None -> !Uni_set_core.checkpoint_interval
   in
   let core = describe_log_core ~interval p.log_core in
   Printf.printf "log core           %s\n" core;
@@ -474,19 +599,20 @@ let run_universal_set p =
   | `Array -> run_set ~note (module Uni_set) p
   | `List -> run_set ~note (module Uni_list) p
 
-(* Algorithm 1 on any registered object: generic over the packed ADT. *)
-let run_universal_on (module A : Uqadt.S) p =
+(* Algorithm 1 on any registered object: generic over the packed ADT
+   plus its wire codec, so every instance gets real churn catch-up. *)
+let run_universal_on (module A : Registry.SPEC) p =
   let module G = Generic.Make (A) in
   let module P =
     (val (match p.log_core with
          | `Array ->
            Option.iter (fun k -> G.checkpoint_interval := k) p.checkpoint_interval;
-           (module G : Generic.S
+           (module Persist.Catchup (G) (A.Codec) : Generic.S
              with type update = A.update
               and type query = A.query
               and type output = A.output
               and type state = A.state)
-         | `List -> (module Generic_ref.Make (A))))
+         | `List -> (module Persist.Catchup (Generic_ref.Make (A)) (A.Codec))))
   in
   let module R = Runner.Make (P) in
   let rng = Prng.create p.seed in
@@ -507,7 +633,8 @@ let run_universal_on (module A : Uqadt.S) p =
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
-      crashes = (if p.crash_one then [ (50.0, p.n - 1) ] else []);
+      crashes = p.crashes;
+      churn = p.churn;
       final_read = Some (A.random_query (Prng.create p.seed));
       batch_window = p.batch_window;
       obs;
@@ -533,11 +660,11 @@ let run_universal_on (module A : Uqadt.S) p =
 
 let registry_protocols : (string * string * (run_params -> unit)) list =
   List.map
-    (fun (name, packed) ->
+    (fun (name, spec) ->
       ( "universal-" ^ name,
         "Algorithm 1 on the " ^ name ^ " object",
-        run_universal_on packed ))
-    Registry.all
+        run_universal_on spec ))
+    Registry.all_specs
 
 let protocols : (string * string * (run_params -> unit)) list =
   registry_protocols
@@ -719,6 +846,39 @@ let run_cmd =
              simulated times FROM and TO (messages are delayed, not lost; the \
              partition heals at TO). Repeatable.")
   in
+  let churn_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ t_s; action_s; pid_s ] -> (
+        match
+          ( float_of_string_opt t_s,
+            Network.churn_action_of_name action_s,
+            int_of_string_opt pid_s )
+        with
+        | Some time, Some action, Some pid -> Ok { Network.time; pid; action }
+        | _ -> Error (`Msg "churn: expected TIME:join|leave|rejoin:PID"))
+      | _ -> Error (`Msg "churn: expected TIME:ACTION:PID")
+    in
+    let print ppf (ce : Network.churn_event) =
+      Format.fprintf ppf "%g:%s:%d" ce.Network.time
+        (Network.churn_action_name ce.Network.action)
+        ce.Network.pid
+    in
+    Arg.conv (parse, print)
+  in
+  let churn_arg =
+    Arg.(
+      value
+      & opt_all churn_conv []
+      & info [ "churn" ] ~docv:"TIME:ACTION:PID"
+          ~doc:
+            "Membership change at simulated time TIME: $(b,leave) detaches the \
+             replica (its script parks, frames to and from it drop), \
+             $(b,rejoin) re-attaches it with its crash-time state, and \
+             $(b,join) declares a process that starts the run absent and \
+             joins fresh — joiners and rejoiners catch up from a present \
+             peer's snapshot when the protocol supports one. Repeatable.")
+  in
   let batch_window_arg =
     Arg.(
       value
@@ -775,7 +935,7 @@ let run_cmd =
   in
   let run (name, f) seed n ops mean_delay fifo crash_one check spacetime
       log_core checkpoint_interval batch_window obs_on trace_out registry_out
-      span_dump probe_interval partitions journal_out monitors =
+      span_dump probe_interval partitions churn journal_out monitors =
     f
       {
         protocol = name;
@@ -784,7 +944,7 @@ let run_cmd =
         ops;
         mean_delay;
         fifo;
-        crash_one;
+        crashes = (if crash_one then [ (50.0, n - 1) ] else []);
         check;
         spacetime;
         log_core;
@@ -796,6 +956,8 @@ let run_cmd =
         span_dump;
         probe_interval;
         partitions;
+        churn;
+        scripts = None;
         journal_out;
         journal = None;
         monitors;
@@ -806,8 +968,8 @@ let run_cmd =
       const run $ protocol $ seed_arg $ n_arg $ ops_arg $ delay_arg $ fifo_arg $ crash_arg
       $ check_arg $ trace_arg $ log_core_arg $ checkpoint_interval_arg
       $ batch_window_arg $ obs_arg $ trace_out_arg $ registry_out_arg
-      $ span_dump_arg $ probe_interval_arg $ partitions_arg $ journal_out_arg
-      $ monitors_arg)
+      $ span_dump_arg $ probe_interval_arg $ partitions_arg $ churn_arg
+      $ journal_out_arg $ monitors_arg)
 
 let modelcheck_cmd =
   let doc =
@@ -924,7 +1086,7 @@ let modelcheck_cmd =
     | `Universal -> (
       match log_core with
       | `Array ->
-        Option.iter (fun k -> Uni_set.checkpoint_interval := k) checkpoint_interval;
+        Option.iter (fun k -> Uni_set_core.checkpoint_interval := k) checkpoint_interval;
         let module M = Model_check.Make (Uni_set) in
         let module S = Snapshot.For_generic (Set_spec) (Update_codec.For_set) in
         let snapshot = if checkpoint > 0 || dedup then Some S.snapshotter else None in
@@ -935,7 +1097,7 @@ let modelcheck_cmd =
         in
         print_report
           (Printf.sprintf "universal [log core: %s]"
-             (describe_log_core ~interval:!Uni_set.checkpoint_interval `Array))
+             (describe_log_core ~interval:!Uni_set_core.checkpoint_interval `Array))
           r.M.executions r.M.exhaustive r.M.failures r.M.distinct_failures
           r.M.first_failures r.M.stats
       | `List ->
@@ -1010,11 +1172,11 @@ let modelcheck_cmd =
       (match log_core with
       | `Array ->
         Option.iter
-          (fun k -> Uni_counter.checkpoint_interval := k)
+          (fun k -> Uni_counter_core.checkpoint_interval := k)
           checkpoint_interval;
         explore_counter
           (module Uni_counter)
-          (describe_log_core ~interval:!Uni_counter.checkpoint_interval `Array)
+          (describe_log_core ~interval:!Uni_counter_core.checkpoint_interval `Array)
       | `List ->
         let module L = Generic_ref.Make (Counter_spec) in
         explore_counter (module L) "list")
@@ -1052,9 +1214,13 @@ let nemesis_cmd =
     let campaign = { N.default_campaign with N.runs; fifo; base_seed = seed } in
     let v = N.run campaign ~workload:set_workload ~final_read:Set_spec.Read in
     Printf.printf
-      "protocol %s: %d runs, %d crashes, %d partitions\nconvergence failures       %d\nstalled operations         %d\ncertificate disagreements  %d\nverdict                    %s\n"
-      P.protocol_name v.N.runs v.N.crashes_injected v.N.partitions_injected
-      v.N.convergence_failures v.N.stalled_operations v.N.certificate_disagreements
+      "protocol %s: %d runs, %d crashes (budget %d/run%s), %d partitions\nconvergence failures       %d\nstalled operations         %d\ncertificate disagreements  %d\nverdict                    %s\n"
+      P.protocol_name v.N.runs v.N.crashes_injected v.N.crash_cap
+      (if v.N.capped_runs > 0 then
+         Printf.sprintf ", clamped below the request in %d runs" v.N.capped_runs
+       else "")
+      v.N.partitions_injected v.N.convergence_failures v.N.stalled_operations
+      v.N.certificate_disagreements
       (if N.clean v then "CLEAN" else "FAULTY");
     if v.N.failing_seeds <> [] then
       Printf.printf "failing seeds: %s\n"
@@ -1070,6 +1236,313 @@ let nemesis_cmd =
     | `Pipelined -> campaign_of (module Pipe_set) ~fifo:false ~runs ~seed
   in
   Cmd.v (Cmd.info "nemesis" ~doc) Term.(const run $ which $ seed_arg $ runs_arg)
+
+let read_file file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Parse a journal file, dying with a one-line diagnostic on anything
+   malformed or truncated — same contract as `report`. *)
+let load_journal ~cmd file =
+  match Obs.Journal.of_jsonl (read_file file) with
+  | exception Obs.Journal.Parse_error msg ->
+    Printf.eprintf "%s: %s: %s\n" cmd file msg;
+    exit 1
+  | exception Failure msg ->
+    Printf.eprintf "%s: %s: %s\n" cmd file msg;
+    exit 1
+  | j -> j
+
+let storm_cmd =
+  let doc =
+    "Drive a flash crowd at a replicated set: open-loop arrivals (warm-up, \
+     spike, cool-down) on top of the closed-loop clients, with per-operation \
+     latency judged against an SLO target."
+  in
+  let which =
+    let choices =
+      [
+        ("universal", `Universal);
+        ("memo", `Memo);
+        ("orset", `Orset);
+        ("pipelined", `Pipelined);
+        ("lwwset", `Lwwset);
+      ]
+    in
+    Arg.(value & pos 0 (enum choices) `Universal & info [] ~docv:"PROTOCOL")
+  in
+  let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Replicas.") in
+  let clients_arg =
+    Arg.(value & opt int 6 & info [ "clients" ] ~docv:"C" ~doc:"Closed-loop clients.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Closed-loop operations per client.")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "delay" ] ~docv:"D" ~doc:"Mean replica-mesh message delay.")
+  in
+  let base_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "base" ] ~docv:"R"
+          ~doc:"Background arrival rate (operations per time unit).")
+  in
+  let peak_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "peak" ] ~docv:"R" ~doc:"Arrival rate during the spike.")
+  in
+  let warm_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "warm" ] ~docv:"T" ~doc:"Warm-up duration at the base rate.")
+  in
+  let spike_arg =
+    Arg.(
+      value & opt float 40.0
+      & info [ "spike" ] ~docv:"T" ~doc:"Spike duration at the peak rate.")
+  in
+  let cool_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "cool" ] ~docv:"T" ~doc:"Cool-down duration at the base rate.")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt float 40.0
+      & info [ "slo" ] ~docv:"L"
+          ~doc:
+            "Latency target: the SLO is met when the open-loop p99 is at or \
+             under $(docv) simulated time units.")
+  in
+  let query_ratio_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "query-ratio" ] ~docv:"Q"
+          ~doc:"Fraction of open-loop arrivals that are reads.")
+  in
+  let registry_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "registry-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the metric registry (including the open-loop latency \
+             histogram) as JSON to $(docv).")
+  in
+  let run which seed n clients ops delay base peak warm spike cool slo
+      query_ratio registry_out =
+    let go (module P : SET_PROTOCOL) =
+      let module C = Clients.Make (P) in
+      let rng = Prng.create seed in
+      let workload =
+        Workload.For_set.conflict ~rng ~n:clients ~ops_per_process:ops
+          ~domain:16 ~skew:1.0 ~delete_ratio:0.3
+      in
+      let obs = if registry_out <> None then Some (Obs.create ()) else None in
+      let plan = Workload.Flash_crowd.plan ~base ~peak ~warm ~spike ~cool in
+      let config =
+        {
+          (C.default_config ~n_replicas:n ~n_clients:clients ~seed) with
+          C.replica_delay = Network.Exponential { mean = delay };
+          final_read = Some Set_spec.Read;
+          open_loop =
+            Some
+              {
+                C.plan;
+                mix =
+                  Workload.Flash_crowd.set_mix ~domain:16 ~skew:1.0
+                    ~delete_ratio:0.3 ~query_ratio;
+              };
+          obs;
+        }
+      in
+      let r = C.run config ~workload in
+      Printf.printf "protocol           %s (object: set)\n" P.protocol_name;
+      Printf.printf "replicas/clients   %d/%d\n" n clients;
+      Printf.printf "arrival plan       %s\n"
+        (String.concat " | "
+           (List.map
+              (fun (ph : Clients.phase) ->
+                Printf.sprintf "%g/t for %g" ph.Clients.rate ph.Clients.duration)
+              plan));
+      Printf.printf "closed loop        %d completed, %d retried, %d failovers\n"
+        r.C.ops_completed r.C.ops_abandoned r.C.failovers;
+      Printf.printf "open loop          %d completed, %d abandoned\n"
+        r.C.open_completed r.C.open_abandoned;
+      Printf.printf "converged          %b\n" r.C.converged;
+      (match r.C.open_latencies with
+      | [] -> print_endline "open-loop SLO      no arrivals"
+      | ls ->
+        Format.printf "open-loop SLO      %a@." Stats.pp_slo (Stats.slo ~target:slo ls));
+      match (obs, registry_out) with
+      | Some o, Some file ->
+        Obs.finalize o ~live:[];
+        write_json file (Obs.Registry.to_json o.Obs.registry);
+        Printf.printf "registry written   %s\n" file
+      | _ -> ()
+    in
+    match which with
+    | `Universal -> go (module Uni_set)
+    | `Memo -> go (module Memo_set)
+    | `Orset -> go (module Orset_crdt)
+    | `Pipelined -> go (module Pipe_set)
+    | `Lwwset -> go (module Lwwset_crdt)
+  in
+  Cmd.v (Cmd.info "storm" ~doc)
+    Term.(
+      const run $ which $ seed_arg $ n_arg $ clients_arg $ ops_arg $ delay_arg
+      $ base_arg $ peak_arg $ warm_arg $ spike_arg $ cool_arg $ slo_arg
+      $ query_ratio_arg $ registry_out_arg)
+
+(* The protocols `shrink` can rebuild a Scenario for: the set protocols
+   whose `run` driver goes through {!run_set}, so a minimized journal's
+   explicit scripts replay through the stock driver. *)
+let set_scenario_protocol p : (module SET_PROTOCOL) option =
+  match p.protocol with
+  | "universal" -> (
+    Option.iter (fun k -> Uni_set_core.checkpoint_interval := k) p.checkpoint_interval;
+    match p.log_core with
+    | `Array -> Some (module Uni_set)
+    | `List -> Some (module Uni_list))
+  | "memo" -> Some (module Memo_set)
+  | "gc" -> Some (module Gc_set)
+  | "undo" -> Some (module Undo_set)
+  | "pipelined" -> Some (module Pipe_set)
+  | "orset" -> Some (module Orset_crdt)
+  | "2pset" -> Some (module Twopset_crdt.Protocol_impl)
+  | "lwwset" -> Some (module Lwwset_crdt)
+  | "pnset" -> Some (module Pnset_crdt)
+  | _ -> None
+
+let shrink_cmd =
+  let doc =
+    "Minimize a monitor-flagged journaled run (from `run --journal-out`) to \
+     a smallest scenario that still violates the same criterion, and write \
+     the minimized journal — itself replayable with `ucsim replay`."
+  in
+  let in_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "journal-in" ] ~docv:"FILE" ~doc:"Journal of the flagged run.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:"Write the minimized violating journal to $(docv).")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "max-runs" ] ~docv:"N"
+          ~doc:"Re-execution budget for the greedy descent.")
+  in
+  let run file out max_runs =
+    let recorded = load_journal ~cmd:"shrink" file in
+    let p =
+      match
+        params_of_header ~journal:(Obs.Journal.create ())
+          (Obs.Journal.header recorded)
+      with
+      | exception Failure msg ->
+        Printf.eprintf "shrink: %s: %s\n" file msg;
+        exit 1
+      | p -> { p with journal = None }
+    in
+    if p.batch_window <> None || p.probe_interval <> None then begin
+      Printf.eprintf
+        "shrink: runs recorded with --batch-window or --probe-interval are \
+         not shrinkable (the scenario engine re-executes without them)\n";
+      exit 1
+    end;
+    let (module P : SET_PROTOCOL) =
+      match set_scenario_protocol p with
+      | Some m -> m
+      | None ->
+        Printf.eprintf
+          "shrink: protocol %S has no scenario engine (set protocols only)\n"
+          p.protocol;
+        exit 1
+    in
+    let module S = Scenario.Make (P) in
+    let scripts =
+      match set_workload_of_params p with
+      | exception Failure msg ->
+        Printf.eprintf "shrink: %s\n" msg;
+        exit 1
+      | w -> w
+    in
+    let scenario =
+      {
+        S.seed = p.seed;
+        n = p.n;
+        mean_delay = p.mean_delay;
+        fifo = p.fifo;
+        scripts;
+        partitions = p.partitions;
+        crashes = p.crashes;
+        churn = p.churn;
+        final_read = Some Set_spec.Read;
+      }
+    in
+    let criteria =
+      if p.monitors = [] then [ Obs.Monitor.Uc; Obs.Monitor.Ec; Obs.Monitor.Pc ]
+      else p.monitors
+    in
+    Format.printf "scenario           %a@." S.pp scenario;
+    match S.shrink ~max_runs ~criteria scenario with
+    | None ->
+      Printf.eprintf
+        "shrink: run is clean — no %s violation to minimize\n"
+        (String.concat "/" (List.map Obs.Monitor.criterion_name criteria));
+      exit 1
+    | Some { S.scenario = m; outcome; runs } ->
+      let v =
+        match outcome.S.violation with Some v -> v | None -> assert false
+      in
+      Format.printf "violation          %a@." Obs.Monitor.pp_violation v;
+      Printf.printf "minimized          %d -> %d events (%d re-executions)\n"
+        (Obs.Journal.length recorded)
+        outcome.S.events runs;
+      Format.printf "scenario (min)     %a@." S.pp m;
+      (match out with
+      | None -> ()
+      | Some out_file ->
+        let printed =
+          Array.to_list (Array.map (List.map Workload.For_set.print_op) m.S.scripts)
+        in
+        let min_params =
+          {
+            p with
+            n = m.S.n;
+            mean_delay = m.S.mean_delay;
+            fifo = m.S.fifo;
+            crashes = m.S.crashes;
+            partitions = m.S.partitions;
+            churn = m.S.churn;
+            scripts = Some printed;
+            monitors = [ v.Obs.Monitor.criterion ];
+            journal_out = Some out_file;
+          }
+        in
+        Obs.Journal.set_header outcome.S.journal (journal_header min_params);
+        let oc = open_out out_file in
+        output_string oc (Obs.Journal.to_jsonl outcome.S.journal);
+        close_out oc;
+        Printf.printf "journal written    %s (%d events)\n" out_file
+          outcome.S.events)
+  in
+  Cmd.v (Cmd.info "shrink" ~doc) Term.(const run $ in_arg $ out_arg $ max_runs_arg)
 
 let classify_cmd =
   let doc =
@@ -1169,25 +1642,6 @@ let report_cmd =
       else Format.printf "%a" Obs.Registry.pp_rows rows
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg $ json_arg)
-
-let read_file file =
-  let ic = open_in_bin file in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
-
-(* Parse a journal file, dying with a one-line diagnostic on anything
-   malformed or truncated — same contract as `report`. *)
-let load_journal ~cmd file =
-  match Obs.Journal.of_jsonl (read_file file) with
-  | exception Obs.Journal.Parse_error msg ->
-    Printf.eprintf "%s: %s: %s\n" cmd file msg;
-    exit 1
-  | exception Failure msg ->
-    Printf.eprintf "%s: %s: %s\n" cmd file msg;
-    exit 1
-  | j -> j
 
 let replay_cmd =
   let doc =
@@ -1479,6 +1933,8 @@ let () =
             diff_cmd;
             modelcheck_cmd;
             nemesis_cmd;
+            storm_cmd;
+            shrink_cmd;
             bench_cmd;
             classify_cmd;
             report_cmd;

@@ -132,3 +132,7 @@ let log_length _t = 0
 let metadata_bytes t = Timestamp.wire_size t.current_ts + Wire.varint_size (abs t.current_value)
 
 let certificate _t = None
+
+let snapshot _t = None
+
+let absorb _t _s = false

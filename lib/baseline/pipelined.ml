@@ -28,5 +28,9 @@ module Make (A : Uqadt.S) = struct
 
   let certificate _t = None
 
+  let snapshot _t = None
+
+  let absorb _t _s = false
+
   let current_state t = t.state
 end

@@ -112,4 +112,8 @@ module Make (A : Uqadt.S) = struct
   let certificate t = Some (List.rev t.applied_rev)
 
   let stable_prefix_length t = t.applied_len
+
+  let snapshot _t = None
+
+  let absorb _t _s = false
 end

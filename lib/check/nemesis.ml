@@ -28,17 +28,26 @@ module Make (P : Protocol.PROTOCOL) = struct
     runs : int;
     crashes_injected : int;
     partitions_injected : int;
+    crash_cap : int;
+    capped_runs : int;
     convergence_failures : int;
     stalled_operations : int;
     certificate_disagreements : int;
     failing_seeds : int list;
   }
 
+  (* The wait-free fault model needs a survivor, so the crash budget is
+     clamped to [processes - 1]. The clamp used to be silent: a campaign
+     asking for more crashes than the process count allows reported the
+     requested [max_crashes] while drawing from the smaller cap. *)
+  let effective_crash_cap (campaign : campaign) =
+    min campaign.max_crashes (campaign.processes - 1)
+
   let draw_faults (campaign : campaign) rng =
     let n = campaign.processes in
     let crashes =
       if Prng.float rng 1.0 < campaign.crash_probability then begin
-        let count = 1 + Prng.int rng (min campaign.max_crashes (n - 1)) in
+        let count = 1 + Prng.int rng (effective_crash_cap campaign) in
         let victims = Array.init n Fun.id in
         Prng.shuffle rng victims;
         List.init count (fun i -> (Prng.float rng 150.0, victims.(i)))
@@ -67,6 +76,8 @@ module Make (P : Protocol.PROTOCOL) = struct
   let run (campaign : campaign) ~workload ~final_read =
     let crashes_injected = ref 0 in
     let partitions_injected = ref 0 in
+    let capped_runs = ref 0 in
+    let cap_bites = campaign.max_crashes > campaign.processes - 1 in
     let convergence_failures = ref 0 in
     let stalled_operations = ref 0 in
     let certificate_disagreements = ref 0 in
@@ -77,6 +88,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       let fault_rng = Prng.split rng in
       let crashes, partitions = draw_faults campaign fault_rng in
       crashes_injected := !crashes_injected + List.length crashes;
+      if cap_bites && crashes <> [] then incr capped_runs;
       partitions_injected := !partitions_injected + List.length partitions;
       let scripts = workload rng ~n:campaign.processes ~ops:campaign.ops_per_process in
       let config =
@@ -103,6 +115,8 @@ module Make (P : Protocol.PROTOCOL) = struct
       runs = campaign.runs;
       crashes_injected = !crashes_injected;
       partitions_injected = !partitions_injected;
+      crash_cap = effective_crash_cap campaign;
+      capped_runs = !capped_runs;
       convergence_failures = !convergence_failures;
       stalled_operations = !stalled_operations;
       certificate_disagreements = !certificate_disagreements;

@@ -25,7 +25,10 @@ module Make (P : Protocol.PROTOCOL) : sig
     runs : int;
     processes : int;
     ops_per_process : int;
-    max_crashes : int;  (** capped at [processes - 1] *)
+    max_crashes : int;
+        (** requested crash budget; the {e effective} cap is
+            [min max_crashes (processes - 1)] — one survivor always
+            remains — and is reported as [verdict.crash_cap] *)
     crash_probability : float;  (** chance a given run has any crash *)
     partition_probability : float;
     fifo : bool;
@@ -33,13 +36,22 @@ module Make (P : Protocol.PROTOCOL) : sig
   }
 
   val default_campaign : campaign
-  (** 50 runs, 4 processes, 30 ops each, ≤2 crashes (p=0.5), partitions
-      with p=0.5, no FIFO, base seed 1000. *)
+  (** 50 runs, 4 processes, 30 ops each, up to 2 crashes per crashing
+      run (runs crash with p=0.5; with 4 processes the [processes - 1]
+      clamp never bites, so the budget really is 2), partitions with
+      p=0.5, no FIFO, base seed 1000. *)
 
   type verdict = {
     runs : int;
     crashes_injected : int;
     partitions_injected : int;
+    crash_cap : int;
+        (** the effective per-run crash budget,
+            [min max_crashes (processes - 1)] *)
+    capped_runs : int;
+        (** crashing runs whose budget was silently clamped below the
+            requested [max_crashes]; [0] whenever the request already
+            fit *)
     convergence_failures : int;
     stalled_operations : int;
     certificate_disagreements : int;

@@ -39,4 +39,8 @@ module Make (A : Uqadt.S) = struct
   let metadata_bytes _t = 0
 
   let certificate _t = None
+
+  let snapshot _t = None
+
+  let absorb _t _s = false
 end

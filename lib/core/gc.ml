@@ -117,5 +117,9 @@ module Make (A : Uqadt.S) = struct
      certificate can be produced. *)
   let certificate _t = None
 
+  let snapshot _t = None
+
+  let absorb _t _s = false
+
   let compacted t = t.compacted
 end

@@ -81,6 +81,13 @@ module Make (A : Uqadt.S) = struct
       (List.rev
          (Oplog.fold (fun acc e -> (e.Oplog.origin, e.Oplog.payload) :: acc) [] t.log))
 
+  (* Snapshot transfer needs an update codec the universal construction
+     is parametric over; {!Persist.Catchup} supplies real implementations
+     on top of the log/clock view below. *)
+  let snapshot _t = None
+
+  let absorb _t _s = false
+
   let message_update { update = u; _ } = u
 
   let local_log t = Oplog.to_list t.log

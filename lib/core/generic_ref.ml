@@ -16,16 +16,26 @@ module Make (A : Uqadt.S) = struct
   let create ctx = { ctx; clock = Lamport.create (); log = []; log_len = 0 }
 
   (* Timestamp-sorted insert. Late messages land in the middle; fresh
-     ones at the end, so we keep the list ascending and insert by scan. *)
+     ones at the end, so we keep the list ascending and insert by scan.
+     A duplicate timestamp is the same update seen again (snapshot
+     catch-up racing an in-flight frame makes delivery at-least-once
+     under churn) and is dropped. *)
   let insert t entry =
     let ts, _, _ = entry in
+    let fresh = ref true in
     let rec place = function
       | [] -> [ entry ]
       | ((ts', _, _) as e) :: rest ->
-        if Timestamp.compare ts ts' < 0 then entry :: e :: rest else e :: place rest
+        let c = Timestamp.compare ts ts' in
+        if c = 0 then begin
+          fresh := false;
+          e :: rest
+        end
+        else if c < 0 then entry :: e :: rest
+        else e :: place rest
     in
     t.log <- place t.log;
-    t.log_len <- t.log_len + 1
+    if !fresh then t.log_len <- t.log_len + 1
 
   let update t u ~on_done =
     let cl = Lamport.tick t.clock in
@@ -65,6 +75,10 @@ module Make (A : Uqadt.S) = struct
       0 t.log
 
   let certificate t = Some (List.map (fun (_, origin, u) -> (origin, u)) t.log)
+
+  let snapshot _t = None
+
+  let absorb _t _s = false
 
   let message_update { update = u; _ } = u
 

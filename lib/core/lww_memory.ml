@@ -52,4 +52,8 @@ let metadata_bytes t =
 
 let certificate _t = None
 
+let snapshot _t = None
+
+let absorb _t _s = false
+
 let register_count t = Support.Int_map.cardinal t.mem

@@ -60,4 +60,8 @@ module Make (A : Uqadt.S) = struct
          (Oplog.fold (fun acc e -> (e.Oplog.origin, e.Oplog.payload) :: acc) [] t.log))
 
   let snapshots_live t = Oplog.checkpoints_live t.log
+
+  let snapshot _t = None
+
+  let absorb _t _s = false
 end

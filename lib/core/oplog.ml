@@ -52,11 +52,7 @@ let grow t entry =
     t.arr <- arr
   end
 
-let insert t entry =
-  if entry.ts.Timestamp.clock <= t.watermark then
-    invalid_arg "Oplog.insert: timestamp at or below the stability watermark";
-  grow t entry;
-  let pos = locate t entry.ts in
+let insert_at t entry pos =
   Array.blit t.arr pos t.arr (pos + 1) (t.len - pos);
   t.arr.(pos) <- entry;
   profiled t (fun p ->
@@ -77,6 +73,17 @@ let insert t entry =
           - List.length t.checkpoints)
   end;
   pos
+
+let insert t entry =
+  if entry.ts.Timestamp.clock <= t.watermark then
+    invalid_arg "Oplog.insert: timestamp at or below the stability watermark";
+  grow t entry;
+  let pos = locate t entry.ts in
+  (* Timestamps are unique run-wide, so an equal timestamp is the same
+     update seen again — snapshot catch-up racing an in-flight frame
+     makes delivery at-least-once under churn. Keep insert idempotent. *)
+  if pos > 0 && Timestamp.compare t.arr.(pos - 1).ts entry.ts = 0 then pos - 1
+  else insert_at t entry pos
 
 let iter f t =
   for i = 0 to t.len - 1 do

@@ -75,7 +75,10 @@ val locate : ('u, 's) t -> Timestamp.t -> int
 
 val insert : ('u, 's) t -> 'u entry -> int
 (** Insert in timestamp order and return the position the entry landed
-    at; checkpoints above that position are invalidated.
+    at; checkpoints above that position are invalidated. Idempotent on
+    a duplicate timestamp: timestamps are unique run-wide, so an equal
+    timestamp is the same update delivered again (churn catch-up makes
+    delivery at-least-once) and the log is left unchanged.
     @raise Invalid_argument if the timestamp's clock is at or below the
     stability {!watermark}. *)
 

@@ -47,7 +47,7 @@ struct
     Codec.Writer.byte_string w (G.encode_log replica ~encode_update:C.encode);
     Codec.Writer.contents w
 
-  let restore_replica replica s =
+  let decode_replica s =
     let r = Codec.Reader.of_string s in
     String.iter
       (fun c ->
@@ -60,8 +60,52 @@ struct
     let log = decode_log (Codec.Reader.byte_string r) in
     if not (Codec.Reader.at_end r) then
       raise (Codec.Decode_error "replica snapshot: trailing bytes");
+    (clock, log)
+
+  let restore_replica replica s =
+    let clock, log = decode_replica s in
     G.restore_log replica log;
     G.advance_clock replica clock
+end
+
+(* Churn catch-up for Algorithm 1-shaped replicas: the {!Protocol}
+   [snapshot]/[absorb] stubs replaced by real implementations over the
+   "UCS" replica frame. [absorb] merges by timestamp union rather than
+   replacing, so a rejoiner keeps its crash-time log and absorbing is
+   idempotent and commutative — Proposition 4 guarantees the merged
+   replica converges to the same state as if it had received every
+   frame it missed. *)
+module Catchup
+    (G : Generic.S)
+    (C : Update_codec.S with type update = G.update) =
+struct
+  include G
+  module P = Over (G) (C)
+
+  let snapshot replica = Some (P.snapshot_replica replica)
+
+  (* Union of two timestamp-sorted logs; timestamps are unique run-wide
+     ((Lamport clock, pid) pairs), so entries with equal timestamps are
+     the same update and deduplicate. *)
+  let merge_logs a b =
+    let rec go a b acc =
+      match (a, b) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | ((ta, _, _) as x) :: a', ((tb, _, _) as y) :: b' ->
+        let c = Timestamp.compare ta tb in
+        if c < 0 then go a' b (x :: acc)
+        else if c > 0 then go a b' (y :: acc)
+        else go a' b' (x :: acc)
+    in
+    go a b []
+
+  let absorb replica s =
+    match P.decode_replica s with
+    | exception Codec.Decode_error _ -> false
+    | peer_clock, peer_log ->
+      G.restore_log replica (merge_logs (G.local_log replica) peer_log);
+      G.advance_clock replica peer_clock;
+      true
 end
 
 module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) =

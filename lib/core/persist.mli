@@ -62,10 +62,36 @@ module Over (G : LOG_VIEW) (C : Update_codec.S with type update = G.update) : si
       snapshotted replica would have. The model checker's checkpointed
       replay ({!Explore}) needs bit-exact restoration. *)
 
+  val decode_replica : string -> int * (Timestamp.t * int * G.update) list
+  (** Parse a {!snapshot_replica} frame into (clock, log) without
+      touching any replica — the merge primitive behind
+      {!Catchup.absorb}.
+      @raise Codec.Decode_error on any malformation. *)
+
   val restore_replica : G.t -> string -> unit
   (** Load a {!snapshot_replica} frame into a {e fresh} replica, making
       its state (log and clock) exactly equal to the snapshotted one.
       @raise Codec.Decode_error on any malformation. *)
+end
+
+(** An Algorithm 1-shaped replica with real churn catch-up: [include]s
+    [G] and replaces the {!Protocol.PROTOCOL} [snapshot]/[absorb] stubs
+    with implementations over the "UCS" replica frame. [absorb] merges
+    logs by timestamp union (local entries survive — a rejoiner keeps
+    its crash-time log) and max-merges the Lamport clock, so it is
+    idempotent, commutative, and never hands out a stale timestamp
+    after catching up. *)
+module Catchup
+    (G : Generic.S)
+    (C : Update_codec.S with type update = G.update) : sig
+  include
+    Generic.S
+      with type t = G.t
+       and type state = G.state
+       and type update = G.update
+       and type query = G.query
+       and type output = G.output
+       and type message = G.message
 end
 
 module Make (A : Uqadt.S) (C : Update_codec.S with type update = A.update) : sig

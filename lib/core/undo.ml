@@ -96,4 +96,8 @@ module Make (A : Undoable.S) = struct
          (Oplog.fold (fun acc e -> (e.Oplog.origin, e.Oplog.payload.u) :: acc) [] t.log))
 
   let repairs t = t.repairs
+
+  let snapshot _t = None
+
+  let absorb _t _s = false
 end

@@ -73,3 +73,7 @@ let metadata_bytes t =
     t.slots 0
 
 let certificate _t = None
+
+let snapshot _t = None
+
+let absorb _t _s = false

@@ -90,4 +90,8 @@ let metadata_bytes t =
 
 let certificate _t = None
 
+let snapshot _t = None
+
+let absorb _t _s = false
+
 let live_tags t = Support.Int_map.fold (fun _ s acc -> acc + Tag_set.cardinal s) t.tags 0

@@ -45,4 +45,8 @@ let metadata_bytes t =
 
 let certificate _t = None
 
+let snapshot _t = None
+
+let absorb _t _s = false
+
 let count t element = Option.value ~default:0 (Support.Int_map.find_opt element t.counts)

@@ -42,6 +42,10 @@ module Lwwreg = struct
     match t.current with None -> 0 | Some (ts, v) -> Timestamp.wire_size ts + Wire.varint_size (abs v)
 
   let certificate _t = None
+
+  let snapshot _t = None
+
+  let absorb _t _s = false
 end
 
 module Mvreg_spec = struct

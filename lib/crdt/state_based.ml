@@ -46,5 +46,9 @@ module Make (L : LATTICE) = struct
 
   let certificate _t = None
 
+  let snapshot _t = None
+
+  let absorb _t _s = false
+
   let payload t = t.payload
 end

@@ -21,6 +21,11 @@ type event =
   | Deliver of { src : int; dst : int; count : int; time : float }
   | Drop of { pid : int; count : int; time : float }
   | Crash of { pid : int; time : float }
+  | Join of { pid : int; time : float; rejoin : bool; bytes : int }
+      (** [rejoin] distinguishes a replica resuming from crash-time
+          state from a fresh joiner; [bytes] is the catch-up snapshot
+          volume transferred from the donor peer. *)
+  | Leave of { pid : int; time : float }
   | Partition of { from_time : float; to_time : float; group : int list }
   | Probe of { time : float; distinct : int }
 
@@ -65,6 +70,8 @@ let event_time = function
   | Deliver { time; _ } -> time
   | Drop { time; _ } -> time
   | Crash { time; _ } -> time
+  | Join { time; _ } -> time
+  | Leave { time; _ } -> time
   | Partition { from_time; _ } -> from_time
   | Probe { time; _ } -> time
 
@@ -128,6 +135,18 @@ let event_to_json = function
   | Crash { pid; time } ->
     Json.Obj
       [ ("ev", Json.Str "crash"); ("pid", num_i pid); ("t", Json.Num time) ]
+  | Join { pid; time; rejoin; bytes } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "join");
+        ("pid", num_i pid);
+        ("t", Json.Num time);
+        ("rejoin", Json.Bool rejoin);
+        ("bytes", num_i bytes);
+      ]
+  | Leave { pid; time } ->
+    Json.Obj
+      [ ("ev", Json.Str "leave"); ("pid", num_i pid); ("t", Json.Num time) ]
   | Partition { from_time; to_time; group } ->
     Json.Obj
       [
@@ -230,6 +249,16 @@ let event_of_json j =
       }
   | Some "crash" ->
     Crash { pid = req_int j "pid" "crash"; time = req_num j "t" "crash" }
+  | Some "join" ->
+    Join
+      {
+        pid = req_int j "pid" "join";
+        time = req_num j "t" "join";
+        rejoin = req_bool j "rejoin" "join";
+        bytes = req_int j "bytes" "join";
+      }
+  | Some "leave" ->
+    Leave { pid = req_int j "pid" "leave"; time = req_num j "t" "leave" }
   | Some "partition" ->
     let group =
       match Json.member "group" j with
@@ -361,6 +390,11 @@ let pp_event ppf = function
   | Drop { pid; count; time } ->
     Format.fprintf ppf "drop p%d n=%d @%g" pid count time
   | Crash { pid; time } -> Format.fprintf ppf "crash p%d @%g" pid time
+  | Join { pid; time; rejoin; bytes } ->
+    Format.fprintf ppf "%s p%d @%g bytes=%d"
+      (if rejoin then "rejoin" else "join")
+      pid time bytes
+  | Leave { pid; time } -> Format.fprintf ppf "leave p%d @%g" pid time
   | Partition { from_time; to_time; group } ->
     Format.fprintf ppf "partition [%s] @%g..%g"
       (String.concat "," (List.map string_of_int group))

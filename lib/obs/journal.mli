@@ -42,6 +42,13 @@ type event =
   | Drop of { pid : int; count : int; time : float }
       (** messages dropped at a crashed sender or destination *)
   | Crash of { pid : int; time : float }
+  | Join of { pid : int; time : float; rejoin : bool; bytes : int }
+      (** churn: replica attached ([rejoin] when resuming its own
+          crash-time state); [bytes] is the catch-up snapshot volume
+          transferred from the donor peer (0 when no donor was
+          reachable) *)
+  | Leave of { pid : int; time : float }
+      (** churn: replica detached from the wire, state retained *)
   | Partition of { from_time : float; to_time : float; group : int list }
       (** nemesis window, recorded up front (the schedule is static) *)
   | Probe of { time : float; distinct : int }

@@ -44,21 +44,28 @@ module Make (A : Uqadt.S) = struct
 
   (* ------------------------------- PC --------------------------------- *)
 
-  (* One monitored process p keeps the frontier of Check_pc's search
-     incrementally: the set of reachable configurations of the
-     interleaving automaton whose rows are p's own line plus every other
-     process's update subsequence. Updates anywhere only lengthen rows —
-     the frontier's configurations stay valid and non-empty, so updates
-     cost O(1). Only a query on p's own line forces work: a closure from
-     the frontier that consumes pending updates (memoized on
-     (positions, state) exactly like {!Linearize.search}) and then the
-     query; an empty result means no interleaving explains the read —
-     the first PC-violating event. An ω read must additionally consume
-     every update fed so far, and is re-checked from its pre-ω frontier
-     if an update arrives later (the only way a prefix that once passed
-     can start failing). *)
+  (* One monitored process p keeps the frontier of Check_pc's search:
+     the set of reachable configurations of the interleaving automaton
+     whose rows are p's own line plus every other process's update
+     subsequence. A query on p's own line closes the frontier —
+     consuming pending updates (memoized on (positions, state) exactly
+     like {!Linearize.search}) and then the query; an empty result
+     means no interleaving explains the read — the first PC-violating
+     event. An ω read must additionally consume every update fed so
+     far.
 
-  type own = Ou of A.update | Oq of A.query * A.output
+     The frontier is complete only for the rows it was computed
+     against: when another process's update arrives, a witness
+     interleaving may weave it {e before} an already-explained query
+     (a [deq] woven before the enqueues a read observed, say), reaching
+     accepting configurations the old frontier cannot. So a row growth
+     marks the frontier dirty, and the next own query rebuilds it from
+     scratch against the current rows — except for a recorded ω read,
+     which is re-checked eagerly on every later update (an update is
+     the only event that can turn a passing prefix into a failing one,
+     and the violation must be reported at exactly that event). *)
+
+  type own = Ou of A.update | Oq of A.query * A.output * bool  (** ω? *)
 
   type cfg = { pos : int array; state : A.state }
 
@@ -66,7 +73,10 @@ module Make (A : Uqadt.S) = struct
     p : int;
     own : own vec;
     mutable frontier : cfg list;
-    mutable pre_omega : (cfg list * int * A.query * A.output) option;
+    mutable dirty : bool;
+        (** rows grew since [frontier] was computed; rebuild before use *)
+    mutable pre_omega : (int * A.query * A.output) option;
+        (** journal index and reading of the recorded ω, for re-checks *)
   }
 
   type pc_state = { rows : A.update vec array; procs : pc_proc array }
@@ -118,6 +128,7 @@ module Make (A : Uqadt.S) = struct
                        own = vec_make ();
                        frontier =
                          [ { pos = Array.make n 0; state = A.initial } ];
+                       dirty = false;
                        pre_omega = None;
                      });
              }
@@ -164,12 +175,11 @@ module Make (A : Uqadt.S) = struct
     | Some ec -> (ec.last_distinct, ec.peak_distinct)
 
   (* Closure of [from] under consuming pending updates, then the query
-     [(q, o)] sitting at the end of [pr]'s own line; [omega] requires
-     every fed update consumed first. Returns the deduped post-query
-     frontier. *)
-  let pc_close t st pr ~omega ~q ~o ~from =
+     [(q, o)] sitting at position [qpos] of [pr]'s own line; [omega]
+     requires every fed update consumed first. Returns the deduped
+     post-query frontier. *)
+  let pc_close t st pr ~qpos ~omega ~q ~o ~from =
     let n = t.n in
-    let qpos = pr.own.len - 1 in
     let visited : (int list, A.state list ref) Hashtbl.t = Hashtbl.create 64 in
     let seen pos state =
       let key = Array.to_list pos in
@@ -233,6 +243,29 @@ module Make (A : Uqadt.S) = struct
     in
     List.iter go from;
     !out
+
+  (* Rebuild [pr]'s frontier from scratch against the {e current} rows:
+     close every recorded own query in order, each over the full rows.
+     [None] when some closure empties — only possible for an ω entry,
+     whose completeness requirement can absorb a new update no weaving
+     satisfies; a plain query once explained stays explained (growth
+     only adds interleavings). *)
+  let pc_rebuild t st pr =
+    let frontier =
+      ref [ { pos = Array.make t.n 0; state = A.initial } ]
+    in
+    let ok = ref true in
+    for k = 0 to pr.own.len - 1 do
+      if !ok then
+        match pr.own.arr.(k) with
+        | Ou _ -> ()
+        | Oq (q, o, omega) -> (
+          match pc_close t st pr ~qpos:k ~omega ~q ~o ~from:!frontier with
+          | [] -> ok := false
+          | out -> frontier := out)
+    done;
+    pr.dirty <- false;
+    if !ok then Some !frontier else None
 
   (* ------------------------------- UC --------------------------------- *)
 
@@ -331,29 +364,31 @@ module Make (A : Uqadt.S) = struct
     | Some st when not (violated t Pc) ->
       vec_push st.rows.(pid) u;
       vec_push st.procs.(pid).own (Ou u);
-      (* A late update is the only event that can invalidate an already
-         accepted ω read: re-close each recorded ω from its pre-ω
-         frontier over the lengthened rows. *)
+      (* The lengthened row invalidates every other process's frontier
+         (a witness may weave the new update before an old query); a
+         late update is also the only event that can take an accepted
+         ω read's witness away, so recorded ωs are re-checked now. *)
       Array.iter
         (fun pr ->
-          match pr.pre_omega with
-          | Some (front, oidx, q, o) when not (violated t Pc) ->
-            let out = pc_close t st pr ~omega:true ~q ~o ~from:front in
-            if out = [] then
-              report t
-                {
-                  criterion = Pc;
-                  index;
-                  span;
-                  pid;
-                  reason =
-                    Format.asprintf
-                      "update %a leaves p%d's ω read (event %d) without a \
-                       pipelined witness"
-                      A.pp_update u pr.p oidx;
-                }
-            else pr.frontier <- out
-          | _ -> ())
+          if pr.p <> pid then
+            match pr.pre_omega with
+            | Some (oidx, _, _) when not (violated t Pc) -> (
+              match pc_rebuild t st pr with
+              | Some front -> pr.frontier <- front
+              | None ->
+                report t
+                  {
+                    criterion = Pc;
+                    index;
+                    span;
+                    pid;
+                    reason =
+                      Format.asprintf
+                        "update %a leaves p%d's ω read (event %d) without \
+                         a pipelined witness"
+                        A.pp_update u pr.p oidx;
+                  })
+            | _ -> pr.dirty <- true)
         st.procs
     | _ -> ());
     (match t.uc with
@@ -365,9 +400,18 @@ module Make (A : Uqadt.S) = struct
     (match t.pc with
     | Some st when not (violated t Pc) ->
       let pr = st.procs.(pid) in
-      vec_push pr.own (Oq (q, o));
-      if omega then pr.pre_omega <- Some (pr.frontier, index, q, o);
-      let out = pc_close t st pr ~omega ~q ~o ~from:pr.frontier in
+      let stale = pr.dirty in
+      vec_push pr.own (Oq (q, o, omega));
+      if omega then pr.pre_omega <- Some (index, q, o);
+      let out =
+        if stale then
+          (* Rows grew since the frontier was computed: rebuild against
+             the current rows (the new query included). *)
+          match pc_rebuild t st pr with None -> [] | Some front -> front
+        else
+          pc_close t st pr ~qpos:(pr.own.len - 1) ~omega ~q ~o
+            ~from:pr.frontier
+      in
       if out = [] then
         report t
           {

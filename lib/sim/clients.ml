@@ -1,4 +1,38 @@
+(* Open-loop arrival process: a piecewise-constant rate profile. Closed
+   loops self-throttle — a slow system slows its own clients — so they
+   cannot exhibit the latency collapse of a flash crowd; an open loop
+   keeps injecting at the planned rate whatever the system does. *)
+type phase = { duration : float; rate : float }
+
+(* Absolute arrival times of a Poisson process whose rate steps through
+   [phases]: within each phase, exponential inter-arrival gaps with
+   mean [1/rate]; a zero-rate phase is quiet time. Ascending order. *)
+let arrival_times ~rng phases =
+  let rec walk t0 phases acc =
+    match phases with
+    | [] -> List.rev acc
+    | { duration; rate } :: rest ->
+      if duration < 0.0 then invalid_arg "Clients.arrival_times: negative duration";
+      if rate < 0.0 then invalid_arg "Clients.arrival_times: negative rate";
+      let phase_end = t0 +. duration in
+      if rate = 0.0 then walk phase_end rest acc
+      else begin
+        let rec fill t acc =
+          let t = t +. Prng.exponential rng ~mean:(1.0 /. rate) in
+          if t >= phase_end then (t, acc) else fill t (t :: acc)
+        in
+        let _, acc = fill t0 acc in
+        walk phase_end rest acc
+      end
+  in
+  walk 0.0 phases []
+
 module Make (P : Protocol.PROTOCOL) = struct
+  type open_loop = {
+    plan : phase list;
+    mix : Prng.t -> (P.update, P.query) Protocol.invocation;
+  }
+
   type config = {
     seed : int;
     n_replicas : int;
@@ -8,6 +42,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     think : Network.delay_model;
     crashes : (float * int) list;
     final_read : P.query option;
+    open_loop : open_loop option;
+    obs : Obs.t option;
   }
 
   let default_config ~n_replicas ~n_clients ~seed =
@@ -20,6 +56,8 @@ module Make (P : Protocol.PROTOCOL) = struct
       think = Network.Exponential { mean = 5.0 };
       crashes = [];
       final_read = None;
+      open_loop = None;
+      obs = None;
     }
 
   type result = {
@@ -29,6 +67,9 @@ module Make (P : Protocol.PROTOCOL) = struct
     metrics : Metrics.t;
     ops_completed : int;
     ops_abandoned : int;
+    open_completed : int;
+    open_abandoned : int;
+    open_latencies : float list;
   }
 
   let run config ~workload =
@@ -40,6 +81,9 @@ module Make (P : Protocol.PROTOCOL) = struct
     let net_rng = Prng.split root_rng in
     let link_rng = Prng.split root_rng in
     let think_rngs = Array.init config.n_clients (fun _ -> Prng.split root_rng) in
+    (* Split last so the closed-loop streams above are bit-identical to
+       runs without an open loop. *)
+    let open_rng = Prng.split root_rng in
     let replicas = Array.make config.n_replicas None in
     let crashed = Array.make config.n_replicas false in
     let network =
@@ -145,6 +189,76 @@ module Make (P : Protocol.PROTOCOL) = struct
         let gap = Network.draw_delay think_rngs.(c) config.think in
         Engine.schedule engine ~delay:gap (fun () -> issue c script))
       workload;
+    (* Open-loop flash crowd: arrivals fire at their planned absolute
+       times regardless of how many are still in flight. Each arrival is
+       a one-shot anonymous client: seek a live replica (round-robin by
+       arrival index), pay the two link hops, retry elsewhere if the
+       replica dies with the request in flight. Open operations touch
+       the replicas for real but stay out of the per-client history —
+       they have no session, so session criteria do not apply to them. *)
+    let open_completed = ref 0 in
+    let open_abandoned = ref 0 in
+    let open_latencies = ref [] in
+    let open_lat_hist =
+      Option.map
+        (fun o ->
+          Obs.Registry.hist o.Obs.registry
+            ~labels:[ ("scope", "open") ]
+            "open_op_latency")
+        config.obs
+    in
+    (match config.open_loop with
+    | None -> ()
+    | Some { plan; mix } ->
+      let live_replica start =
+        let n = config.n_replicas in
+        let rec seek i tried =
+          if tried = n then None
+          else if crashed.(i mod n) then seek (i + 1) (tried + 1)
+          else Some (i mod n)
+        in
+        seek start 0
+      in
+      let open_gap () = Network.draw_delay open_rng config.client_delay in
+      let arrivals = arrival_times ~rng:open_rng plan in
+      let ops = List.mapi (fun i t -> (i, t, mix open_rng)) arrivals in
+      let complete started =
+        let lat = Engine.now engine -. started in
+        incr open_completed;
+        open_latencies := lat :: !open_latencies;
+        Option.iter (fun h -> Obs.Registry.observe h lat) open_lat_hist
+      in
+      let rec issue_open ~started ~hint op =
+        match live_replica hint with
+        | None -> incr open_abandoned
+        | Some target ->
+          Engine.schedule engine ~delay:(open_gap ()) (fun () ->
+              if crashed.(target) then begin
+                incr failovers;
+                issue_open ~started ~hint:(target + 1) op
+              end
+              else begin
+                let replica = Option.get replicas.(target) in
+                let reply () =
+                  Engine.schedule engine ~delay:(open_gap ()) (fun () ->
+                      complete started)
+                in
+                match op with
+                | Protocol.Invoke_update u ->
+                  metrics.Metrics.updates_invoked <-
+                    metrics.Metrics.updates_invoked + 1;
+                  P.update replica u ~on_done:reply
+                | Protocol.Invoke_query q ->
+                  metrics.Metrics.queries_invoked <-
+                    metrics.Metrics.queries_invoked + 1;
+                  P.query replica q ~on_result:(fun _ -> reply ())
+              end)
+      in
+      List.iter
+        (fun (i, t, op) ->
+          Engine.schedule_at engine ~time:t (fun () ->
+              issue_open ~started:t ~hint:(i mod config.n_replicas) op))
+        ops);
     Engine.run engine;
     (* ω final reads, through each client's (live) home. *)
     let finals = ref [] in
@@ -172,5 +286,8 @@ module Make (P : Protocol.PROTOCOL) = struct
       metrics;
       ops_completed = !ops_completed;
       ops_abandoned = !ops_abandoned;
+      open_completed = !open_completed;
+      open_abandoned = !open_abandoned;
+      open_latencies = List.rev !open_latencies;
     }
 end

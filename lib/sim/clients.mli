@@ -16,9 +16,33 @@
     exactly this.
 
     Restricted to wait-free replica protocols (a replica must answer a
-    forwarded operation within its own activation). *)
+    forwarded operation within its own activation).
+
+    Besides the closed-loop clients, a run can carry an {e open-loop}
+    arrival process (a flash crowd): operations arrive at a planned,
+    piecewise-constant rate regardless of how many are still in flight.
+    Closed loops self-throttle — a slow system slows its own clients —
+    so only an open load can reveal latency collapse under a spike.
+    Experiment C8 measures exactly this. *)
+
+type phase = { duration : float; rate : float }
+(** One segment of an open-loop rate profile: [rate] arrivals per unit
+    of simulated time for [duration] time units. *)
+
+val arrival_times : rng:Prng.t -> phase list -> float list
+(** Absolute arrival times (ascending) of a Poisson process stepping
+    through the phases: exponential inter-arrival gaps of mean
+    [1/rate] within each phase; [rate = 0.] phases are quiet time.
+    @raise Invalid_argument on a negative rate or duration. *)
 
 module Make (P : Protocol.PROTOCOL) : sig
+  type open_loop = {
+    plan : phase list;
+    mix : Prng.t -> (P.update, P.query) Protocol.invocation;
+        (** drawn once per arrival, from a stream independent of the
+            closed-loop clients' *)
+  }
+
   type config = {
     seed : int;
     n_replicas : int;
@@ -28,6 +52,12 @@ module Make (P : Protocol.PROTOCOL) : sig
     think : Network.delay_model;
     crashes : (float * int) list;  (** replica crashes *)
     final_read : P.query option;
+    open_loop : open_loop option;
+        (** flash-crowd arrivals alongside the closed-loop scripts; with
+            [None] (the default) the run is bit-identical to the seed *)
+    obs : Obs.t option;
+        (** when present, open-loop latencies are additionally recorded
+            as the [open_op_latency{scope=open}] registry histogram *)
   }
 
   val default_config : n_replicas:int -> n_clients:int -> seed:int -> config
@@ -43,6 +73,14 @@ module Make (P : Protocol.PROTOCOL) : sig
         (** operations in flight to a replica that crashed before
             replying; the client retries elsewhere, so this counts
             retried requests, not lost ones *)
+    open_completed : int;
+    open_abandoned : int;  (** arrivals that found no live replica *)
+    open_latencies : float list;
+        (** per-arrival end-to-end latency (arrival to reply received),
+            in arrival order — feed {!Stats.slo} for SLO verdicts. Open
+            operations touch the replicas but are excluded from
+            [history]: they carry no session, so session criteria do
+            not apply to them. *)
   }
 
   val run :

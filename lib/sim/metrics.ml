@@ -10,6 +10,8 @@ type t = {
   mutable replay_steps : int;
   mutable batches_sent : int;
   mutable delivery_latency_sum : float;
+  mutable snapshots_absorbed : int;
+  mutable catchup_bytes : int;
 }
 
 let create () =
@@ -25,6 +27,8 @@ let create () =
     replay_steps = 0;
     batches_sent = 0;
     delivery_latency_sum = 0.0;
+    snapshots_absorbed = 0;
+    catchup_bytes = 0;
   }
 
 let mean_delivery_latency t =
@@ -34,10 +38,12 @@ let mean_delivery_latency t =
 let pp ppf t =
   Format.fprintf ppf
     "msgs=%d bytes=%d delivered=%d dropped=%d updates=%d queries=%d completed=%d \
-     incomplete=%d replay=%d batches=%d mean_delivery=%.3f"
+     incomplete=%d replay=%d batches=%d mean_delivery=%.3f snapshots=%d \
+     catchup_bytes=%d"
     t.messages_sent t.bytes_sent t.messages_delivered t.messages_dropped
     t.updates_invoked t.queries_invoked t.ops_completed t.ops_incomplete
     t.replay_steps t.batches_sent (mean_delivery_latency t)
+    t.snapshots_absorbed t.catchup_bytes
 
 let to_registry t registry =
   let labels = [ ("scope", "run") ] in
@@ -54,6 +60,8 @@ let to_registry t registry =
   count "ops_incomplete" t.ops_incomplete;
   count "replay_steps" t.replay_steps;
   count "batches_sent" t.batches_sent;
+  count "snapshots_absorbed" t.snapshots_absorbed;
+  count "catchup_bytes" t.catchup_bytes;
   Obs.Registry.set
     (Obs.Registry.gauge registry ~labels "mean_delivery_latency")
     (mean_delivery_latency t)

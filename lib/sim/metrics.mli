@@ -18,6 +18,12 @@ type t = {
       (** multi-message wire frames sent via batched broadcast (frames
           carrying a single message count as plain sends) *)
   mutable delivery_latency_sum : float;
+  mutable snapshots_absorbed : int;
+      (** churn catch-up: snapshots successfully merged by a joiner or
+          rejoiner at attach time *)
+  mutable catchup_bytes : int;
+      (** total size of those snapshots — the off-wire state-transfer
+          cost churn adds on top of the message complexity *)
 }
 
 val create : unit -> t

@@ -12,6 +12,25 @@ let draw_delay rng = function
 
 type partition = { from_time : float; to_time : float; group : int list }
 
+(* Dynamic membership: a replica can be scheduled to join the run late,
+   leave it mid-flight and rejoin later. [Join] covers both the fresh
+   joiner (no prior state) and is distinguished from [Rejoin] only in
+   what the runner journals; the network treats both as "attach". *)
+type churn_action = Join | Leave | Rejoin
+
+type churn_event = { time : float; pid : int; action : churn_action }
+
+let churn_action_name = function
+  | Join -> "join"
+  | Leave -> "leave"
+  | Rejoin -> "rejoin"
+
+let churn_action_of_name = function
+  | "join" -> Some Join
+  | "leave" -> Some Leave
+  | "rejoin" -> Some Rejoin
+  | _ -> None
+
 (* Per-replica telemetry handles, resolved once at creation so the hot
    path never looks anything up by name. *)
 type net_obs = {
@@ -38,6 +57,8 @@ type 'msg t = {
   wire_size : 'msg -> int;
   deliver : dst:int -> src:int -> 'msg -> unit;
   crashed : bool array;
+  offline : bool array;
+      (** detached by churn: drops frames like a crash, but reversible *)
   last_delivery : float array array;  (** per (src, dst), for FIFO channels *)
   obs : net_obs option;
 }
@@ -79,6 +100,7 @@ let create ~engine ~rng ~metrics ~n ?(fifo = false) ?(partitions = [])
     wire_size;
     deliver;
     crashed = Array.make n false;
+    offline = Array.make n false;
     last_delivery = Array.init n (fun _ -> Array.make n 0.0);
     obs = Option.map (fun o -> make_net_obs o n) obs;
   }
@@ -167,7 +189,7 @@ let enqueue t ~src ~dst msgs =
           spans = List.map snd msgs;
         });
   Engine.schedule_at t.engine ~time:arrival (fun () ->
-      if t.crashed.(dst) then begin
+      if t.crashed.(dst) || t.offline.(dst) then begin
         t.metrics.Metrics.messages_dropped <-
           t.metrics.Metrics.messages_dropped + count;
         journal t (fun () ->
@@ -217,7 +239,7 @@ let drop_from_src t ~src count =
 
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Network.send: bad destination";
-  if t.crashed.(src) then drop_from_src t ~src 1
+  if t.crashed.(src) || t.offline.(src) then drop_from_src t ~src 1
   else enqueue t ~src ~dst (stamp t [ msg ])
 
 let broadcast t ~src msg =
@@ -230,7 +252,8 @@ let send_stamped_batch t ~src ~dst msgs =
   match msgs with
   | [] -> ()
   | msgs ->
-    if t.crashed.(src) then drop_from_src t ~src (List.length msgs)
+    if t.crashed.(src) || t.offline.(src) then
+      drop_from_src t ~src (List.length msgs)
     else enqueue t ~src ~dst msgs
 
 let send_batch t ~src ~dst msgs = send_stamped_batch t ~src ~dst (stamp t msgs)
@@ -246,6 +269,22 @@ let broadcast_batch t ~src msgs = broadcast_stamped_batch t ~src (stamp t msgs)
 let crash t pid = t.crashed.(pid) <- true
 
 let is_crashed t pid = t.crashed.(pid)
+
+(* Churn: an offline replica behaves like a crashed one on the wire
+   (frames to and from it are dropped) but can come back. In-flight
+   frames scheduled before the detach are judged at delivery time, so
+   a frame that arrives during the offline window is lost — exactly
+   the semantics a rejoiner must repair via catch-up. *)
+let detach t pid = t.offline.(pid) <- true
+
+let attach t pid = t.offline.(pid) <- false
+
+let is_offline t pid = t.offline.(pid)
+
+(* Whether src and dst are on opposite sides of some partition at [at];
+   catch-up transfers consult this so a joiner cannot sync across a
+   partition it could not have talked through. *)
+let separated_at t ~src ~dst ~at = separated t ~src ~dst ~at <> None
 
 let alive t =
   let rec collect i acc =

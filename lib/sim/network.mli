@@ -25,6 +25,20 @@ type partition = {
   group : int list;  (** processes isolated from the rest in the window *)
 }
 
+(** Dynamic membership. A [Leave] detaches a replica from the wire
+    (frames to and from it are dropped, like a crash) without losing
+    its state; a [Rejoin] re-attaches it, after which the runner
+    repairs the gap by catch-up from a live peer's {!Persist} snapshot.
+    A [Join] brings up a replica that was absent from the start (its
+    pid must still be within [n]; it holds no state until it joins). *)
+type churn_action = Join | Leave | Rejoin
+
+type churn_event = { time : float; pid : int; action : churn_action }
+
+val churn_action_name : churn_action -> string
+
+val churn_action_of_name : string -> churn_action option
+
 type 'msg t
 
 val create :
@@ -100,5 +114,21 @@ val crash : 'msg t -> int -> unit
 (** Mark a process crashed: it no longer sends or receives. *)
 
 val is_crashed : 'msg t -> int -> bool
+
+val detach : 'msg t -> int -> unit
+(** Take a process offline (churn leave): frames to and from it are
+    dropped until {!attach}. Unlike {!crash} this is reversible, and
+    unlike a partition it loses frames rather than delaying them —
+    the gap must be repaired by catch-up on rejoin. *)
+
+val attach : 'msg t -> int -> unit
+(** Bring an offline process back onto the wire. *)
+
+val is_offline : 'msg t -> int -> bool
+
+val separated_at : 'msg t -> src:int -> dst:int -> at:float -> bool
+(** Whether a partition separates [src] from [dst] at time [at].
+    Catch-up transfers check this so a joiner cannot sync state across
+    a partition it could not have communicated through. *)
 
 val alive : 'msg t -> int list

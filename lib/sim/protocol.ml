@@ -38,4 +38,14 @@ module type PROTOCOL = sig
   val metadata_bytes : t -> int
 
   val certificate : t -> (int * update) list option
+
+  val snapshot : t -> string option
+  (** Serialized state for churn catch-up ([None] when the protocol has
+      no persistence codec — such replicas skip snapshot transfer and
+      rely on the normal message flow to converge). *)
+
+  val absorb : t -> string -> bool
+  (** Merge a peer's {!snapshot} into this replica, keeping any local
+      state (a rejoiner's crash-time log survives the merge). Returns
+      [false] when unsupported or the payload does not decode. *)
 end

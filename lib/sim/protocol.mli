@@ -76,4 +76,18 @@ module type PROTOCOL = sig
       protocol must return the {e same} list, and executing it must
       explain their final reads — the checkable core of Proposition 4
       at scales where the generic SUC search is intractable. *)
+
+  val snapshot : t -> string option
+  (** Serialized replica state for churn catch-up: a joiner or rejoiner
+      absorbs a live peer's snapshot to repair the frames it missed
+      while detached. [None] when the protocol carries no persistence
+      codec — such replicas transfer nothing and converge through the
+      normal message flow alone. *)
+
+  val absorb : t -> string -> bool
+  (** Merge a peer's {!snapshot} into this replica by timestamp union —
+      local state survives (a rejoiner keeps its crash-time log), so
+      absorbing is idempotent and commutative, as Proposition 4
+      requires. Returns [false] when the protocol does not support
+      snapshots or the payload fails to decode. *)
 end

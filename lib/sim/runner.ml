@@ -10,6 +10,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     fifo : bool;
     partitions : Network.partition list;
     crashes : (float * int) list;
+    churn : Network.churn_event list;
     think : Network.delay_model;
     final_read : P.query option;
     deadline : float;
@@ -30,6 +31,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       fifo = false;
       partitions = [];
       crashes = [];
+      churn = [];
       think = Network.Exponential { mean = 5.0 };
       final_read = None;
       deadline = 1e7;
@@ -112,6 +114,37 @@ module Make (P : Protocol.PROTOCOL) = struct
         ()
     in
     let crashed = Array.make n false in
+    (* Churn bookkeeping. A pid whose first churn event is a [Join]
+       starts the run absent: no replica, script parked until it joins.
+       [offline] mirrors the network's detach state for the driver and
+       probe; [ever_offline] marks replicas that may have missed frames
+       and therefore need the quiescence catch-up pass. *)
+    let offline = Array.make n false in
+    let ever_offline = Array.make n false in
+    let parked : action list option array = Array.make n None in
+    let churn_sorted =
+      List.stable_sort
+        (fun (a : Network.churn_event) b -> Float.compare a.time b.time)
+        config.churn
+    in
+    let starts_absent =
+      Array.init n (fun pid ->
+          match
+            List.find_opt
+              (fun (ce : Network.churn_event) -> ce.Network.pid = pid)
+              churn_sorted
+          with
+          | Some { action = Network.Join; _ } -> true
+          | _ -> false)
+    in
+    Array.iteri
+      (fun pid absent ->
+        if absent then begin
+          offline.(pid) <- true;
+          ever_offline.(pid) <- true;
+          Network.detach network pid
+        end)
+      starts_absent;
     (* Journal plumbing: event indices are journal positions when a
        journal is attached (so monitor violations cite replayable
        indices) and a plain operation counter otherwise. *)
@@ -179,7 +212,7 @@ module Make (P : Protocol.PROTOCOL) = struct
               last := now;
               let fps = ref [] in
               for pid = n - 1 downto 0 do
-                if not crashed.(pid) then
+                if not crashed.(pid) && not offline.(pid) then
                   match replicas.(pid) with
                   | Some r -> fps := fingerprint r :: !fps
                   | None -> ()
@@ -224,7 +257,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         Network.broadcast_stamped_batch network ~src:pid msgs
       end
     in
-    for pid = 0 to n - 1 do
+    let make_replica pid =
       let ctx =
         {
           Protocol.pid;
@@ -249,16 +282,23 @@ module Make (P : Protocol.PROTOCOL) = struct
           obs = Option.map (fun o -> Obs.replica o pid) config.obs;
         }
       in
-      replicas.(pid) <- Some (P.create ctx)
+      P.create ctx
+    in
+    for pid = 0 to n - 1 do
+      if not starts_absent.(pid) then replicas.(pid) <- Some (make_replica pid)
     done;
     let replica pid =
       match replicas.(pid) with
       | Some r -> r
       | None -> invalid_arg "Runner: replica not initialised"
     in
-    (* Sequential script driver for one process. *)
+    (* Sequential script driver for one process. An offline process
+       parks its remaining script instead of issuing: its client pauses
+       with it and resumes (with a fresh think gap) when it rejoins. *)
     let rec issue pid script =
-      if not crashed.(pid) then begin
+      if crashed.(pid) then ()
+      else if offline.(pid) then parked.(pid) <- Some script
+      else begin
         match script with
         | [] -> ()
         | action :: rest ->
@@ -398,17 +438,127 @@ module Make (P : Protocol.PROTOCOL) = struct
             jrecord (fun () -> Obs.Journal.Crash { pid; time });
             Network.crash network pid))
       config.crashes;
+    (* Catch-up donor for an attaching replica: the first present peer
+       not separated from it by a partition at [at]. *)
+    let find_donor pid ~at =
+      let rec seek d =
+        if d >= n then None
+        else if
+          d <> pid && (not crashed.(d)) && (not offline.(d))
+          && replicas.(d) <> None
+          && not (Network.separated_at network ~src:d ~dst:pid ~at)
+        then Some d
+        else seek (d + 1)
+      in
+      seek 0
+    in
+    let apply_churn (ce : Network.churn_event) =
+      let pid = ce.Network.pid in
+      let time = ce.Network.time in
+      if not crashed.(pid) then
+        match ce.Network.action with
+        | Network.Leave ->
+          if not offline.(pid) then begin
+            offline.(pid) <- true;
+            ever_offline.(pid) <- true;
+            Network.detach network pid;
+            jrecord (fun () -> Obs.Journal.Leave { pid; time })
+          end
+        | Network.Join | Network.Rejoin ->
+          if offline.(pid) then begin
+            let rejoin = replicas.(pid) <> None in
+            if not rejoin then replicas.(pid) <- Some (make_replica pid);
+            offline.(pid) <- false;
+            Network.attach network pid;
+            let r =
+              match replicas.(pid) with Some r -> r | None -> assert false
+            in
+            (* Repair the gap from a reachable peer's snapshot; when no
+               peer is reachable (all crashed, offline or partitioned
+               away) the joiner starts from whatever it has and the
+               quiescence catch-up pass finishes the job. *)
+            let bytes =
+              match find_donor pid ~at:time with
+              | None -> 0
+              | Some d -> (
+                let donor =
+                  match replicas.(d) with Some r -> r | None -> assert false
+                in
+                match P.snapshot donor with
+                | None -> 0
+                | Some s ->
+                  if P.absorb r s then begin
+                    metrics.Metrics.snapshots_absorbed <-
+                      metrics.Metrics.snapshots_absorbed + 1;
+                    metrics.Metrics.catchup_bytes <-
+                      metrics.Metrics.catchup_bytes + String.length s;
+                    String.length s
+                  end
+                  else 0)
+            in
+            jrecord (fun () -> Obs.Journal.Join { pid; time; rejoin; bytes });
+            match parked.(pid) with
+            | None -> ()
+            | Some script ->
+              parked.(pid) <- None;
+              let gap = Network.draw_delay think_rngs.(pid) config.think in
+              Engine.schedule engine ~delay:gap (fun () -> issue pid script)
+          end
+    in
+    List.iter
+      (fun (ce : Network.churn_event) ->
+        Engine.schedule_at engine ~time:ce.Network.time (fun () ->
+            apply_churn ce))
+      churn_sorted;
     Engine.run ~until:config.deadline engine;
+    (* Churn-aware quiescence: replicas that spent time detached (and
+       peers that missed their frames to them) may still lag — dropped
+       frames are never retransmitted by Algorithm 1. Exchange snapshots
+       among present replicas to a fixpoint; protocols without a
+       snapshot codec fall through unchanged and must converge through
+       the message flow alone. Inert when the run had no churn. *)
+    if Array.exists Fun.id ever_offline then begin
+      let present pid =
+        (not crashed.(pid)) && (not offline.(pid)) && replicas.(pid) <> None
+      in
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds <= n do
+        changed := false;
+        incr rounds;
+        for pid = 0 to n - 1 do
+          if present pid then
+            for d = 0 to n - 1 do
+              if d <> pid && present d then
+                match replicas.(pid), replicas.(d) with
+                | Some r, Some donor -> (
+                  match P.snapshot donor with
+                  | None -> ()
+                  | Some s ->
+                    let before = P.log_length r in
+                    if P.absorb r s && P.log_length r <> before then
+                      changed := true)
+                | _ -> ()
+            done
+        done
+      done
+    end;
     (* One forced probe at quiescence: this is the sample that should
        show the divergence gauge back at 1 once partitions healed. *)
     (match probe with Some p -> p ~force:true () | None -> ());
-    (* Quiescence: issue the ω final reads on live processes. *)
+    (* Quiescence: issue the ω final reads on live processes — crashed
+       replicas are gone for good and replicas still detached by churn
+       at the end of the run are outside the system (the paper's ω reads
+       belong to correct, participating processes). *)
+    let present pid =
+      (not crashed.(pid)) && (not offline.(pid)) && replicas.(pid) <> None
+    in
     let final_outputs = ref [] in
     (match config.final_read with
     | None -> ()
     | Some q ->
       for pid = 0 to n - 1 do
-        if not crashed.(pid) then begin
+        if present pid then begin
           metrics.Metrics.queries_invoked <- metrics.Metrics.queries_invoked + 1;
           robs (fun ro -> Obs.Registry.inc ro.qry.(pid));
           let started = Engine.now engine in
@@ -471,7 +621,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       | [] -> true
       | (_, o0) :: rest -> List.for_all (fun (_, o) -> P.equal_output o0 o) rest
     in
-    let live = List.filter (fun pid -> not crashed.(pid)) (List.init n Fun.id) in
+    let live = List.filter present (List.init n Fun.id) in
     let certificates =
       List.filter_map
         (fun pid -> Option.map (fun c -> (pid, c)) (P.certificate (replica pid)))

@@ -26,6 +26,18 @@ module Make (P : Protocol.PROTOCOL) : sig
     fifo : bool;
     partitions : Network.partition list;
     crashes : (float * int) list;  (** (time, pid) *)
+    churn : Network.churn_event list;
+        (** dynamic membership schedule. A pid whose {e first} event is
+            [Join] starts the run absent (no replica, its script parked
+            until it joins); [Leave] detaches a replica — frames to and
+            from it drop, its script parks — and [Rejoin]/[Join] brings
+            it back, catching up from a present peer's {!Persist}
+            snapshot when the protocol supports one. Replicas still
+            detached at the end of the run take no ω read and are
+            excluded from the convergence verdict. Quiescence is
+            churn-aware: after the engine drains, present replicas
+            exchange snapshots to a fixpoint to repair frames lost to
+            detached windows. *)
     think : Network.delay_model;  (** gap between consecutive local ops *)
     final_read : P.query option;
     deadline : float;  (** hard stop for the whole simulation *)

@@ -1,0 +1,10 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Used to pin serialized journal bytes in the test suite and CI: the
+    rolling {!Fingerprint} is cheap enough for per-event sealing but is
+    not collision-resistant, and bit-determinism pins want a digest
+    whose accidental collision is unthinkable. Performance is a
+    non-goal; inputs are journal-sized (kilobytes). *)
+
+val hex : string -> string
+(** [hex s] is the lowercase 64-character hex digest of [s]. *)

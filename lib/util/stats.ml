@@ -59,6 +59,38 @@ let pp_summary ppf s =
     "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
     s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
 
+type slo = {
+  target : float;
+  count : int;
+  p50 : float;
+  p99 : float;
+  max : float;
+  violations : int;
+  compliance : float;
+}
+
+let slo ~target xs =
+  match xs with
+  | [] -> invalid_arg "Stats.slo: empty sample"
+  | _ ->
+    let s = summarize xs in
+    let violations = List.length (List.filter (fun x -> x > target) xs) in
+    {
+      target;
+      count = s.count;
+      p50 = s.p50;
+      p99 = s.p99;
+      max = s.max;
+      violations;
+      compliance = 1.0 -. (float_of_int violations /. float_of_int s.count);
+    }
+
+let pp_slo ppf s =
+  Format.fprintf ppf
+    "target=%.3f n=%d p50=%.3f p99=%.3f max=%.3f violations=%d (%.1f%% compliant) %s"
+    s.target s.count s.p50 s.p99 s.max s.violations (100.0 *. s.compliance)
+    (if s.p99 <= s.target then "MET" else "MISSED")
+
 type histogram = { lo : float; width : float; counts : int array }
 
 let histogram ~buckets xs =

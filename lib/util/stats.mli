@@ -25,6 +25,23 @@ val stddev : float list -> float
 
 val pp_summary : Format.formatter -> summary -> unit
 
+type slo = {
+  target : float;  (** latency objective the sample is judged against *)
+  count : int;
+  p50 : float;
+  p99 : float;
+  max : float;
+  violations : int;  (** samples strictly above [target] *)
+  compliance : float;  (** fraction of samples at or under [target] *)
+}
+
+val slo : target:float -> float list -> slo
+(** SLO report of a non-empty latency sample against [target]; raises
+    [Invalid_argument] on []. The objective is judged "met" when the
+    p99 is at or under the target (see {!pp_slo}). *)
+
+val pp_slo : Format.formatter -> slo -> unit
+
 type histogram
 
 val histogram : buckets:int -> float list -> histogram

@@ -40,6 +40,24 @@ module For_set = struct
              (List.init n Fun.id)
         @ [ Protocol.Invoke_query Set_spec.Read ])
 
+  (* Compact one-op-per-token script codec, used to embed explicit
+     scripts in journal headers so a minimized scenario replays from
+     the file alone: "I(3)" insert, "D(3)" delete, "R" read. *)
+  let print_op = function
+    | Protocol.Invoke_update (Set_spec.Insert v) -> Printf.sprintf "I(%d)" v
+    | Protocol.Invoke_update (Set_spec.Delete v) -> Printf.sprintf "D(%d)" v
+    | Protocol.Invoke_query Set_spec.Read -> "R"
+
+  let parse_op s =
+    match s with
+    | "R" -> Some (Protocol.Invoke_query Set_spec.Read)
+    | _ -> (
+      let scan fmt k = try Some (Scanf.sscanf s fmt k) with _ -> None in
+      match scan "I(%d)%!" (fun v -> Protocol.Invoke_update (Set_spec.Insert v)) with
+      | Some _ as op -> op
+      | None ->
+        scan "D(%d)%!" (fun v -> Protocol.Invoke_update (Set_spec.Delete v)))
+
   let fig2_program () =
     [|
       [
@@ -55,6 +73,30 @@ module For_set = struct
         Protocol.Invoke_query Set_spec.Read;
       ];
     |]
+end
+
+(* Flash-crowd load shapes for the open-loop client driver (C8): a
+   warm-up at the base rate, a spike at the peak rate, a cool-down back
+   at base. *)
+module Flash_crowd = struct
+  let plan ~base ~peak ~warm ~spike ~cool =
+    [
+      { Clients.duration = warm; rate = base };
+      { Clients.duration = spike; rate = peak };
+      { Clients.duration = cool; rate = base };
+    ]
+
+  let set_mix ~domain ~skew ~delete_ratio ~query_ratio =
+    let zipf = Zipf.create ~n:domain ~s:skew in
+    fun rng ->
+      if Prng.float rng 1.0 < query_ratio then
+        Protocol.Invoke_query Set_spec.Read
+      else begin
+        let v = Zipf.sample zipf rng in
+        if Prng.float rng 1.0 < delete_ratio then
+          Protocol.Invoke_update (Set_spec.Delete v)
+        else Protocol.Invoke_update (Set_spec.Insert v)
+      end
 end
 
 module For_memory = struct

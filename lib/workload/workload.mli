@@ -43,6 +43,38 @@ module For_set : sig
 
   val fig2_program : unit -> (Set_spec.update, Set_spec.query) t
   (** The two-process program of Figure 2 (drives Proposition 1). *)
+
+  val print_op : (Set_spec.update, Set_spec.query) Protocol.invocation -> string
+  (** One-token script codec: ["I(3)"], ["D(3)"], ["R"]. Used to embed
+      explicit scripts in journal headers so a minimized scenario
+      replays from the file alone. *)
+
+  val parse_op :
+    string -> (Set_spec.update, Set_spec.query) Protocol.invocation option
+  (** Inverse of {!print_op}; [None] on anything else. *)
+end
+
+(** Flash-crowd load shapes for the open-loop client driver (C8). *)
+module Flash_crowd : sig
+  val plan :
+    base:float ->
+    peak:float ->
+    warm:float ->
+    spike:float ->
+    cool:float ->
+    Clients.phase list
+  (** Warm-up at [base] arrivals per time unit for [warm], spike at
+      [peak] for [spike], cool-down at [base] for [cool]. *)
+
+  val set_mix :
+    domain:int ->
+    skew:float ->
+    delete_ratio:float ->
+    query_ratio:float ->
+    Prng.t ->
+    (Set_spec.update, Set_spec.query) Protocol.invocation
+  (** Per-arrival operation mix over the Zipf-skewed set domain of
+      {!For_set.conflict}, plus a query fraction. *)
 end
 
 module For_memory : sig

@@ -107,4 +107,84 @@ let tests =
         | [] -> Alcotest.fail "expected reads");
         Alcotest.(check bool) "session PC broken" false (C.holds Criteria.PC r.Cl.history);
         Alcotest.(check bool) "still UC" true (C.holds Criteria.UC r.Cl.history));
+    (* --- open-loop arrivals (flash crowds) --- *)
+    qtest ~count:50 "arrival times are ascending and phase-bounded" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let plan =
+          [
+            { Clients.duration = 40.0; rate = 1.5 };
+            { Clients.duration = 20.0; rate = 6.0 };
+            { Clients.duration = 40.0; rate = 1.5 };
+          ]
+        in
+        let ts = Clients.arrival_times ~rng plan in
+        let rec ascending = function
+          | a :: (b :: _ as rest) -> a <= b && ascending rest
+          | _ -> true
+        in
+        ascending ts && List.for_all (fun t -> t >= 0.0 && t <= 100.0) ts);
+    qtest ~count:20 "arrival sampling is deterministic per seed" seed_gen (fun seed ->
+        let plan = [ { Clients.duration = 30.0; rate = 4.0 } ] in
+        Clients.arrival_times ~rng:(Prng.create seed) plan
+        = Clients.arrival_times ~rng:(Prng.create seed) plan);
+    Alcotest.test_case "a zero-rate phase is quiet time" `Quick (fun () ->
+        let rng = Prng.create 9 in
+        let ts =
+          Clients.arrival_times ~rng
+            [
+              { Clients.duration = 50.0; rate = 0.0 };
+              { Clients.duration = 50.0; rate = 3.0 };
+            ]
+        in
+        Alcotest.(check bool) "the loud phase produced arrivals" true (ts <> []);
+        Alcotest.(check bool) "none during the quiet phase" true
+          (List.for_all (fun t -> t >= 50.0) ts));
+    Alcotest.test_case "negative rates and durations are rejected" `Quick (fun () ->
+        Alcotest.check_raises "rate"
+          (Invalid_argument "Clients.arrival_times: negative rate") (fun () ->
+            ignore
+              (Clients.arrival_times ~rng:(Prng.create 1)
+                 [ { Clients.duration = 10.0; rate = -1.0 } ]));
+        Alcotest.check_raises "duration"
+          (Invalid_argument "Clients.arrival_times: negative duration") (fun () ->
+            ignore
+              (Clients.arrival_times ~rng:(Prng.create 1)
+                 [ { Clients.duration = -10.0; rate = 1.0 } ])));
+    Alcotest.test_case "an open-loop storm completes, measures, and converges" `Quick
+      (fun () ->
+        let plan = Workload.Flash_crowd.plan ~base:0.5 ~peak:4.0 ~warm:30.0 ~spike:25.0 ~cool:30.0 in
+        let mix =
+          Workload.Flash_crowd.set_mix ~domain:16 ~skew:1.0 ~delete_ratio:0.3
+            ~query_ratio:0.25
+        in
+        let config =
+          {
+            (Cl.default_config ~n_replicas:3 ~n_clients:2 ~seed:17) with
+            Cl.final_read = Some Set_spec.Read;
+            open_loop = Some { Cl.plan; mix };
+          }
+        in
+        let workload = [| [ upd (Set_spec.Insert 1); qry ]; [ upd (Set_spec.Insert 2) ] |] in
+        let r = Cl.run config ~workload in
+        Alcotest.(check bool) "arrivals landed" true (r.Cl.open_completed > 0);
+        Alcotest.(check int) "no arrivals lost with all replicas live" 0
+          r.Cl.open_abandoned;
+        Alcotest.(check int) "one latency sample per completed arrival"
+          r.Cl.open_completed
+          (List.length r.Cl.open_latencies);
+        Alcotest.(check bool) "latencies are positive" true
+          (List.for_all (fun l -> l > 0.0) r.Cl.open_latencies);
+        Alcotest.(check bool) "still converged" true r.Cl.converged;
+        Alcotest.(check int) "closed loop unaffected" 3 r.Cl.ops_completed;
+        (* The sample feeds straight into the SLO verdict. *)
+        let s = Stats.slo ~target:50.0 r.Cl.open_latencies in
+        Alcotest.(check int) "slo counts the sample" r.Cl.open_completed s.Stats.count;
+        Alcotest.(check bool) "p50 ≤ p99 ≤ max" true
+          (s.Stats.p50 <= s.Stats.p99 && s.Stats.p99 <= s.Stats.max);
+        (* And the whole storm is reproducible. *)
+        let r2 = Cl.run config ~workload in
+        Alcotest.(check int) "deterministic completions" r.Cl.open_completed
+          r2.Cl.open_completed;
+        Alcotest.(check bool) "deterministic latencies" true
+          (r.Cl.open_latencies = r2.Cl.open_latencies));
   ]

@@ -413,8 +413,57 @@ let pinned_run_tests =
           (counter_fingerprint ~seed:7 ~n:3 ~ops:10));
   ]
 
+(* Churn-run byte pins: the complete serialized journal — header line,
+   every event (joins, leaves, catch-up snapshot bytes included), and
+   the sealed footer — of three seeded join/leave/rejoin runs under a
+   partition, digested with SHA-256. Unlike the rolling history
+   fingerprints above, these pin the whole wire-visible schedule: any
+   drift in the churn engine, the catch-up protocol, or the journal
+   encoding moves the literal. *)
+let churn_pin_tests =
+  let churn_sha ~seed ~n ~ops =
+    let module P = Persist.Catchup (G_set) (Update_codec.For_set) in
+    let module R = Runner.Make (P) in
+    let journal = Obs.Journal.create () in
+    let obs = Obs.create ~journal () in
+    let rng = Prng.create seed in
+    let workload =
+      Workload.For_set.conflict ~rng ~n ~ops_per_process:ops ~domain:16
+        ~skew:1.0 ~delete_ratio:0.3
+    in
+    let config =
+      {
+        (R.default_config ~n ~seed) with
+        R.delay = Network.Exponential { mean = 10.0 };
+        churn =
+          [
+            { Network.time = 20.0; pid = n - 1; action = Network.Join };
+            { Network.time = 30.0; pid = 1; action = Network.Leave };
+            { Network.time = 60.0; pid = 1; action = Network.Rejoin };
+          ];
+        partitions =
+          [ { Network.from_time = 25.0; to_time = 55.0; group = [ 0 ] } ];
+        final_read = Some Set_spec.Read;
+        obs = Some obs;
+      }
+    in
+    let r = R.run config ~workload in
+    Alcotest.(check bool) "churn run converged" true r.R.converged;
+    Sha256.hex (Obs.Journal.to_jsonl journal)
+  in
+  let pin name ~seed ~n ~ops digest =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check string) "sha256" digest (churn_sha ~seed ~n ~ops))
+  in
+  [
+    pin "pinned churn journal: seed 1 n 3 ops 5" ~seed:1 ~n:3 ~ops:5 "2c7a54e11278b12325f6bc6a8e03f5e2cfcfda1a13ae2d455d74891e7c4f7d5f";
+    pin "pinned churn journal: seed 8 n 4 ops 6" ~seed:8 ~n:4 ~ops:6 "31e05b30d7ccf3759dd39cbc2f156e272fd5aebbd1ed27e29e270877743540ac";
+    pin "pinned churn journal: seed 23 n 4 ops 4" ~seed:23 ~n:4 ~ops:4 "da77997c8fded5f80a660e6c394f6e48bcd9a4f8dc69b7fa5e61c0db17be1d6e";
+  ]
+
 let tests =
   differential_protocol_tests @ runner_differential_tests @ pinned_run_tests
+  @ churn_pin_tests
   @ [
     qtest ~count:150 "Check_uc agrees with brute force" seed_gen (fun seed ->
         let rng = Prng.create seed in

@@ -43,4 +43,32 @@ let tests =
         if not (N.clean v) then
           Alcotest.failf "lww-memory: %d conv fails, %d stalls" v.N.convergence_failures
             v.N.stalled_operations);
+    Alcotest.test_case "crash budget is clamped to processes-1 and reported" `Quick
+      (fun () ->
+        (* The wait-free fault model keeps one survivor; a campaign
+           asking for more crashes than processes allow must say so in
+           the verdict rather than silently drawing from a smaller cap. *)
+        let module N = Nemesis.Make (Generic.Make (Set_spec)) in
+        let campaign =
+          {
+            N.default_campaign with
+            N.runs = 8;
+            processes = 2;
+            ops_per_process = 6;
+            max_crashes = 5;
+            crash_probability = 1.0;
+          }
+        in
+        let v = N.run campaign ~workload:set_workload ~final_read:Set_spec.Read in
+        Alcotest.(check int) "cap = processes - 1" 1 v.N.crash_cap;
+        Alcotest.(check int) "every crashing run was clamped" 8 v.N.capped_runs;
+        Alcotest.(check int) "exactly one crash per run" 8 v.N.crashes_injected;
+        Alcotest.(check bool) "still clean under the clamp" true (N.clean v));
+    Alcotest.test_case "a feasible crash budget is never reported as capped" `Quick
+      (fun () ->
+        let module N = Nemesis.Make (Generic.Make (Set_spec)) in
+        let campaign = { N.default_campaign with N.runs = 6; ops_per_process = 8 } in
+        let v = N.run campaign ~workload:set_workload ~final_read:Set_spec.Read in
+        Alcotest.(check int) "cap is the request" 2 v.N.crash_cap;
+        Alcotest.(check int) "no run reported as capped" 0 v.N.capped_runs);
   ]

@@ -287,6 +287,99 @@ let permutation_tests =
              = Format.asprintf "%a" A.pp_state expected))
     Registry.all
 
+(* ------------- monitor vs batch, registry-wide, faulty -------------
+
+   test_monitor pins the index-level contract for the set spec on
+   synthetic histories; here the same differential — the online
+   monitor's first violation is exactly the first prefix the batch
+   checker rejects, clean iff no prefix ever fails — runs for every
+   spec in the registry, on histories harvested from {e faulty}
+   schedules: the naive pipelined replica under a crash and a healing
+   partition, which reorders deliveries enough to exercise the
+   monitors' rejecting paths on non-commutative specs. *)
+
+let random_feed rng h =
+  let n = History.process_count h in
+  let lines = Array.init n (fun p -> ref (History.steps_of_process h p)) in
+  let out = ref [] in
+  for _ = 1 to History.size h do
+    let live =
+      List.filter (fun p -> !(lines.(p)) <> []) (List.init n Fun.id)
+    in
+    let p = List.nth live (Prng.int rng (List.length live)) in
+    (match !(lines.(p)) with
+    | s :: rest ->
+      lines.(p) := rest;
+      out := (p, s) :: !out
+    | [] -> assert false)
+  done;
+  List.rev !out
+
+let first_failing_prefix ~n holds feed =
+  let lines = Array.make n [] in
+  let rec go i = function
+    | [] -> None
+    | (pid, step) :: rest ->
+      lines.(pid) <- step :: lines.(pid);
+      let h = History.make (Array.to_list (Array.map List.rev lines)) in
+      if holds h then go (i + 1) rest else Some i
+  in
+  go 0 feed
+
+let faulty_monitor_tests =
+  List.map
+    (fun (name, packed) ->
+      let module A = (val packed : Uqadt.S) in
+      let module M = Obs.Monitor.Make (A) in
+      let module Uc = Check_uc.Make (A) in
+      let module Ec = Check_ec.Make (A) in
+      let module Pc = Check_pc.Make (A) in
+      let module R = Runner.Make (Pipelined.Make (A)) in
+      let module W = Workload.Make (A) in
+      let feed_monitor ~n criterion feed =
+        let m = M.create ~n ~criteria:[ criterion ] in
+        List.iteri
+          (fun i (pid, step) ->
+            match step with
+            | History.U u -> M.on_update m ~pid ~index:i ~span:None u
+            | History.Q (q, o) ->
+              M.on_query m ~pid ~index:i ~span:None ~omega:false q o
+            | History.Qw (q, o) ->
+              M.on_query m ~pid ~index:i ~span:None ~omega:true q o)
+          feed;
+        Option.map (fun v -> v.Obs.Monitor.index) (M.first_violation m)
+      in
+      qtest ~count:12
+        (name ^ ": monitor = batch first-failing prefix under faults")
+        seed_gen
+        (fun seed ->
+          let rng = Prng.create seed in
+          let n = 3 in
+          let workload = W.mixed ~rng ~n ~ops_per_process:2 ~query_ratio:0.4 in
+          let config =
+            {
+              (R.default_config ~n ~seed) with
+              R.delay = Network.Exponential { mean = 10.0 };
+              crashes = [ (40.0, 2) ];
+              partitions =
+                [ { Network.from_time = 10.0; to_time = 45.0; group = [ 0 ] } ];
+              final_read = Some (A.random_query rng);
+            }
+          in
+          let r = R.run config ~workload in
+          let feed = random_feed rng r.R.history in
+          let n = History.process_count r.R.history in
+          List.for_all
+            (fun (criterion, holds) ->
+              feed_monitor ~n criterion feed
+              = first_failing_prefix ~n holds feed)
+            [
+              (Obs.Monitor.Uc, Uc.holds);
+              (Obs.Monitor.Ec, Ec.holds);
+              (Obs.Monitor.Pc, Pc.holds);
+            ]))
+    Registry.all
+
 let tests =
   hierarchy_tests @ codec_tests @ fingerprint_tests @ engine_tests
-  @ permutation_tests
+  @ permutation_tests @ faulty_monitor_tests

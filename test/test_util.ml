@@ -422,6 +422,57 @@ let fork_tests =
           true (stat < 60.0));
   ]
 
+(* FIPS 180-4 test vectors: the journal fingerprint pins in
+   test_differential.ml are only as trustworthy as this digest. *)
+let sha256_tests =
+  [
+    Alcotest.test_case "FIPS vectors" `Quick (fun () ->
+        List.iter
+          (fun (input, want) -> Alcotest.(check string) input want (Sha256.hex input))
+          [
+            ( "",
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" );
+            ( "abc",
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" );
+            ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+            ( "The quick brown fox jumps over the lazy dog",
+              "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" );
+          ]);
+    qtest "digest is a pure function of the bytes" QCheck2.Gen.(string_size (int_range 0 200))
+      (fun s ->
+        Sha256.hex s = Sha256.hex (String.init (String.length s) (String.get s)));
+  ]
+
+let slo_tests =
+  [
+    Alcotest.test_case "slo on a known sample" `Quick (fun () ->
+        let sample = [ 1.0; 2.0; 3.0; 4.0; 50.0 ] in
+        let s = Stats.slo ~target:10.0 sample in
+        Alcotest.(check int) "count" 5 s.Stats.count;
+        Alcotest.(check int) "violations strictly above target" 1 s.Stats.violations;
+        Alcotest.(check (float 1e-9)) "compliance" 0.8 s.Stats.compliance;
+        Alcotest.(check (float 1e-9)) "max" 50.0 s.Stats.max;
+        Alcotest.(check (float 1e-9)) "target echoed" 10.0 s.Stats.target);
+    Alcotest.test_case "a sample exactly at target does not violate" `Quick (fun () ->
+        let s = Stats.slo ~target:5.0 [ 5.0; 5.0 ] in
+        Alcotest.(check int) "no violations" 0 s.Stats.violations;
+        Alcotest.(check (float 1e-9)) "full compliance" 1.0 s.Stats.compliance);
+    Alcotest.test_case "empty sample raises" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Stats.slo: empty sample")
+          (fun () -> ignore (Stats.slo ~target:1.0 [])));
+    qtest "slo percentiles are ordered and compliance bounded"
+      QCheck2.Gen.(list_size (int_range 1 60) (float_bound_inclusive 100.0))
+      (fun xs ->
+        let s = Stats.slo ~target:50.0 xs in
+        s.Stats.p50 <= s.Stats.p99
+        && s.Stats.p99 <= s.Stats.max
+        && s.Stats.compliance >= 0.0
+        && s.Stats.compliance <= 1.0
+        && s.Stats.violations + int_of_float (s.Stats.compliance *. float_of_int s.Stats.count)
+           <= s.Stats.count + 1);
+  ]
+
 let tests =
   prng_tests @ fork_tests @ heap_tests @ bitset_tests @ stats_tests
-  @ wire_tests @ zipf_tests @ table_tests @ dag_tests
+  @ slo_tests @ sha256_tests @ wire_tests @ zipf_tests @ table_tests @ dag_tests

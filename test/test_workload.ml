@@ -115,4 +115,56 @@ let tests =
               0 <= p && p < 40
             | Protocol.Invoke_query _ -> false))
           w);
+    qtest "set script codec round-trips every op" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let ops =
+          List.init 40 (fun _ ->
+              match Prng.int rng 3 with
+              | 0 -> Protocol.Invoke_update (Set_spec.Insert (Prng.int rng 100))
+              | 1 -> Protocol.Invoke_update (Set_spec.Delete (Prng.int rng 100))
+              | _ -> Protocol.Invoke_query Set_spec.Read)
+        in
+        List.for_all
+          (fun op ->
+            Workload.For_set.parse_op (Workload.For_set.print_op op) = Some op)
+          ops);
+    Alcotest.test_case "the codec rejects garbage" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Workload.For_set.parse_op s with
+            | None -> ()
+            | Some _ -> Alcotest.failf "parsed %S" s)
+          [ ""; "X(3)"; "I()"; "I(x)"; "I(3"; "R(1)"; "insert 3"; "D" ]);
+    Alcotest.test_case "flash-crowd plan is warm/spike/cool at base/peak/base" `Quick
+      (fun () ->
+        match Workload.Flash_crowd.plan ~base:0.5 ~peak:8.0 ~warm:30.0 ~spike:10.0 ~cool:40.0 with
+        | [ w; s; c ] ->
+          Alcotest.(check (float 0.0)) "warm rate" 0.5 w.Clients.rate;
+          Alcotest.(check (float 0.0)) "warm duration" 30.0 w.Clients.duration;
+          Alcotest.(check (float 0.0)) "spike rate" 8.0 s.Clients.rate;
+          Alcotest.(check (float 0.0)) "spike duration" 10.0 s.Clients.duration;
+          Alcotest.(check (float 0.0)) "cool rate" 0.5 c.Clients.rate;
+          Alcotest.(check (float 0.0)) "cool duration" 40.0 c.Clients.duration
+        | phases -> Alcotest.failf "expected 3 phases, got %d" (List.length phases));
+    qtest "flash-crowd mix respects its ratios at the edges" seed_gen (fun seed ->
+        let rng = Prng.create seed in
+        let all_queries =
+          Workload.Flash_crowd.set_mix ~domain:8 ~skew:1.0 ~delete_ratio:0.3
+            ~query_ratio:1.0
+        and no_queries =
+          Workload.Flash_crowd.set_mix ~domain:8 ~skew:1.0 ~delete_ratio:0.3
+            ~query_ratio:0.0
+        in
+        List.for_all
+          (fun _ ->
+            (match all_queries rng with
+            | Protocol.Invoke_query Set_spec.Read -> true
+            | Protocol.Invoke_update _ -> false)
+            &&
+            match no_queries rng with
+            | Protocol.Invoke_update (Set_spec.Insert v)
+            | Protocol.Invoke_update (Set_spec.Delete v) ->
+              1 <= v && v <= 8
+            | Protocol.Invoke_query _ -> false)
+          (List.init 50 Fun.id));
   ]

@@ -25,6 +25,12 @@ type run_params = {
   seed : int;
   n : int;
   ops : int;
+  shards : int;
+      (* shard count for the sharded object space ("sharded" protocol);
+         1 everywhere else *)
+  keys : int;  (* key domain of the sharded workload *)
+  rebalance : float option;
+      (* hot-shard policy check interval; None = static ring *)
   mean_delay : float;
   fifo : bool;
   crashes : (float * int) list;  (* (time, pid) crash schedule *)
@@ -116,6 +122,16 @@ let journal_header p =
                ss))
         p.scripts );
   ]
+  (* Shard fields appear only on sharded runs, so single-object journal
+     headers — and the seeded fingerprint pins over them — stay
+     byte-identical to the seed's. *)
+  @ (if p.shards > 1 then
+       [
+         ("shards", num p.shards);
+         ("keys", num p.keys);
+         ("rebalance", opt (fun w -> Obs.Json.Num w) p.rebalance);
+       ]
+     else [])
 
 (* Inverse of [journal_header]: rebuild the run_params a journal was
    recorded under, attaching [journal] as the replay's capture journal.
@@ -238,11 +254,15 @@ let params_of_header ~journal header =
     | None | Some Obs.Json.Null -> None
     | _ -> missing "scripts"
   in
+  let opt_int k = Option.map int_of_float (opt_num k) in
   {
     protocol = str "protocol";
     seed = int "seed";
     n = int "n";
     ops = int "ops";
+    shards = Option.value ~default:1 (opt_int "shards");
+    keys = Option.value ~default:64 (opt_int "keys");
+    rebalance = opt_num "rebalance";
     mean_delay = num "mean_delay";
     fifo = bool "fifo";
     crashes;
@@ -580,6 +600,83 @@ module Uni_counter = Persist.Catchup (Uni_counter_core) (Update_codec.For_counte
 module Fast_counter = Commutative.Make (Counter_spec)
 module Uni_reg =
   Persist.Catchup (Generic.Make (Register_spec)) (Update_codec.For_register)
+module Sharded_set = Space.Make (Set_spec) (Update_codec.For_set)
+
+(* The sharded object space on the set: one Algorithm 1 core per shard
+   behind a consistent-hash ring, fed a Zipf-skewed multi-key stream.
+   --shards 1 degenerates to a single core holding every key;
+   --rebalance arms the hot-shard split policy. *)
+let sharded_workload p =
+  let rng = Prng.create p.seed in
+  let elem = Zipf.create ~n:16 ~s:1.0 in
+  Workload.For_space.zipf_scripts ~rng ~n:p.n ~ops_per_process:p.ops
+    ~keys:p.keys ~skew:1.1 ~fanout:3 ~query_ratio:0.25
+    ~update:(fun g ->
+      let v = Zipf.sample elem g in
+      if Prng.float g 1.0 < 0.3 then Set_spec.Delete v else Set_spec.Insert v)
+    ~query:(fun _ -> Set_spec.Read)
+    ~read:(fun k q -> Sharded_set.K.Read (k, q))
+
+let run_sharded p =
+  let module R = Runner.Make (Sharded_set) in
+  let obs = obs_of_params p in
+  let policy =
+    Option.map
+      (fun interval ->
+        (* 1.5 keeps the trigger reachable at small shard counts: with
+           two shards the hottest can never exceed 2x the mean, so a
+           factor of 2 would never fire. *)
+        { Sharded_set.interval; hot_factor = 1.5; max_shards = 64 })
+      p.rebalance
+  in
+  let map = Sharded_set.create_map ?policy ?obs ~shards:p.shards () in
+  Sharded_set.configure map;
+  let workload = sharded_workload p in
+  let monitor =
+    if p.monitors = [] then None
+    else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
+  in
+  let config =
+    {
+      (R.default_config ~n:p.n ~seed:p.seed) with
+      R.delay = Network.Exponential { mean = p.mean_delay };
+      fifo = p.fifo;
+      partitions = p.partitions;
+      crashes = p.crashes;
+      churn = p.churn;
+      final_read = Some Sharded_set.K.Sweep;
+      batch_window = p.batch_window;
+      obs;
+      probe_interval = p.probe_interval;
+      monitor;
+    }
+  in
+  let r = R.run config ~workload in
+  Printf.printf "protocol           %s (object: %s)\n"
+    Sharded_set.protocol_name Sharded_set.name;
+  Printf.printf "shards             %d initial, %d final (%d rebalances, %d \
+                 entries re-homed)\n"
+    p.shards
+    (Ring.shards (Sharded_set.ring map))
+    (Sharded_set.rebalances map)
+    (Sharded_set.moved_entries map);
+  Printf.printf "shard ops          %s\n"
+    (String.concat " "
+       (List.map
+          (fun (s, ops) -> Printf.sprintf "s%d:%d" s ops)
+          (Sharded_set.shard_ops map)));
+  describe_metrics r.R.metrics;
+  Printf.printf "converged          %b\n" r.R.converged;
+  List.iter
+    (fun (pid, o) ->
+      Format.printf "final read p%d      %a@." pid Sharded_set.pp_output o)
+    r.R.final_outputs;
+  Option.iter
+    (fun m ->
+      print_monitor_report ~criteria:p.monitors ~events:(R.Mon.events_seen m)
+        (R.Mon.violations m))
+    monitor;
+  emit_obs p obs
 
 (* The set-object universal protocol, on whichever log core was asked
    for. Both cores exchange byte-identical messages, so the same seed
@@ -685,6 +782,10 @@ let protocols : (string * string * (run_params -> unit)) list =
     ("lwwreg", "LWW-register CRDT", run_register (module Registers.Lwwreg));
     ("abd", "ABD linearizable register (baseline)", run_register (module Abd));
     ("lwwmemory", "Algorithm 2 shared memory", run_memory);
+    ( "sharded",
+      "Algorithm 1 per shard behind a consistent-hash ring, set \
+       (--shards/--keys/--rebalance)",
+      run_sharded );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -739,6 +840,33 @@ let run_cmd =
   in
   let delay_arg =
     Arg.(value & opt float 10.0 & info [ "delay" ] ~docv:"D" ~doc:"Mean message delay.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Initial shard count for the $(b,sharded) protocol: one \
+             Algorithm 1 core per shard behind a consistent-hash ring. 1 \
+             (the default) keeps every key in a single core.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "keys" ] ~docv:"K"
+          ~doc:
+            "Key domain of the sharded workload (Zipf-skewed; key 0 is the \
+             hottest).")
+  in
+  let rebalance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rebalance" ] ~docv:"DT"
+          ~doc:
+            "Arm the hot-shard policy: every $(docv) simulated time units, \
+             split the hottest shard when its op rate exceeds 2x the \
+             per-shard mean (sharded protocol only).")
   in
   let fifo_arg = Arg.(value & flag & info [ "fifo" ] ~doc:"FIFO channels.") in
   let crash_arg =
@@ -933,15 +1061,19 @@ let run_cmd =
              online as the run progresses; the first violating event is \
              reported with its journal index and span id (implies --obs).")
   in
-  let run (name, f) seed n ops mean_delay fifo crash_one check spacetime
-      log_core checkpoint_interval batch_window obs_on trace_out registry_out
-      span_dump probe_interval partitions churn journal_out monitors =
+  let run (name, f) seed n ops shards keys rebalance mean_delay fifo crash_one
+      check spacetime log_core checkpoint_interval batch_window obs_on
+      trace_out registry_out span_dump probe_interval partitions churn
+      journal_out monitors =
     f
       {
         protocol = name;
         seed;
         n;
         ops;
+        shards;
+        keys;
+        rebalance;
         mean_delay;
         fifo;
         crashes = (if crash_one then [ (50.0, n - 1) ] else []);
@@ -965,7 +1097,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ protocol $ seed_arg $ n_arg $ ops_arg $ delay_arg $ fifo_arg $ crash_arg
+      const run $ protocol $ seed_arg $ n_arg $ ops_arg $ shards_arg $ keys_arg
+      $ rebalance_arg $ delay_arg $ fifo_arg $ crash_arg
       $ check_arg $ trace_arg $ log_core_arg $ checkpoint_interval_arg
       $ batch_window_arg $ obs_arg $ trace_out_arg $ registry_out_arg
       $ span_dump_arg $ probe_interval_arg $ partitions_arg $ churn_arg
@@ -1358,8 +1491,11 @@ let storm_cmd =
               {
                 C.plan;
                 mix =
-                  Workload.Flash_crowd.set_mix ~domain:16 ~skew:1.0
-                    ~delete_ratio:0.3 ~query_ratio;
+                  (let one =
+                     Workload.Flash_crowd.set_mix ~domain:16 ~skew:1.0
+                       ~delete_ratio:0.3 ~query_ratio
+                   in
+                   fun g -> [ one g ]);
               };
           obs;
         }
@@ -1797,6 +1933,30 @@ let bench_cmd =
       & info [ "query-ratio" ] ~docv:"R"
           ~doc:"Fraction of invocations that are queries.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Run the sharded object space (set spec) over $(docv) shards on a \
+             static consistent-hash ring, with the shard-aware per-shard \
+             differential as the verdict. 1 (the default) benches the \
+             single-object protocols.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "keys" ] ~docv:"K"
+          ~doc:"Key domain of the sharded workload (with --shards > 1).")
+  in
+  let fanout_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "fanout" ] ~docv:"W"
+          ~doc:
+            "Maximum keys per update batch in the sharded workload (with \
+             --shards > 1).")
+  in
   let mailbox_arg =
     Arg.(
       value & opt int 1024
@@ -1816,11 +1976,58 @@ let bench_cmd =
   let obs_arg =
     Arg.(value & flag & info [ "obs" ] ~doc:"Print per-domain telemetry rows.")
   in
-  let run spec domains ops zipf seed query_ratio mailbox batch json obs_flag =
+  let run spec domains ops zipf seed query_ratio shards keys fanout mailbox
+      batch json obs_flag =
     let obs = if obs_flag then Some (Obs.create ()) else None in
     let clip s =
       if String.length s <= 96 then s else String.sub s 0 93 ^ "..."
     in
+    if shards > 1 then begin
+      (* The sharded space runs the set spec; per-shard Prop 4 verdict. *)
+      let module B = Throughput.Sharded (Set_spec) (Update_codec.For_set) in
+      let skew = if zipf > 0.0 then zipf else 1.1 in
+      let scripts =
+        B.zipf_scripts ~seed ~domains ~ops ~keys ~skew ~fanout ~query_ratio
+      in
+      let v =
+        B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ~shards
+          ~domains ~scripts ()
+      in
+      let r = B.row ~keys ~skew ~fanout v in
+      Printf.printf "spec               %s (sharded)\n" r.Throughput.shard_spec;
+      Printf.printf "shards             %d (static ring)\n" r.Throughput.shards;
+      Printf.printf "domains            %d (machine recommends %d)\n"
+        r.Throughput.shard_domains
+        (Domain.recommended_domain_count ());
+      Printf.printf "keys / skew / fan  %d / %.2f / %d\n" r.Throughput.keys
+        r.Throughput.skew r.Throughput.fanout;
+      Printf.printf "ops                %d total, %d keyed sub-updates\n"
+        r.Throughput.shard_total_ops r.Throughput.keyed_updates;
+      Printf.printf "wall               %.4f s\n" r.Throughput.shard_wall_s;
+      Printf.printf "throughput         %.0f ops/sec\n"
+        r.Throughput.shard_ops_per_sec;
+      Printf.printf "shard log spread   min %d / max %d\n"
+        r.Throughput.shard_log_min r.Throughput.shard_log_max;
+      Printf.printf "converged state    %s\n" (clip v.B.state_repr);
+      List.iter
+        (fun (k, vv) -> Printf.printf "  %-22s %s\n" k vv)
+        [
+          ("per-shard logs agree", string_of_bool v.B.shard_logs_agree);
+          ("omega = keyed fold", string_of_bool v.B.omega_matches_fold);
+          ("snapshot = keyed fold", string_of_bool v.B.snapshot_matches_fold);
+          ("updates conserved", string_of_bool v.B.updates_conserved);
+        ];
+      Printf.printf "differential       %s\n"
+        (if r.Throughput.shard_ok then "PASS" else "FAIL");
+      Option.iter (fun path -> Throughput.emit_shard_json path [ r ]) json;
+      Option.iter
+        (fun o ->
+          Obs.finalize o ~live:[];
+          Format.printf "telemetry:@.%a@." Obs.Registry.pp o.Obs.registry)
+        obs;
+      if not r.Throughput.shard_ok then exit 1
+    end
+    else begin
     let describe (r : Throughput.row) ~state ~checks =
       Printf.printf "spec               %s\n" r.Throughput.spec;
       Printf.printf "domains            %d (machine recommends %d)\n"
@@ -1903,11 +2110,13 @@ let bench_cmd =
         Format.printf "telemetry:@.%a@." Obs.Registry.pp o.Obs.registry)
       obs;
     if not row.Throughput.ok then exit 1
+    end
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run $ spec_arg $ domains_arg $ ops_arg $ zipf_arg $ seed_arg
-      $ query_ratio_arg $ mailbox_arg $ batch_arg $ json_arg $ obs_arg)
+      $ query_ratio_arg $ shards_arg $ keys_arg $ fanout_arg $ mailbox_arg
+      $ batch_arg $ json_arg $ obs_arg)
 
 let list_cmd =
   let doc = "List protocols and experiments." in

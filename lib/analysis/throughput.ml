@@ -215,6 +215,202 @@ module Bench (A : Uqadt.S) = struct
     }
 end
 
+type shard_row = {
+  shard_spec : string;
+  shards : int;
+  shard_domains : int;
+  keys : int;
+  skew : float;
+  fanout : int;
+  shard_total_ops : int;
+  keyed_updates : int;
+  shard_wall_s : float;
+  shard_ops_per_sec : float;
+  shard_log_max : int;
+  shard_log_min : int;
+  shard_ok : bool;
+}
+
+let emit_shard_json path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"spec\": %S, \"shards\": %d, \"domains\": %d, \"keys\": %d, \
+         \"skew\": %.3f, \"fanout\": %d, \"total_ops\": %d, \
+         \"keyed_updates\": %d, \"wall_s\": %.6f, \"ops_per_sec\": %.1f, \
+         \"shard_log_max\": %d, \"shard_log_min\": %d, \"ok\": %b}%s\n"
+        r.shard_spec r.shards r.shard_domains r.keys r.skew r.fanout
+        r.shard_total_ops r.keyed_updates r.shard_wall_s r.shard_ops_per_sec
+        r.shard_log_max r.shard_log_min r.shard_ok
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
+
+(* The same oracle, shard-aware: the space runs one Algorithm 1 core
+   per shard, so Proposition 4 applies {e per shard} — after
+   quiescence every replica must hold, for every shard, the identical
+   timestamp-sorted inner log; the ω sweep must equal the keyed fold
+   of the union of those logs; and the whole-space snapshot/absorb
+   path (the one churn catch-up and shard migration ride) must restore
+   a fresh replica to the same answer. Conservation counts {e keyed}
+   sub-updates: one client batch of width w contributes w inner log
+   entries, spread across the shards its keys route to. *)
+module Sharded
+    (A : Uqadt.S)
+    (C : Update_codec.S with type update = A.update) =
+struct
+  module S = Space.Make (A) (C)
+  module E = Parallel_engine.Make (S)
+
+  type verdict = {
+    run : E.result;
+    latency : Stats.summary option;
+    shards : int;
+    keyed_total : int;
+    shard_logs_agree : bool;
+    omega_matches_fold : bool;
+    snapshot_matches_fold : bool;
+    updates_conserved : bool;
+    shard_lengths : (int * int) list;
+    state_repr : string;
+  }
+
+  let ok v =
+    v.run.E.outputs_agree && v.run.E.certificates_agree && v.shard_logs_agree
+    && v.omega_matches_fold && v.snapshot_matches_fold && v.updates_conserved
+
+  let zipf_scripts ~seed ~domains ~ops ~keys ~skew ~fanout ~query_ratio =
+    let root = Prng.create seed in
+    let script () =
+      (* explicit loops: draw order is part of the determinism contract *)
+      let g = Prng.fork root in
+      let z = Zipf.create ~n:keys ~s:skew in
+      let key () = Zipf.sample z g - 1 in
+      let acc = ref [] in
+      for _ = 1 to ops do
+        let inv =
+          if query_ratio > 0.0 && Prng.float g 1.0 < query_ratio then
+            Protocol.Invoke_query (S.K.Read (key (), A.random_query g))
+          else begin
+            let width = if fanout <= 1 then 1 else 1 + Prng.int g fanout in
+            let batch = ref [] in
+            for _ = 1 to width do
+              let k = key () in
+              let u = A.random_update g in
+              batch := (k, u) :: !batch
+            done;
+            Protocol.Invoke_update (List.rev !batch)
+          end
+        in
+        acc := inv :: !acc
+      done;
+      List.rev !acc
+    in
+    let scripts = Array.make domains [] in
+    for pid = 0 to domains - 1 do
+      scripts.(pid) <- script ()
+    done;
+    scripts
+
+  let keyed_total scripts =
+    Array.fold_left
+      (fun acc script ->
+        List.fold_left
+          (fun acc -> function
+            | Protocol.Invoke_update kus -> acc + List.length kus
+            | Protocol.Invoke_query _ -> acc)
+          acc script)
+      0 scripts
+
+  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?obs ?vnodes
+      ~shards ~domains ~scripts () =
+    (* Static ring: no policy, so replicas never mutate shared ring
+       state during the parallel run. *)
+    let map = S.create_map ?vnodes ?obs ~shards () in
+    S.configure map;
+    let cfg =
+      {
+        E.domains;
+        mailbox_capacity;
+        envelope = 0;
+        batch_every;
+        final_read = Some S.K.Sweep;
+        obs;
+      }
+    in
+    let run = E.run cfg ~workload:scripts in
+    let logs_of r =
+      List.filter (fun (_, l) -> l <> []) (S.shard_logs r)
+    in
+    let logs0 = logs_of run.E.replicas.(0) in
+    let shard_logs_agree =
+      Array.for_all (fun r -> logs_of r = logs0) run.E.replicas
+    in
+    let merged =
+      List.concat_map snd logs0
+      |> List.sort (fun (a, _, _) (b, _, _) -> Timestamp.compare a b)
+    in
+    let folded =
+      List.fold_left (fun m (_, _, ku) -> S.apply m [ ku ]) S.initial merged
+    in
+    let expected = S.eval folded S.K.Sweep in
+    let omega_matches_fold =
+      run.E.outputs <> []
+      && List.for_all (fun (_, o) -> S.equal_output o expected) run.E.outputs
+    in
+    let snapshot_matches_fold =
+      match S.snapshot run.E.replicas.(0) with
+      | None -> false
+      | Some frame ->
+        let fresh = S.create (dummy_ctx ~pid:0 ~n:domains) in
+        S.absorb fresh frame
+        &&
+        let out = ref None in
+        S.query fresh S.K.Sweep ~on_result:(fun o -> out := Some o);
+        (match !out with
+        | Some o -> S.equal_output o expected
+        | None -> false)
+    in
+    let keyed = keyed_total scripts in
+    let updates_conserved =
+      List.fold_left (fun acc (_, l) -> acc + List.length l) 0 logs0 = keyed
+    in
+    {
+      run;
+      latency = E.latency_summary run;
+      shards;
+      keyed_total = keyed;
+      shard_logs_agree;
+      omega_matches_fold;
+      snapshot_matches_fold;
+      updates_conserved;
+      shard_lengths = S.shard_log_lengths run.E.replicas.(0);
+      state_repr = Format.asprintf "%a" S.pp_state folded;
+    }
+
+  let row ~keys ~skew ~fanout v : shard_row =
+    let lens = List.map snd v.shard_lengths in
+    {
+      shard_spec = A.name;
+      shards = v.shards;
+      shard_domains = Array.length v.run.E.reports;
+      keys;
+      skew;
+      fanout;
+      shard_total_ops = v.run.E.ops_total;
+      keyed_updates = v.keyed_total;
+      shard_wall_s = v.run.E.wall_seconds;
+      shard_ops_per_sec = v.run.E.throughput;
+      shard_log_max = List.fold_left max 0 lens;
+      shard_log_min =
+        (match lens with [] -> 0 | x :: r -> List.fold_left min x r);
+      shard_ok = ok v;
+    }
+end
+
 (* The Zipf-skewed or-set workload the sequential experiments use
    ([Workload.For_set.conflict] shape), cut per domain: hot keys are
    shared across every domain, so late arrivals really do land mid-log

@@ -78,6 +78,84 @@ module Bench (A : Uqadt.S) : sig
   val row : ops_per_domain:int -> verdict -> row
 end
 
+type shard_row = {
+  shard_spec : string;
+  shards : int;
+  shard_domains : int;
+  keys : int;
+  skew : float;
+  fanout : int;
+  shard_total_ops : int;
+  keyed_updates : int;  (** keyed sub-updates issued (Σ batch widths) *)
+  shard_wall_s : float;
+  shard_ops_per_sec : float;
+  shard_log_max : int;  (** longest per-shard log — skew made visible *)
+  shard_log_min : int;
+  shard_ok : bool;  (** the shard-aware differential verdict *)
+}
+(** One BENCH_shard.json record. *)
+
+val emit_shard_json : string -> shard_row list -> unit
+
+(** The Proposition 4 differential, shard-aware: the {!Space} runs one
+    Algorithm 1 core per shard, so after a parallel run quiesces every
+    replica must hold, {e for every shard}, the identical
+    timestamp-sorted inner log; every ω sweep must equal the keyed fold
+    of the union of those logs; the whole-space snapshot/absorb path
+    (churn catch-up, shard migration) must restore a fresh replica to
+    the same answer; and the union must hold exactly the keyed
+    sub-updates the clients issued. *)
+module Sharded
+    (A : Uqadt.S)
+    (C : Update_codec.S with type update = A.update) : sig
+  module S : module type of Space.Make (A) (C)
+  module E : module type of Parallel_engine.Make (S)
+
+  type verdict = {
+    run : E.result;
+    latency : Stats.summary option;
+    shards : int;
+    keyed_total : int;
+    shard_logs_agree : bool;
+    omega_matches_fold : bool;
+    snapshot_matches_fold : bool;
+    updates_conserved : bool;
+    shard_lengths : (int * int) list;  (** replica 0, by shard id *)
+    state_repr : string;  (** rendered keyed fold *)
+  }
+
+  val ok : verdict -> bool
+
+  val zipf_scripts :
+    seed:int ->
+    domains:int ->
+    ops:int ->
+    keys:int ->
+    skew:float ->
+    fanout:int ->
+    query_ratio:float ->
+    (S.update, S.query) Protocol.invocation list array
+  (** One {!Prng.fork}ed stream per domain: multi-key update batches
+      (width uniform in [1..fanout]) over a Zipf-skewed key space, plus
+      keyed reads at [query_ratio]. Key 0 is the hottest. *)
+
+  val measure :
+    ?mailbox_capacity:int ->
+    ?batch_every:int ->
+    ?obs:Obs.t ->
+    ?vnodes:int ->
+    shards:int ->
+    domains:int ->
+    scripts:(S.update, S.query) Protocol.invocation list array ->
+    unit ->
+    verdict
+  (** Build a static [shards]-shard map (no rebalancing policy — the
+      ring never changes during the parallel run), run the engine with
+      an ω sweep everywhere, then run the shard-aware differential. *)
+
+  val row : keys:int -> skew:float -> fanout:int -> verdict -> shard_row
+end
+
 val set_zipf_scripts :
   seed:int ->
   domains:int ->

@@ -28,6 +28,19 @@ type event =
   | Leave of { pid : int; time : float }
   | Partition of { from_time : float; to_time : float; group : int list }
   | Probe of { time : float; distinct : int }
+  | Rebalance of {
+      time : float;
+      hot : int;
+      fresh : int;
+      shards : int;
+      moved : int;
+    }
+      (** hot-shard split: shard [hot] shed keys to new shard [fresh],
+          leaving [shards] on the ring; [moved] log entries re-homed at
+          the splitting replica (others migrate lazily) *)
+  | Shard of { time : float; shard : int; ops : int; log : int }
+      (** per-shard op-rate sample at a rebalance check: [ops] updates
+          routed to [shard] in the window, [log] its local log length *)
 
 type t = {
   mutable header : (string * Json.t) list;
@@ -74,6 +87,8 @@ let event_time = function
   | Leave { time; _ } -> time
   | Partition { from_time; _ } -> from_time
   | Probe { time; _ } -> time
+  | Rebalance { time; _ } -> time
+  | Shard { time; _ } -> time
 
 (* ------------------------------ encoding ------------------------------ *)
 
@@ -158,6 +173,25 @@ let event_to_json = function
   | Probe { time; distinct } ->
     Json.Obj
       [ ("ev", Json.Str "probe"); ("t", Json.Num time); ("distinct", num_i distinct) ]
+  | Rebalance { time; hot; fresh; shards; moved } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "rebalance");
+        ("t", Json.Num time);
+        ("hot", num_i hot);
+        ("fresh", num_i fresh);
+        ("shards", num_i shards);
+        ("moved", num_i moved);
+      ]
+  | Shard { time; shard; ops; log } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "shard");
+        ("t", Json.Num time);
+        ("shard", num_i shard);
+        ("ops", num_i ops);
+        ("log", num_i log);
+      ]
 
 (* ------------------------------ decoding ------------------------------ *)
 
@@ -280,6 +314,23 @@ let event_of_json j =
   | Some "probe" ->
     Probe
       { time = req_num j "t" "probe"; distinct = req_int j "distinct" "probe" }
+  | Some "rebalance" ->
+    Rebalance
+      {
+        time = req_num j "t" "rebalance";
+        hot = req_int j "hot" "rebalance";
+        fresh = req_int j "fresh" "rebalance";
+        shards = req_int j "shards" "rebalance";
+        moved = req_int j "moved" "rebalance";
+      }
+  | Some "shard" ->
+    Shard
+      {
+        time = req_num j "t" "shard";
+        shard = req_int j "shard" "shard";
+        ops = req_int j "ops" "shard";
+        log = req_int j "log" "shard";
+      }
   | Some other -> fail "unknown event kind %S" other
   | None -> fail "event line without an \"ev\" field"
 
@@ -401,6 +452,11 @@ let pp_event ppf = function
       from_time to_time
   | Probe { time; distinct } ->
     Format.fprintf ppf "probe @%g distinct=%d" time distinct
+  | Rebalance { time; hot; fresh; shards; moved } ->
+    Format.fprintf ppf "rebalance s%d->s%d shards=%d moved=%d @%g" hot fresh
+      shards moved time
+  | Shard { time; shard; ops; log } ->
+    Format.fprintf ppf "shard s%d ops=%d log=%d @%g" shard ops log time
 
 (* ------------------------------- diff --------------------------------- *)
 

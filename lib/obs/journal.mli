@@ -54,6 +54,20 @@ type event =
   | Probe of { time : float; distinct : int }
       (** convergence probe: distinct state fingerprints among live
           replicas *)
+  | Rebalance of {
+      time : float;
+      hot : int;
+      fresh : int;
+      shards : int;
+      moved : int;
+    }
+      (** hot-shard split: shard [hot] shed keys to new shard [fresh],
+          leaving [shards] on the ring; [moved] log entries were
+          re-homed at the splitting replica (the rest migrate lazily) *)
+  | Shard of { time : float; shard : int; ops : int; log : int }
+      (** per-shard op-rate sample at a rebalance check: [ops] updates
+          routed to [shard] in the closing window, [log] its local log
+          length at the sampling replica *)
 
 type t
 

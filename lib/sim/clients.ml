@@ -30,7 +30,7 @@ let arrival_times ~rng phases =
 module Make (P : Protocol.PROTOCOL) = struct
   type open_loop = {
     plan : phase list;
-    mix : Prng.t -> (P.update, P.query) Protocol.invocation;
+    mix : Prng.t -> (P.update, P.query) Protocol.invocation list;
   }
 
   type config = {
@@ -70,6 +70,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     open_completed : int;
     open_abandoned : int;
     open_latencies : float list;
+    open_keyed_latencies : (int * float) list;
   }
 
   let run config ~workload =
@@ -199,6 +200,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     let open_completed = ref 0 in
     let open_abandoned = ref 0 in
     let open_latencies = ref [] in
+    let open_keyed_latencies = ref [] in
     let open_lat_hist =
       Option.map
         (fun o ->
@@ -228,20 +230,25 @@ module Make (P : Protocol.PROTOCOL) = struct
         open_latencies := lat :: !open_latencies;
         Option.iter (fun h -> Obs.Registry.observe h lat) open_lat_hist
       in
-      let rec issue_open ~started ~hint op =
+      (* One arrival can fan out into several sub-operations (legs),
+         issued concurrently — a multi-key operation touching several
+         shards. The arrival completes when its last leg replies (so its
+         recorded latency is the slowest leg's), and is abandoned if any
+         leg found no live replica. Per-leg latencies are kept keyed by
+         arrival index for {!Stats.slo_by_key}. *)
+      let rec issue_leg ~hint op ~on_reply ~on_fail =
         match live_replica hint with
-        | None -> incr open_abandoned
+        | None -> on_fail ()
         | Some target ->
           Engine.schedule engine ~delay:(open_gap ()) (fun () ->
               if crashed.(target) then begin
                 incr failovers;
-                issue_open ~started ~hint:(target + 1) op
+                issue_leg ~hint:(target + 1) op ~on_reply ~on_fail
               end
               else begin
                 let replica = Option.get replicas.(target) in
                 let reply () =
-                  Engine.schedule engine ~delay:(open_gap ()) (fun () ->
-                      complete started)
+                  Engine.schedule engine ~delay:(open_gap ()) on_reply
                 in
                 match op with
                 | Protocol.Invoke_update u ->
@@ -255,9 +262,28 @@ module Make (P : Protocol.PROTOCOL) = struct
               end)
       in
       List.iter
-        (fun (i, t, op) ->
+        (fun (i, t, subs) ->
           Engine.schedule_at engine ~time:t (fun () ->
-              issue_open ~started:t ~hint:(i mod config.n_replicas) op))
+              match subs with
+              | [] -> ()
+              | _ ->
+                let pending = ref (List.length subs) in
+                let failed = ref 0 in
+                let leg_done ok =
+                  decr pending;
+                  if not ok then incr failed;
+                  if !pending = 0 then
+                    if !failed = 0 then complete t else incr open_abandoned
+                in
+                List.iteri
+                  (fun j op ->
+                    issue_leg ~hint:((i + j) mod config.n_replicas) op
+                      ~on_reply:(fun () ->
+                        open_keyed_latencies :=
+                          (i, Engine.now engine -. t) :: !open_keyed_latencies;
+                        leg_done true)
+                      ~on_fail:(fun () -> leg_done false))
+                  subs))
         ops);
     Engine.run engine;
     (* ω final reads, through each client's (live) home. *)
@@ -289,5 +315,6 @@ module Make (P : Protocol.PROTOCOL) = struct
       open_completed = !open_completed;
       open_abandoned = !open_abandoned;
       open_latencies = List.rev !open_latencies;
+      open_keyed_latencies = List.rev !open_keyed_latencies;
     }
 end

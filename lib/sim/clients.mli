@@ -38,9 +38,12 @@ val arrival_times : rng:Prng.t -> phase list -> float list
 module Make (P : Protocol.PROTOCOL) : sig
   type open_loop = {
     plan : phase list;
-    mix : Prng.t -> (P.update, P.query) Protocol.invocation;
+    mix : Prng.t -> (P.update, P.query) Protocol.invocation list;
         (** drawn once per arrival, from a stream independent of the
-            closed-loop clients' *)
+            closed-loop clients'. The list is the arrival's {e fan-out}:
+            its sub-operations are issued concurrently (a multi-key
+            operation touching several shards); a singleton list is the
+            ordinary one-op arrival *)
   }
 
   type config = {
@@ -74,13 +77,18 @@ module Make (P : Protocol.PROTOCOL) : sig
             replying; the client retries elsewhere, so this counts
             retried requests, not lost ones *)
     open_completed : int;
-    open_abandoned : int;  (** arrivals that found no live replica *)
+    open_abandoned : int;
+        (** arrivals with a sub-operation that found no live replica *)
     open_latencies : float list;
-        (** per-arrival end-to-end latency (arrival to reply received),
-            in arrival order — feed {!Stats.slo} for SLO verdicts. Open
-            operations touch the replicas but are excluded from
-            [history]: they carry no session, so session criteria do
-            not apply to them. *)
+        (** per-arrival end-to-end latency (arrival to {e last}
+            sub-operation reply received), in completion order — feed
+            {!Stats.slo} for SLO verdicts. Open operations touch the
+            replicas but are excluded from [history]: they carry no
+            session, so session criteria do not apply to them. *)
+    open_keyed_latencies : (int * float) list;
+        (** per-sub-operation latency keyed by arrival index; collapses
+            to the same per-arrival verdicts via {!Stats.slo_by_key}
+            even when one arrival fans out to many shards *)
   }
 
   val run :

@@ -85,6 +85,23 @@ let slo ~target xs =
       compliance = 1.0 -. (float_of_int violations /. float_of_int s.count);
     }
 
+(* One logical operation can fan out into several timed sub-operations
+   (a storm arrival touching many shards); judging each sub-latency
+   separately would overweight wide arrivals and undercount misses —
+   the arrival is only as fast as its slowest leg. *)
+let slo_by_key ~target samples =
+  match samples with
+  | [] -> invalid_arg "Stats.slo_by_key: empty sample"
+  | _ ->
+    let worst = Hashtbl.create 64 in
+    List.iter
+      (fun (k, x) ->
+        match Hashtbl.find_opt worst k with
+        | Some y when y >= x -> ()
+        | _ -> Hashtbl.replace worst k x)
+      samples;
+    slo ~target (Hashtbl.fold (fun _ x acc -> x :: acc) worst [])
+
 let pp_slo ppf s =
   Format.fprintf ppf
     "target=%.3f n=%d p50=%.3f p99=%.3f max=%.3f violations=%d (%.1f%% compliant) %s"

@@ -40,6 +40,14 @@ val slo : target:float -> float list -> slo
     [Invalid_argument] on []. The objective is judged "met" when the
     p99 is at or under the target (see {!pp_slo}). *)
 
+val slo_by_key : target:float -> (int * float) list -> slo
+(** SLO report over keyed samples, one verdict per distinct key: samples
+    sharing a key are collapsed to their maximum before judging. Use
+    when one logical operation fans out into several timed
+    sub-operations (an arrival touching many shards) — the operation is
+    only as fast as its slowest leg, and counting each leg separately
+    would overweight wide fan-outs. Raises [Invalid_argument] on []. *)
+
 val pp_slo : Format.formatter -> slo -> unit
 
 type histogram

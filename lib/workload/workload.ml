@@ -99,6 +99,61 @@ module Flash_crowd = struct
       end
 end
 
+(* Zipf-skewed multi-key operation streams for the sharded object
+   space. Generic over the base ADT through callbacks (the keyed spec
+   lives in the shard layer, above this library): [update]/[query] draw
+   base operations, [read] wraps a keyed read into the space's query
+   type. Keys are Zipf ranks shifted to [0, keys): rank 1 — the hottest
+   key — is key 0, so high skew concentrates load on whatever shard
+   owns key 0, which is exactly the hot-shard regime rebalancing is
+   for. Explicit loops: the draw order is part of the determinism
+   contract, and [List.init]'s evaluation order is not. *)
+module For_space = struct
+  let batch ~zipf ~fanout ~update g =
+    let width = if fanout <= 1 then 1 else 1 + Prng.int g fanout in
+    let acc = ref [] in
+    for _ = 1 to width do
+      let k = Zipf.sample zipf g - 1 in
+      let u = update g in
+      acc := (k, u) :: !acc
+    done;
+    List.rev !acc
+
+  let zipf_scripts ~rng ~n ~ops_per_process ~keys ~skew ~fanout ~query_ratio
+      ~update ~query ~read =
+    let zipf = Zipf.create ~n:keys ~s:skew in
+    let script () =
+      let acc = ref [] in
+      for _ = 1 to ops_per_process do
+        let inv =
+          if query_ratio > 0.0 && Prng.float rng 1.0 < query_ratio then
+            Protocol.Invoke_query (read (Zipf.sample zipf rng - 1) (query rng))
+          else Protocol.Invoke_update (batch ~zipf ~fanout ~update rng)
+        in
+        acc := inv :: !acc
+      done;
+      List.rev !acc
+    in
+    let scripts = Array.make n [] in
+    for p = 0 to n - 1 do
+      scripts.(p) <- script ()
+    done;
+    scripts
+
+  (* Open-loop arrival mix: one arrival fans out to [1..fanout]
+     single-key sub-operations, issued concurrently — the regime the
+     per-key SLO attribution ({!Stats.slo_by_key}) exists for. *)
+  let storm_mix ~keys ~skew ~fanout ~query_ratio ~update ~query ~read =
+    let zipf = Zipf.create ~n:keys ~s:skew in
+    fun g ->
+      if query_ratio > 0.0 && Prng.float g 1.0 < query_ratio then
+        [ Protocol.Invoke_query (read (Zipf.sample zipf g - 1) (query g)) ]
+      else
+        List.map
+          (fun ku -> Protocol.Invoke_update [ ku ])
+          (batch ~zipf ~fanout ~update g)
+end
+
 module For_memory = struct
   let random_writes ~rng ~n ~ops_per_process ~registers ~read_ratio =
     Array.init n (fun _ ->

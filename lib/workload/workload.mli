@@ -77,6 +77,46 @@ module Flash_crowd : sig
       {!For_set.conflict}, plus a query fraction. *)
 end
 
+(** Zipf-skewed multi-key streams for the sharded object space (C9).
+
+    Generic over the base ADT through callbacks, because the keyed
+    spec lives above this library: [update]/[query] draw base
+    operations, [read k q] wraps a keyed read into the space's query
+    type. Keys are Zipf ranks shifted to [0, keys) — key 0 is the
+    hottest, so skew concentrates load on one shard (the rebalancing
+    regime). *)
+module For_space : sig
+  val zipf_scripts :
+    rng:Prng.t ->
+    n:int ->
+    ops_per_process:int ->
+    keys:int ->
+    skew:float ->
+    fanout:int ->
+    query_ratio:float ->
+    update:(Prng.t -> 'u) ->
+    query:(Prng.t -> 'q) ->
+    read:(int -> 'q -> 'rq) ->
+    ((int * 'u) list, 'rq) t
+  (** Closed-loop scripts of multi-key update batches (width uniform in
+      [1..fanout]) and keyed reads. *)
+
+  val storm_mix :
+    keys:int ->
+    skew:float ->
+    fanout:int ->
+    query_ratio:float ->
+    update:(Prng.t -> 'u) ->
+    query:(Prng.t -> 'q) ->
+    read:(int -> 'q -> 'rq) ->
+    Prng.t ->
+    ((int * 'u) list, 'rq) Protocol.invocation list
+  (** Open-loop arrival mix: each arrival fans out to [1..fanout]
+      single-key sub-operations issued concurrently; feed the
+      per-sub-op latencies to {!Stats.slo_by_key} for arrival-level
+      SLO verdicts. *)
+end
+
 module For_memory : sig
   val random_writes :
     rng:Prng.t ->

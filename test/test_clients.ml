@@ -154,8 +154,11 @@ let tests =
       (fun () ->
         let plan = Workload.Flash_crowd.plan ~base:0.5 ~peak:4.0 ~warm:30.0 ~spike:25.0 ~cool:30.0 in
         let mix =
-          Workload.Flash_crowd.set_mix ~domain:16 ~skew:1.0 ~delete_ratio:0.3
-            ~query_ratio:0.25
+          let one =
+            Workload.Flash_crowd.set_mix ~domain:16 ~skew:1.0 ~delete_ratio:0.3
+              ~query_ratio:0.25
+          in
+          fun g -> [ one g ]
         in
         let config =
           {

@@ -461,9 +461,70 @@ let churn_pin_tests =
     pin "pinned churn journal: seed 23 n 4 ops 4" ~seed:23 ~n:4 ~ops:4 "da77997c8fded5f80a660e6c394f6e48bcd9a4f8dc69b7fa5e61c0db17be1d6e";
   ]
 
+(* Sharded-run byte pins: the same complete-journal digest for the
+   sharded object space. Three seeded runs — a single shard (the
+   degenerate space, whose journal must stay exactly as deterministic
+   as any other run), a static two-shard ring, and a four-shard ring
+   with the hot-shard policy armed so [Rebalance]/[Shard] events land
+   in the pinned bytes. Any drift in the ring hash, the fan-out
+   batching, the migration frames, or the shard event encoding moves
+   these literals. *)
+let shard_pin_tests =
+  let module Sp = Space.Make (Set_spec) (Update_codec.For_set) in
+  let module R = Runner.Make (Sp) in
+  let sharded_sha ?policy ~shards ~seed ~n ~ops ~keys () =
+    let journal = Obs.Journal.create () in
+    let obs = Obs.create ~journal () in
+    let map = Sp.create_map ?policy ~obs ~shards () in
+    Sp.configure map;
+    let workload =
+      Workload.For_space.zipf_scripts ~rng:(Prng.create seed) ~n
+        ~ops_per_process:ops ~keys ~skew:1.1 ~fanout:3 ~query_ratio:0.25
+        ~update:(fun g ->
+          let v = 1 + Prng.int g 16 in
+          if Prng.float g 1.0 < 0.3 then Set_spec.Delete v
+          else Set_spec.Insert v)
+        ~query:(fun _ -> Set_spec.Read)
+        ~read:(fun k q -> Sp.K.Read (k, q))
+    in
+    let config =
+      {
+        (R.default_config ~n ~seed) with
+        R.delay = Network.Exponential { mean = 10.0 };
+        final_read = Some Sp.K.Sweep;
+        obs = Some obs;
+      }
+    in
+    let r = R.run config ~workload in
+    Alcotest.(check bool) "sharded run converged" true r.R.converged;
+    if policy <> None then
+      Alcotest.(check bool) "policy fired at least once" true
+        (Sp.rebalances map >= 1);
+    Sha256.hex (Obs.Journal.to_jsonl journal)
+  in
+  let policy = { Sp.interval = 15.0; hot_factor = 1.5; max_shards = 64 } in
+  [
+    Alcotest.test_case "pinned sharded journal: 1 shard seed 5" `Quick
+      (fun () ->
+        Alcotest.(check string) "sha256"
+          "2934db2b96c153a27bcdc233c4d074225d3389c2b2de9323aa0d884fb74fc9db"
+          (sharded_sha ~shards:1 ~seed:5 ~n:3 ~ops:6 ~keys:16 ()));
+    Alcotest.test_case "pinned sharded journal: 2 shards seed 12" `Quick
+      (fun () ->
+        Alcotest.(check string) "sha256"
+          "33e5c431137bcb16cb2a5d40ad6ba241cafead3b76775e0c4eec382c07cb6083"
+          (sharded_sha ~shards:2 ~seed:12 ~n:3 ~ops:6 ~keys:32 ()));
+    Alcotest.test_case "pinned sharded journal: 4 shards seed 19, rebalancing"
+      `Quick
+      (fun () ->
+        Alcotest.(check string) "sha256"
+          "6af4492f2b6f96d382334a9e4b905c960ded59acf14d9c5f7b7630770967bf9f"
+          (sharded_sha ~policy ~shards:4 ~seed:19 ~n:4 ~ops:5 ~keys:16 ()));
+  ]
+
 let tests =
   differential_protocol_tests @ runner_differential_tests @ pinned_run_tests
-  @ churn_pin_tests
+  @ churn_pin_tests @ shard_pin_tests
   @ [
     qtest ~count:150 "Check_uc agrees with brute force" seed_gen (fun seed ->
         let rng = Prng.create seed in

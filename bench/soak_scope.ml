@@ -1,0 +1,153 @@
+(* Long-horizon soak scenario (experiment C10).
+
+   Runs the set object through the simulated runner with the streaming
+   sampler attached — the same plumbing `ucsim soak` uses — on two
+   protocols with opposite memory stories: the universal construction
+   (Algorithm 1, whose op-log retains every update forever) and the
+   stability-GC variant (which prunes entries once every replica has
+   delivered them, so the log stays bounded under FIFO channels).
+
+   Each cell reports wall-clock ops/sec plus two growth slopes fit by
+   least squares over the sampler's retained ring points: the
+   per-replica log length (deterministic — the paper-level signal) and
+   the process live words from Stdlib.Gc.quick_stat (host-dependent —
+   the resource-probe signal a real soak watches). The verdict is the
+   shape, not the speed: universal's log slope must be strictly
+   positive and the GC protocol's final log must stay below the
+   updates it absorbed. Rows go to BENCH_soak.json; `--smoke` shrinks
+   the run for CI budget. *)
+
+module Uni = Persist.Catchup (Generic.Make (Set_spec)) (Update_codec.For_set)
+module Gc_set = Gc.Make (Set_spec)
+
+(* Least-squares slope of [(t, v)] points, in value units per
+   simulated-time unit; 0 for fewer than two points. *)
+let slope points =
+  let n = List.length points in
+  if n < 2 then 0.0
+  else begin
+    let nf = float_of_int n in
+    let sx = List.fold_left (fun a (t, _) -> a +. t) 0.0 points in
+    let sy = List.fold_left (fun a (_, v) -> a +. v) 0.0 points in
+    let sxx = List.fold_left (fun a (t, _) -> a +. (t *. t)) 0.0 points in
+    let sxy = List.fold_left (fun a (t, v) -> a +. (t *. v)) 0.0 points in
+    let den = (nf *. sxx) -. (sx *. sx) in
+    if den = 0.0 then 0.0 else ((nf *. sxy) -. (sx *. sy)) /. den
+  end
+
+type row = {
+  name : string;
+  total_ops : int;
+  wall_s : float;
+  ops_per_sec : float;
+  ticks : int;
+  log_last : float;
+  log_slope : float;
+  live_last : float;
+  live_slope : float;
+}
+
+let run_one name
+    (module P : Protocol.PROTOCOL
+      with type update = Set_spec.update
+       and type query = Set_spec.query
+       and type output = Set_spec.output) ~n ~ops ~seed =
+  let module R = Runner.Make (P) in
+  let rng = Prng.create seed in
+  let workload =
+    Workload.For_set.conflict ~rng ~n ~ops_per_process:ops ~domain:16 ~skew:1.0
+      ~delete_ratio:0.3
+  in
+  let sampler = Obs.Series.sampler ~interval:100.0 () in
+  Obs.Series.add_probe sampler (fun () ->
+      (* uc_core's Gc functor shadows the runtime's module here. *)
+      let q = Stdlib.Gc.quick_stat () in
+      [ ("gc_live_words", [], float_of_int q.Stdlib.Gc.live_words) ]);
+  let base = R.default_config ~n ~seed in
+  let config =
+    {
+      base with
+      R.fifo = true;  (* stability GC needs FIFO; keep the cells equal *)
+      final_read = Some Set_spec.Read;
+      sampler = Some sampler;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = R.run config ~workload in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  assert r.R.converged;
+  let store = Obs.Series.store sampler in
+  let points series labels =
+    match Obs.Series.find store series labels with
+    | Some ring -> Obs.Series.ring_points ring
+    | None -> []
+  in
+  let last = function [] -> 0.0 | ps -> snd (List.nth ps (List.length ps - 1)) in
+  let log_points = points "log_len" [ ("pid", "0") ] in
+  let live_points = points "gc_live_words" [] in
+  let total_ops = n * ops in
+  {
+    name;
+    total_ops;
+    wall_s;
+    ops_per_sec = float_of_int total_ops /. wall_s;
+    ticks = Obs.Series.ticks sampler;
+    log_last = last log_points;
+    log_slope = slope log_points;
+    live_last = last live_points;
+    live_slope = slope live_points;
+  }
+
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("protocol", Obs.Json.Str r.name);
+      ("total_ops", Obs.Json.Num (float_of_int r.total_ops));
+      ("wall_s", Obs.Json.Num r.wall_s);
+      ("ops_per_sec", Obs.Json.Num r.ops_per_sec);
+      ("samples", Obs.Json.Num (float_of_int r.ticks));
+      ("log_len_last", Obs.Json.Num r.log_last);
+      ("log_len_slope", Obs.Json.Num r.log_slope);
+      ("live_words_last", Obs.Json.Num r.live_last);
+      ("live_words_slope", Obs.Json.Num r.live_slope);
+    ]
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let n = 4 in
+  let ops = if smoke then 300 else 2_000 in
+  let seed = 42 in
+  let rows =
+    [
+      run_one "universal" (module Uni) ~n ~ops ~seed;
+      run_one "gc" (module Gc_set) ~n ~ops ~seed;
+    ]
+  in
+  Printf.printf "%-10s %10s %8s %12s %8s %10s %12s %14s %16s\n" "protocol"
+    "total-ops" "wall-s" "ops/sec" "samples" "log last" "log slope"
+    "live last" "live slope";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %10d %8.3f %12.0f %8d %10.0f %12.4f %14.0f %16.1f\n"
+        r.name r.total_ops r.wall_s r.ops_per_sec r.ticks r.log_last
+        r.log_slope r.live_last r.live_slope)
+    rows;
+  let oc = open_out "BENCH_soak.json" in
+  output_string oc
+    (Obs.Json.to_string ~pretty:true (Obs.Json.Arr (List.map row_json rows)));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_soak.json";
+  let uni = List.nth rows 0 and gc = List.nth rows 1 in
+  let growing = uni.log_slope > 0.0 in
+  let bounded = gc.log_last < float_of_int gc.total_ops /. 2.0 in
+  if growing && bounded then
+    print_endline
+      "soak shape: universal log grows, stability-GC log stays bounded (PASS)"
+  else begin
+    Printf.printf
+      "FAIL: expected growing universal log (slope %.4f > 0: %b) and bounded \
+       gc log (%.0f < %d/2: %b)\n"
+      uni.log_slope growing gc.log_last gc.total_ops bounded;
+    exit 1
+  end

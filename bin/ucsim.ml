@@ -9,7 +9,8 @@
      modelcheck   exhaustively check a protocol on a small script
      storm        flash-crowd open-loop load with SLO verdicts
      shrink       minimize a monitor-flagged journal to a smallest one
-     report       render a telemetry registry dump as a table or JSON
+     soak         long-horizon run with streaming series and alert rules
+     report       render a registry dump, or series sparklines (--series)
      list         show available protocols and experiments *)
 
 let experiment_ids =
@@ -58,6 +59,20 @@ type run_params = {
   journal : Obs.Journal.t option;
       (* in-memory capture used by `replay` instead of a file *)
   monitors : Obs.Monitor.criterion list;
+  obs : Obs.t option;
+      (* pre-built telemetry bundle. `soak` (and a soak replay) builds
+         it up front so the streaming sampler can snapshot its registry
+         every tick; everyone else leaves it None and lets
+         [obs_of_params] decide *)
+  sample_interval : float option;
+      (* soak sampler cadence in simulated time; Some marks the journal
+         header as a soak run *)
+  duration : float option;
+      (* soak horizon: overrides the runner deadline (simulated time) *)
+  rules : Obs.Alert.rule list;  (* soak alert rules, header-recorded *)
+  sampler : Obs.Series.sampler option;
+      (* pre-built streaming sampler, threaded into every runner config;
+         None (the default everywhere but `soak`) samples nothing *)
 }
 
 let log_core_name = function `List -> "list" | `Array -> "array"
@@ -132,6 +147,21 @@ let journal_header p =
          ("rebalance", opt (fun w -> Obs.Json.Num w) p.rebalance);
        ]
      else [])
+  (* Soak fields likewise appear only on soak runs: `replay` rebuilds
+     the sampler and alert rules from them so a soak journal's Alert
+     events reproduce, while plain-run headers stay byte-identical. *)
+  @ (match p.sample_interval with
+    | None -> []
+    | Some dt ->
+      [
+        ("sample_interval", Obs.Json.Num dt);
+        ("duration", opt (fun d -> Obs.Json.Num d) p.duration);
+        ( "rules",
+          Obs.Json.Arr
+            (List.map
+               (fun r -> Obs.Json.Str (Obs.Alert.rule_to_string r))
+               p.rules) );
+      ])
 
 (* Inverse of [journal_header]: rebuild the run_params a journal was
    recorded under, attaching [journal] as the replay's capture journal.
@@ -254,6 +284,20 @@ let params_of_header ~journal header =
     | None | Some Obs.Json.Null -> None
     | _ -> missing "scripts"
   in
+  let rules =
+    match get "rules" with
+    | Some (Obs.Json.Arr xs) ->
+      List.map
+        (function
+          | Obs.Json.Str s -> (
+            match Obs.Alert.rule_of_string s with
+            | r -> r
+            | exception Invalid_argument msg -> failwith msg)
+          | _ -> missing "rules")
+        xs
+    | None -> []
+    | _ -> missing "rules"
+  in
   let opt_int k = Option.map int_of_float (opt_num k) in
   {
     protocol = str "protocol";
@@ -282,10 +326,22 @@ let params_of_header ~journal header =
     journal_out = None;
     journal = Some journal;
     monitors;
+    obs = None;
+    sample_interval = opt_num "sample_interval";
+    duration = opt_num "duration";
+    rules;
+    sampler = None;
   }
 
 (* Telemetry is on as soon as any output that needs it was requested. *)
 let obs_of_params p =
+  match p.obs with
+  | Some o ->
+    (* Pre-built by `soak` (or a soak replay) so its sampler could take
+       the registry; only the header is still ours to stamp. *)
+    Option.iter (fun j -> Obs.Journal.set_header j (journal_header p)) o.Obs.journal;
+    Some o
+  | None ->
   let journal =
     if p.journal_out <> None || p.journal <> None then begin
       let j =
@@ -322,6 +378,20 @@ let emit_obs p obs =
   match obs with
   | None -> ()
   | Some (o : Obs.t) ->
+    (* Host-resource gauges, stamped once at dump time rather than
+       during the run: their values depend on allocator state, so
+       keeping them out of the library layer keeps its goldens stable.
+       (Stdlib.Gc — uc_core's Gc module shadows the runtime's here.) *)
+    let q = Stdlib.Gc.quick_stat () in
+    Obs.Registry.set
+      (Obs.Registry.gauge o.registry "gc_live_words")
+      (float_of_int q.Stdlib.Gc.live_words);
+    Obs.Registry.set
+      (Obs.Registry.gauge o.registry "gc_major_collections")
+      (float_of_int q.Stdlib.Gc.major_collections);
+    Obs.Registry.set
+      (Obs.Registry.gauge o.registry "gc_top_heap_words")
+      (float_of_int q.Stdlib.Gc.top_heap_words);
     (match p.trace_out with
     | Some file ->
       write_json file
@@ -420,20 +490,23 @@ let run_set ?note (module P : SET_PROTOCOL) p =
     if p.monitors = [] then None
     else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
   in
+  let base = R.default_config ~n:p.n ~seed:p.seed in
   let config =
     {
-      (R.default_config ~n:p.n ~seed:p.seed) with
+      base with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
       crashes = p.crashes;
       churn = p.churn;
       final_read = Some Set_spec.Read;
+      deadline = Option.value ~default:base.R.deadline p.duration;
       trace = p.spacetime;
       batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
       monitor;
+      sampler = p.sampler;
     }
   in
   let r = R.run config ~workload in
@@ -478,18 +551,21 @@ let run_counter (module P : Protocol.PROTOCOL
     if p.monitors = [] then None
     else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
   in
+  let base = R.default_config ~n:p.n ~seed:p.seed in
   let config =
     {
-      (R.default_config ~n:p.n ~seed:p.seed) with
+      base with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
       churn = p.churn;
       final_read = Some Counter_spec.Value;
+      deadline = Option.value ~default:base.R.deadline p.duration;
       batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
       monitor;
+      sampler = p.sampler;
     }
   in
   let r = R.run config ~workload in
@@ -517,18 +593,21 @@ let run_register (module P : Protocol.PROTOCOL
     if p.monitors = [] then None
     else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
   in
+  let base = R.default_config ~n:p.n ~seed:p.seed in
   let config =
     {
-      (R.default_config ~n:p.n ~seed:p.seed) with
+      base with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
       churn = p.churn;
       final_read = Some Register_spec.Read;
+      deadline = Option.value ~default:base.R.deadline p.duration;
       batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
       monitor;
+      sampler = p.sampler;
     }
   in
   let r = R.run config ~workload in
@@ -560,17 +639,20 @@ let run_memory p =
     if p.monitors = [] then None
     else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
   in
+  let base = R.default_config ~n:p.n ~seed:p.seed in
   let config =
     {
-      (R.default_config ~n:p.n ~seed:p.seed) with
+      base with
       R.delay = Network.Exponential { mean = p.mean_delay };
       partitions = p.partitions;
       churn = p.churn;
       final_read = Some (Memory_spec.Read 0);
+      deadline = Option.value ~default:base.R.deadline p.duration;
       batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
       monitor;
+      sampler = p.sampler;
     }
   in
   let r = R.run config ~workload in
@@ -631,24 +713,32 @@ let run_sharded p =
   in
   let map = Sharded_set.create_map ?policy ?obs ~shards:p.shards () in
   Sharded_set.configure map;
+  (* Soak runs also watch the ring: cumulative and per-tick op rates
+     for every shard, so a hot-shard split shows up in the series. *)
+  Option.iter
+    (fun s -> Obs.Series.add_probe s (Sharded_set.series_probe map))
+    p.sampler;
   let workload = sharded_workload p in
   let monitor =
     if p.monitors = [] then None
     else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
   in
+  let base = R.default_config ~n:p.n ~seed:p.seed in
   let config =
     {
-      (R.default_config ~n:p.n ~seed:p.seed) with
+      base with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
       crashes = p.crashes;
       churn = p.churn;
       final_read = Some Sharded_set.K.Sweep;
+      deadline = Option.value ~default:base.R.deadline p.duration;
       batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
       monitor;
+      sampler = p.sampler;
     }
   in
   let r = R.run config ~workload in
@@ -724,19 +814,22 @@ let run_universal_on (module A : Registry.SPEC) p =
     if p.monitors = [] then None
     else Some (R.Mon.create ~n:p.n ~criteria:p.monitors)
   in
+  let base = R.default_config ~n:p.n ~seed:p.seed in
   let config =
     {
-      (R.default_config ~n:p.n ~seed:p.seed) with
+      base with
       R.delay = Network.Exponential { mean = p.mean_delay };
       fifo = p.fifo;
       partitions = p.partitions;
       crashes = p.crashes;
       churn = p.churn;
       final_read = Some (A.random_query (Prng.create p.seed));
+      deadline = Option.value ~default:base.R.deadline p.duration;
       batch_window = p.batch_window;
       obs;
       probe_interval = p.probe_interval;
       monitor;
+      sampler = p.sampler;
     }
   in
   let r = R.run config ~workload in
@@ -1093,6 +1186,11 @@ let run_cmd =
         journal_out;
         journal = None;
         monitors;
+        obs = None;
+        sample_interval = None;
+        duration = None;
+        rules = [];
+        sampler = None;
       }
   in
   Cmd.v (Cmd.info "run" ~doc)
@@ -1742,42 +1840,311 @@ let classify_cmd =
   in
   Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ history_arg $ witnesses_arg)
 
+let soak_cmd =
+  let doc =
+    "Long-horizon soak run: stream time-series telemetry — registry \
+     snapshots, per-replica log and checkpoint gauges, engine queue depth, \
+     per-shard op rates, sliding-window latency percentiles — on a \
+     simulated-time cadence, evaluate declarative alert rules over the \
+     series each tick, and exit non-zero if any rule fires."
+  in
+  let protocol =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, _, f) -> (n, (n, f))) protocols))) None
+      & info [] ~docv:"PROTOCOL" ~doc:"One of the names shown by `ucsim list`.")
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Processes.") in
+  let ops_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per process.")
+  in
+  let delay_arg =
+    Arg.(value & opt float 10.0 & info [ "delay" ] ~docv:"D" ~doc:"Mean message delay.")
+  in
+  let fifo_arg = Arg.(value & flag & info [ "fifo" ] ~doc:"FIFO channels.") in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Initial shard count (sharded protocol only).")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "keys" ] ~docv:"K"
+          ~doc:"Key domain of the sharded workload.")
+  in
+  let rebalance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rebalance" ] ~docv:"DT"
+          ~doc:"Arm the hot-shard split policy (sharded protocol only).")
+  in
+  let churn_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ t_s; action_s; pid_s ] -> (
+        match
+          ( float_of_string_opt t_s,
+            Network.churn_action_of_name action_s,
+            int_of_string_opt pid_s )
+        with
+        | Some time, Some action, Some pid -> Ok { Network.time; pid; action }
+        | _ -> Error (`Msg "churn: expected TIME:join|leave|rejoin:PID"))
+      | _ -> Error (`Msg "churn: expected TIME:ACTION:PID")
+    in
+    let print ppf (ce : Network.churn_event) =
+      Format.fprintf ppf "%g:%s:%d" ce.Network.time
+        (Network.churn_action_name ce.Network.action)
+        ce.Network.pid
+    in
+    Arg.conv (parse, print)
+  in
+  let churn_arg =
+    Arg.(
+      value
+      & opt_all churn_conv []
+      & info [ "churn" ] ~docv:"TIME:ACTION:PID"
+          ~doc:"Membership change schedule, as in `ucsim run`. Repeatable.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"T"
+          ~doc:
+            "Hard horizon in simulated time: the run stops at $(docv) even \
+             with script left (the default horizon is the runner's 1e7 \
+             deadline).")
+  in
+  let sample_interval_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "sample-interval" ] ~docv:"DT"
+          ~doc:
+            "Simulated time between samples. Samples piggyback on existing \
+             deliveries and completions — the sampler never schedules engine \
+             events, so the schedule is identical with or without it.")
+  in
+  let series_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream every sample (full resolution) and alert firing as JSONL \
+             to $(docv); render it later with `ucsim report --series`.")
+  in
+  let rule_conv =
+    let parse s =
+      match Obs.Alert.rule_of_string s with
+      | r -> Ok r
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    let print ppf r = Format.pp_print_string ppf (Obs.Alert.rule_to_string r) in
+    Arg.conv (parse, print)
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt_all rule_conv []
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:
+            "Alert rule over the sampled series: $(b,above:SERIES:V), \
+             $(b,below:SERIES:V), $(b,growth:SERIES:K) (the last K retained \
+             points strictly increasing — the unbounded-growth detector), or \
+             $(b,slo:SERIES:TARGET). A rule addresses every labeled series \
+             of that name, fires at most once, and is journaled as an Alert \
+             event. Repeatable.")
+  in
+  let journal_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:
+            "Record the run (with its soak header and Alert events) as a \
+             JSONL journal; `ucsim replay` reproduces the alert stream.")
+  in
+  let registry_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "registry-out" ] ~docv:"FILE"
+          ~doc:"Write the end-of-run metric registry dump as JSON.")
+  in
+  let run (name, f) seed n ops shards keys rebalance mean_delay fifo churn
+      duration sample_interval series_out rules journal_out registry_out =
+    let journal = Option.map (fun _ -> Obs.Journal.create ()) journal_out in
+    (* The bundle exists up front (unlike `run`, where obs_of_params
+       decides) so the sampler can snapshot its registry every tick. *)
+    let o = Obs.create ?journal () in
+    let sampler =
+      Obs.Series.sampler ~interval:sample_interval ~registry:o.Obs.registry ()
+    in
+    let writer =
+      Option.map
+        (fun file ->
+          let oc = open_out file in
+          let w =
+            Obs.Series.writer oc
+              ~meta:
+                [
+                  ("protocol", Obs.Json.Str name);
+                  ("seed", Obs.Json.Num (float_of_int seed));
+                  ("n", Obs.Json.Num (float_of_int n));
+                  ("sample_interval", Obs.Json.Num sample_interval);
+                ]
+          in
+          (file, oc, w))
+        series_out
+    in
+    Option.iter
+      (fun (_, _, w) -> Obs.Series.set_sink sampler (Obs.Series.write_point w))
+      writer;
+    let alerts = Obs.Alert.create rules in
+    Obs.Alert.attach alerts sampler ~on_fire:(fun fr ->
+        let rule = Obs.Alert.rule_to_string fr.Obs.Alert.rule in
+        Printf.printf "ALERT              %s at t=%g on %s (value %g)\n" rule
+          fr.Obs.Alert.time fr.Obs.Alert.series fr.Obs.Alert.value;
+        Option.iter
+          (fun j ->
+            Obs.Journal.record j
+              (Obs.Journal.Alert
+                 {
+                   time = fr.Obs.Alert.time;
+                   rule;
+                   series = fr.Obs.Alert.series;
+                   value = fr.Obs.Alert.value;
+                 }))
+          journal;
+        Option.iter
+          (fun (_, _, w) ->
+            Obs.Series.write_alert w ~time:fr.Obs.Alert.time ~rule
+              ~series:fr.Obs.Alert.series ~value:fr.Obs.Alert.value)
+          writer);
+    f
+      {
+        protocol = name;
+        seed;
+        n;
+        ops;
+        shards;
+        keys;
+        rebalance;
+        mean_delay;
+        fifo;
+        crashes = [];
+        check = false;
+        spacetime = false;
+        log_core = `Array;
+        checkpoint_interval = None;
+        batch_window = None;
+        obs_on = false;
+        trace_out = None;
+        registry_out;
+        span_dump = false;
+        probe_interval = None;
+        partitions = [];
+        churn;
+        scripts = None;
+        journal_out;
+        journal;
+        monitors = [];
+        obs = Some o;
+        sample_interval = Some sample_interval;
+        duration;
+        rules;
+        sampler = Some sampler;
+      };
+    Printf.printf "samples            %d ticks, %d series\n"
+      (Obs.Series.ticks sampler)
+      (List.length (Obs.Series.list (Obs.Series.store sampler)));
+    (match writer with
+    | Some (file, oc, w) ->
+      Obs.Series.close_writer w;
+      close_out oc;
+      Printf.printf "series written     %s\n" file
+    | None -> ());
+    match Obs.Alert.fired alerts with
+    | [] ->
+      Printf.printf "alerts             none fired (%d armed)\n"
+        (List.length rules)
+    | fired ->
+      Printf.printf "alerts             %d fired (of %d armed)\n"
+        (List.length fired) (List.length rules);
+      exit 1
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ protocol $ seed_arg $ n_arg $ ops_arg $ shards_arg $ keys_arg
+      $ rebalance_arg $ delay_arg $ fifo_arg $ churn_arg $ duration_arg
+      $ sample_interval_arg $ series_out_arg $ rules_arg $ journal_out_arg
+      $ registry_out_arg)
+
 let report_cmd =
-  let doc = "Render a telemetry registry dump (from `run --registry-out`)." in
+  let doc =
+    "Render a telemetry registry dump (from `run --registry-out`) or, with \
+     $(b,--series), a soak series stream (from `soak --series-out`) as \
+     sparklines."
+  in
   let file_arg =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Registry dump JSON file.")
+      & info [] ~docv:"FILE" ~doc:"Registry dump JSON (or series JSONL) file.")
   in
   let json_arg =
     Arg.(
       value & flag
       & info [ "json" ]
-          ~doc:"Re-emit the dump as canonical (sorted, pretty) JSON instead of a table.")
+          ~doc:
+            "Re-emit the dump as canonical (sorted, pretty) JSON instead of a \
+             table (registry dumps only).")
   in
-  let run file json =
-    let contents =
-      let ic = open_in_bin file in
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      s
-    in
-    match Obs.Registry.rows_of_json (Obs.Json.of_string contents) with
-    | exception Obs.Json.Parse_error msg ->
-      Printf.eprintf "report: %s is not JSON: %s\n" file msg;
-      exit 1
-    | exception Failure msg ->
-      Printf.eprintf "report: %s\n" msg;
-      exit 1
-    | rows ->
-      if json then
-        print_endline
-          (Obs.Json.to_string ~pretty:true (Obs.Registry.rows_to_json rows))
-      else Format.printf "%a" Obs.Registry.pp_rows rows
+  let series_arg =
+    Arg.(
+      value & flag
+      & info [ "series" ]
+          ~doc:
+            "Treat FILE as a soak series stream: render one sparkline with \
+             min/max/last per series, then any fired alerts.")
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg $ json_arg)
+  let run file json series =
+    if series then begin
+      match Obs.Series.load file with
+      | exception Failure msg ->
+        Printf.eprintf "report: %s\n" msg;
+        exit 1
+      | loaded -> Format.printf "%a" Obs.Series.render loaded
+    end
+    else begin
+      let contents =
+        let ic = open_in_bin file in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      in
+      match Obs.Registry.rows_of_json (Obs.Json.of_string contents) with
+      | exception Obs.Json.Parse_error msg ->
+        Printf.eprintf "report: %s is not JSON: %s\n" file msg;
+        exit 1
+      | exception Failure msg ->
+        Printf.eprintf "report: %s\n" msg;
+        exit 1
+      | rows ->
+        if json then
+          print_endline
+            (Obs.Json.to_string ~pretty:true (Obs.Registry.rows_to_json rows))
+        else Format.printf "%a" Obs.Registry.pp_rows rows
+    end
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ file_arg $ json_arg $ series_arg)
 
 let replay_cmd =
   let doc =
@@ -1809,6 +2176,29 @@ let replay_cmd =
         Printf.eprintf "replay: %s: %s\n" file msg;
         exit 1
       | p -> p
+    in
+    let p =
+      match p.sample_interval with
+      | None -> p
+      | Some dt ->
+        (* A soak journal carries Alert events. Rebuild the sampler and
+           alert engine its header describes — over a fresh registry in
+           the capture bundle — so the replay fires, and journals, the
+           identical alert stream (the sampler schedules no engine
+           events, so the rest of the schedule is untouched). *)
+        let o = Obs.create ~journal:capture () in
+        let s = Obs.Series.sampler ~interval:dt ~registry:o.Obs.registry () in
+        let a = Obs.Alert.create p.rules in
+        Obs.Alert.attach a s ~on_fire:(fun fr ->
+            Obs.Journal.record capture
+              (Obs.Journal.Alert
+                 {
+                   time = fr.Obs.Alert.time;
+                   rule = Obs.Alert.rule_to_string fr.Obs.Alert.rule;
+                   series = fr.Obs.Alert.series;
+                   value = fr.Obs.Alert.value;
+                 }));
+        { p with obs = Some o; sampler = Some s }
     in
     let driver =
       match List.find_opt (fun (n, _, _) -> n = p.protocol) protocols with
@@ -2144,6 +2534,7 @@ let () =
             nemesis_cmd;
             storm_cmd;
             shrink_cmd;
+            soak_cmd;
             bench_cmd;
             classify_cmd;
             report_cmd;

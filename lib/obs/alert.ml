@@ -1,0 +1,112 @@
+type predicate =
+  | Above of float
+  | Below of float
+  | Monotone_growth of int
+  | Slo_breach of float
+
+type rule = { series : string; pred : predicate }
+
+let rule_to_string r =
+  match r.pred with
+  | Above v -> Printf.sprintf "above:%s:%g" r.series v
+  | Below v -> Printf.sprintf "below:%s:%g" r.series v
+  | Monotone_growth k -> Printf.sprintf "growth:%s:%d" r.series k
+  | Slo_breach v -> Printf.sprintf "slo:%s:%g" r.series v
+
+let rule_of_string s =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "Alert.rule_of_string: %S (want above:SERIES:V | below:SERIES:V | \
+          growth:SERIES:K | slo:SERIES:TARGET)"
+         s)
+  in
+  match String.split_on_char ':' s with
+  | [ "above"; series; v ] -> (
+    match float_of_string_opt v with
+    | Some v -> { series; pred = Above v }
+    | None -> fail ())
+  | [ "below"; series; v ] -> (
+    match float_of_string_opt v with
+    | Some v -> { series; pred = Below v }
+    | None -> fail ())
+  | [ "growth"; series; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 2 -> { series; pred = Monotone_growth k }
+    | _ -> fail ())
+  | [ "slo"; series; target ] -> (
+    match float_of_string_opt target with
+    | Some target -> { series; pred = Slo_breach target }
+    | None -> fail ())
+  | _ -> fail ()
+
+type firing = { rule : rule; time : float; series : string; value : float }
+
+type t = {
+  mutable armed : rule list;
+  mutable rev_fired : firing list;
+  mutable on_fire : firing -> unit;
+}
+
+let create rules =
+  { armed = rules; rev_fired = []; on_fire = (fun _ -> ()) }
+
+let fired t = List.rev t.rev_fired
+
+let rules t = t.armed @ List.map (fun f -> f.rule) (fired t)
+
+(* A rule trips on the last reading of any series carrying its name;
+   Monotone_growth instead wants the retained skeleton — [k] strictly
+   increasing points proves sustained growth at every timescale the
+   ring has decimated through, which is exactly the unbounded-log
+   signature ROADMAP item 3 hunts for. *)
+let evaluate (rule : rule) (labels, ring) =
+  if Series.ring_pushes ring = 0 then None
+  else
+    let last = Series.ring_last ring in
+    let offending () =
+      rule.series ^ Series.(labels_string labels)
+    in
+    match rule.pred with
+    | Above v -> if last > v then Some (offending (), last) else None
+    | Below v -> if last < v then Some (offending (), last) else None
+    | Slo_breach target -> if last > target then Some (offending (), last) else None
+    | Monotone_growth k ->
+      let points = Series.ring_points ring in
+      let n = List.length points in
+      if n < k then None
+      else
+        let tail = List.filteri (fun i _ -> i >= n - k) points in
+        let rec strictly_up = function
+          | (_, a) :: ((_, b) :: _ as rest) ->
+            if a < b then strictly_up rest else false
+          | _ -> true
+        in
+        if strictly_up tail then Some (offending (), last) else None
+
+let step t store ~now =
+  let still_armed, fired_now =
+    List.partition_map
+      (fun rule ->
+        let hit =
+          List.find_map (evaluate rule) (Series.find_named store rule.series)
+        in
+        match hit with
+        | None -> Either.Left rule
+        | Some (series, value) -> Either.Right { rule; time = now; series; value })
+      t.armed
+  in
+  (* Latch: a fired rule disarms, so a week of breach journals one
+     Alert event, not one per tick. *)
+  t.armed <- still_armed;
+  List.iter
+    (fun f ->
+      t.rev_fired <- f :: t.rev_fired;
+      t.on_fire f)
+    fired_now;
+  fired_now
+
+let attach t sampler ~on_fire =
+  t.on_fire <- on_fire;
+  Series.on_tick sampler (fun now ->
+      ignore (step t (Series.store sampler) ~now))

@@ -1,0 +1,62 @@
+(** Declarative alert rules over {!Series} streams.
+
+    A rule names a series and a predicate; the engine evaluates every
+    armed rule after each sampler tick (via {!attach} / {!Series.on_tick})
+    against {e every} series carrying that name, so ["log_len"] covers
+    [log_len{pid=0..n}] without enumerating pids. Rules {e latch}: a
+    rule fires at most once per run and then disarms — a week of breach
+    produces one alert, not one per tick. Firings are reported through
+    the [on_fire] callback (the CLI journals them as {!Journal.Alert}
+    events and streams them into the series JSONL) and accumulate in
+    {!fired}, which the soak harness turns into a non-zero exit. *)
+
+type predicate =
+  | Above of float  (** last reading strictly above the threshold *)
+  | Below of float  (** last reading strictly below the threshold *)
+  | Monotone_growth of int
+      (** the last [k >= 2] retained ring points are strictly
+          increasing — because the ring decimates, surviving points
+          span the whole run, so this detects {e sustained} growth
+          (the unbounded-log signature), not a transient burst *)
+  | Slo_breach of float
+      (** last reading strictly above the objective; intended for
+          [latency_p99]-style series, rendered as an SLO breach *)
+
+type rule = { series : string; pred : predicate }
+
+val rule_to_string : rule -> string
+(** Canonical form: [above:SERIES:V], [below:SERIES:V],
+    [growth:SERIES:K], [slo:SERIES:TARGET]. Round-trips through
+    {!rule_of_string}; used as the rule id in journals and alert
+    lines. *)
+
+val rule_of_string : string -> rule
+(** @raise Invalid_argument on anything {!rule_to_string} cannot have
+    produced (unknown predicate, malformed number, [growth] with
+    [k < 2]). *)
+
+type firing = {
+  rule : rule;
+  time : float;  (** simulated time of the tick that tripped it *)
+  series : string;  (** offending series, labels included *)
+  value : float;  (** the reading *)
+}
+
+type t
+
+val create : rule list -> t
+(** All rules start armed. *)
+
+val rules : t -> rule list
+(** Every rule ever given, armed or fired. *)
+
+val step : t -> Series.t -> now:float -> firing list
+(** Evaluate armed rules against the store once; returns (and records)
+    the rules that fired this step. Normally driven by {!attach}. *)
+
+val attach : t -> Series.sampler -> on_fire:(firing -> unit) -> unit
+(** Register the engine on the sampler's tick hook; [on_fire] runs once
+    per firing, at the tick that tripped it. *)
+
+val fired : t -> firing list
+(** Firings so far, oldest first. *)

@@ -41,6 +41,11 @@ type event =
   | Shard of { time : float; shard : int; ops : int; log : int }
       (** per-shard op-rate sample at a rebalance check: [ops] updates
           routed to [shard] in the window, [log] its local log length *)
+  | Alert of { time : float; rule : string; series : string; value : float }
+      (** an alert rule fired at a sample tick: [rule] is the
+          canonical rule string ([Alert.rule_to_string]), [series] the
+          offending series (with labels), [value] the reading that
+          tripped it *)
 
 type t = {
   mutable header : (string * Json.t) list;
@@ -89,6 +94,7 @@ let event_time = function
   | Probe { time; _ } -> time
   | Rebalance { time; _ } -> time
   | Shard { time; _ } -> time
+  | Alert { time; _ } -> time
 
 (* ------------------------------ encoding ------------------------------ *)
 
@@ -191,6 +197,15 @@ let event_to_json = function
         ("shard", num_i shard);
         ("ops", num_i ops);
         ("log", num_i log);
+      ]
+  | Alert { time; rule; series; value } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "alert");
+        ("t", Json.Num time);
+        ("rule", Json.Str rule);
+        ("series", Json.Str series);
+        ("v", Json.Num value);
       ]
 
 (* ------------------------------ decoding ------------------------------ *)
@@ -331,6 +346,14 @@ let event_of_json j =
         ops = req_int j "ops" "shard";
         log = req_int j "log" "shard";
       }
+  | Some "alert" ->
+    Alert
+      {
+        time = req_num j "t" "alert";
+        rule = req_str j "rule" "alert";
+        series = req_str j "series" "alert";
+        value = req_num j "v" "alert";
+      }
   | Some other -> fail "unknown event kind %S" other
   | None -> fail "event line without an \"ev\" field"
 
@@ -457,6 +480,8 @@ let pp_event ppf = function
       shards moved time
   | Shard { time; shard; ops; log } ->
     Format.fprintf ppf "shard s%d ops=%d log=%d @%g" shard ops log time
+  | Alert { time; rule; series; value } ->
+    Format.fprintf ppf "alert %s on %s value=%g @%g" rule series value time
 
 (* ------------------------------- diff --------------------------------- *)
 

@@ -68,6 +68,10 @@ type event =
       (** per-shard op-rate sample at a rebalance check: [ops] updates
           routed to [shard] in the closing window, [log] its local log
           length at the sampling replica *)
+  | Alert of { time : float; rule : string; series : string; value : float }
+      (** a soak alert rule fired at a sample tick: [rule] is the
+          canonical rule string, [series] the offending series (labels
+          included), [value] the reading that tripped it *)
 
 type t
 

@@ -5,6 +5,8 @@ module Profile = Profile
 module Trace_export = Trace_export
 module Journal = Journal
 module Monitor = Monitor
+module Series = Series
+module Alert = Alert
 
 type replica = { pid : int; profile : Profile.t }
 

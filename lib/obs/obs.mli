@@ -24,6 +24,8 @@ module Profile = Profile
 module Trace_export = Trace_export
 module Journal = Journal
 module Monitor = Monitor
+module Series = Series
+module Alert = Alert
 
 (** Per-replica handle, passed to protocol replicas via
     [Protocol.ctx.obs]. *)

@@ -64,6 +64,25 @@ let observe h x =
 
 let hist_count h = h.nsamples
 
+(* ---------------------------- snapshots ------------------------------- *)
+
+(* A cheap instantaneous reading of every metric for the time-series
+   sampler: counters and gauges read directly, histograms contribute
+   only their sample count — summarizing the raw samples each tick
+   would cost O(n log n) per tick on an ever-growing list, exactly the
+   unbounded work a soak sampler must not do. *)
+let sample t =
+  List.map
+    (fun ((name, labels), m) ->
+      match m with
+      | Counter c -> (name, labels, float_of_int c.n)
+      | Gauge g -> (name, labels, g.v)
+      | Hist h -> (name ^ "_count", labels, float_of_int h.nsamples))
+    t.metrics
+  |> List.sort (fun (na, la, _) (nb, lb, _) ->
+         let c = String.compare na nb in
+         if c <> 0 then c else compare la lb)
+
 (* ------------------------------- dumps -------------------------------- *)
 
 type hist_dump = {
@@ -217,7 +236,15 @@ let row_to_json r =
   in
   Json.Obj (base @ rest)
 
-let rows_to_json rows = Json.Obj [ ("metrics", Json.Arr (List.map row_to_json rows)) ]
+let version = 1
+
+let rows_to_json rows =
+  Json.Obj
+    [
+      ("registry", Json.Str "ucsim");
+      ("version", Json.Num (float_of_int version));
+      ("metrics", Json.Arr (List.map row_to_json rows));
+    ]
 
 let to_json t = rows_to_json (rows t)
 
@@ -271,6 +298,13 @@ let row_of_json j =
   { name; labels; data }
 
 let rows_of_json j =
+  (* Dumps written before the version field existed carry none and
+     still parse; a dump that declares a version we don't speak is
+     rejected rather than misread. *)
+  (match Option.bind (Json.member "version" j) Json.get_int with
+  | None -> ()
+  | Some v when v = version -> ()
+  | Some v -> fail "registry dump: unsupported version %d (expected %d)" v version);
   match Option.bind (Json.member "metrics" j) Json.get_list with
   | Some items -> List.map row_of_json items
   | None -> fail "registry dump: no \"metrics\" array"

@@ -47,6 +47,13 @@ val observe : hist -> float -> unit
 
 val hist_count : hist -> int
 
+val sample : t -> (string * labels * float) list
+(** Instantaneous snapshot for the time-series sampler, sorted by name
+    then labels: counters and gauges read as floats, histograms
+    contribute only their sample count (as [name ^ "_count"]) — never
+    their quantiles, which would cost a sort of the raw samples on
+    every tick. *)
+
 (** {2 Dumps}
 
     A dump is the registry flattened to rows, sorted by name then
@@ -82,11 +89,17 @@ val pp_rows : Format.formatter -> row list -> unit
 val pp : Format.formatter -> t -> unit
 (** [pp_rows] of {!rows}. *)
 
+val version : int
+(** Schema version stamped into dumps. *)
+
 val rows_to_json : row list -> Json.t
 
 val to_json : t -> Json.t
-(** [{"metrics": [...]}], one object per row. *)
+(** [{"registry":"ucsim","version":1,"metrics":[...]}], one object per
+    row. *)
 
 val rows_of_json : Json.t -> row list
-(** Inverse of {!rows_to_json} / {!to_json}.
-    @raise Failure on a value that is not a registry dump. *)
+(** Inverse of {!rows_to_json} / {!to_json}. Dumps without a version
+    field (pre-versioning) are accepted.
+    @raise Failure on a value that is not a registry dump or declares
+    an unsupported version. *)

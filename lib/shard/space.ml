@@ -74,7 +74,7 @@ struct
         ring;
         epoch = 0;
         policy;
-        obs;
+        obs = None;
         g =
           {
             ops_total = Array.make cap 0;
@@ -86,13 +86,21 @@ struct
           };
         rebalances = 0;
         moved = 0;
-        moved_ctr =
-          Option.map
-            (fun o -> Obs.Registry.counter o.Obs.registry "shard_moved_entries")
-            obs;
+        moved_ctr = None;
         timer_armed = false;
         idle_windows = 0;
       }
+    in
+    let m =
+      match obs with
+      | None -> m
+      | Some o ->
+        {
+          m with
+          obs;
+          moved_ctr =
+            Some (Obs.Registry.counter o.Obs.registry "shard_moved_entries");
+        }
     in
     List.iter (ensure_shard m) (Ring.shard_ids ring);
     m
@@ -107,6 +115,24 @@ struct
 
   let shard_ops m =
     List.map (fun s -> (s, m.g.ops_total.(s))) (Ring.shard_ids m.ring)
+
+  (* Soak-sampler probe over the live map: cumulative routed updates
+     plus the per-tick delta (the op rate) for every shard on the
+     ring. Stateful — each call's delta baseline is the previous
+     call's totals — so create one probe per sampler. *)
+  let series_probe m =
+    let last = Hashtbl.create 16 in
+    fun () ->
+      List.concat_map
+        (fun (s, total) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt last s) in
+          Hashtbl.replace last s total;
+          let labels = [ ("shard", string_of_int s) ] in
+          [
+            ("shard_ops", labels, float_of_int total);
+            ("shard_op_rate", labels, float_of_int (total - prev));
+          ])
+        (shard_ops m)
 
   let journal_event m ev =
     match m.obs with

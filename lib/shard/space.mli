@@ -68,6 +68,12 @@ module Make
   val shard_ops : map -> (int * int) list
   (** Cumulative updates routed to each shard, sorted by shard id. *)
 
+  val series_probe : map -> Obs.Series.probe
+  (** Sampler probe emitting [shard_ops{shard=i}] (cumulative) and
+      [shard_op_rate{shard=i}] (delta since the previous tick) for
+      every shard on the ring. The delta baseline lives in the probe
+      closure — create one probe per sampler. *)
+
   val trigger_split : map -> now:float -> hot:int -> int
   (** Manual hot-shard split (tests and experiments): split [hot], bump
       the epoch, journal the [Rebalance] event, return the fresh shard

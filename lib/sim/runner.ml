@@ -21,6 +21,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     probe_interval : float option;
     fingerprint : (P.t -> string) option;
     monitor : Mon.t option;
+    sampler : Obs.Series.sampler option;
   }
 
   let default_config ~n ~seed =
@@ -42,6 +43,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       probe_interval = None;
       fingerprint = None;
       monitor = None;
+      sampler = None;
     }
 
   (* Replica state fingerprint for the divergence probe when the caller
@@ -228,8 +230,46 @@ module Make (P : Protocol.PROTOCOL) = struct
             end)
       | _ -> None
     in
+    (* Time-series sampler: same piggyback discipline as the probe —
+       it rides existing activations and schedules nothing, so enabling
+       it cannot perturb the schedule. The runner contributes the
+       resource series the sampler cannot see from the registry alone:
+       per-replica log length, checkpoint counts (via the profile), and
+       the engine's pending-event queue depth as the mailbox proxy. *)
+    (match config.sampler with
+    | None -> ()
+    | Some s ->
+      Obs.Series.add_probe s (fun () ->
+          let readings = ref [] in
+          readings :=
+            ("queue_depth", [], float_of_int (Engine.pending engine))
+            :: !readings;
+          for pid = n - 1 downto 0 do
+            (match replicas.(pid) with
+            | Some r when (not crashed.(pid)) && not offline.(pid) ->
+              readings :=
+                ("log_len", pid_labels pid, float_of_int (P.log_length r))
+                :: !readings
+            | _ -> ());
+            Option.iter
+              (fun o ->
+                let rep = Obs.replica o pid in
+                let taken = rep.Obs.profile.Obs.Profile.checkpoints_taken in
+                if taken > 0 then
+                  readings :=
+                    ("checkpoints", pid_labels pid, float_of_int taken)
+                    :: !readings)
+              config.obs
+          done;
+          !readings));
+    let maybe_sample () =
+      match config.sampler with
+      | None -> ()
+      | Some s -> Obs.Series.maybe_tick s ~now:(Engine.now engine)
+    in
     let maybe_probe () =
-      match probe with Some p -> p ~force:false () | None -> ()
+      (match probe with Some p -> p ~force:false () | None -> ());
+      maybe_sample ()
     in
     probe_after_delivery := maybe_probe;
     (* Per-process recorded steps, reversed, with (start, finish ref)
@@ -311,6 +351,11 @@ module Make (P : Protocol.PROTOCOL) = struct
               robs (fun ro ->
                   Obs.Registry.inc ro.comp.(pid);
                   Obs.Registry.observe ro.lat.(pid) elapsed);
+              Option.iter
+                (fun s ->
+                  Obs.Series.observe_latency s ~key:pid elapsed;
+                  Obs.Series.maybe_tick s ~now:(Engine.now engine))
+                config.sampler;
               let gap = Network.draw_delay think_rngs.(pid) config.think in
               Engine.schedule engine ~delay:gap (fun () -> issue pid rest)
             end
@@ -546,6 +591,11 @@ module Make (P : Protocol.PROTOCOL) = struct
     (* One forced probe at quiescence: this is the sample that should
        show the divergence gauge back at 1 once partitions healed. *)
     (match probe with Some p -> p ~force:true () | None -> ());
+    (* And one forced sampler tick, so every series carries a point at
+       the run's true end even when the cadence last fired earlier. *)
+    Option.iter
+      (fun s -> Obs.Series.tick s ~now:(Engine.now engine))
+      config.sampler;
     (* Quiescence: issue the ω final reads on live processes — crashed
        replicas are gone for good and replicas still detached by churn
        at the end of the run are outside the system (the paper's ω reads

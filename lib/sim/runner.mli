@@ -72,6 +72,18 @@ module Make (P : Protocol.PROTOCOL) : sig
         (** online consistency monitor, fed every update invocation and
             completed query (with its journal event index and span id)
             as the run progresses. [None] by default. *)
+    sampler : Obs.Series.sampler option;
+        (** streaming time-series sampler for soak runs. Like the
+            probe, it piggybacks on deliveries and operation
+            completions — it schedules no engine events — taking a
+            sample whenever its simulated-time cadence says one is due,
+            plus one forced tick at quiescence. The runner feeds it
+            per-replica [log_len{pid}] and [checkpoints{pid}] (profile)
+            gauges, the engine [queue_depth], and every completed
+            operation's latency (keyed by pid) for the sliding-window
+            [latency_p50]/[latency_p99] series. [None] (the default)
+            samples nothing and keeps the run bit-identical to the
+            seed. *)
   }
 
   val default_config : n:int -> seed:int -> config

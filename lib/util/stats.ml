@@ -108,6 +108,46 @@ let pp_slo ppf s =
     s.target s.count s.p50 s.p99 s.max s.violations (100.0 *. s.compliance)
     (if s.p99 <= s.target then "MET" else "MISSED")
 
+(* ------------------------- sliding windows --------------------------- *)
+
+(* A bounded buffer of the most recent samples: the soak sampler's
+   memory for "p99 over the last W operations". A plain circular array
+   — pushing is O(1), summarizing is O(W log W) and happens once per
+   sample tick, never per operation. *)
+type window = {
+  cap : int;
+  buf : float array;
+  mutable filled : int;  (* samples held, <= cap *)
+  mutable next : int;  (* slot the next push overwrites *)
+  mutable pushed : int;  (* samples ever offered *)
+}
+
+let window ~capacity =
+  if capacity <= 0 then invalid_arg "Stats.window: capacity must be positive";
+  { cap = capacity; buf = Array.make capacity 0.0; filled = 0; next = 0; pushed = 0 }
+
+let window_push w x =
+  w.buf.(w.next) <- x;
+  w.next <- (w.next + 1) mod w.cap;
+  if w.filled < w.cap then w.filled <- w.filled + 1;
+  w.pushed <- w.pushed + 1
+
+let window_length w = w.filled
+
+let window_pushed w = w.pushed
+
+let window_samples w =
+  (* Oldest first; order only matters to callers that render, the
+     percentile paths sort anyway. *)
+  List.init w.filled (fun i ->
+      w.buf.((w.next - w.filled + i + (2 * w.cap)) mod w.cap))
+
+let window_summary w =
+  if w.filled = 0 then None else Some (summarize (window_samples w))
+
+let window_slo ~target w =
+  if w.filled = 0 then None else Some (slo ~target (window_samples w))
+
 type histogram = { lo : float; width : float; counts : int array }
 
 let histogram ~buckets xs =

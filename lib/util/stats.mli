@@ -50,6 +50,33 @@ val slo_by_key : target:float -> (int * float) list -> slo
 
 val pp_slo : Format.formatter -> slo -> unit
 
+type window
+(** Fixed-capacity sliding window over the most recent samples. Pushing
+    is O(1) and never allocates after construction, so a window can sit
+    on the hot path of a week-long soak without growing. *)
+
+val window : capacity:int -> window
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val window_push : window -> float -> unit
+(** Records a sample, evicting the oldest once [capacity] is held. *)
+
+val window_length : window -> int
+(** Samples currently held, at most the capacity. *)
+
+val window_pushed : window -> int
+(** Samples ever offered, including evicted ones. *)
+
+val window_samples : window -> float list
+(** Retained samples, oldest first. *)
+
+val window_summary : window -> summary option
+(** [None] while the window is empty. *)
+
+val window_slo : target:float -> window -> slo option
+(** {!slo} over the retained samples; [None] while the window is
+    empty — the windowed variant never raises. *)
+
 type histogram
 
 val histogram : buckets:int -> float list -> histogram

@@ -1,0 +1,381 @@
+(* The soak observatory: decimating rings, the streaming sampler, the
+   alert-rule engine, the series JSONL codec, sparkline rendering, and
+   the schedule-invariance of sampling (a sampler-on run must extract
+   the identical history as a sampler-off run). *)
+
+let qtest ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+module Series = Obs.Series
+module Alert = Obs.Alert
+
+(* ------------------------------ rings ----------------------------- *)
+
+let push_seq ring values =
+  List.iteri
+    (fun i v -> Series.ring_push ring ~time:(float_of_int i) ~value:v)
+    values
+
+let ring_tests =
+  [
+    Alcotest.test_case "small pushes are retained verbatim" `Quick (fun () ->
+        let r = Series.ring ~capacity:8 in
+        push_seq r [ 3.0; 1.0; 4.0 ];
+        Alcotest.(check int) "len" 3 (Series.ring_length r);
+        Alcotest.(check int) "stride" 1 (Series.ring_stride r);
+        Alcotest.(check bool) "points" true
+          (Series.ring_points r = [ (0.0, 3.0); (1.0, 1.0); (2.0, 4.0) ]));
+    Alcotest.test_case "decimation halves and doubles the stride" `Quick
+      (fun () ->
+        let r = Series.ring ~capacity:4 in
+        push_seq r (List.init 9 float_of_int);
+        (* pushes 0..8: first halving at push 4 (keep 0,2), second at
+           push 8 (keep 0,4) — retained = {0, 4, 8}, stride 4. *)
+        Alcotest.(check int) "stride" 4 (Series.ring_stride r);
+        Alcotest.(check bool) "points" true
+          (Series.ring_points r = [ (0.0, 0.0); (4.0, 4.0); (8.0, 8.0) ]));
+    Alcotest.test_case "capacity below 2 is rejected" `Quick (fun () ->
+        Alcotest.check_raises "cap 1"
+          (Invalid_argument "Series.ring: capacity must be >= 2") (fun () ->
+            ignore (Series.ring ~capacity:1)));
+    qtest ~count:300 "ring: len <= capacity, extremes exact, grid even"
+      QCheck2.Gen.(
+        pair (int_range 2 12) (list_size (int_bound 400) (int_range (-50) 50)))
+      (fun (cap, values) ->
+        let values = List.map float_of_int values in
+        let r = Series.ring ~capacity:cap in
+        push_seq r values;
+        let points = Series.ring_points r in
+        let len_ok =
+          Series.ring_length r <= cap
+          && Series.ring_length r = List.length points
+        in
+        let pushes_ok = Series.ring_pushes r = List.length values in
+        let extremes_ok =
+          match values with
+          | [] -> true
+          | _ ->
+            Series.ring_min r = List.fold_left min infinity values
+            && Series.ring_max r = List.fold_left max neg_infinity values
+            && Series.ring_last r = List.nth values (List.length values - 1)
+        in
+        (* The retained skeleton is always the consecutive multiples of
+           the current stride starting at push 0 — an evenly spaced
+           cover of the whole history, never a recent-window bias. *)
+        let stride = Series.ring_stride r in
+        let grid_ok =
+          List.for_all2
+            (fun (t, v) i ->
+              let idx = i * stride in
+              t = float_of_int idx && v = List.nth values idx)
+            points
+            (List.init (List.length points) (fun i -> i))
+        in
+        len_ok && pushes_ok && extremes_ok && grid_ok);
+  ]
+
+(* ----------------------------- sampler ---------------------------- *)
+
+let sampler_tests =
+  [
+    Alcotest.test_case "maybe_tick respects the cadence" `Quick (fun () ->
+        let s = Series.sampler ~interval:10.0 () in
+        Series.add_probe s (fun () -> [ ("g", [], 1.0) ]);
+        Series.maybe_tick s ~now:0.0;
+        Series.maybe_tick s ~now:4.0;
+        Series.maybe_tick s ~now:9.9;
+        Series.maybe_tick s ~now:10.0;
+        Series.maybe_tick s ~now:12.0;
+        Alcotest.(check int) "two due" 2 (Series.ticks s);
+        Series.tick s ~now:12.5;
+        Alcotest.(check int) "forced" 3 (Series.ticks s));
+    Alcotest.test_case "non-positive interval is rejected" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Series.sampler: interval must be positive")
+          (fun () -> ignore (Series.sampler ~interval:0.0 ())));
+    Alcotest.test_case "probes, registry and latency windows feed series"
+      `Quick (fun () ->
+        let reg = Obs.Registry.create () in
+        Obs.Registry.inc (Obs.Registry.counter reg "frames");
+        let s = Series.sampler ~interval:1.0 ~registry:reg () in
+        Series.add_probe s (fun () -> [ ("depth", [ ("pid", "0") ], 7.0) ]);
+        Series.observe_latency s ~key:2 4.0;
+        Series.observe_latency s 8.0;
+        Series.tick s ~now:5.0;
+        let store = Series.store s in
+        let last name labels =
+          Option.map Series.ring_last (Series.find store name labels)
+        in
+        Alcotest.(check (option (float 0.0))) "registry" (Some 1.0)
+          (last "frames" []);
+        Alcotest.(check (option (float 0.0))) "probe" (Some 7.0)
+          (last "depth" [ ("pid", "0") ]);
+        (* Window holds [4; 8]: p99 interpolates to 4 + 0.99 * 4. *)
+        Alcotest.(check (option (float 1e-9))) "p99" (Some 7.96)
+          (last "latency_p99" []);
+        Alcotest.(check (option (float 0.0))) "keyed p99" (Some 4.0)
+          (last "latency_p99" [ ("key", "2") ]));
+    Alcotest.test_case "sink sees full resolution despite decimation" `Quick
+      (fun () ->
+        let s = Series.sampler ~capacity:2 ~interval:1.0 () in
+        let n = ref 0 in
+        Series.set_sink s (fun _ -> incr n);
+        Series.add_probe s (fun () -> [ ("g", [], 1.0) ]);
+        for i = 1 to 50 do
+          Series.tick s ~now:(float_of_int i)
+        done;
+        Alcotest.(check int) "every point" 50 !n;
+        Alcotest.(check bool) "ring decimated" true
+          (match Series.find (Series.store s) "g" [] with
+          | Some r -> Series.ring_length r <= 2
+          | None -> false));
+  ]
+
+(* ------------------------------ alerts ---------------------------- *)
+
+let alert_tests =
+  [
+    Alcotest.test_case "rule strings round trip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check string)
+              s s
+              (Alert.rule_to_string (Alert.rule_of_string s)))
+          [
+            "above:queue_depth:100";
+            "below:ops_completed:1";
+            "growth:log_len:5";
+            "slo:latency_p99:2.5";
+          ];
+        List.iter
+          (fun s ->
+            match Alert.rule_of_string s with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.failf "parsed %S" s)
+          [ "nope"; "above:x"; "growth:x:1"; "above:x:notafloat"; "" ]);
+    Alcotest.test_case "threshold fires once and latches" `Quick (fun () ->
+        let s = Series.sampler ~interval:1.0 () in
+        let v = ref 0.0 in
+        Series.add_probe s (fun () -> [ ("g", [], !v) ]);
+        let a = Alert.create [ Alert.rule_of_string "above:g:10" ] in
+        let hits = ref 0 in
+        Alert.attach a s ~on_fire:(fun _ -> incr hits);
+        for i = 1 to 20 do
+          v := float_of_int i;
+          Series.tick s ~now:(float_of_int i)
+        done;
+        Alcotest.(check int) "fired once" 1 !hits;
+        (match Alert.fired a with
+        | [ f ] ->
+          Alcotest.(check string) "series" "g" f.Alert.series;
+          Alcotest.(check (float 0.0)) "value" 11.0 f.Alert.value;
+          Alcotest.(check (float 0.0)) "time" 11.0 f.Alert.time
+        | fs -> Alcotest.failf "%d firings" (List.length fs));
+        Alcotest.(check int) "rules conserved" 1 (List.length (Alert.rules a)));
+    Alcotest.test_case "growth wants sustained strict increase" `Quick
+      (fun () ->
+        let fire_on values =
+          let s = Series.sampler ~interval:1.0 () in
+          let q = Queue.create () in
+          List.iter (fun v -> Queue.add v q) values;
+          Series.add_probe s (fun () -> [ ("g", [], Queue.pop q) ]);
+          let a = Alert.create [ Alert.rule_of_string "growth:g:3" ] in
+          Alert.attach a s ~on_fire:(fun _ -> ());
+          List.iteri
+            (fun i _ -> Series.tick s ~now:(float_of_int i))
+            values;
+          Alert.fired a <> []
+        in
+        Alcotest.(check bool) "flat never fires" false
+          (fire_on [ 5.0; 5.0; 5.0; 5.0; 5.0 ]);
+        Alcotest.(check bool) "dip resets" false
+          (fire_on [ 1.0; 2.0; 1.0 ]);
+        Alcotest.(check bool) "monotone fires" true
+          (fire_on [ 1.0; 2.0; 3.0 ]));
+    Alcotest.test_case "a rule addresses every label set of its name" `Quick
+      (fun () ->
+        let s = Series.sampler ~interval:1.0 () in
+        Series.add_probe s (fun () ->
+            [
+              ("log_len", [ ("pid", "0") ], 1.0);
+              ("log_len", [ ("pid", "1") ], 99.0);
+            ]);
+        let a = Alert.create [ Alert.rule_of_string "above:log_len:50" ] in
+        Alert.attach a s ~on_fire:(fun _ -> ());
+        Series.tick s ~now:1.0;
+        match Alert.fired a with
+        | [ f ] ->
+          Alcotest.(check string) "offender" "log_len{pid=1}" f.Alert.series
+        | fs -> Alcotest.failf "%d firings" (List.length fs));
+    Alcotest.test_case "Alert journal events round trip" `Quick (fun () ->
+        let e =
+          Obs.Journal.Alert
+            {
+              time = 61.5;
+              rule = "growth:log_len:4";
+              series = "log_len{pid=0}";
+              value = 32.0;
+            }
+        in
+        Alcotest.(check bool) "round trip" true
+          (Obs.Journal.event_of_json (Obs.Journal.event_to_json e) = e);
+        Alcotest.(check (float 0.0)) "time" 61.5 (Obs.Journal.event_time e));
+  ]
+
+(* ------------------------- JSONL + rendering ---------------------- *)
+
+let write_stream build =
+  let file = Filename.temp_file "series" ".jsonl" in
+  let oc = open_out file in
+  build oc;
+  close_out oc;
+  file
+
+let stream_tests =
+  [
+    Alcotest.test_case "writer/load round trip with alerts" `Quick (fun () ->
+        let file =
+          write_stream (fun oc ->
+              let w =
+                Series.writer oc ~meta:[ ("protocol", Obs.Json.Str "universal") ]
+              in
+              Series.write_point w
+                { Series.time = 1.0; name = "g"; labels = []; value = 2.0 };
+              Series.write_point w
+                {
+                  Series.time = 2.0;
+                  name = "g";
+                  labels = [ ("pid", "0") ];
+                  value = 3.0;
+                };
+              Series.write_alert w ~time:2.0 ~rule:"above:g:2"
+                ~series:"g{pid=0}" ~value:3.0;
+              Series.close_writer w)
+        in
+        let loaded = Series.load file in
+        Sys.remove file;
+        Alcotest.(check int) "points" 2 (List.length loaded.Series.points);
+        Alcotest.(check bool) "labels survive" true
+          (List.exists
+             (fun p -> p.Series.labels = [ ("pid", "0") ])
+             loaded.Series.points);
+        match loaded.Series.alerts with
+        | [ a ] ->
+          Alcotest.(check string) "rule" "above:g:2" a.Series.rule;
+          Alcotest.(check (float 0.0)) "value" 3.0 a.Series.avalue
+        | xs -> Alcotest.failf "%d alerts" (List.length xs));
+    Alcotest.test_case "unsupported version is a one-line failure" `Quick
+      (fun () ->
+        let file =
+          write_stream (fun oc ->
+              output_string oc "{\"series\":\"ucsim\",\"version\":99}\n")
+        in
+        (match Series.load file with
+        | exception Failure msg ->
+          Alcotest.(check string) "message"
+            "series file: unsupported version 99 (expected 1)" msg
+        | _ -> Alcotest.fail "loaded");
+        Sys.remove file);
+    Alcotest.test_case "non-series streams are rejected" `Quick (fun () ->
+        let file = write_stream (fun oc -> output_string oc "{\"a\":1}\n") in
+        (match Series.load file with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "loaded");
+        Sys.remove file);
+    Alcotest.test_case "sparkline shape" `Quick (fun () ->
+        Alcotest.(check string)
+          "ramp" "\u{2581}\u{2583}\u{2586}\u{2588}"
+          (Series.sparkline [ 0.0; 1.0; 2.0; 3.0 ]);
+        Alcotest.(check string) "flat" "\u{2584}\u{2584}" (Series.sparkline [ 5.0; 5.0 ]);
+        (* Each block glyph is 3 UTF-8 bytes: 30 samples at width 3
+           must downsample to exactly 3 columns. *)
+        Alcotest.(check int) "downsampled to width" 9
+          (String.length (Series.sparkline ~width:3 (List.init 30 float_of_int))));
+    Alcotest.test_case "golden render" `Quick (fun () ->
+        let file =
+          write_stream (fun oc ->
+              let w = Series.writer oc ~meta:[] in
+              List.iter
+                (fun (t, v) ->
+                  Series.write_point w
+                    { Series.time = t; name = "log_len"; labels = [ ("pid", "0") ]; value = v })
+                [ (0.0, 0.0); (10.0, 4.0); (20.0, 8.0); (30.0, 12.0) ];
+              Series.write_point w
+                { Series.time = 30.0; name = "queue_depth"; labels = []; value = 2.0 };
+              Series.write_alert w ~time:30.0 ~rule:"growth:log_len:3"
+                ~series:"log_len{pid=0}" ~value:12.0;
+              Series.close_writer w)
+        in
+        let loaded = Series.load file in
+        Sys.remove file;
+        let rendered = Format.asprintf "%a" Series.render loaded in
+        (* Space runs spelled out so the pin is unambiguous; the
+           sparkline column is byte-padded, hence the long runs after
+           multi-byte glyphs. *)
+        let sp n = String.make n ' ' in
+        let expected =
+          "series" ^ sp 79 ^ "n" ^ sp 8 ^ "min" ^ sp 8 ^ "max" ^ sp 7
+          ^ "last\nlog_len{pid=0}" ^ sp 2
+          ^ "\u{2581}\u{2583}\u{2586}\u{2588}" ^ sp 57 ^ "4" ^ sp 10 ^ "0"
+          ^ sp 9 ^ "12" ^ sp 9 ^ "12\nqueue_depth" ^ sp 5 ^ "\u{2584}"
+          ^ sp 66 ^ "1" ^ sp 10 ^ "2" ^ sp 10 ^ "2" ^ sp 10
+          ^ "2\nalerts: 1 fired\n\
+            \  ALERT growth:log_len:3 at t=30 on log_len{pid=0} value=12\n"
+        in
+        Alcotest.(check string) "golden" expected rendered);
+  ]
+
+(* -------------------- registry sampling + runner ------------------ *)
+
+module P = Persist.Catchup (Generic.Make (Set_spec)) (Update_codec.For_set)
+module R = Runner.Make (P)
+
+let run_with sampler =
+  let rng = Prng.create 11 in
+  let workload =
+    Workload.For_set.conflict ~rng ~n:3 ~ops_per_process:30 ~domain:8 ~skew:1.0
+      ~delete_ratio:0.3
+  in
+  let base = R.default_config ~n:3 ~seed:11 in
+  let config = { base with R.final_read = Some Set_spec.Read; sampler } in
+  R.run config ~workload
+
+let fingerprint (r : R.result) =
+  History.fingerprint Set_spec.pp_update Set_spec.pp_query Set_spec.pp_output
+    r.R.history
+
+let integration_tests =
+  [
+    Alcotest.test_case "Registry.sample snapshots every metric kind" `Quick
+      (fun () ->
+        let reg = Obs.Registry.create () in
+        Obs.Registry.inc ~by:3 (Obs.Registry.counter reg "c");
+        Obs.Registry.set (Obs.Registry.gauge reg ~labels:[ ("pid", "1") ] "g") 2.5;
+        let h = Obs.Registry.hist reg "lat" in
+        List.iter (Obs.Registry.observe h) [ 1.0; 2.0; 3.0 ];
+        Alcotest.(check bool) "sorted snapshot" true
+          (Obs.Registry.sample reg
+          = [
+              ("c", [], 3.0);
+              ("g", [ ("pid", "1") ], 2.5);
+              ("lat_count", [], 3.0);
+            ]));
+    Alcotest.test_case "sampling never perturbs the schedule" `Quick (fun () ->
+        let plain = run_with None in
+        let s = Series.sampler ~interval:25.0 () in
+        let sampled = run_with (Some s) in
+        Alcotest.(check string) "same history" (fingerprint plain)
+          (fingerprint sampled);
+        Alcotest.(check bool) "same metrics" true
+          (plain.R.metrics = sampled.R.metrics);
+        Alcotest.(check bool) "ticks taken" true (Series.ticks s > 0);
+        let store = Series.store s in
+        Alcotest.(check bool) "runner gauges present" true
+          (Series.find store "log_len" [ ("pid", "0") ] <> None
+          && Series.find store "queue_depth" [] <> None);
+        Alcotest.(check bool) "latency window summarized" true
+          (Series.find store "latency_p99" [] <> None));
+  ]
+
+let tests =
+  ring_tests @ sampler_tests @ alert_tests @ stream_tests @ integration_tests

@@ -471,8 +471,98 @@ let slo_tests =
         && s.Stats.compliance <= 1.0
         && s.Stats.violations + int_of_float (s.Stats.compliance *. float_of_int s.Stats.count)
            <= s.Stats.count + 1);
+    Alcotest.test_case "slo_by_key empty raises" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Stats.slo_by_key: empty sample") (fun () ->
+            ignore (Stats.slo_by_key ~target:1.0 [])));
+    Alcotest.test_case "single sample pins every percentile to it" `Quick
+      (fun () ->
+        let s = Stats.slo ~target:3.0 [ 2.0 ] in
+        Alcotest.(check int) "count" 1 s.Stats.count;
+        Alcotest.(check (float 1e-9)) "p50" 2.0 s.Stats.p50;
+        Alcotest.(check (float 1e-9)) "p99" 2.0 s.Stats.p99;
+        Alcotest.(check (float 1e-9)) "max" 2.0 s.Stats.max;
+        Alcotest.(check int) "no violations" 0 s.Stats.violations;
+        Alcotest.(check (float 1e-9)) "compliance" 1.0 s.Stats.compliance);
+    Alcotest.test_case "all-equal latencies judge cleanly, no NaN" `Quick
+      (fun () ->
+        let xs = List.init 25 (fun _ -> 4.2) in
+        let s = Stats.slo ~target:4.2 xs in
+        Alcotest.(check bool) "compliance not NaN" false
+          (Float.is_nan s.Stats.compliance);
+        Alcotest.(check int) "at-target is compliant" 0 s.Stats.violations;
+        Alcotest.(check (float 1e-9)) "p99 equals the value" 4.2 s.Stats.p99;
+        let rendered = Format.asprintf "%a" Stats.pp_slo s in
+        Alcotest.(check bool) "verdict MET" true
+          (let len = String.length rendered in
+           len >= 3 && String.sub rendered (len - 3) 3 = "MET"));
+    Alcotest.test_case "target exactly at p99 is MET" `Quick (fun () ->
+        (* p99 interpolation over [1..100] lands at 99.01; pin the
+           clamp rule by judging against exactly that value: MET, and
+           only the samples strictly above it violate. *)
+        let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+        let s0 = Stats.slo ~target:0.0 xs in
+        let s = Stats.slo ~target:s0.Stats.p99 xs in
+        Alcotest.(check (float 1e-9)) "p99 pinned" 99.01 s.Stats.p99;
+        Alcotest.(check int) "only 100.0 is above p99" 1 s.Stats.violations;
+        let rendered = Format.asprintf "%a" Stats.pp_slo s in
+        Alcotest.(check bool) "verdict MET at equality" true
+          (let len = String.length rendered in
+           len >= 3 && String.sub rendered (len - 3) 3 = "MET"));
+    Alcotest.test_case "slo_by_key collapses each key to its worst leg" `Quick
+      (fun () ->
+        let s =
+          Stats.slo_by_key ~target:10.0
+            [ (1, 2.0); (1, 30.0); (2, 4.0); (2, 1.0); (3, 10.0) ]
+        in
+        Alcotest.(check int) "one verdict per key" 3 s.Stats.count;
+        Alcotest.(check int) "only key 1 misses" 1 s.Stats.violations;
+        Alcotest.(check (float 1e-9)) "max is worst leg" 30.0 s.Stats.max);
+  ]
+
+let window_tests =
+  [
+    Alcotest.test_case "window evicts oldest first" `Quick (fun () ->
+        let w = Stats.window ~capacity:3 in
+        List.iter (Stats.window_push w) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+        Alcotest.(check (list (float 1e-9)))
+          "last three, oldest first" [ 3.0; 4.0; 5.0 ] (Stats.window_samples w);
+        Alcotest.(check int) "length capped" 3 (Stats.window_length w);
+        Alcotest.(check int) "pushed counts evictions" 5 (Stats.window_pushed w));
+    Alcotest.test_case "empty window summarizes to None" `Quick (fun () ->
+        let w = Stats.window ~capacity:4 in
+        Alcotest.(check bool) "summary" true (Stats.window_summary w = None);
+        Alcotest.(check bool) "slo" true (Stats.window_slo ~target:1.0 w = None));
+    Alcotest.test_case "non-positive capacity raises" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Stats.window: capacity must be positive") (fun () ->
+            ignore (Stats.window ~capacity:0)));
+    qtest "window agrees with a list-suffix model"
+      QCheck2.Gen.(pair (int_range 1 16) (list (float_bound_inclusive 50.0)))
+      (fun (cap, xs) ->
+        let w = Stats.window ~capacity:cap in
+        List.iter (Stats.window_push w) xs;
+        let n = List.length xs in
+        let keep = min cap n in
+        let model = List.filteri (fun i _ -> i >= n - keep) xs in
+        Stats.window_samples w = model
+        && Stats.window_length w = keep
+        && Stats.window_pushed w = n);
+    qtest "windowed slo matches slo on the retained suffix"
+      QCheck2.Gen.(pair (int_range 1 8)
+                     (list_size (int_range 1 40) (float_bound_inclusive 9.0)))
+      (fun (cap, xs) ->
+        let w = Stats.window ~capacity:cap in
+        List.iter (Stats.window_push w) xs;
+        match Stats.window_slo ~target:5.0 w with
+        | None -> false
+        | Some s ->
+          let direct = Stats.slo ~target:5.0 (Stats.window_samples w) in
+          s.Stats.violations = direct.Stats.violations
+          && s.Stats.p99 = direct.Stats.p99);
   ]
 
 let tests =
   prng_tests @ fork_tests @ heap_tests @ bitset_tests @ stats_tests
-  @ slo_tests @ sha256_tests @ wire_tests @ zipf_tests @ table_tests @ dag_tests
+  @ slo_tests @ window_tests @ sha256_tests @ wire_tests @ zipf_tests
+  @ table_tests @ dag_tests

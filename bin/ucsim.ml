@@ -887,6 +887,28 @@ let protocols : (string * string * (run_params -> unit)) list =
 
 open Cmdliner
 
+(* `--monitor uc,ec,pc` — shared by `run` (and friends) and `bench`. *)
+let monitors_conv =
+  let parse s =
+    let parts = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+        match Obs.Monitor.criterion_of_name x with
+        | Some c -> go (c :: acc) rest
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown criterion %S (expected uc, ec or pc)" x)))
+    in
+    go [] parts
+  in
+  let print ppf cs =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Obs.Monitor.criterion_name cs))
+  in
+  Arg.conv (parse, print)
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
 
@@ -1119,30 +1141,6 @@ let run_cmd =
              into a self-describing JSONL event journal at $(docv), sealed \
              with the run's history fingerprint (implies --obs). Re-execute \
              it with `ucsim replay`.")
-  in
-  let monitors_conv =
-    let parse s =
-      let parts =
-        List.filter (fun x -> x <> "") (String.split_on_char ',' s)
-      in
-      let rec go acc = function
-        | [] -> Ok (List.rev acc)
-        | x :: rest -> (
-          match Obs.Monitor.criterion_of_name x with
-          | Some c -> go (c :: acc) rest
-          | None ->
-            Error
-              (`Msg
-                (Printf.sprintf "unknown criterion %S (expected uc, ec or pc)"
-                   x)))
-      in
-      go [] parts
-    in
-    let print ppf cs =
-      Format.pp_print_string ppf
-        (String.concat "," (List.map Obs.Monitor.criterion_name cs))
-    in
-    Arg.conv (parse, print)
   in
   let monitors_arg =
     Arg.(
@@ -2087,23 +2085,27 @@ let soak_cmd =
 
 let report_cmd =
   let doc =
-    "Render a telemetry registry dump (from `run --registry-out`) or, with \
-     $(b,--series), a soak series stream (from `soak --series-out`) as \
-     sparklines."
+    "Render one or more telemetry registry dumps (from `run \
+     --registry-out`) as a single merged table, or, with $(b,--series), a \
+     soak series stream (from `soak --series-out`) as sparklines."
   in
-  let file_arg =
+  let files_arg =
     Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Registry dump JSON (or series JSONL) file.")
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Registry dump JSON file(s) — several are merged into one table \
+             (counters add, gauges take the max, histograms combine on \
+             their buckets) — or exactly one series JSONL file with \
+             $(b,--series).")
   in
   let json_arg =
     Arg.(
       value & flag
       & info [ "json" ]
           ~doc:
-            "Re-emit the dump as canonical (sorted, pretty) JSON instead of a \
-             table (registry dumps only).")
+            "Re-emit the (merged) dump as canonical (sorted, pretty) JSON \
+             instead of a table (registry dumps only).")
   in
   let series_arg =
     Arg.(
@@ -2113,26 +2115,38 @@ let report_cmd =
             "Treat FILE as a soak series stream: render one sparkline with \
              min/max/last per series, then any fired alerts.")
   in
-  let run file json series =
+  let run files json series =
     if series then begin
-      match Obs.Series.load file with
-      | exception Failure msg ->
-        Printf.eprintf "report: %s\n" msg;
+      match files with
+      | [ file ] -> (
+        match Obs.Series.load file with
+        | exception Failure msg ->
+          Printf.eprintf "report: %s\n" msg;
+          exit 1
+        | loaded -> Format.printf "%a" Obs.Series.render loaded)
+      | _ ->
+        Printf.eprintf "report: --series takes exactly one file\n";
         exit 1
-      | loaded -> Format.printf "%a" Obs.Series.render loaded
     end
     else begin
-      let contents =
-        let ic = open_in_bin file in
-        let len = in_channel_length ic in
-        let s = really_input_string ic len in
-        close_in ic;
-        s
+      let load file =
+        let contents =
+          let ic = open_in_bin file in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          s
+        in
+        match Obs.Registry.rows_of_json (Obs.Json.of_string contents) with
+        | exception Obs.Json.Parse_error msg ->
+          Printf.eprintf "report: %s is not JSON: %s\n" file msg;
+          exit 1
+        | exception Failure msg ->
+          Printf.eprintf "report: %s: %s\n" file msg;
+          exit 1
+        | rows -> rows
       in
-      match Obs.Registry.rows_of_json (Obs.Json.of_string contents) with
-      | exception Obs.Json.Parse_error msg ->
-        Printf.eprintf "report: %s is not JSON: %s\n" file msg;
-        exit 1
+      match Obs.Registry.merge_rows (List.map load files) with
       | exception Failure msg ->
         Printf.eprintf "report: %s\n" msg;
         exit 1
@@ -2144,13 +2158,89 @@ let report_cmd =
     end
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ file_arg $ json_arg $ series_arg)
+    Term.(const run $ files_arg $ json_arg $ series_arg)
+
+(* Replay a flight-recorder journal (from `bench --journal-out`): the
+   header names the spec and the workload seed, the scripts are
+   regenerated (they are pure functions of the seed), and the recorded
+   per-replica delivery order is re-executed on the sequential core —
+   fingerprint equality is Proposition 4 checked end to end. Always a
+   full replay; --until then prints the named event. *)
+let replay_parallel_journal ~file recorded until =
+  let header = Obs.Journal.header recorded in
+  let str k =
+    match List.assoc_opt k header with
+    | Some (Obs.Json.Str s) -> s
+    | _ ->
+      Printf.eprintf "replay: %s: parallel journal header lacks %S\n" file k;
+      exit 1
+  in
+  let num k =
+    match List.assoc_opt k header with
+    | Some (Obs.Json.Num f) -> f
+    | _ ->
+      Printf.eprintf "replay: %s: parallel journal header lacks %S\n" file k;
+      exit 1
+  in
+  let spec = str "spec" in
+  let seed = int_of_float (num "seed") in
+  let domains = int_of_float (num "domains") in
+  let ops = int_of_float (num "ops") in
+  let query_ratio = num "query_ratio" in
+  let zipf = num "zipf" in
+  Printf.printf
+    "replaying          parallel %s (seed %d, %d domains, %d events recorded)\n"
+    spec seed domains
+    (Obs.Journal.length recorded);
+  let outcome =
+    if spec = "set" && zipf > 0.0 then begin
+      let module B = Throughput.Bench (Set_spec) in
+      let scripts =
+        Throughput.set_zipf_scripts ~seed ~domains ~ops ~skew:zipf
+          ~delete_ratio:0.3
+      in
+      B.replay_journal ~scripts ~final_read:Set_spec.Read recorded
+    end
+    else
+      match Registry.find spec with
+      | None ->
+        Printf.eprintf "replay: %s: unknown spec %S\n" file spec;
+        exit 1
+      | Some packed ->
+        let module A = (val packed : Uqadt.S) in
+        let module B = Throughput.Bench (A) in
+        let scripts = B.uniform_scripts ~seed ~domains ~ops ~query_ratio in
+        B.replay_journal ~scripts
+          ~final_read:(A.random_query (Prng.create seed))
+          recorded
+  in
+  match outcome with
+  | Error msg ->
+    Printf.printf "replay FAILED: %s\n" msg;
+    exit 1
+  | Ok fp -> (
+    match until with
+    | Some k ->
+      if k < 0 || k >= Obs.Journal.length recorded then begin
+        Printf.eprintf
+          "replay: --until %d out of range (journal has %d events)\n" k
+          (Obs.Journal.length recorded);
+        exit 1
+      end;
+      Format.printf "replay OK through event %d@.event %d          %a@." k k
+        Obs.Journal.pp_event
+        (Obs.Journal.event recorded k)
+    | None ->
+      Printf.printf "replay OK          %d events, fingerprint %s\n"
+        (Obs.Journal.length recorded)
+        fp)
 
 let replay_cmd =
   let doc =
-    "Re-execute a journaled run (from `run --journal-out`) and verify it \
-     reproduces the recorded schedule and history fingerprint, bisecting to \
-     the first diverging event on mismatch."
+    "Re-execute a journaled run (from `run --journal-out` or `bench \
+     --journal-out`) and verify it reproduces the recorded schedule and \
+     history fingerprint, bisecting to the first diverging event on \
+     mismatch."
   in
   let file_arg =
     Arg.(
@@ -2169,6 +2259,10 @@ let replay_cmd =
   in
   let run file until =
     let recorded = load_journal ~cmd:"replay" file in
+    match List.assoc_opt "engine" (Obs.Journal.header recorded) with
+    | Some (Obs.Json.Str "parallel") ->
+      replay_parallel_journal ~file recorded until
+    | _ ->
     let capture = Obs.Journal.create () in
     let p =
       match params_of_header ~journal:capture (Obs.Journal.header recorded) with
@@ -2286,11 +2380,114 @@ let diff_cmd =
   in
   Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ file_a $ file_b)
 
+(* One bench execution with optional flight recording, shared by the
+   generic-spec and set+zipf workload paths of `bench`. The recorder is
+   attached iff any of --journal-out / --series-out / --monitor was
+   given; the rebuilt journal's header carries everything `ucsim
+   replay` needs to regenerate the scripts. *)
+module Bench_drive (A : Uqadt.S) = struct
+  module B = Throughput.Bench (A)
+
+  let exec ~spec_name ~seed ~domains ~ops ~query_ratio ~zipf ~mailbox ~batch
+      ~obs ~journal_out ~series_out ~monitors ~sample_interval ~scripts
+      ~final_read ~describe =
+    let recording =
+      journal_out <> None || series_out <> None || monitors <> []
+    in
+    let recorder =
+      if recording then Some (Obs.Recorder.create ~domains ()) else None
+    in
+    let journal_header =
+      if not recording then None
+      else
+        Some
+          [
+            ("engine", Obs.Json.Str "parallel");
+            ("spec", Obs.Json.Str spec_name);
+            ("seed", Obs.Json.Num (float_of_int seed));
+            ("domains", Obs.Json.Num (float_of_int domains));
+            ("ops", Obs.Json.Num (float_of_int ops));
+            ("query_ratio", Obs.Json.Num query_ratio);
+            ("zipf", Obs.Json.Num zipf);
+            ("batch", Obs.Json.Num (float_of_int batch));
+            ("mailbox", Obs.Json.Num (float_of_int mailbox));
+          ]
+    in
+    let v =
+      B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ?recorder
+        ?monitor:(if monitors = [] then None else Some monitors)
+        ?journal_header ~domains ~final_read ~scripts ()
+    in
+    let r = B.row ~ops_per_domain:ops v in
+    let checks =
+      [
+        ("logs agree", string_of_bool v.B.logs_agree);
+        ("omega = ts-fold", string_of_bool v.B.omega_matches_fold);
+        ("replay = ts-fold", string_of_bool v.B.replay_matches_fold);
+        ("updates conserved", string_of_bool v.B.updates_conserved);
+        ( "sequential runner",
+          match v.B.runner_matches with
+          | None -> "n/a (non-commutative)"
+          | Some b -> string_of_bool b );
+      ]
+      @
+      match v.B.journal_replay with
+      | None -> []
+      | Some b -> [ ("journal replay", string_of_bool b) ]
+    in
+    describe r ~state:v.B.state_repr ~checks;
+    (match v.B.recording with
+    | None -> ()
+    | Some rc ->
+      (match rc.B.replay with
+      | Ok fp ->
+        Printf.printf "flight recorder    %d events, fingerprint %s\n"
+          (Obs.Journal.length rc.B.journal)
+          fp
+      | Error msg -> Printf.printf "flight recorder    REPLAY FAILED: %s\n" msg);
+      (match journal_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Journal.to_jsonl rc.B.journal);
+        close_out oc;
+        Printf.printf "journal written    %s (%d events)\n" file
+          (Obs.Journal.length rc.B.journal));
+      (match series_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        let w =
+          Obs.Series.writer oc
+            ~meta:(Option.value ~default:[] journal_header)
+        in
+        let store =
+          Throughput.series_of_events ~interval:sample_interval
+            ~sink:(Obs.Series.write_point w) rc.B.events
+        in
+        Obs.Series.close_writer w;
+        close_out oc;
+        Printf.printf "series written     %s (%d series)\n" file
+          (List.length (Obs.Series.list store)));
+      match rc.B.monitor with
+      | None -> ()
+      | Some mon ->
+        print_monitor_report ~criteria:monitors
+          ~events:(B.Mon.events_seen mon)
+          (B.Mon.violations mon));
+    r
+end
+
 let bench_cmd =
   let doc =
     "Run the multicore replica engine: one domain per replica executing the \
      universal construction, bounded MPSC mailboxes in between, and the \
-     Proposition 4 parallel-vs-sequential differential as the verdict."
+     Proposition 4 parallel-vs-sequential differential as the verdict. With \
+     any of $(b,--journal-out), $(b,--series-out) or $(b,--monitor) the run \
+     is flight-recorded: per-domain lock-free event capture, merged into a \
+     replayable journal, checked by a sixth differential clause (sequential \
+     re-execution of the recorded delivery order) and fed to the online \
+     consistency monitors."
   in
   let spec_arg =
     Arg.(
@@ -2366,12 +2563,58 @@ let bench_cmd =
   let obs_arg =
     Arg.(value & flag & info [ "obs" ] ~doc:"Print per-domain telemetry rows.")
   in
+  let journal_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:
+            "Flight-record the run and write the merged per-domain event \
+             stream as a replayable journal (re-execute with `ucsim \
+             replay`).")
+  in
+  let series_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-out" ] ~docv:"FILE"
+          ~doc:
+            "Flight-record the run and stream wall-clock per-domain time \
+             series (JSONL; render with `ucsim report --series`).")
+  in
+  let monitor_arg =
+    Arg.(
+      value & opt monitors_conv []
+      & info [ "monitor" ] ~docv:"CRITERIA"
+          ~doc:
+            "Comma-separated consistency criteria (uc, ec, pc) checked \
+             online over the merged flight-recorder stream; the first \
+             violating event is reported with its journal index. (pc \
+             explores the cross-process interleaving automaton — \
+             exponential in concurrent updates, so keep --ops small.)")
+  in
+  let sample_interval_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "sample-interval" ] ~docv:"DT"
+          ~doc:"Wall-clock series sampling cadence in seconds.")
+  in
   let run spec domains ops zipf seed query_ratio shards keys fanout mailbox
-      batch json obs_flag =
+      batch json obs_flag journal_out series_out monitors sample_interval =
     let obs = if obs_flag then Some (Obs.create ()) else None in
     let clip s =
       if String.length s <= 96 then s else String.sub s 0 93 ^ "..."
     in
+    if
+      shards > 1
+      && (journal_out <> None || series_out <> None || monitors <> [])
+    then begin
+      Printf.eprintf
+        "bench: the flight recorder targets the one-core-per-domain engine; \
+         --shards > 1 cannot be combined with --journal-out, --series-out \
+         or --monitor\n";
+      exit 1
+    end;
     if shards > 1 then begin
       (* The sharded space runs the set spec; per-shard Prop 4 verdict. *)
       let module B = Throughput.Sharded (Set_spec) (Update_codec.For_set) in
@@ -2439,29 +2682,14 @@ let bench_cmd =
     in
     let row =
       if spec = "set" && zipf > 0.0 then begin
-        let module B = Throughput.Bench (Set_spec) in
+        let module D = Bench_drive (Set_spec) in
         let scripts =
           Throughput.set_zipf_scripts ~seed ~domains ~ops ~skew:zipf
             ~delete_ratio:0.3
         in
-        let v =
-          B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ~domains
-            ~final_read:Set_spec.Read ~scripts ()
-        in
-        let r = B.row ~ops_per_domain:ops v in
-        describe r ~state:v.B.state_repr
-          ~checks:
-            [
-              ("logs agree", string_of_bool v.B.logs_agree);
-              ("omega = ts-fold", string_of_bool v.B.omega_matches_fold);
-              ("replay = ts-fold", string_of_bool v.B.replay_matches_fold);
-              ("updates conserved", string_of_bool v.B.updates_conserved);
-              ( "sequential runner",
-                match v.B.runner_matches with
-                | None -> "n/a (non-commutative)"
-                | Some b -> string_of_bool b );
-            ];
-        r
+        D.exec ~spec_name:"set" ~seed ~domains ~ops ~query_ratio ~zipf
+          ~mailbox ~batch ~obs ~journal_out ~series_out ~monitors
+          ~sample_interval ~scripts ~final_read:Set_spec.Read ~describe
       end
       else begin
         let packed =
@@ -2470,27 +2698,12 @@ let bench_cmd =
           | None -> assert false (* enum converter already validated *)
         in
         let module A = (val packed : Uqadt.S) in
-        let module B = Throughput.Bench (A) in
-        let scripts = B.uniform_scripts ~seed ~domains ~ops ~query_ratio in
+        let module D = Bench_drive (A) in
+        let scripts = D.B.uniform_scripts ~seed ~domains ~ops ~query_ratio in
         let final_read = A.random_query (Prng.create seed) in
-        let v =
-          B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ~domains
-            ~final_read ~scripts ()
-        in
-        let r = B.row ~ops_per_domain:ops v in
-        describe r ~state:v.B.state_repr
-          ~checks:
-            [
-              ("logs agree", string_of_bool v.B.logs_agree);
-              ("omega = ts-fold", string_of_bool v.B.omega_matches_fold);
-              ("replay = ts-fold", string_of_bool v.B.replay_matches_fold);
-              ("updates conserved", string_of_bool v.B.updates_conserved);
-              ( "sequential runner",
-                match v.B.runner_matches with
-                | None -> "n/a (non-commutative)"
-                | Some b -> string_of_bool b );
-            ];
-        r
+        D.exec ~spec_name:spec ~seed ~domains ~ops ~query_ratio ~zipf:0.0
+          ~mailbox ~batch ~obs ~journal_out ~series_out ~monitors
+          ~sample_interval ~scripts ~final_read ~describe
       end
     in
     Option.iter (fun path -> Throughput.emit_json path [ row ]) json;
@@ -2506,7 +2719,8 @@ let bench_cmd =
     Term.(
       const run $ spec_arg $ domains_arg $ ops_arg $ zipf_arg $ seed_arg
       $ query_ratio_arg $ shards_arg $ keys_arg $ fanout_arg $ mailbox_arg
-      $ batch_arg $ json_arg $ obs_arg)
+      $ batch_arg $ json_arg $ obs_arg $ journal_out_arg $ series_out_arg
+      $ monitor_arg $ sample_interval_arg)
 
 let list_cmd =
   let doc = "List protocols and experiments." in

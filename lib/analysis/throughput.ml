@@ -73,11 +73,56 @@ let emit_json path rows =
   output_string oc "]\n";
   close_out oc
 
+(* Wall-clock time series from a merged recorder stream: per-pid
+   cumulative counters snapshotted on a fixed cadence of the recorded
+   wall clock. Spec-agnostic — only event kinds matter — so it lives
+   outside the functor. The stream is walked in merge order; the tick
+   clock is the running max of the wall stamps (domains share one
+   clock, but the Lamport merge is not exactly wall-sorted). *)
+let series_of_events ?capacity ?(interval = 0.01) ?sink events =
+  let reg = Obs.Registry.create () in
+  let sampler = Obs.Series.sampler ?capacity ~registry:reg ~interval () in
+  (match sink with None -> () | Some s -> Obs.Series.set_sink sampler s);
+  let counter pid name =
+    Obs.Registry.counter reg ~labels:[ ("pid", string_of_int pid) ] name
+  in
+  let now = ref 0.0 in
+  List.iter
+    (fun ev ->
+      now := Float.max !now (Obs.Recorder.event_wall ev);
+      (match (ev : Obs.Recorder.event) with
+      | Invoke_update { pid; _ } ->
+        Obs.Registry.inc (counter pid "ops");
+        Obs.Registry.inc (counter pid "updates")
+      | Invoke_query { pid; _ } -> Obs.Registry.inc (counter pid "ops")
+      | Send { pid; count; _ } ->
+        Obs.Registry.inc (counter pid "frames_sent");
+        Obs.Registry.inc ~by:count (counter pid "messages_sent")
+      | Deliver { pid; count; _ } ->
+        Obs.Registry.inc ~by:count (counter pid "messages_received")
+      | Stall { pid; _ } -> Obs.Registry.inc (counter pid "mailbox_stalls"));
+      Obs.Series.maybe_tick sampler ~now:!now)
+    events;
+  (* Force a closing sample so short runs still chart. *)
+  if events <> [] then Obs.Series.tick sampler ~now:!now;
+  Obs.Series.store sampler
+
 module Bench (A : Uqadt.S) = struct
   module G = Generic.Make (A)
   module E = Parallel_engine.Make (G)
   module Run = Uqadt.Run (A)
   module Seq = Runner.Make (G)
+  module Mon = Obs.Monitor.Make (A)
+
+  type recording = {
+    events : Obs.Recorder.event list;  (* merged (lamport, pid, seq) *)
+    journal : Obs.Journal.t;  (* rebuilt from the stream, sealed *)
+    fingerprint : string;  (* recorded history's fingerprint *)
+    replay : (string, string) result;
+        (* [Ok fp]: the sequential core, fed the recorded per-replica
+           delivery order, reproduced the footer fingerprint *)
+    monitor : Mon.t option;  (* when criteria were requested *)
+  }
 
   type verdict = {
     run : E.result;
@@ -87,6 +132,8 @@ module Bench (A : Uqadt.S) = struct
     replay_matches_fold : bool;
     runner_matches : bool option;  (* [None] for non-commutative specs *)
     updates_conserved : bool;
+    journal_replay : bool option;  (* [None] when no recorder was attached *)
+    recording : recording option;
     state_repr : string;  (* rendered timestamp-order fold *)
   }
 
@@ -94,6 +141,289 @@ module Bench (A : Uqadt.S) = struct
     v.run.E.outputs_agree && v.run.E.certificates_agree && v.logs_agree
     && v.omega_matches_fold && v.replay_matches_fold && v.updates_conserved
     && v.runner_matches <> Some false
+    && v.journal_replay <> Some false
+
+  (* ------------------- recorded-stream resolution -------------------
+     The recorder stores no payloads: an [Invoke_update] record says "my
+     domain issued its next script entry", nothing more. Because the
+     scripts are pure functions of the seed and the merge preserves every
+     domain's program order, walking the merged stream with one script
+     cursor per domain re-associates every record with its typed update,
+     query, and output. A misalignment means the stream and the scripts
+     disagree — that is a corrupt recording, reported loudly. *)
+
+  let stream_error fmt = Printf.ksprintf failwith fmt
+
+  (* Walk the merged stream, resolving invocations to typed values.
+     [on_update] and [on_query] receive the event's index in the merged
+     stream — which is also its journal event index. *)
+  let walk_stream ~scripts ~(final_read : A.query) ~query_outputs
+      ~omega_outputs ~on_update ~on_query ~on_other events =
+    let cursors = Array.map (fun s -> ref s) scripts in
+    let out_cursors = Array.map (fun o -> ref o) query_outputs in
+    let next_inv pid =
+      match !(cursors.(pid)) with
+      | [] -> stream_error "recorded stream: domain %d invoked past its script" pid
+      | inv :: rest ->
+        cursors.(pid) := rest;
+        inv
+    in
+    let next_out pid =
+      match !(out_cursors.(pid)) with
+      | [] ->
+        stream_error "recorded stream: domain %d has no recorded query output"
+          pid
+      | o :: rest ->
+        out_cursors.(pid) := rest;
+        o
+    in
+    List.iteri
+      (fun index ev ->
+        match (ev : Obs.Recorder.event) with
+        | Invoke_update { pid; wall; _ } -> (
+          match next_inv pid with
+          | Protocol.Invoke_update u -> on_update ~pid ~index ~wall u
+          | Protocol.Invoke_query _ ->
+            stream_error
+              "recorded stream: domain %d recorded an update where its \
+               script has a query"
+              pid)
+        | Invoke_query { pid; wall; omega = false; _ } -> (
+          match next_inv pid with
+          | Protocol.Invoke_query q ->
+            on_query ~pid ~index ~wall ~omega:false q (next_out pid)
+          | Protocol.Invoke_update _ ->
+            stream_error
+              "recorded stream: domain %d recorded a query where its \
+               script has an update"
+              pid)
+        | Invoke_query { pid; wall; omega = true; _ } -> (
+          match List.assoc_opt pid omega_outputs with
+          | Some o -> on_query ~pid ~index ~wall ~omega:true final_read o
+          | None ->
+            stream_error "recorded stream: domain %d has no recorded ω answer"
+              pid)
+        | Send _ | Deliver _ | Stall _ -> on_other ~index ev)
+      events;
+    Array.iteri
+      (fun pid c ->
+        if !c <> [] then
+          stream_error
+            "recorded stream: domain %d stopped %d invocation(s) short of \
+             its script"
+            pid (List.length !c))
+      cursors
+
+  (* The recorded history: one line per domain, in program order, ω
+     read last — exactly what [History.make] wants. *)
+  let history_of_events ~scripts ~final_read ~query_outputs ~omega_outputs
+      events =
+    let lines = Array.make (Array.length scripts) [] in
+    walk_stream ~scripts ~final_read ~query_outputs ~omega_outputs events
+      ~on_update:(fun ~pid ~index:_ ~wall:_ u ->
+        lines.(pid) <- History.U u :: lines.(pid))
+      ~on_query:(fun ~pid ~index:_ ~wall:_ ~omega q o ->
+        lines.(pid) <-
+          (if omega then History.Qw (q, o) else History.Q (q, o))
+          :: lines.(pid))
+      ~on_other:(fun ~index:_ _ -> ());
+    History.make (Array.to_list (Array.map List.rev lines))
+
+  let history_fingerprint h =
+    History.fingerprint A.pp_update A.pp_query A.pp_output h
+
+  (* Rebuild a standard journal from the merged stream. Frame arrival
+     times are patched from the matching deliver record (per-(src,dst)
+     FIFO — the mailbox preserves per-producer order); a frame still in
+     flight when the stream ends keeps its send time. *)
+  let journal_of_events ?(header = []) ~scripts ~final_read ~query_outputs
+      ~omega_outputs events =
+    let arr = Array.of_list events in
+    let arrival = Array.map Obs.Recorder.event_wall arr in
+    let pending = Hashtbl.create 64 in
+    Array.iteri
+      (fun i ev ->
+        match (ev : Obs.Recorder.event) with
+        | Send { pid; dst; _ } ->
+          let key = (pid, dst) in
+          let q =
+            match Hashtbl.find_opt pending key with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.add pending key q;
+              q
+          in
+          Queue.push i q
+        | Deliver { pid; src; wall; _ } -> (
+          match Hashtbl.find_opt pending (src, pid) with
+          | Some q when not (Queue.is_empty q) ->
+            arrival.(Queue.pop q) <- wall
+          | _ ->
+            stream_error
+              "recorded stream: deliver %d->%d without a matching send" src
+              pid)
+        | _ -> ())
+      arr;
+    let journal = Obs.Journal.create ~header () in
+    walk_stream ~scripts ~final_read ~query_outputs ~omega_outputs events
+      ~on_update:(fun ~pid ~index:_ ~wall u ->
+        Obs.Journal.record journal
+          (Obs.Journal.Update
+             {
+               pid;
+               time = wall;
+               span = None;
+               label = Format.asprintf "%a" A.pp_update u;
+             }))
+      ~on_query:(fun ~pid ~index:_ ~wall ~omega q o ->
+        Obs.Journal.record journal
+          (Obs.Journal.Query
+             {
+               pid;
+               invoked = wall;
+               completed = wall;
+               span = None;
+               label = Format.asprintf "%a" A.pp_query q;
+               output = Format.asprintf "%a" A.pp_output o;
+               omega;
+             }))
+      ~on_other:(fun ~index ev ->
+        match (ev : Obs.Recorder.event) with
+        | Send { pid; dst; count; bytes; wall; _ } ->
+          Obs.Journal.record journal
+            (Obs.Journal.Frame
+               {
+                 src = pid;
+                 dst;
+                 count;
+                 bytes;
+                 sent = wall;
+                 arrival = arrival.(index);
+                 spans = List.init count (fun _ -> None);
+               })
+        | Deliver { pid; src; count; wall; _ } ->
+          Obs.Journal.record journal
+            (Obs.Journal.Deliver { src; dst = pid; count; time = wall })
+        | Stall { pid; dst; wall; _ } ->
+          Obs.Journal.record journal
+            (Obs.Journal.Stall { pid; dst; time = wall })
+        | Invoke_update _ | Invoke_query _ -> assert false);
+    let fp =
+      history_fingerprint
+        (history_of_events ~scripts ~final_read ~query_outputs ~omega_outputs
+           events)
+    in
+    Obs.Journal.seal journal ~fingerprint:fp;
+    journal
+
+  (* ------------------------- replay bridge --------------------------
+     Re-execute a recorded journal on the sequential core: one [G]
+     replica per domain whose sends are captured into per-(src,dst) FIFO
+     queues, so a [Deliver] journal event pops exactly the messages the
+     recorded frame carried. The per-replica event order reproduces each
+     replica's timestamp evolution, hence its outputs, hence the history
+     fingerprint — Proposition 4 made executable. *)
+
+  let replay_journal ~scripts ~(final_read : A.query) journal =
+    let n = Array.length scripts in
+    let queues = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ())) in
+    let capture_ctx pid : _ Protocol.ctx =
+      {
+        Protocol.pid;
+        n;
+        now = (fun () -> 0.0);
+        send = (fun ~dst msg -> Queue.push msg queues.(pid).(dst));
+        broadcast =
+          (fun msg ->
+            for dst = 0 to n - 1 do
+              if dst <> pid then Queue.push msg queues.(pid).(dst)
+            done);
+        broadcast_batch =
+          (fun msgs ->
+            for dst = 0 to n - 1 do
+              if dst <> pid then
+                List.iter (fun m -> Queue.push m queues.(pid).(dst)) msgs
+            done);
+        set_timer = (fun ~delay:_ _ -> ());
+        count_replay = (fun _ -> ());
+        obs = None;
+      }
+    in
+    let replicas = Array.init n (fun pid -> G.create (capture_ctx pid)) in
+    let cursors = Array.map (fun s -> ref s) scripts in
+    let lines = Array.make n [] in
+    let next_inv pid =
+      match !(cursors.(pid)) with
+      | [] -> stream_error "replay: domain %d invoked past its script" pid
+      | inv :: rest ->
+        cursors.(pid) := rest;
+        inv
+    in
+    try
+      List.iter
+        (fun ev ->
+          match (ev : Obs.Journal.event) with
+          | Update { pid; _ } -> (
+            match next_inv pid with
+            | Protocol.Invoke_update u ->
+              G.update replicas.(pid) u ~on_done:ignore;
+              lines.(pid) <- History.U u :: lines.(pid)
+            | Protocol.Invoke_query _ ->
+              stream_error "replay: update event where script has a query")
+          | Query { pid; omega = false; _ } -> (
+            match next_inv pid with
+            | Protocol.Invoke_query q ->
+              let out = ref None in
+              G.query replicas.(pid) q ~on_result:(fun o -> out := Some o);
+              (match !out with
+              | Some o -> lines.(pid) <- History.Q (q, o) :: lines.(pid)
+              | None -> stream_error "replay: query returned no output")
+            | Protocol.Invoke_update _ ->
+              stream_error "replay: query event where script has an update")
+          | Query { pid; omega = true; _ } ->
+            let out = ref None in
+            G.query replicas.(pid) final_read ~on_result:(fun o ->
+                out := Some o);
+            (match !out with
+            | Some o -> lines.(pid) <- History.Qw (final_read, o) :: lines.(pid)
+            | None -> stream_error "replay: ω read returned no output")
+          | Deliver { src; dst; count; _ } ->
+            for _ = 1 to count do
+              if Queue.is_empty queues.(src).(dst) then
+                stream_error
+                  "replay: deliver %d->%d exceeds the captured sends" src dst;
+              G.receive replicas.(dst) ~src (Queue.pop queues.(src).(dst))
+            done
+          | Frame _ | Stall _ -> ()
+          | Drop _ | Crash _ | Join _ | Leave _ | Partition _ | Probe _
+          | Rebalance _ | Shard _ | Alert _ ->
+            stream_error "replay: journal carries sequential-engine events")
+        (Obs.Journal.events journal);
+      let h = History.make (Array.to_list (Array.map List.rev lines)) in
+      let fp = history_fingerprint h in
+      match Obs.Journal.fingerprint journal with
+      | Some recorded when recorded = fp -> Ok fp
+      | Some recorded ->
+        Error
+          (Printf.sprintf "fingerprint mismatch: recorded %s, replayed %s"
+             recorded fp)
+      | None -> Error "journal has no fingerprint (unsealed recording)"
+    with Failure msg -> Error msg
+
+  (* Feed the merged stream through the online monitors — the same
+     resolution walk the journal builder uses, so a violation's [index]
+     is the journal event index. *)
+  let feed_monitor ~criteria ~scripts ~final_read ~query_outputs
+      ~omega_outputs events =
+    let mon = Mon.create ~n:(Array.length scripts) ~criteria in
+    walk_stream ~scripts ~final_read ~query_outputs ~omega_outputs events
+      ~on_update:(fun ~pid ~index ~wall:_ u ->
+        Mon.on_update mon ~pid ~index ~span:None u)
+      ~on_query:(fun ~pid ~index ~wall:_ ~omega q o ->
+        Mon.on_query mon ~pid ~index ~span:None ~omega q o)
+      ~on_other:(fun ~index:_ _ -> ());
+    mon
 
   (* Independent per-domain client streams: one [Prng.fork] child per
      domain off a root seeded by the caller, so the whole workload is a
@@ -122,8 +452,9 @@ module Bench (A : Uqadt.S) = struct
     done;
     scripts
 
-  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?obs
-      ?(seq_seed = 0) ~domains ~final_read ~scripts () =
+  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?obs ?recorder
+      ?monitor ?journal_header ?(seq_seed = 0) ~domains ~final_read ~scripts
+      () =
     let cfg =
       {
         E.domains;
@@ -132,6 +463,7 @@ module Bench (A : Uqadt.S) = struct
         batch_every;
         final_read = Some final_read;
         obs;
+        recorder;
       }
     in
     let run = E.run cfg ~workload:scripts in
@@ -175,6 +507,28 @@ module Bench (A : Uqadt.S) = struct
                sr.Seq.final_outputs)
       end
     in
+    let recording =
+      match recorder with
+      | None -> None
+      | Some r ->
+        let events = Obs.Recorder.events r in
+        let query_outputs = run.E.query_outputs in
+        let omega_outputs = run.E.outputs in
+        let journal =
+          journal_of_events ?header:journal_header ~scripts ~final_read
+            ~query_outputs ~omega_outputs events
+        in
+        let fingerprint = Option.get (Obs.Journal.fingerprint journal) in
+        let replay = replay_journal ~scripts ~final_read journal in
+        let monitor =
+          Option.map
+            (fun criteria ->
+              feed_monitor ~criteria ~scripts ~final_read ~query_outputs
+                ~omega_outputs events)
+            monitor
+        in
+        Some { events; journal; fingerprint; replay; monitor }
+    in
     {
       run;
       latency = E.latency_summary run;
@@ -183,6 +537,11 @@ module Bench (A : Uqadt.S) = struct
       replay_matches_fold;
       runner_matches;
       updates_conserved;
+      journal_replay =
+        Option.map
+          (fun r -> match r.replay with Ok _ -> true | Error _ -> false)
+          recording;
+      recording;
       state_repr = Format.asprintf "%a" A.pp_state folded;
     }
 
@@ -339,6 +698,10 @@ struct
         batch_every;
         final_read = Some S.K.Sweep;
         obs;
+        (* Sharded-space recording is out of scope: the flight recorder
+           targets the one-core-per-domain engine (the CLI rejects the
+           combination). *)
+        recorder = None;
       }
     in
     let run = E.run cfg ~workload:scripts in

@@ -10,7 +10,11 @@
     fresh {e sequential}-core replica restored from the log answering
     identically, (4) for commutative specs, a full sequential {!Runner}
     of the same scripts agreeing, and (5) exactly the issued updates in
-    the log. {!Bench.ok} is the conjunction; CI gates on it. *)
+    the log. With a flight recorder ({!Obs.Recorder}) attached there is
+    a sixth clause: (6) the recorded per-replica delivery order,
+    re-executed on the sequential core by {!Bench.replay_journal}, must
+    reproduce the recorded history fingerprint. {!Bench.ok} is the
+    conjunction; CI gates on it. *)
 
 val dummy_ctx : pid:int -> n:int -> 'msg Protocol.ctx
 (** A context that drops every message — for replicas used as
@@ -34,10 +38,40 @@ type row = {
 
 val emit_json : string -> row list -> unit
 
+val series_of_events :
+  ?capacity:int ->
+  ?interval:float ->
+  ?sink:(Obs.Series.point -> unit) ->
+  Obs.Recorder.event list ->
+  Obs.Series.t
+(** Wall-clock time series from a merged recorder stream: per-pid
+    cumulative counters ([ops], [updates], [frames_sent],
+    [messages_sent], [messages_received], [mailbox_stalls]) snapshotted
+    every [interval] recorded-wall-clock seconds (default 10ms), with a
+    forced closing sample. [sink] streams every point at full
+    resolution (the [--series-out] JSONL writer); the returned store
+    holds the decimating rings. Spec-agnostic: only event kinds are
+    read. *)
+
 module Bench (A : Uqadt.S) : sig
   module G : Generic.S with type update = A.update and type query = A.query
                         and type output = A.output and type state = A.state
   module E : module type of Parallel_engine.Make (G)
+  module Mon : module type of Obs.Monitor.Make (A)
+
+  type recording = {
+    events : Obs.Recorder.event list;
+        (** the merged [(lamport, pid, seq)]-sorted stream *)
+    journal : Obs.Journal.t;
+        (** rebuilt from the stream and sealed with the recorded
+            history's fingerprint — what [--journal-out] writes and
+            [ucsim replay] re-executes *)
+    fingerprint : string;
+    replay : (string, string) result;
+        (** [Ok fp]: {!replay_journal} reproduced the footer
+            fingerprint; [Error reason] otherwise *)
+    monitor : Mon.t option;  (** when [?monitor] criteria were given *)
+  }
 
   type verdict = {
     run : E.result;
@@ -47,6 +81,9 @@ module Bench (A : Uqadt.S) : sig
     replay_matches_fold : bool;
     runner_matches : bool option;  (** [None] for non-commutative specs *)
     updates_conserved : bool;
+    journal_replay : bool option;
+        (** clause 6; [None] when no recorder was attached *)
+    recording : recording option;
     state_repr : string;  (** rendered timestamp-order fold *)
   }
 
@@ -66,6 +103,9 @@ module Bench (A : Uqadt.S) : sig
     ?mailbox_capacity:int ->
     ?batch_every:int ->
     ?obs:Obs.t ->
+    ?recorder:Obs.Recorder.t ->
+    ?monitor:Obs.Monitor.criterion list ->
+    ?journal_header:(string * Obs.Json.t) list ->
     ?seq_seed:int ->
     domains:int ->
     final_read:A.query ->
@@ -73,7 +113,65 @@ module Bench (A : Uqadt.S) : sig
     unit ->
     verdict
   (** Run the engine on the scripts with an ω [final_read] everywhere,
-      then run the full differential described above. *)
+      then run the full differential described above. With [?recorder]
+      the run is also recorded: the merged stream becomes a sealed
+      journal (header fields from [?journal_header]), the replay bridge
+      verdict lands in [journal_replay] (clause 6), and [?monitor]
+      criteria are checked online over the same stream. *)
+
+  val history_of_events :
+    scripts:(A.update, A.query) Protocol.invocation list array ->
+    final_read:A.query ->
+    query_outputs:A.output list array ->
+    omega_outputs:(int * A.output) list ->
+    Obs.Recorder.event list ->
+    (A.update, A.query, A.output) History.t
+  (** Resolve a merged recorder stream against the (regenerated)
+      scripts and the run's recorded outputs into a {!History}: one
+      line per domain in program order, ω read last. The recorder
+      stores no payloads — the scripts being pure functions of the
+      seed is what makes this total.
+      @raise Failure when the stream and the scripts disagree (a
+      corrupt or mismatched recording). *)
+
+  val journal_of_events :
+    ?header:(string * Obs.Json.t) list ->
+    scripts:(A.update, A.query) Protocol.invocation list array ->
+    final_read:A.query ->
+    query_outputs:A.output list array ->
+    omega_outputs:(int * A.output) list ->
+    Obs.Recorder.event list ->
+    Obs.Journal.t
+  (** The merged stream as a standard journal, in merge order:
+      invocations become [Update]/[Query] events, sends become [Frame]s
+      (arrival patched from the matching deliver via per-(src,dst)
+      FIFO), delivers and stalls keep their kind. Sealed with the
+      {!history_of_events} fingerprint. @raise Failure as above. *)
+
+  val replay_journal :
+    scripts:(A.update, A.query) Protocol.invocation list array ->
+    final_read:A.query ->
+    Obs.Journal.t ->
+    (string, string) result
+  (** Re-execute a recorded journal on the {e sequential} core: one
+      replica per domain whose sends are captured into per-(src,dst)
+      FIFO queues, each [Deliver] event popping exactly the messages
+      the recorded frame carried. Reproducing every replica's event
+      order reproduces its timestamp evolution, hence its outputs
+      (Proposition 4); [Ok fp] iff the replayed history fingerprint
+      equals the journal footer. *)
+
+  val feed_monitor :
+    criteria:Obs.Monitor.criterion list ->
+    scripts:(A.update, A.query) Protocol.invocation list array ->
+    final_read:A.query ->
+    query_outputs:A.output list array ->
+    omega_outputs:(int * A.output) list ->
+    Obs.Recorder.event list ->
+    Mon.t
+  (** Feed the merged stream through the online monitors; violation
+      indices are journal event indices (the walk is the same one
+      {!journal_of_events} uses). *)
 
   val row : ops_per_domain:int -> verdict -> row
 end

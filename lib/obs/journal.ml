@@ -46,6 +46,9 @@ type event =
           canonical rule string ([Alert.rule_to_string]), [series] the
           offending series (with labels), [value] the reading that
           tripped it *)
+  | Stall of { pid : int; dst : int; time : float }
+      (** multicore backpressure: a frame from [pid] toward [dst] found
+          the destination mailbox full (flight-recorder runs only) *)
 
 type t = {
   mutable header : (string * Json.t) list;
@@ -95,6 +98,7 @@ let event_time = function
   | Rebalance { time; _ } -> time
   | Shard { time; _ } -> time
   | Alert { time; _ } -> time
+  | Stall { time; _ } -> time
 
 (* ------------------------------ encoding ------------------------------ *)
 
@@ -206,6 +210,14 @@ let event_to_json = function
         ("rule", Json.Str rule);
         ("series", Json.Str series);
         ("v", Json.Num value);
+      ]
+  | Stall { pid; dst; time } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "stall");
+        ("pid", num_i pid);
+        ("dst", num_i dst);
+        ("t", Json.Num time);
       ]
 
 (* ------------------------------ decoding ------------------------------ *)
@@ -354,6 +366,13 @@ let event_of_json j =
         series = req_str j "series" "alert";
         value = req_num j "v" "alert";
       }
+  | Some "stall" ->
+    Stall
+      {
+        pid = req_int j "pid" "stall";
+        dst = req_int j "dst" "stall";
+        time = req_num j "t" "stall";
+      }
   | Some other -> fail "unknown event kind %S" other
   | None -> fail "event line without an \"ev\" field"
 
@@ -482,6 +501,8 @@ let pp_event ppf = function
     Format.fprintf ppf "shard s%d ops=%d log=%d @%g" shard ops log time
   | Alert { time; rule; series; value } ->
     Format.fprintf ppf "alert %s on %s value=%g @%g" rule series value time
+  | Stall { pid; dst; time } ->
+    Format.fprintf ppf "stall %d->%d @%g" pid dst time
 
 (* ------------------------------- diff --------------------------------- *)
 

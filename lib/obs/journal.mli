@@ -72,6 +72,12 @@ type event =
       (** a soak alert rule fired at a sample tick: [rule] is the
           canonical rule string, [series] the offending series (labels
           included), [value] the reading that tripped it *)
+  | Stall of { pid : int; dst : int; time : float }
+      (** multicore backpressure: a frame [pid] pushed toward [dst]
+          found the destination mailbox full and took the
+          drain-own-mailbox slow path (recorded once per stalled frame,
+          not per retry) — only the flight recorder of the parallel
+          engine emits these *)
 
 type t
 

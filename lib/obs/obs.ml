@@ -7,6 +7,7 @@ module Journal = Journal
 module Monitor = Monitor
 module Series = Series
 module Alert = Alert
+module Recorder = Recorder
 
 type replica = { pid : int; profile : Profile.t }
 
@@ -36,6 +37,11 @@ let replica t pid =
     let r = { pid; profile = Profile.create () } in
     t.replicas <- r :: t.replicas;
     r
+
+let adopt t (r : replica) =
+  t.replicas <- r :: List.filter (fun x -> x.pid <> r.pid) t.replicas
+
+let make_replica pid = { pid; profile = Profile.create () }
 
 let record_divergence t ~time ~distinct =
   t.divergence <- (time, distinct) :: t.divergence

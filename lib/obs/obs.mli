@@ -26,6 +26,7 @@ module Journal = Journal
 module Monitor = Monitor
 module Series = Series
 module Alert = Alert
+module Recorder = Recorder
 
 (** Per-replica handle, passed to protocol replicas via
     [Protocol.ctx.obs]. *)
@@ -49,7 +50,21 @@ val create : ?span_wire_bytes:int -> ?journal:Journal.t -> unit -> t
 (** [span_wire_bytes] defaults to [0]; [journal] to [None]. *)
 
 val replica : t -> int -> replica
-(** Find-or-create the handle for [pid]. *)
+(** Find-or-create the handle for [pid]. {b Not domain-safe}: the walk
+    over (and consing onto) the shared replica list is a data race if
+    two domains call it concurrently — multicore callers must build
+    their handles with {!make_replica} inside each domain and hand them
+    to {!adopt} after the joins. *)
+
+val make_replica : int -> replica
+(** A detached handle (fresh profile), not registered anywhere — the
+    multicore engine creates one per domain, inside the domain, so no
+    shared state is touched on the hot path. *)
+
+val adopt : t -> replica -> unit
+(** Register a detached handle built with {!make_replica}, replacing
+    any existing handle for the same pid. Call from the collector,
+    after the writing domain has joined. *)
 
 val record_divergence : t -> time:float -> distinct:int -> unit
 (** One probe sample: [distinct] state fingerprints among live replicas

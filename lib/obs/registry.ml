@@ -64,6 +64,31 @@ let observe h x =
 
 let hist_count h = h.nsamples
 
+(* ----------------------------- sharding ------------------------------- *)
+
+(* A shard is a registry a single domain owns outright during a
+   parallel run: the multicore engine hands one to each domain so hot
+   paths never touch the shared registry's metric list (find-or-create
+   mutates it), then folds the shards back with [merge] after the
+   joins — the joins are the synchronisation points. *)
+let shard _parent = create ()
+
+let merge ~into src =
+  List.iter
+    (fun ((name, labels), m) ->
+      match m with
+      | Counter c -> inc ~by:c.n (counter into ~labels name)
+      | Gauge g ->
+        (* max, not last-write: the merge must be order-independent
+           across shards, and every gauge the engine shards (mailbox
+           depth) is a high-water mark. *)
+        let dst = gauge into ~labels name in
+        if g.v > dst.v then dst.v <- g.v
+      | Hist h ->
+        let dst = hist into ~labels name in
+        List.iter (fun x -> observe dst x) (List.rev h.samples))
+    (List.rev src.metrics)
+
 (* ---------------------------- snapshots ------------------------------- *)
 
 (* A cheap instantaneous reading of every metric for the time-series
@@ -296,6 +321,75 @@ let row_of_json j =
     | k -> fail "registry dump: unknown metric type %s" k
   in
   { name; labels; data }
+
+(* --------------------------- dump merging ----------------------------- *)
+
+(* `ucsim report a.json b.json ...` renders per-domain shard dumps as
+   one table. Counters add and gauges take the max (order-independent,
+   like [merge]). Histogram rows are already summarized, so the raw
+   samples are gone: counts, sums, maxima and log2 buckets combine
+   exactly, the mean is recomputed from sum/count, and the quantiles
+   are re-read from the merged buckets — each answer is a bucket upper
+   bound, i.e. exact to within the 2x bucket resolution. *)
+
+let bucket_quantile buckets total q =
+  if total = 0 then 0.0
+  else begin
+    let target = q *. float_of_int total in
+    let rec go cum = function
+      | [] -> ( match List.rev buckets with [] -> 0.0 | (le, _) :: _ -> le)
+      | (le, c) :: rest ->
+        let cum = cum + c in
+        if float_of_int cum >= target then le else go cum rest
+    in
+    go 0 buckets
+  end
+
+let merge_hist_dump a b =
+  let count = a.count + b.count in
+  let sum = a.sum +. b.sum in
+  let buckets =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (le, c) ->
+        Hashtbl.replace tbl le
+          (c + Option.value ~default:0 (Hashtbl.find_opt tbl le)))
+      (a.buckets @ b.buckets);
+    Hashtbl.fold (fun le c acc -> (le, c) :: acc) tbl []
+    |> List.sort (fun (x, _) (y, _) -> Float.compare x y)
+  in
+  {
+    count;
+    sum;
+    mean = (if count = 0 then 0.0 else sum /. float_of_int count);
+    p50 = bucket_quantile buckets count 0.5;
+    p90 = bucket_quantile buckets count 0.9;
+    p99 = bucket_quantile buckets count 0.99;
+    max = Float.max a.max b.max;
+    buckets;
+  }
+
+let merge_data name a b =
+  match (a, b) with
+  | Count x, Count y -> Count (x + y)
+  | Value x, Value y -> Value (Float.max x y)
+  | Histogram x, Histogram y -> Histogram (merge_hist_dump x y)
+  | _ ->
+    fail "registry merge: %s has conflicting metric kinds across dumps" name
+
+let merge_rows dumps =
+  let acc = ref [] in
+  List.iter
+    (List.iter (fun r ->
+         let key = (r.name, canon r.labels) in
+         match List.assoc_opt key !acc with
+         | None -> acc := (key, r) :: !acc
+         | Some prev ->
+           acc :=
+             (key, { r with data = merge_data r.name prev.data r.data })
+             :: List.remove_assoc key !acc))
+    dumps;
+  List.map snd !acc |> List.sort compare_row
 
 let rows_of_json j =
   (* Dumps written before the version field existed carry none and

@@ -47,6 +47,29 @@ val observe : hist -> float -> unit
 
 val hist_count : hist -> int
 
+(** {2 Sharding}
+
+    The multicore engine gives each domain its own registry shard so
+    that hot-path recording never touches memory another domain writes
+    ({!Obs.replica}'s find-or-create walk over a shared list is a data
+    race the moment two domains call it). A shard is an ordinary
+    registry, created before spawning and written by exactly one
+    domain; after the joins the collector folds every shard into the
+    run registry with {!merge}. *)
+
+val shard : t -> t
+(** A fresh, empty registry for one domain's private use. (The parent
+    is not consulted — the argument documents intent and keeps call
+    sites honest about which run the shard belongs to.) *)
+
+val merge : into:t -> t -> unit
+(** Fold a quiescent shard into [into]: counters add, gauges take the
+    max (shards record high-water marks, so max is the
+    order-independent choice), histograms append their samples.
+    Find-or-creates the destination metrics; registration order follows
+    the shard's. @raise Invalid_argument if a [(name, labels)] pair is
+    registered with conflicting kinds. *)
+
 val sample : t -> (string * labels * float) list
 (** Instantaneous snapshot for the time-series sampler, sorted by name
     then labels: counters and gauges read as floats, histograms
@@ -103,3 +126,15 @@ val rows_of_json : Json.t -> row list
     field (pre-versioning) are accepted.
     @raise Failure on a value that is not a registry dump or declares
     an unsupported version. *)
+
+val merge_rows : row list list -> row list
+(** Merge several dumps (e.g. one [--registry-out] file per shard or
+    per run) into one row list, combining rows with the same
+    [(name, labels)] key: counters add, gauges take the max, histograms
+    combine exactly on count/sum/max/buckets with the mean recomputed
+    and p50/p90/p99 re-read from the merged log2 buckets (each answer
+    is a bucket upper bound — exact to within the 2x bucket
+    resolution). Rows unique to one dump pass through untouched. Output
+    is sorted like {!rows}.
+    @raise Failure if a key is a counter in one dump and, say, a gauge
+    in another. *)

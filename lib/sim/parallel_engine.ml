@@ -29,9 +29,14 @@
      [create] time — replicas are created inside their domains but the
      ref is only written before [run] starts, on the main domain, and
      the spawn itself is a synchronisation point.
-   - [Obs]: [Obs.replica] mutates a shared list, so per-replica
-     profiles are pre-created sequentially before spawning, and all
-     registry writes happen after the joins, on the main domain. *)
+   - [Obs]: [Obs.replica] mutates a shared list, so each domain builds
+     a detached handle with [Obs.make_replica] and writes its metrics
+     into a private [Registry.shard]; the coordinating domain adopts
+     the handles and merges the shards after the joins. No shared
+     telemetry state is touched while the domains run.
+   - [Recorder]: handles are per-domain by construction; the frame
+     carries the sender's Lamport stamp so the receiver can order the
+     delivery after the send. *)
 
 type domain_report = {
   pid : int;
@@ -50,7 +55,10 @@ type domain_report = {
 }
 
 module Make (P : Protocol.PROTOCOL) = struct
-  type frame = { src : int; msgs : P.message list }
+  type frame = { src : int; msgs : P.message list; lam : int }
+  (* [lam] is the sender's Lamport stamp for the frame (0 when no
+     recorder is attached); immutable, so sharing it across the
+     mailbox is safe. *)
 
   type config = {
     domains : int;
@@ -59,6 +67,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     batch_every : int;  (* flush broadcasts every k updates; 1 = unbatched *)
     final_read : P.query option;  (* the ω read every replica answers *)
     obs : Obs.t option;
+    recorder : Obs.Recorder.t option;
   }
 
   let default_config ~domains =
@@ -69,12 +78,16 @@ module Make (P : Protocol.PROTOCOL) = struct
       batch_every = 1;
       final_read = None;
       obs = None;
+      recorder = None;
     }
 
   type result = {
     reports : domain_report array;
     replicas : P.t array;
     outputs : (int * P.output) list;  (* ω answers, when [final_read] *)
+    query_outputs : P.output list array;
+        (* per-domain non-ω query answers in issue order; captured only
+           when a recorder is attached (empty lists otherwise) *)
     outputs_agree : bool;
     certificates_agree : bool;
     log_lengths : int array;
@@ -116,18 +129,33 @@ module Make (P : Protocol.PROTOCOL) = struct
     let clients_running = Atomic.make n in
     let quiesced = Atomic.make false in
     let started = Atomic.make 0 in
-    (* Pre-resolve Obs handles on this domain; [Obs.replica] mutates
-       shared state and must not run concurrently. *)
-    let profiles =
+    (* Telemetry shards: one private registry (and one detached replica
+       handle, built in-domain) per domain, so no shared Obs state is
+       touched until the merge after the joins. *)
+    let shards =
       match config.obs with
       | None -> [||]
-      | Some o -> Array.init n (fun pid -> Obs.replica o pid)
+      | Some o -> Array.init n (fun _ -> Obs.Registry.shard o.Obs.registry)
     in
+    let obs_handles = Array.make n None in
+    (match config.recorder with
+    | None -> ()
+    | Some r ->
+      (* Fail fast on an under-sized recorder, before any spawn. *)
+      ignore (Obs.Recorder.handle r (n - 1)));
     let reports = Array.make n None in
     let replicas = Array.make n None in
     let outputs = Array.make n None in
+    let q_outputs = Array.make n [] in
     let spans = Array.make n (0.0, 0.0) in
     let t0 = Unix.gettimeofday () in
+    (match config.recorder with
+    | None -> ()
+    | Some r ->
+      (* Run-relative wall clock; a clock injected at [create] (a
+         test's deterministic counter) wins. The spawn below is the
+         synchronisation point that publishes it. *)
+      Obs.Recorder.install_clock r (fun () -> Unix.gettimeofday () -. t0));
     let body pid () =
       let l =
         {
@@ -144,6 +172,11 @@ module Make (P : Protocol.PROTOCOL) = struct
         }
       in
       let mybox = mailboxes.(pid) in
+      let rh =
+        match config.recorder with
+        | None -> None
+        | Some r -> Some (Obs.Recorder.handle r pid)
+      in
       let replica = ref None in
       let draining = ref false in
       let drain () =
@@ -154,7 +187,12 @@ module Make (P : Protocol.PROTOCOL) = struct
           let rec go () =
             match Mpsc.try_pop mybox with
             | None -> ()
-            | Some { src; msgs } ->
+            | Some { src; msgs; lam } ->
+              (match rh with
+              | None -> ()
+              | Some h ->
+                Obs.Recorder.deliver h ~src ~count:(List.length msgs)
+                  ~frame_lamport:lam);
               (match !replica with
               | Some r -> List.iter (fun m -> P.receive r ~src m) msgs
               | None -> assert false);
@@ -166,27 +204,40 @@ module Make (P : Protocol.PROTOCOL) = struct
           draining := false
         end
       in
-      let deliver ~dst frame =
-        let count = List.length frame.msgs in
+      let deliver ~dst msgs =
+        let count = List.length msgs in
         let bytes =
           config.envelope
-          + List.fold_left (fun acc m -> acc + P.message_wire_size m) 0 frame.msgs
+          + List.fold_left (fun acc m -> acc + P.message_wire_size m) 0 msgs
         in
         l.l_frames <- l.l_frames + 1;
         l.l_messages <- l.l_messages + count;
         l.l_bytes <- l.l_bytes + bytes;
         if count > 1 then l.l_batches <- l.l_batches + 1;
+        let lam =
+          match rh with
+          | None -> 0
+          | Some h -> Obs.Recorder.send h ~dst ~count ~bytes
+        in
+        let frame = { src = pid; msgs; lam } in
         Atomic.incr outstanding;
-        let spins = ref 0 in
-        while not (Mpsc.try_push mailboxes.(dst) frame) do
-          l.l_stalls <- l.l_stalls + 1;
-          (* Drain our own mailbox while the peer's is full: every
-             domain always makes progress on its own queue, so no
-             cycle of full mailboxes can deadlock. *)
-          drain ();
-          incr spins;
-          if !spins > 64 then Unix.sleepf 50e-6 else Domain.cpu_relax ()
-        done
+        if not (Mpsc.try_push mailboxes.(dst) frame) then begin
+          (* One stall event per stalled frame, however many retries the
+             slow path spins through (the retry count stays a metric). *)
+          (match rh with None -> () | Some h -> Obs.Recorder.stall h ~dst);
+          let pushed = ref false in
+          let spins = ref 0 in
+          while not !pushed do
+            l.l_stalls <- l.l_stalls + 1;
+            (* Drain our own mailbox while the peer's is full: every
+               domain always makes progress on its own queue, so no
+               cycle of full mailboxes can deadlock. *)
+            drain ();
+            incr spins;
+            if !spins > 64 then Unix.sleepf 50e-6 else Domain.cpu_relax ();
+            pushed := Mpsc.try_push mailboxes.(dst) frame
+          done
+        end
       in
       let pending = ref [] (* reversed broadcast buffer, batching mode *) in
       let flush () =
@@ -196,20 +247,26 @@ module Make (P : Protocol.PROTOCOL) = struct
           let msgs = List.rev msgs in
           pending := [];
           for dst = 0 to n - 1 do
-            if dst <> pid then deliver ~dst { src = pid; msgs }
+            if dst <> pid then deliver ~dst msgs
           done
       in
       let broadcast_now msg =
         for dst = 0 to n - 1 do
-          if dst <> pid then deliver ~dst { src = pid; msgs = [ msg ] }
+          if dst <> pid then deliver ~dst [ msg ]
         done
+      in
+      (* Detached handle, built in-domain: no shared Obs state touched. *)
+      let obs_handle =
+        match config.obs with
+        | None -> None
+        | Some _ -> Some (Obs.make_replica pid)
       in
       let ctx =
         {
           Protocol.pid;
           n;
           now = (fun () -> Unix.gettimeofday () -. t0);
-          send = (fun ~dst msg -> deliver ~dst { src = pid; msgs = [ msg ] });
+          send = (fun ~dst msg -> deliver ~dst [ msg ]);
           broadcast =
             (if config.batch_every = 1 then broadcast_now
              else fun msg ->
@@ -218,13 +275,13 @@ module Make (P : Protocol.PROTOCOL) = struct
           broadcast_batch =
             (fun msgs -> if msgs <> [] then
                 for dst = 0 to n - 1 do
-                  if dst <> pid then deliver ~dst { src = pid; msgs }
+                  if dst <> pid then deliver ~dst msgs
                 done);
           (* No protocol core uses timers; the wall clock is real here,
              so a virtual-time timer has no meaning. *)
           set_timer = (fun ~delay:_ _ -> ());
           count_replay = (fun k -> l.l_replay <- l.l_replay + k);
-          obs = (if profiles = [||] then None else Some profiles.(pid));
+          obs = obs_handle;
         }
       in
       let r = P.create ctx in
@@ -238,6 +295,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       let t_begin = Unix.gettimeofday () in
       let script = workload.(pid) in
       let lats = Array.make (List.length script) 0.0 in
+      let qout = ref [] in
       List.iteri
         (fun i inv ->
           drain ();
@@ -245,10 +303,18 @@ module Make (P : Protocol.PROTOCOL) = struct
           (match inv with
           | Protocol.Invoke_update u ->
             l.l_updates <- l.l_updates + 1;
+            (* Record the invocation before the sends it causes, so the
+               per-domain stream preserves program order. *)
+            (match rh with None -> () | Some h -> Obs.Recorder.invoke_update h);
             P.update r u ~on_done:ignore
           | Protocol.Invoke_query q ->
             l.l_queries <- l.l_queries + 1;
-            P.query r q ~on_result:ignore);
+            (match rh with
+            | None ->
+              P.query r q ~on_result:ignore
+            | Some h ->
+              Obs.Recorder.invoke_query h ~omega:false;
+              P.query r q ~on_result:(fun o -> qout := o :: !qout)));
           lats.(i) <- Unix.gettimeofday () -. s)
         script;
       flush ();
@@ -274,10 +340,35 @@ module Make (P : Protocol.PROTOCOL) = struct
       | None -> ()
       | Some q ->
         l.l_queries <- l.l_queries + 1;
+        (match rh with
+        | None -> ()
+        | Some h -> Obs.Recorder.invoke_query h ~omega:true);
         P.query r q ~on_result:(fun o -> outputs.(pid) <- Some o));
       let t_end = Unix.gettimeofday () in
       spans.(pid) <- (t_begin, t_end);
       replicas.(pid) <- Some r;
+      q_outputs.(pid) <- List.rev !qout;
+      obs_handles.(pid) <- obs_handle;
+      (* Domain metrics into this domain's private shard; merged into
+         the run registry by the coordinating domain after the joins. *)
+      (match config.obs with
+      | None -> ()
+      | Some _ ->
+        let labels = [ ("pid", string_of_int pid) ] in
+        let reg = shards.(pid) in
+        Obs.Registry.inc ~by:(l.l_updates + l.l_queries)
+          (Obs.Registry.counter reg ~labels "domain_ops");
+        Obs.Registry.inc ~by:l.l_updates
+          (Obs.Registry.counter reg ~labels "domain_updates");
+        Obs.Registry.inc ~by:l.l_bytes
+          (Obs.Registry.counter reg ~labels "domain_bytes_sent");
+        Obs.Registry.inc ~by:l.l_frames
+          (Obs.Registry.counter reg ~labels "domain_frames_sent");
+        Obs.Registry.inc ~by:l.l_stalls
+          (Obs.Registry.counter reg ~labels "mailbox_stalls");
+        Obs.Registry.set
+          (Obs.Registry.gauge reg ~labels "mailbox_depth")
+          (float_of_int l.l_depth));
       reports.(pid) <-
         Some
           {
@@ -330,28 +421,17 @@ module Make (P : Protocol.PROTOCOL) = struct
     (match config.obs with
     | None -> ()
     | Some o ->
-      (* All registry writes on the coordinating domain, post-join. *)
+      (* Fold the per-domain telemetry back in, post-join: adopt the
+         detached replica handles, merge the registry shards. *)
       Array.iter
-        (fun r ->
-          let labels = [ ("pid", string_of_int r.pid) ] in
-          let reg = o.Obs.registry in
-          Obs.Registry.inc ~by:r.ops (Obs.Registry.counter reg ~labels "domain_ops");
-          Obs.Registry.inc ~by:r.updates
-            (Obs.Registry.counter reg ~labels "domain_updates");
-          Obs.Registry.inc ~by:r.bytes_sent
-            (Obs.Registry.counter reg ~labels "domain_bytes_sent");
-          Obs.Registry.inc ~by:r.frames_sent
-            (Obs.Registry.counter reg ~labels "domain_frames_sent");
-          Obs.Registry.inc ~by:r.mailbox_stalls
-            (Obs.Registry.counter reg ~labels "mailbox_stalls");
-          Obs.Registry.set
-            (Obs.Registry.gauge reg ~labels "mailbox_depth")
-            (float_of_int r.mailbox_max_depth))
-        reports);
+        (function Some h -> Obs.adopt o h | None -> ())
+        obs_handles;
+      Array.iter (fun s -> Obs.Registry.merge ~into:o.Obs.registry s) shards);
     {
       reports;
       replicas;
       outputs;
+      query_outputs = q_outputs;
       outputs_agree;
       certificates_agree;
       log_lengths = Array.map (fun r -> P.log_length r) replicas;

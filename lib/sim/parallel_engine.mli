@@ -20,11 +20,18 @@
     differential built on that.
 
     The engine is measurement infrastructure: it is {e not}
-    deterministic (the OS schedule is real), so the deterministic
-    {!Runner}, journal, and replay remain the home of reproducible
-    experiments. Telemetry stays behind the repo-wide contract: every
-    hook is [Obs.t option] defaulting to [None], and registry writes
-    happen only after the domains have joined. *)
+    deterministic (the OS schedule is real) — but with a
+    {!Obs.Recorder} attached it is {e replayable}: each domain records
+    its invocations, sends, deliveries, and stalls into a private
+    buffer, and the analysis layer merges the streams, rebuilds the
+    journal, and re-executes the recorded per-replica delivery order on
+    the sequential core ({!Throughput}). Telemetry stays behind the
+    repo-wide contract: every hook is an option defaulting to [None]
+    ([obs = None], [recorder = None]), obs-off runs are bit-identical
+    to seed, and each domain writes only its own registry shard and
+    detached replica handle — merged and adopted on the coordinating
+    domain after the joins, so no shared Obs state is touched while the
+    domains run. *)
 
 type domain_report = {
   pid : int;
@@ -45,7 +52,9 @@ type domain_report = {
 }
 
 module Make (P : Protocol.PROTOCOL) : sig
-  type frame = { src : int; msgs : P.message list }
+  type frame = { src : int; msgs : P.message list; lam : int }
+  (** [lam] is the sender's Lamport stamp recorded for the frame, [0]
+      when no recorder is attached. *)
 
   type config = {
     domains : int;
@@ -56,10 +65,15 @@ module Make (P : Protocol.PROTOCOL) : sig
             matching the unbatched sequential runner *)
     final_read : P.query option;  (** ω read every replica answers *)
     obs : Obs.t option;
+    recorder : Obs.Recorder.t option;
+        (** flight recorder; must have been created with at least
+            [domains] handles. [None] (the default) records nothing and
+            keeps the hot path free of recorder branches' work *)
   }
 
   val default_config : domains:int -> config
-  (** capacity 1024, envelope 0, unbatched, no ω read, [obs = None]. *)
+  (** capacity 1024, envelope 0, unbatched, no ω read, [obs = None],
+      [recorder = None]. *)
 
   type result = {
     reports : domain_report array;
@@ -67,6 +81,10 @@ module Make (P : Protocol.PROTOCOL) : sig
         (** the replicas after quiescence, for log inspection — only
             the coordinating domain may touch them once [run] returns *)
     outputs : (int * P.output) list;  (** ω answers, when [final_read] *)
+    query_outputs : P.output list array;
+        (** per-domain non-ω query answers in issue order, captured only
+            when a recorder is attached (empty lists otherwise) — what
+            the replay bridge compares recorded outputs against *)
     outputs_agree : bool;
     certificates_agree : bool;
     log_lengths : int array;

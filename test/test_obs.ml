@@ -135,6 +135,75 @@ let registry_tests =
             | exception Failure _ -> ()
             | _ -> Alcotest.fail "accepted a non-dump")
           [ Json.Null; Json.Obj [ ("metrics", Json.Num 1.0) ] ]);
+    (* Sharded collection: each domain writes a private shard, the
+       coordinator merges — counters add, gauges keep the high-water
+       mark, histogram samples pool. *)
+    Alcotest.test_case "shard/merge folds per-domain registries" `Quick
+      (fun () ->
+        let parent = Registry.create () in
+        let s0 = Registry.shard parent and s1 = Registry.shard parent in
+        Registry.inc ~by:3 (Registry.counter s0 ~labels:[ ("pid", "0") ] "ops");
+        Registry.inc ~by:4 (Registry.counter s1 ~labels:[ ("pid", "1") ] "ops");
+        Registry.inc ~by:5 (Registry.counter s0 "total");
+        Registry.inc ~by:6 (Registry.counter s1 "total");
+        Registry.set (Registry.gauge s0 "depth") 9.0;
+        Registry.set (Registry.gauge s1 "depth") 2.0;
+        List.iter (Registry.observe (Registry.hist s0 "lat")) [ 1.0; 3.0 ];
+        List.iter (Registry.observe (Registry.hist s1 "lat")) [ 5.0 ];
+        Registry.merge ~into:parent s0;
+        Registry.merge ~into:parent s1;
+        Alcotest.(check int) "counters add" 11
+          (Registry.counter_value (Registry.counter parent "total"));
+        Alcotest.(check int) "labelled series kept apart" 3
+          (Registry.counter_value
+             (Registry.counter parent ~labels:[ ("pid", "0") ] "ops"));
+        Alcotest.(check int) "hist samples pool" 3
+          (Registry.hist_count (Registry.hist parent "lat"));
+        match
+          List.find
+            (fun (row : Registry.row) -> row.name = "depth")
+            (Registry.rows parent)
+        with
+        | { data = Registry.Value v; _ } ->
+          Alcotest.(check (float 1e-9)) "gauges keep the max" 9.0 v
+        | _ -> Alcotest.fail "depth gauge missing");
+    (* [ucsim report a.json b.json]: dump-level merge, golden bytes so
+       the rendered table is pinned. *)
+    Alcotest.test_case "merge_rows merges dumps (golden bytes)" `Quick
+      (fun () ->
+        let dump inc_by gauge_v samples =
+          let r = Registry.create () in
+          Registry.inc ~by:inc_by
+            (Registry.counter r ~labels:[ ("pid", "0") ] "msgs");
+          Registry.set (Registry.gauge r "depth") gauge_v;
+          List.iter (Registry.observe (Registry.hist r "lat")) samples;
+          Registry.rows_of_json (Registry.to_json r)
+        in
+        let merged =
+          Registry.merge_rows
+            [ dump 7 3.0 [ 1.0; 3.0; 3.0 ]; dump 5 8.0 [ 0.5; 5.0 ] ]
+        in
+        let rendered = Format.asprintf "%a" Registry.pp_rows merged in
+        Alcotest.(check string) "golden table"
+          "depth        8\n\
+           lat          count=5 mean=2.500 p50=4.000 p90=8.000 p99=8.000 \
+           max=5.000\n\
+           msgs{pid=0}  12\n"
+          rendered);
+    Alcotest.test_case "merge_rows rejects kind clashes" `Quick (fun () ->
+        let counter_dump =
+          let r = Registry.create () in
+          Registry.inc (Registry.counter r "x");
+          Registry.rows_of_json (Registry.to_json r)
+        in
+        let gauge_dump =
+          let r = Registry.create () in
+          Registry.set (Registry.gauge r "x") 1.0;
+          Registry.rows_of_json (Registry.to_json r)
+        in
+        match Registry.merge_rows [ counter_dump; gauge_dump ] with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "conflicting kinds merged");
   ]
 
 (* ------------------------------ Span ------------------------------ *)

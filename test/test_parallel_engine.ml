@@ -165,6 +165,124 @@ let obs_rows () =
     (fun name -> Alcotest.(check int) (name ^ " per pid") domains (count name))
     [ "domain_ops"; "domain_updates"; "mailbox_depth"; "mailbox_stalls" ]
 
+(* Flight recorder end to end: any schedule the OS produced must
+   replay on the sequential core to the identical history fingerprint
+   (differential clause 6), with the online monitors staying clean over
+   the same merged stream. *)
+let record_replay_differential () =
+  List.iter
+    (fun (domains, seed) ->
+      let ops = 80 in
+      let scripts =
+        T_counter.uniform_scripts ~seed ~domains ~ops ~query_ratio:0.2
+      in
+      let recorder = Obs.Recorder.create ~domains () in
+      let v =
+        T_counter.measure ~recorder
+          ~monitor:[ Obs.Monitor.Uc; Obs.Monitor.Ec ]
+          ~domains ~final_read:Counter_spec.Value ~scripts ()
+      in
+      let label fmt =
+        Printf.ksprintf (fun s -> Printf.sprintf "d=%d seed=%d: %s" domains seed s) fmt
+      in
+      Alcotest.(check bool) (label "differential ok") true (T_counter.ok v);
+      Alcotest.(check (option bool))
+        (label "journal replay verdict")
+        (Some true) v.T_counter.journal_replay;
+      match v.T_counter.recording with
+      | None -> Alcotest.fail (label "recorder attached but no recording")
+      | Some r ->
+        Alcotest.(check bool)
+          (label "events recorded")
+          true
+          (List.length r.T_counter.events > 0);
+        Alcotest.(check bool)
+          (label "journal non-empty")
+          true
+          (Obs.Journal.length r.T_counter.journal > 0);
+        (match r.T_counter.replay with
+         | Ok fp ->
+           Alcotest.(check string)
+             (label "replay reproduces the recorded fingerprint")
+             r.T_counter.fingerprint fp
+         | Error e -> Alcotest.fail (label "replay failed: %s" e));
+        (match r.T_counter.monitor with
+         | None -> Alcotest.fail (label "monitor requested but absent")
+         | Some m ->
+           Alcotest.(check bool)
+             (label "online monitors clean")
+             true (T_counter.Mon.clean m);
+           Alcotest.(check bool)
+             (label "monitor saw events")
+             true
+             (T_counter.Mon.events_seen m > 0));
+        (* Non-ω query outputs are captured per domain, in issue order,
+           exactly one per scripted query. *)
+        let queries_of script =
+          List.length
+            (List.filter
+               (function Protocol.Invoke_query _ -> true | _ -> false)
+               script)
+        in
+        Array.iteri
+          (fun pid outs ->
+            Alcotest.(check int)
+              (label "query outputs of p%d" pid)
+              (queries_of scripts.(pid))
+              (List.length outs))
+          v.T_counter.run.T_counter.E.query_outputs)
+    [ (1, 3); (2, 7); (3, 5); (4, 2) ]
+
+(* Recording must survive the slow paths: full mailboxes (stall
+   records) and batched frames both replay exactly. *)
+let record_replay_backpressure () =
+  let domains = 3 in
+  let scripts =
+    Throughput.set_zipf_scripts ~seed:5 ~domains ~ops:200 ~skew:1.2
+      ~delete_ratio:0.3
+  in
+  let recorder = Obs.Recorder.create ~domains () in
+  let v =
+    T_set.measure ~recorder ~mailbox_capacity:4 ~domains
+      ~final_read:Set_spec.Read ~scripts ()
+  in
+  Alcotest.(check bool) "differential ok under backpressure" true (T_set.ok v);
+  Alcotest.(check (option bool))
+    "backpressured run replays" (Some true) v.T_set.journal_replay;
+  let stalls =
+    Array.fold_left
+      (fun acc r -> acc + r.Parallel_engine.mailbox_stalls)
+      0 v.T_set.run.T_set.E.reports
+  in
+  let recording =
+    match v.T_set.recording with
+    | Some r -> r
+    | None -> Alcotest.fail "no recording"
+  in
+  let stall_events =
+    List.length
+      (List.filter
+         (function Obs.Recorder.Stall _ -> true | _ -> false)
+         recording.T_set.events)
+  in
+  Alcotest.(check bool) "slow path exercised" true (stalls > 0);
+  Alcotest.(check bool)
+    "stalls landed in the event stream" true (stall_events > 0)
+
+let record_replay_batched () =
+  let domains = 3 in
+  let scripts =
+    T_set.uniform_scripts ~seed:8 ~domains ~ops:128 ~query_ratio:0.1
+  in
+  let recorder = Obs.Recorder.create ~domains () in
+  let v =
+    T_set.measure ~recorder ~batch_every:4 ~domains ~final_read:Set_spec.Read
+      ~scripts ()
+  in
+  Alcotest.(check bool) "batched recording ok" true (T_set.ok v);
+  Alcotest.(check (option bool))
+    "batched run replays" (Some true) v.T_set.journal_replay
+
 let rejects_bad_config () =
   let scripts = T_set.uniform_scripts ~seed:1 ~domains:2 ~ops:1 ~query_ratio:0.0 in
   Alcotest.check_raises "workload width"
@@ -188,5 +306,11 @@ let tests =
     Alcotest.test_case "per-domain reports and latencies" `Quick
       per_domain_reports;
     Alcotest.test_case "obs rows appear only when attached" `Quick obs_rows;
+    Alcotest.test_case "record/replay differential (clause 6) + monitors" `Quick
+      record_replay_differential;
+    Alcotest.test_case "record/replay survives backpressure stalls" `Quick
+      record_replay_backpressure;
+    Alcotest.test_case "record/replay survives batched frames" `Quick
+      record_replay_batched;
     Alcotest.test_case "malformed configs rejected" `Quick rejects_bad_config;
   ]

@@ -68,7 +68,9 @@ let () =
     cell "counter" config
       (T_counter.measure ?obs ?recorder ?monitor ~domains
          ~final_read:Counter_spec.Value ~scripts ())
-      ~ops_per_domain:ops ~row_of:T_counter.row ~ok:T_counter.ok
+      ~ops_per_domain:ops
+      ~row_of:(fun ~ops_per_domain v -> T_counter.row ~ops_per_domain v)
+      ~ok:T_counter.ok
       ~journal_replay:(fun v -> v.T_counter.journal_replay)
       ~monitor_clean:(fun v ->
         Option.bind v.T_counter.recording (fun r ->
@@ -93,7 +95,9 @@ let () =
     cell "set" config
       (T_set.measure ?obs ?recorder ?monitor ~domains ~final_read:Set_spec.Read
          ~scripts ())
-      ~ops_per_domain:(ops / 2) ~row_of:T_set.row ~ok:T_set.ok
+      ~ops_per_domain:(ops / 2)
+      ~row_of:(fun ~ops_per_domain v -> T_set.row ~ops_per_domain v)
+      ~ok:T_set.ok
       ~journal_replay:(fun v -> v.T_set.journal_replay)
       ~monitor_clean:(fun v ->
         Option.bind v.T_set.recording (fun r ->

@@ -2389,8 +2389,8 @@ module Bench_drive (A : Uqadt.S) = struct
   module B = Throughput.Bench (A)
 
   let exec ~spec_name ~seed ~domains ~ops ~query_ratio ~zipf ~mailbox ~batch
-      ~obs ~journal_out ~series_out ~monitors ~sample_interval ~scripts
-      ~final_read ~describe =
+      ~flush_window ~obs ~journal_out ~series_out ~monitors ~sample_interval
+      ~scripts ~final_read ~describe =
     let recording =
       journal_out <> None || series_out <> None || monitors <> []
     in
@@ -2410,15 +2410,17 @@ module Bench_drive (A : Uqadt.S) = struct
             ("query_ratio", Obs.Json.Num query_ratio);
             ("zipf", Obs.Json.Num zipf);
             ("batch", Obs.Json.Num (float_of_int batch));
+            ("flush_window", Obs.Json.Num (float_of_int flush_window));
             ("mailbox", Obs.Json.Num (float_of_int mailbox));
           ]
     in
     let v =
-      B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ?recorder
+      B.measure ~mailbox_capacity:mailbox ~batch_every:batch ~flush_window ?obs
+        ?recorder
         ?monitor:(if monitors = [] then None else Some monitors)
         ?journal_header ~domains ~final_read ~scripts ()
     in
-    let r = B.row ~ops_per_domain:ops v in
+    let r = B.row ~batch ~flush_window ~ops_per_domain:ops v in
     let checks =
       [
         ("logs agree", string_of_bool v.B.logs_agree);
@@ -2554,6 +2556,16 @@ let bench_cmd =
       value & opt int 1
       & info [ "batch" ] ~docv:"K" ~doc:"Broadcast every K local updates.")
   in
+  let flush_window_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flush-window" ] ~docv:"W"
+          ~doc:
+            "Force-flush the per-destination send buffers every $(docv) local \
+             invocations, bounding how long a coalesced message can wait for \
+             its buffer to reach the --batch threshold (0 = no window; \
+             flushes happen only on the threshold and at script end).")
+  in
   let json_arg =
     Arg.(
       value
@@ -2600,7 +2612,8 @@ let bench_cmd =
           ~doc:"Wall-clock series sampling cadence in seconds.")
   in
   let run spec domains ops zipf seed query_ratio shards keys fanout mailbox
-      batch json obs_flag journal_out series_out monitors sample_interval =
+      batch flush_window json obs_flag journal_out series_out monitors
+      sample_interval =
     let obs = if obs_flag then Some (Obs.create ()) else None in
     let clip s =
       if String.length s <= 96 then s else String.sub s 0 93 ^ "..."
@@ -2623,8 +2636,8 @@ let bench_cmd =
         B.zipf_scripts ~seed ~domains ~ops ~keys ~skew ~fanout ~query_ratio
       in
       let v =
-        B.measure ~mailbox_capacity:mailbox ~batch_every:batch ?obs ~shards
-          ~domains ~scripts ()
+        B.measure ~mailbox_capacity:mailbox ~batch_every:batch ~flush_window
+          ?obs ~shards ~domains ~scripts ()
       in
       let r = B.row ~keys ~skew ~fanout v in
       Printf.printf "spec               %s (sharded)\n" r.Throughput.shard_spec;
@@ -2688,8 +2701,9 @@ let bench_cmd =
             ~delete_ratio:0.3
         in
         D.exec ~spec_name:"set" ~seed ~domains ~ops ~query_ratio ~zipf
-          ~mailbox ~batch ~obs ~journal_out ~series_out ~monitors
-          ~sample_interval ~scripts ~final_read:Set_spec.Read ~describe
+          ~mailbox ~batch ~flush_window ~obs ~journal_out ~series_out
+          ~monitors ~sample_interval ~scripts ~final_read:Set_spec.Read
+          ~describe
       end
       else begin
         let packed =
@@ -2702,8 +2716,8 @@ let bench_cmd =
         let scripts = D.B.uniform_scripts ~seed ~domains ~ops ~query_ratio in
         let final_read = A.random_query (Prng.create seed) in
         D.exec ~spec_name:spec ~seed ~domains ~ops ~query_ratio ~zipf:0.0
-          ~mailbox ~batch ~obs ~journal_out ~series_out ~monitors
-          ~sample_interval ~scripts ~final_read ~describe
+          ~mailbox ~batch ~flush_window ~obs ~journal_out ~series_out
+          ~monitors ~sample_interval ~scripts ~final_read ~describe
       end
     in
     Option.iter (fun path -> Throughput.emit_json path [ row ]) json;
@@ -2719,8 +2733,8 @@ let bench_cmd =
     Term.(
       const run $ spec_arg $ domains_arg $ ops_arg $ zipf_arg $ seed_arg
       $ query_ratio_arg $ shards_arg $ keys_arg $ fanout_arg $ mailbox_arg
-      $ batch_arg $ json_arg $ obs_arg $ journal_out_arg $ series_out_arg
-      $ monitor_arg $ sample_interval_arg)
+      $ batch_arg $ flush_window_arg $ json_arg $ obs_arg $ journal_out_arg
+      $ series_out_arg $ monitor_arg $ sample_interval_arg)
 
 let list_cmd =
   let doc = "List protocols and experiments." in

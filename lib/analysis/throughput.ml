@@ -46,6 +46,9 @@ type row = {
   ops_per_domain : int;
   total_ops : int;
   updates : int;
+  batch : int;  (* sender-side coalescing threshold the cell ran with *)
+  flush_window : int;  (* forced-flush cadence in invocations; 0 = none *)
+  frames : int;  (* mailbox frames actually pushed, summed over domains *)
   wall_s : float;
   ops_per_sec : float;
   p50_us : float;
@@ -62,12 +65,13 @@ let emit_json path rows =
     (fun i r ->
       Printf.fprintf oc
         "  {\"spec\": %S, \"domains\": %d, \"ops_per_domain\": %d, \
-         \"total_ops\": %d, \"updates\": %d, \"wall_s\": %.6f, \
+         \"total_ops\": %d, \"updates\": %d, \"batch\": %d, \
+         \"flush_window\": %d, \"frames\": %d, \"wall_s\": %.6f, \
          \"ops_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, \
          \"mailbox_max_depth\": %d, \"mailbox_stalls\": %d, \"ok\": %b}%s\n"
-        r.spec r.domains r.ops_per_domain r.total_ops r.updates r.wall_s
-        r.ops_per_sec r.p50_us r.p99_us r.mailbox_max_depth r.mailbox_stalls
-        r.ok
+        r.spec r.domains r.ops_per_domain r.total_ops r.updates r.batch
+        r.flush_window r.frames r.wall_s r.ops_per_sec r.p50_us r.p99_us
+        r.mailbox_max_depth r.mailbox_stalls r.ok
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "]\n";
@@ -389,12 +393,18 @@ module Bench (A : Uqadt.S) = struct
             | Some o -> lines.(pid) <- History.Qw (final_read, o) :: lines.(pid)
             | None -> stream_error "replay: ω read returned no output")
           | Deliver { src; dst; count; _ } ->
+            (* Pop the recorded frame's messages as one envelope and
+               deliver them through the same batch entry point the
+               parallel engine used, so the replay leg exercises the
+               coalesced path it is certifying. *)
+            let msgs = ref [] in
             for _ = 1 to count do
               if Queue.is_empty queues.(src).(dst) then
                 stream_error
                   "replay: deliver %d->%d exceeds the captured sends" src dst;
-              G.receive replicas.(dst) ~src (Queue.pop queues.(src).(dst))
-            done
+              msgs := Queue.pop queues.(src).(dst) :: !msgs
+            done;
+            G.receive_batch replicas.(dst) ~src (List.rev !msgs)
           | Frame _ | Stall _ -> ()
           | Drop _ | Crash _ | Join _ | Leave _ | Partition _ | Probe _
           | Rebalance _ | Shard _ | Alert _ ->
@@ -452,15 +462,16 @@ module Bench (A : Uqadt.S) = struct
     done;
     scripts
 
-  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?obs ?recorder
-      ?monitor ?journal_header ?(seq_seed = 0) ~domains ~final_read ~scripts
-      () =
+  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?(flush_window = 0)
+      ?obs ?recorder ?monitor ?journal_header ?(seq_seed = 0) ~domains
+      ~final_read ~scripts () =
     let cfg =
       {
         E.domains;
         mailbox_capacity;
         envelope = 0;
         batch_every;
+        flush_window;
         final_read = Some final_read;
         obs;
         recorder;
@@ -545,7 +556,7 @@ module Bench (A : Uqadt.S) = struct
       state_repr = Format.asprintf "%a" A.pp_state folded;
     }
 
-  let row ~ops_per_domain v =
+  let row ?(batch = 1) ?(flush_window = 0) ~ops_per_domain v =
     let p50, p99 =
       match v.latency with
       | None -> (0.0, 0.0)
@@ -558,6 +569,12 @@ module Bench (A : Uqadt.S) = struct
       ops_per_domain;
       total_ops = v.run.E.ops_total;
       updates = v.run.E.updates_total;
+      batch;
+      flush_window;
+      frames =
+        Array.fold_left
+          (fun acc r -> acc + r.Parallel_engine.frames_sent)
+          0 reports;
       wall_s = v.run.E.wall_seconds;
       ops_per_sec = v.run.E.throughput;
       p50_us = p50;
@@ -684,8 +701,8 @@ struct
           acc script)
       0 scripts
 
-  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?obs ?vnodes
-      ~shards ~domains ~scripts () =
+  let measure ?(mailbox_capacity = 1024) ?(batch_every = 1) ?(flush_window = 0)
+      ?obs ?vnodes ~shards ~domains ~scripts () =
     (* Static ring: no policy, so replicas never mutate shared ring
        state during the parallel run. *)
     let map = S.create_map ?vnodes ?obs ~shards () in
@@ -696,6 +713,7 @@ struct
         mailbox_capacity;
         envelope = 0;
         batch_every;
+        flush_window;
         final_read = Some S.K.Sweep;
         obs;
         (* Sharded-space recording is out of scope: the flight recorder

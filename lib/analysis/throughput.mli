@@ -26,6 +26,10 @@ type row = {
   ops_per_domain : int;
   total_ops : int;
   updates : int;
+  batch : int;  (** sender-side coalescing threshold the cell ran with *)
+  flush_window : int;
+      (** forced-flush cadence in invocations; 0 = threshold-only *)
+  frames : int;  (** mailbox frames actually pushed, summed over domains *)
   wall_s : float;
   ops_per_sec : float;
   p50_us : float;
@@ -102,6 +106,7 @@ module Bench (A : Uqadt.S) : sig
   val measure :
     ?mailbox_capacity:int ->
     ?batch_every:int ->
+    ?flush_window:int ->
     ?obs:Obs.t ->
     ?recorder:Obs.Recorder.t ->
     ?monitor:Obs.Monitor.criterion list ->
@@ -173,7 +178,9 @@ module Bench (A : Uqadt.S) : sig
       indices are journal event indices (the walk is the same one
       {!journal_of_events} uses). *)
 
-  val row : ops_per_domain:int -> verdict -> row
+  val row : ?batch:int -> ?flush_window:int -> ops_per_domain:int -> verdict -> row
+  (** [batch]/[flush_window] (defaults 1/0) annotate the row with the
+      knobs the cell ran under — [measure] does not retain them. *)
 end
 
 type shard_row = {
@@ -240,6 +247,7 @@ module Sharded
   val measure :
     ?mailbox_capacity:int ->
     ?batch_every:int ->
+    ?flush_window:int ->
     ?obs:Obs.t ->
     ?vnodes:int ->
     shards:int ->

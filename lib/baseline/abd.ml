@@ -113,6 +113,8 @@ let receive t ~src msg =
       end
     | Some _ | None -> ())
 
+let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
 let message_wire_size = function
   | Collect_req { rid } -> 1 + Wire.varint_size rid
   | Collect_ack { rid; ts; value } ->

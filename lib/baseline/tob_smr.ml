@@ -92,6 +92,8 @@ module Make (A : Uqadt.S) = struct
      sequence, so reads are sequentially consistent (but may lag). *)
   let query t q ~on_result = on_result (A.eval t.state q)
 
+  let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
   let message_wire_size = function
     | Update { ts; update = u } -> Timestamp.wire_size ts + A.update_wire_size u
     | Ack { clock } -> Wire.varint_size clock

@@ -35,7 +35,9 @@ module Make (A : Uqadt.S) = struct
       {
         ctx;
         clock = Lamport.create ();
-        log = Oplog.create ~checkpoint_interval:(max 0 !checkpoint_interval) ();
+        log =
+          Oplog.create ~checkpoint_interval:(max 0 !checkpoint_interval)
+            ~query_cache:true ();
       }
     in
     Option.iter
@@ -56,6 +58,24 @@ module Make (A : Uqadt.S) = struct
     (* Line 9: clock_i <- max(clock_i, cl). *)
     Lamport.merge t.clock ts.Timestamp.clock;
     ignore (Oplog.insert t.log { Oplog.ts; origin = src; payload = u })
+
+  let receive_batch t ~src msgs =
+    (* A coalesced envelope: merge the clock once against the batch
+       maximum (Lamport merge is a max, so folding it message-by-message
+       lands on the same value) and merge the whole envelope into the
+       log in one pass. *)
+    match msgs with
+    | [] -> ()
+    | [ m ] -> receive t ~src m
+    | msgs ->
+      let cl =
+        List.fold_left (fun acc m -> max acc m.ts.Timestamp.clock) 0 msgs
+      in
+      Lamport.merge t.clock cl;
+      ignore
+        (Oplog.insert_batch t.log
+           (List.map (fun m -> { Oplog.ts = m.ts; origin = src; payload = m.update }) msgs)
+          : int)
 
   let query t q ~on_result =
     (* Line 13: queries also advance the clock. *)

@@ -36,6 +36,8 @@ let query t (Memory_spec.Read x) ~on_result =
   | Some (_, v) -> on_result v
   | None -> on_result Memory_spec.initial_value
 
+let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
 let message_wire_size { ts; x; v } =
   Timestamp.wire_size ts + Wire.pair_size (abs x) (abs v)
 

@@ -44,6 +44,8 @@ module Make (A : Uqadt.S) = struct
     t.ctx.Protocol.count_replay steps;
     on_result (A.eval state q)
 
+  let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
   let message_wire_size { ts; update = u } =
     Timestamp.wire_size ts + A.update_wire_size u
 

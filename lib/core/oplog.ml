@@ -8,9 +8,15 @@ type ('u, 's) t = {
       (* (k, fold of the first k entries), k strictly descending *)
   mutable watermark : int;
   mutable profile : Obs.Profile.t option;
+  query_cache : bool;
+  mutable qcache : (int * 's) option;
+      (* (k, fold of the first k entries) from the latest replay; like a
+         checkpoint but free-floating: re-recorded at the log tail on
+         every replay, so a query after a run of appends folds only the
+         suffix that arrived since the previous query. *)
 }
 
-let create ?(checkpoint_interval = 0) () =
+let create ?(checkpoint_interval = 0) ?(query_cache = false) () =
   if checkpoint_interval < 0 then
     invalid_arg "Oplog.create: checkpoint interval must be non-negative";
   {
@@ -20,6 +26,8 @@ let create ?(checkpoint_interval = 0) () =
     checkpoints = [];
     watermark = 0;
     profile = None;
+    query_cache;
+    qcache = None;
   }
 
 let set_profile t p = t.profile <- p
@@ -72,6 +80,11 @@ let insert_at t entry pos =
           p.Obs.Profile.checkpoints_dropped + before
           - List.length t.checkpoints)
   end;
+  (* Same rule for the query cache: a landing before the cached prefix
+     changes the fold it memoised; at or after it leaves it valid. *)
+  (match t.qcache with
+  | Some (k, _) when pos < k -> t.qcache <- None
+  | _ -> ());
   pos
 
 let insert t entry =
@@ -84,6 +97,133 @@ let insert t entry =
      makes delivery at-least-once under churn. Keep insert idempotent. *)
   if pos > 0 && Timestamp.compare t.arr.(pos - 1).ts entry.ts = 0 then pos - 1
   else insert_at t entry pos
+
+(* Batch insertion: one stable sort of the envelope, one capacity
+   check, one back-to-front merge pass over the backing array —
+   O(n + k log k) for k incoming entries against n resident ones,
+   where the sequential path pays k binary searches plus up to k
+   suffix memmoves. Semantically identical to folding [insert] over
+   the batch in order: duplicate timestamps (within the batch or
+   against the log) are the same update delivered again and are
+   skipped; checkpoints and the query cache are invalidated exactly as
+   the sequence of single inserts would have invalidated them (every
+   checkpoint above the lowest fresh landing position dies). *)
+let rec insert_batch t entries =
+  match entries with
+  | [] -> 0
+  | [ e ] ->
+    let len0 = t.len in
+    ignore (insert t e : int);
+    t.len - len0
+  | entries ->
+    List.iter
+      (fun e ->
+        if e.ts.Timestamp.clock <= t.watermark then
+          invalid_arg
+            "Oplog.insert: timestamp at or below the stability watermark")
+      entries;
+    (* Stable sort, then drop in-batch duplicates keeping the first —
+       the order the sequential inserts would have kept. *)
+    let sorted =
+      List.stable_sort (fun a b -> Timestamp.compare a.ts b.ts) entries
+    in
+    let inc =
+      match sorted with
+      | [] -> [||]
+      | first :: rest ->
+        let acc = ref [ first ] and last = ref first in
+        List.iter
+          (fun e ->
+            if Timestamp.compare e.ts !last.ts <> 0 then begin
+              acc := e :: !acc;
+              last := e
+            end)
+          rest;
+        Array.of_list (List.rev !acc)
+    in
+    let k = Array.length inc in
+    (* Lowest landing position among fresh (non-duplicate) entries, in
+       the pre-merge coordinate system: [locate] is monotone in the
+       timestamp, so the first fresh candidate gives the minimum. All
+       checkpoints strictly above it are what the sequential inserts
+       would have dropped. *)
+    let rec first_fresh i =
+      if i >= k then None
+      else
+        let pos = locate t inc.(i).ts in
+        if pos > 0 && Timestamp.compare t.arr.(pos - 1).ts inc.(i).ts = 0 then
+          first_fresh (i + 1)
+        else Some pos
+    in
+    (match first_fresh 0 with
+    | None -> 0 (* every entry already resident: nothing to do *)
+    | Some pos_min ->
+      if t.checkpoints <> [] then begin
+        let before = List.length t.checkpoints in
+        t.checkpoints <- List.filter (fun (ck, _) -> ck <= pos_min) t.checkpoints;
+        profiled t (fun p ->
+            p.Obs.Profile.checkpoints_dropped <-
+              p.Obs.Profile.checkpoints_dropped + before
+              - List.length t.checkpoints)
+      end;
+      (match t.qcache with
+      | Some (ck, _) when pos_min < ck -> t.qcache <- None
+      | _ -> ());
+      merge_batch t inc k)
+
+(* Grow once to worst-case room, then merge from the back so every
+   resident entry moves at most once. Duplicates against the log are
+   skipped during the merge, leaving one contiguous gap (the write
+   pointer stands still while a duplicate is consumed) closed by a
+   single blit. *)
+and merge_batch t inc k =
+    let len0 = t.len in
+    let need = len0 + k in
+    if need > Array.length t.arr then begin
+      let arr = Array.make (max 8 (max need (2 * len0))) inc.(0) in
+      Array.blit t.arr 0 arr 0 len0;
+      t.arr <- arr
+    end;
+    let i = ref (len0 - 1) and j = ref (k - 1) and w = ref (need - 1) in
+    let dups = ref 0 and appended = ref 0 and moved = ref 0 in
+    while !j >= 0 do
+      if !i >= 0 then begin
+        let c = Timestamp.compare t.arr.(!i).ts inc.(!j).ts in
+        if c > 0 then begin
+          t.arr.(!w) <- t.arr.(!i);
+          incr moved;
+          decr i;
+          decr w
+        end
+        else if c = 0 then begin
+          incr dups;
+          decr j
+        end
+        else begin
+          t.arr.(!w) <- inc.(!j);
+          if !moved = 0 then incr appended;
+          decr j;
+          decr w
+        end
+      end
+      else begin
+        t.arr.(!w) <- inc.(!j);
+        decr j;
+        decr w
+      end
+    done;
+    let fresh = k - !dups in
+    if !dups > 0 then
+      (* Close the gap the skipped duplicates left between the resident
+         prefix [0 .. i] and the merged region above it. *)
+      Array.blit t.arr (!i + 1 + !dups) t.arr (!i + 1)
+        (need - !dups - (!i + 1));
+    t.len <- len0 + fresh;
+    profiled t (fun p ->
+        p.Obs.Profile.inserts <- p.Obs.Profile.inserts + fresh;
+        p.Obs.Profile.appends <- p.Obs.Profile.appends + !appended;
+        p.Obs.Profile.shift_distance <- p.Obs.Profile.shift_distance + !moved);
+    fresh
 
 let iter f t =
   for i = 0 to t.len - 1 do
@@ -111,11 +251,20 @@ let load t entries =
       (List.map (fun (ts, origin, payload) -> { ts; origin; payload }) entries);
   t.len <- Array.length t.arr;
   t.checkpoints <- [];
+  t.qcache <- None;
   t.watermark <- 0
 
 let replay t ~apply ~initial =
   let base, state =
     match t.checkpoints with [] -> (0, initial) | (k, s) :: _ -> (k, s)
+  in
+  (* The query cache is re-recorded at the tail of every replay, so it
+     is at least as deep as any interval checkpoint unless an insert
+     landed below it since the last query. Use whichever is deeper. *)
+  let base, state =
+    match t.qcache with
+    | Some (k, s) when k >= base -> (k, s)
+    | _ -> (base, state)
   in
   profiled t (fun p ->
       p.Obs.Profile.replays <- p.Obs.Profile.replays + 1;
@@ -136,6 +285,7 @@ let replay t ~apply ~initial =
           p.Obs.Profile.checkpoints_taken <- p.Obs.Profile.checkpoints_taken + 1)
     end
   done;
+  if t.query_cache then t.qcache <- Some (t.len, !state);
   (!state, t.len - base)
 
 let checkpoints_live t = List.length t.checkpoints
@@ -161,8 +311,11 @@ let compact t ~upto_clock ~apply snapshot =
         p.Obs.Profile.checkpoints_dropped <-
           p.Obs.Profile.checkpoints_dropped + List.length t.checkpoints);
     (* Checkpoint bases shifted by [stop]; simplest safe move is to
-       drop the cache (compacting protocols do not use it). *)
+       drop the cache (compacting protocols do not use it). The query
+       cache goes with them for the same reason: its base index and
+       its folded-in prefix both moved out from under it. *)
     t.checkpoints <- [];
+    t.qcache <- None;
     t.watermark <- upto_clock;
     (!state, stop)
   end
@@ -186,7 +339,9 @@ let checksum s =
   !acc
 
 let encode_list ~encode_update entries =
-  let w = Codec.Writer.create () in
+  (* Capacity hint only (16 bytes/entry); the frame is identical either
+     way, the writer just skips the doubling-realloc ladder. *)
+  let w = Codec.Writer.create ~size:(8 + (16 * List.length entries)) () in
   String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) magic;
   Codec.Writer.u8 w version;
   Codec.Writer.varint w (List.length entries);

@@ -48,9 +48,16 @@ type 'u entry = { ts : Timestamp.t; origin : int; payload : 'u }
 type ('u, 's) t
 (** A log of ['u] payloads whose checkpoints hold ['s] states. *)
 
-val create : ?checkpoint_interval:int -> unit -> ('u, 's) t
+val create : ?checkpoint_interval:int -> ?query_cache:bool -> unit -> ('u, 's) t
 (** An empty log. [checkpoint_interval] (default [0] = checkpoints off)
     is how many entries {!replay} folds between recorded states.
+    [query_cache] (default [false]) additionally memoises the full fold
+    at the end of every {!replay}, so a query issued after a run of
+    appends folds only the suffix that arrived since the previous
+    query; an insert landing below the cached prefix invalidates it,
+    exactly like a checkpoint. Only enable it when every {!replay} on
+    this log uses the same [apply]/[initial] (the checkpoint
+    assumption).
     @raise Invalid_argument if the interval is negative. *)
 
 val set_profile : ('u, 's) t -> Obs.Profile.t option -> unit
@@ -81,6 +88,19 @@ val insert : ('u, 's) t -> 'u entry -> int
     delivery at-least-once) and the log is left unchanged.
     @raise Invalid_argument if the timestamp's clock is at or below the
     stability {!watermark}. *)
+
+val insert_batch : ('u, 's) t -> 'u entry list -> int
+(** Insert a whole envelope of entries and return how many were fresh.
+    Semantically identical to folding {!insert} over the list in order
+    — duplicate timestamps (within the batch or against the log) are
+    skipped, checkpoints above the lowest fresh landing position are
+    invalidated — but costs one stable sort of the batch plus a single
+    back-to-front merge pass over the backing array (every resident
+    entry moves at most once), instead of k binary searches each
+    paying a suffix memmove.
+    @raise Invalid_argument if any timestamp's clock is at or below
+    the stability {!watermark}; the log is then left unchanged (the
+    batch is validated before the merge). *)
 
 val iter : ('u entry -> unit) -> ('u, 's) t -> unit
 

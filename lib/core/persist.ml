@@ -40,11 +40,14 @@ struct
   let version = 1
 
   let snapshot_replica replica =
-    let w = Codec.Writer.create () in
+    let log = G.encode_log replica ~encode_update:C.encode in
+    (* magic + version + clock varint + length varint + log, pre-sized
+       so the writer never reallocates under a large log. *)
+    let w = Codec.Writer.create ~size:(String.length log + 24) () in
     String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) replica_magic;
     Codec.Writer.u8 w version;
     Codec.Writer.varint w (G.clock_value replica);
-    Codec.Writer.byte_string w (G.encode_log replica ~encode_update:C.encode);
+    Codec.Writer.byte_string w log;
     Codec.Writer.contents w
 
   let decode_replica s =

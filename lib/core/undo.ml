@@ -79,6 +79,8 @@ module Make (A : Undoable.S) = struct
     (* The current state is maintained incrementally: no replay at all. *)
     on_result (A.eval t.state q)
 
+  let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
   let message_wire_size { ts; update = u } =
     Timestamp.wire_size ts + A.update_wire_size u
 

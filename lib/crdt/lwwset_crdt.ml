@@ -57,6 +57,8 @@ let query t Set_spec.Read ~on_result =
   in
   on_result s
 
+let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
 let message_wire_size { ts; element; adding = _ } =
   Timestamp.wire_size ts + Wire.varint_size (abs element) + 1
 

@@ -68,6 +68,8 @@ let query t Set_spec.Read ~on_result =
 
 let tag_bytes { origin; serial } = Wire.pair_size origin serial
 
+let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
 let message_wire_size { vc; op } =
   Vector_clock.wire_size vc
   +

@@ -32,6 +32,8 @@ let query t Set_spec.Read ~on_result =
   in
   on_result present
 
+let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
 let message_wire_size { element; delta } = Wire.varint_size (abs element) + 1 + abs delta
 
 let describe_message { element; delta } = Printf.sprintf "Δ(%d,%+d)" element delta

@@ -32,6 +32,8 @@ module Lwwreg = struct
   let query t Register_spec.Read ~on_result =
     on_result (match t.current with None -> Register_spec.initial | Some (_, v) -> v)
 
+  let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
   let message_wire_size { ts; value } = Timestamp.wire_size ts + Wire.varint_size (abs value)
 
   let describe_message { ts; value } = Format.asprintf "w(%d)%a" value Timestamp.pp ts

@@ -36,6 +36,8 @@ module Make (L : LATTICE) = struct
 
   let query t q ~on_result = on_result (L.read t.payload q)
 
+  let receive_batch t ~src msgs = List.iter (receive t ~src) msgs
+
   let message_wire_size = L.payload_bytes
 
   let describe_message p = Printf.sprintf "state(%dB)" (L.payload_bytes p)

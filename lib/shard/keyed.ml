@@ -237,7 +237,9 @@ struct
     List.init n (fun _ -> decode_keyed C.decode r)
 
   let to_string u =
-    let w = Codec.Writer.create () in
+    (* Batches are fanout-wide: hint past the writer's 16-byte default
+       so multi-key frames build without reallocating. *)
+    let w = Codec.Writer.create ~size:(4 + (12 * List.length u)) () in
     encode w u;
     Codec.Writer.contents w
 

@@ -233,12 +233,12 @@ struct
      timestamp-union merge. Shard moves ride the Join/Rejoin
      machinery, they do not reimplement it. *)
   let ucs_frame ~clock entries =
-    let w = Codec.Writer.create () in
+    let log = Oplog.encode_list ~encode_update:OneC.encode entries in
+    let w = Codec.Writer.create ~size:(String.length log + 24) () in
     String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) "UCS";
     Codec.Writer.u8 w 1;
     Codec.Writer.varint w clock;
-    Codec.Writer.byte_string w
-      (Oplog.encode_list ~encode_update:OneC.encode entries);
+    Codec.Writer.byte_string w log;
     Codec.Writer.contents w
 
   let migrate t =
@@ -397,6 +397,40 @@ struct
     set_log_gauge t s;
     flush t
 
+  let receive_batch t ~src msgs =
+    match msgs with
+    | [] -> ()
+    | [ m ] -> receive t ~src m
+    | msgs ->
+      migrate t;
+      (* Route the whole envelope once, grouping by (shard, epoch tag)
+         with arrival order kept inside each group, so every per-shard
+         Algorithm 1 core sees one merged batch. Distinct groups
+         commute — they land either on different cores or in the same
+         timestamp-ordered log under distinct origin encodings — so
+         regrouping preserves equivalence with per-message delivery.
+         Shard gauges are settled once per touched shard and the
+         outbox flushed once for the whole envelope. *)
+      let groups = ref [] and touched = ref [] in
+      List.iter
+        (fun (s_tag, m) ->
+          let k, _ = Inner.message_update m in
+          let s = Ring.route t.map.ring k in
+          match List.assoc_opt (s, s_tag) !groups with
+          | Some r -> r := m :: !r
+          | None ->
+            groups := ((s, s_tag), ref [ m ]) :: !groups;
+            if not (List.mem s !touched) then touched := s :: !touched)
+        msgs;
+      List.iter
+        (fun ((s, s_tag), r) ->
+          Inner.receive_batch (instance t s)
+            ~src:((s_tag * t.ctx.Protocol.n) + src)
+            (List.rev !r))
+        (List.rev !groups);
+      List.iter (fun s -> set_log_gauge t s) (List.rev !touched);
+      flush t
+
   let merged_state t =
     List.fold_left
       (fun acc (_, inst) ->
@@ -451,17 +485,26 @@ struct
   let snapshot t =
     migrate t;
     let shards = live_instances t in
-    let w = Codec.Writer.create () in
+    let frames =
+      List.map
+        (fun (s, inst) ->
+          match IC.snapshot inst with
+          | Some frame -> (s, frame)
+          | None -> assert false)
+        shards
+    in
+    let size =
+      List.fold_left (fun a (_, f) -> a + String.length f + 16) 8 frames
+    in
+    let w = Codec.Writer.create ~size () in
     String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) "UCX";
     Codec.Writer.u8 w 1;
-    Codec.Writer.varint w (List.length shards);
+    Codec.Writer.varint w (List.length frames);
     List.iter
-      (fun (s, inst) ->
+      (fun (s, frame) ->
         Codec.Writer.varint w s;
-        match IC.snapshot inst with
-        | Some frame -> Codec.Writer.byte_string w frame
-        | None -> assert false)
-      shards;
+        Codec.Writer.byte_string w frame)
+      frames;
     Some (Codec.Writer.contents w)
 
   let absorb t bytes =

@@ -64,7 +64,15 @@ module Make (P : Protocol.PROTOCOL) = struct
     domains : int;
     mailbox_capacity : int;
     envelope : int;  (* per-frame overhead bytes, as [Runner.config] *)
-    batch_every : int;  (* flush broadcasts every k updates; 1 = unbatched *)
+    batch_every : int;
+        (* per-destination coalescing threshold: a destination's buffer
+           is flushed as one frame once it holds k messages; 1 =
+           unbatched, every message its own frame *)
+    flush_window : int;
+        (* force a flush of every buffer after this many invocations,
+           bounding how long a coalesced message may wait for its
+           buffer to fill; 0 = no window (threshold + boundary flushes
+           only) *)
     final_read : P.query option;  (* the ω read every replica answers *)
     obs : Obs.t option;
     recorder : Obs.Recorder.t option;
@@ -76,6 +84,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       mailbox_capacity = 1024;
       envelope = 0;
       batch_every = 1;
+      flush_window = 0;
       final_read = None;
       obs = None;
       recorder = None;
@@ -120,12 +129,21 @@ module Make (P : Protocol.PROTOCOL) = struct
       invalid_arg "Parallel_engine.run: one workload script per domain";
     if config.batch_every <= 0 then
       invalid_arg "Parallel_engine.run: batch_every must be positive";
+    if config.flush_window < 0 then
+      invalid_arg "Parallel_engine.run: flush_window must be non-negative";
     let mailboxes = Array.init n (fun _ -> Mpsc.create config.mailbox_capacity) in
     (* In-flight frame count: bumped before a frame is pushed, dropped
        after its messages have been processed. Zero (together with all
        clients done) therefore means: no frame is queued anywhere and
        none is being processed whose handler could still send. *)
     let outstanding = Atomic.make 0 in
+    (* Domains currently holding coalesced-but-undelivered messages.
+       A domain increments this before its first buffered message
+       becomes visible and decrements only after the flushed frames
+       have been counted into [outstanding], so the quiescence
+       predicate [clients done ∧ outstanding = 0 ∧ buffered = 0] never
+       observes a message in neither census. *)
+    let buffered = Atomic.make 0 in
     let clients_running = Atomic.make n in
     let quiesced = Atomic.make false in
     let started = Atomic.make 0 in
@@ -178,28 +196,37 @@ module Make (P : Protocol.PROTOCOL) = struct
         | Some r -> Some (Obs.Recorder.handle r pid)
       in
       let replica = ref None in
+      (* Spin-then-park pacing for the two busy-wait loops (stalled
+         pushes, quiescence idling): a cheap [cpu_relax] burst first,
+         then exponentially growing sleeps, reset whenever the loop
+         makes progress — so transient contention costs nanoseconds
+         while sustained backpressure degrades to a polite poll
+         instead of a fixed-cadence sleep storm. *)
+      let stall_bk = Mpsc.Backoff.create ~park:Unix.sleepf ~park_max:2e-4 () in
+      let idle_bk = Mpsc.Backoff.create ~park:Unix.sleepf ~park_max:2e-4 () in
       let draining = ref false in
       let drain () =
         if not !draining then begin
           draining := true;
           let d = Mpsc.length mybox in
           if d > l.l_depth then l.l_depth <- d;
-          let rec go () =
-            match Mpsc.try_pop mybox with
+          let handle { src; msgs; lam } =
+            (match rh with
             | None -> ()
-            | Some { src; msgs; lam } ->
-              (match rh with
-              | None -> ()
-              | Some h ->
-                Obs.Recorder.deliver h ~src ~count:(List.length msgs)
-                  ~frame_lamport:lam);
-              (match !replica with
-              | Some r -> List.iter (fun m -> P.receive r ~src m) msgs
-              | None -> assert false);
-              l.l_received <- l.l_received + List.length msgs;
-              Atomic.decr outstanding;
-              go ()
+            | Some h ->
+              Obs.Recorder.deliver h ~src ~count:(List.length msgs)
+                ~frame_lamport:lam);
+            (match !replica with
+            | Some r -> P.receive_batch r ~src msgs
+            | None -> assert false);
+            l.l_received <- l.l_received + List.length msgs;
+            Atomic.decr outstanding
           in
+          (* Batch dequeue: every [pop_run] takes the whole ready run in
+             one synchronisation; loop until the mailbox is momentarily
+             dry so frames that arrived while we processed are taken
+             too. *)
+          let rec go () = if Mpsc.pop_run mybox handle > 0 then go () in
           go ();
           draining := false
         end
@@ -225,35 +252,53 @@ module Make (P : Protocol.PROTOCOL) = struct
           (* One stall event per stalled frame, however many retries the
              slow path spins through (the retry count stays a metric). *)
           (match rh with None -> () | Some h -> Obs.Recorder.stall h ~dst);
+          Mpsc.Backoff.reset stall_bk;
           let pushed = ref false in
-          let spins = ref 0 in
           while not !pushed do
             l.l_stalls <- l.l_stalls + 1;
             (* Drain our own mailbox while the peer's is full: every
                domain always makes progress on its own queue, so no
                cycle of full mailboxes can deadlock. *)
             drain ();
-            incr spins;
-            if !spins > 64 then Unix.sleepf 50e-6 else Domain.cpu_relax ();
+            Mpsc.Backoff.once stall_bk;
             pushed := Mpsc.try_push mailboxes.(dst) frame
           done
         end
       in
-      let pending = ref [] (* reversed broadcast buffer, batching mode *) in
-      let flush () =
-        match !pending with
+      (* Sender-side coalescing: one buffer per destination (newest
+         first), flushed as a single frame when it reaches
+         [batch_every] messages, when the flush window expires, and at
+         the script/quiescence boundaries. [buffered_total] is the
+         domain-private census across all buffers backing the shared
+         [buffered] advertisement. *)
+      let buffers = Array.make n [] in
+      let buffer_counts = Array.make n 0 in
+      let buffered_total = ref 0 in
+      let enqueue dst msg =
+        if !buffered_total = 0 then Atomic.incr buffered;
+        buffers.(dst) <- msg :: buffers.(dst);
+        buffer_counts.(dst) <- buffer_counts.(dst) + 1;
+        incr buffered_total
+      in
+      let flush_dst dst =
+        match buffers.(dst) with
         | [] -> ()
         | msgs ->
-          let msgs = List.rev msgs in
-          pending := [];
-          for dst = 0 to n - 1 do
-            if dst <> pid then deliver ~dst msgs
-          done
+          buffers.(dst) <- [];
+          let c = buffer_counts.(dst) in
+          buffer_counts.(dst) <- 0;
+          (* [deliver] bumps [outstanding] before the push, and only
+             then do we retire the buffered census — so no observer can
+             see the frame in neither count. *)
+          deliver ~dst (List.rev msgs);
+          buffered_total := !buffered_total - c;
+          if !buffered_total = 0 then Atomic.decr buffered
       in
-      let broadcast_now msg =
-        for dst = 0 to n - 1 do
-          if dst <> pid then deliver ~dst [ msg ]
-        done
+      let flush_all () =
+        if !buffered_total > 0 then
+          for dst = 0 to n - 1 do
+            flush_dst dst
+          done
       in
       (* Detached handle, built in-domain: no shared Obs state touched. *)
       let obs_handle =
@@ -266,16 +311,34 @@ module Make (P : Protocol.PROTOCOL) = struct
           Protocol.pid;
           n;
           now = (fun () -> Unix.gettimeofday () -. t0);
-          send = (fun ~dst msg -> deliver ~dst [ msg ]);
+          (* Every send path goes through the per-destination buffers,
+             so one peer's messages keep their issue order relative to
+             each other regardless of which entry point produced them.
+             At the default threshold of 1 each message (or each
+             [broadcast_batch] envelope) flushes immediately, matching
+             the unbatched per-frame accounting exactly. *)
+          send =
+            (fun ~dst msg ->
+              enqueue dst msg;
+              if buffer_counts.(dst) >= config.batch_every then flush_dst dst);
           broadcast =
-            (if config.batch_every = 1 then broadcast_now
-             else fun msg ->
-               pending := msg :: !pending;
-               if List.length !pending >= config.batch_every then flush ());
+            (fun msg ->
+              for dst = 0 to n - 1 do
+                if dst <> pid then begin
+                  enqueue dst msg;
+                  if buffer_counts.(dst) >= config.batch_every then
+                    flush_dst dst
+                end
+              done);
           broadcast_batch =
-            (fun msgs -> if msgs <> [] then
+            (fun msgs ->
+              if msgs <> [] then
                 for dst = 0 to n - 1 do
-                  if dst <> pid then deliver ~dst msgs
+                  if dst <> pid then begin
+                    List.iter (enqueue dst) msgs;
+                    if buffer_counts.(dst) >= config.batch_every then
+                      flush_dst dst
+                  end
                 done);
           (* No protocol core uses timers; the wall clock is real here,
              so a virtual-time timer has no meaning. *)
@@ -299,7 +362,11 @@ module Make (P : Protocol.PROTOCOL) = struct
       List.iteri
         (fun i inv ->
           drain ();
-          let s = Unix.gettimeofday () in
+          (* Nanosecond monotonic stamps: at multicore rates one
+             invocation costs well under a microsecond, which
+             [Unix.gettimeofday]'s resolution floors to exactly 0.0 —
+             degenerating every latency percentile. *)
+          let s = Monotonic_clock.now () in
           (match inv with
           | Protocol.Invoke_update u ->
             l.l_updates <- l.l_updates + 1;
@@ -315,24 +382,35 @@ module Make (P : Protocol.PROTOCOL) = struct
             | Some h ->
               Obs.Recorder.invoke_query h ~omega:false;
               P.query r q ~on_result:(fun o -> qout := o :: !qout)));
-          lats.(i) <- Unix.gettimeofday () -. s)
+          lats.(i) <-
+            Int64.to_float (Int64.sub (Monotonic_clock.now ()) s) *. 1e-9;
+          if config.flush_window > 0 && (i + 1) mod config.flush_window = 0
+          then flush_all ())
         script;
-      flush ();
+      flush_all ();
       Atomic.decr clients_running;
-      (* Quiescence: drain until every client is done and no frame is
-         in flight anywhere. The first domain to observe that state
-         closes the mailboxes (a safety net for blocked waiters; by
-         then every queue is provably empty). *)
-      let idle = ref 0 in
+      (* Quiescence: drain (and flush what the drains' receive handlers
+         may have coalesced) until every client is done, no frame is in
+         flight anywhere, and no domain holds buffered messages. The
+         first domain to observe that state closes the mailboxes (a
+         safety net for blocked waiters; by then every queue is
+         provably empty). *)
+      Mpsc.Backoff.reset idle_bk;
       while not (Atomic.get quiesced) do
+        let before = l.l_received in
         drain ();
-        if Atomic.get clients_running = 0 && Atomic.get outstanding = 0 then begin
+        flush_all ();
+        if
+          Atomic.get clients_running = 0
+          && Atomic.get outstanding = 0
+          && Atomic.get buffered = 0
+        then begin
           if Atomic.compare_and_set quiesced false true then
             Array.iter Mpsc.close mailboxes
         end
         else begin
-          incr idle;
-          if !idle > 64 then Unix.sleepf 50e-6 else Domain.cpu_relax ()
+          if l.l_received <> before then Mpsc.Backoff.reset idle_bk;
+          Mpsc.Backoff.once idle_bk
         end
       done;
       drain ();

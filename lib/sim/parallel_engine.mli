@@ -3,14 +3,19 @@
     connected by bounded MPSC mailboxes ({!Mpsc}).
 
     Each domain owns one replica plus a closed-loop client playing a
-    pre-generated invocation script; broadcasts become frames pushed
-    into every peer's mailbox, with the same per-frame byte accounting
-    as the sequential {!Network} (envelope + per-message wire size,
-    [batches_sent] when a frame carries more than one message). At the
+    pre-generated invocation script; sends coalesce in per-destination
+    buffers flushed as one frame per [batch_every] messages (threshold
+    1 = unbatched), with the same per-frame byte accounting as the
+    sequential {!Network} (envelope + per-message wire size,
+    [batches_sent] when a frame carries more than one message).
+    Deliveries drain each mailbox a run at a time ({!Mpsc.pop_run})
+    into the protocol's [receive_batch], and both busy-wait loops pace
+    themselves with spin-then-park backoff ({!Mpsc.Backoff}). At the
     end of the scripts the engine drains every mailbox to quiescence,
     has every replica answer an optional ω read, and reports
     convergence (outputs and update certificates) together with
-    wall-clock throughput and per-invocation latencies.
+    wall-clock throughput and per-invocation latencies (nanosecond
+    monotonic stamps, reported in seconds).
 
     Proposition 4 is what makes the result checkable: under strong
     update consistency the final state depends only on the timestamp
@@ -61,8 +66,15 @@ module Make (P : Protocol.PROTOCOL) : sig
     mailbox_capacity : int;
     envelope : int;  (** per-frame overhead bytes, as [Runner.config] *)
     batch_every : int;
-        (** flush broadcasts every k updates; 1 = one frame per message,
-            matching the unbatched sequential runner *)
+        (** per-destination coalescing threshold: each peer's buffer is
+            flushed as one frame once it holds this many messages; 1 =
+            one frame per message, matching the unbatched sequential
+            runner exactly *)
+    flush_window : int;
+        (** force-flush every buffer after this many local invocations,
+            bounding how long a coalesced message can wait for its
+            buffer to fill; 0 = no window, flushes happen only on the
+            size threshold and at script/quiescence boundaries *)
     final_read : P.query option;  (** ω read every replica answers *)
     obs : Obs.t option;
     recorder : Obs.Recorder.t option;
@@ -72,8 +84,8 @@ module Make (P : Protocol.PROTOCOL) : sig
   }
 
   val default_config : domains:int -> config
-  (** capacity 1024, envelope 0, unbatched, no ω read, [obs = None],
-      [recorder = None]. *)
+  (** capacity 1024, envelope 0, unbatched, no flush window, no ω read,
+      [obs = None], [recorder = None]. *)
 
   type result = {
     reports : domain_report array;

@@ -29,6 +29,13 @@ module type PROTOCOL = sig
 
   val receive : t -> src:int -> message -> unit
 
+  val receive_batch : t -> src:int -> message list -> unit
+  (** Deliver a coalesced envelope from one peer, observably equivalent
+      to [List.iter (receive t ~src)] in list order. Protocols with a
+      batch-aware core (one clock merge, one log merge pass) override
+      the default per-message iteration; for the rest the equivalence
+      is literal. *)
+
   val message_wire_size : message -> int
 
   val describe_message : message -> string

@@ -148,6 +148,37 @@ let try_pop t =
     v
   | None -> None
 
+(* Batch dequeue: consume the whole run of ready slots in one pass.
+   Each slot's sequence is still released individually — producers
+   claim slots by per-slot sequence, so releasing early lets them
+   refill behind the consumer — but the head is republished once and
+   sleeping producers are woken once per run instead of once per
+   record. Single consumer only, like [try_pop]. *)
+let pop_run ?limit t f =
+  let limit = match limit with None -> max_int | Some l -> l in
+  let n = ref 0 in
+  let running = ref (limit > 0) in
+  while !running do
+    let ticket = t.head in
+    let slot = ticket mod t.cap in
+    let s = Atomic.get t.seq.(slot) in
+    if s = ticket + 1 then begin
+      let v = t.buf.(slot) in
+      t.buf.(slot) <- None;
+      Atomic.set t.seq.(slot) (ticket + t.cap);
+      t.head <- ticket + 1;
+      incr n;
+      if !n >= limit then running := false;
+      match v with Some v -> f v | None -> assert false
+    end
+    else running := false
+  done;
+  if !n > 0 then begin
+    Atomic.set t.head_pub t.head;
+    wake_producers t
+  end;
+  !n
+
 let pop t =
   match pop_raw t with
   | Some _ as v ->
@@ -182,3 +213,56 @@ let close t =
   Condition.broadcast t.nonempty;
   Condition.broadcast t.nonfull;
   Mutex.unlock t.lock
+
+(* Spin-then-park adaptive backoff for callers that must retry a ring
+   operation while staying responsive to other duties (the engine's
+   delivery loop drains its own mailbox between retries, so it cannot
+   simply block in [push]). A bounded burst of [Domain.cpu_relax]
+   spins covers the common case of a consumer a few instructions away;
+   past that the caller-supplied [park] is invoked with an
+   exponentially growing pause, capped, and reset on success — so a
+   transient stall costs nanoseconds while a genuinely full mailbox
+   degrades to a polite poll instead of a condvar stampede. *)
+module Backoff = struct
+  type t = {
+    spin_limit : int;
+    park_min : float;
+    park_max : float;
+    park : float -> unit;
+    mutable spins : int;
+    mutable pause : float;
+    mutable parks : int;
+  }
+
+  let create ?(spin_limit = 64) ?(park_min = 1e-6) ?(park_max = 1e-3)
+      ?(park = fun (_ : float) -> Domain.cpu_relax ()) () =
+    if spin_limit < 0 then invalid_arg "Mpsc.Backoff.create: negative spin limit";
+    if park_min <= 0.0 || park_max < park_min then
+      invalid_arg "Mpsc.Backoff.create: park bounds must satisfy 0 < min <= max";
+    {
+      spin_limit;
+      park_min;
+      park_max;
+      park;
+      spins = 0;
+      pause = park_min;
+      parks = 0;
+    }
+
+  let reset b =
+    b.spins <- 0;
+    b.pause <- b.park_min
+
+  let once b =
+    if b.spins < b.spin_limit then begin
+      b.spins <- b.spins + 1;
+      Domain.cpu_relax ()
+    end
+    else begin
+      b.parks <- b.parks + 1;
+      b.park b.pause;
+      b.pause <- Float.min b.park_max (b.pause *. 2.0)
+    end
+
+  let parks b = b.parks
+end

@@ -37,6 +37,15 @@ val push : 'a t -> 'a -> unit
 val try_pop : 'a t -> 'a option
 (** Dequeue without blocking; [None] when empty. Single consumer only. *)
 
+val pop_run : ?limit:int -> 'a t -> ('a -> unit) -> int
+(** Drain the run of records that are ready right now — up to [limit]
+    of them (default unbounded) — calling [f] on each in FIFO order,
+    and return how many were consumed. One head republish and at most
+    one producer wakeup for the whole run, instead of one per record;
+    each slot is still released individually so producers refill
+    behind the drain. Never blocks; [0] when empty. Single consumer
+    only. *)
+
 val pop : 'a t -> 'a option
 (** Dequeue, blocking while the queue is empty; [None] only once the
     queue is closed {e and} drained. Single consumer only. *)
@@ -46,3 +55,34 @@ val close : 'a t -> unit
     remain poppable; further pushes raise {!Closed}. *)
 
 val is_closed : 'a t -> bool
+
+(** Spin-then-park adaptive backoff for retry loops around the ring —
+    a bounded [Domain.cpu_relax] burst first, then exponentially
+    growing (capped) parks through a caller-supplied sleep. Reset on
+    success so the next stall starts cheap again. *)
+module Backoff : sig
+  type t
+
+  val create :
+    ?spin_limit:int ->
+    ?park_min:float ->
+    ?park_max:float ->
+    ?park:(float -> unit) ->
+    unit ->
+    t
+  (** [spin_limit] (default 64) pure spins before the first park;
+      [park] (default: one more [Domain.cpu_relax], i.e. spin-only)
+      receives the pause in seconds, growing twofold from [park_min]
+      (default 1µs) to [park_max] (default 1ms).
+      @raise Invalid_argument on a negative spin limit or park bounds
+      violating [0 < min <= max]. *)
+
+  val once : t -> unit
+  (** Wait one step: spin while the burst lasts, park afterwards. *)
+
+  val reset : t -> unit
+  (** Declare success: the next {!once} starts a fresh cheap burst. *)
+
+  val parks : t -> int
+  (** Cumulative parks taken (never reset) — the stall observable. *)
+end

@@ -117,6 +117,109 @@ let blocking_producers_released_by_close () =
     Alcotest.fail "push succeeded on a full closed queue");
   Alcotest.(check (option int)) "contents intact" (Some 0) (Mpsc.try_pop q)
 
+(* [pop_run] must behave exactly like a [try_pop] loop: in-order, no
+   loss, stop at empty or at [limit], leave the remainder poppable. *)
+let pop_run_basics () =
+  let q = Mpsc.create 8 in
+  for i = 1 to 6 do
+    ignore (Mpsc.try_push q i : bool)
+  done;
+  let got = ref [] in
+  Alcotest.(check int) "limited run" 2
+    (Mpsc.pop_run ~limit:2 q (fun v -> got := v :: !got));
+  Alcotest.(check (list int)) "limit respects order" [ 1; 2 ] (List.rev !got);
+  got := [];
+  Alcotest.(check int) "drains the rest" 4
+    (Mpsc.pop_run q (fun v -> got := v :: !got));
+  Alcotest.(check (list int)) "rest in order" [ 3; 4; 5; 6 ] (List.rev !got);
+  Alcotest.(check int) "empty run" 0 (Mpsc.pop_run q (fun _ -> assert false));
+  Alcotest.(check int) "zero limit" 0
+    (Mpsc.pop_run ~limit:0 q (fun _ -> assert false))
+
+(* The engine's drain pattern under multi-producer fire: batch dequeue
+   must lose nothing, reorder nothing, and keep per-producer FIFO —
+   and because each slot's sequence is released as it is consumed,
+   producers must be able to refill the ring behind the drain. *)
+let pop_run_multi_producer () =
+  let producers = 4 and per = 2_500 in
+  let q = Mpsc.create 32 in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Mpsc.push q (p, i)
+            done))
+  in
+  let seen = Array.make producers 0 in
+  let received = ref 0 in
+  while !received < producers * per do
+    let n =
+      Mpsc.pop_run q (fun (p, i) ->
+          Alcotest.(check int) "per-producer fifo" seen.(p) i;
+          seen.(p) <- i + 1;
+          incr received)
+    in
+    if n = 0 then Domain.cpu_relax ()
+  done;
+  List.iter Domain.join doms;
+  Array.iteri
+    (fun p c -> Alcotest.(check int) (Printf.sprintf "producer %d" p) per c)
+    seen;
+  Alcotest.(check (option (pair int int))) "drained" None (Mpsc.try_pop q)
+
+let pop_run_wakes_blocked_producer () =
+  let q = Mpsc.create 2 in
+  ignore (Mpsc.try_push q 0 : bool);
+  ignore (Mpsc.try_push q 1 : bool);
+  let blocked = Domain.spawn (fun () -> Mpsc.push q 2) in
+  Unix.sleepf 0.05;
+  let first = Mpsc.pop_run q ignore in
+  Alcotest.(check bool) "drained something" true (first >= 1);
+  Domain.join blocked;
+  let rec settle () = if Mpsc.pop_run q ignore > 0 then settle () in
+  settle ();
+  Alcotest.(check int) "nothing lost, nothing left" 0 (Mpsc.length q)
+
+(* The spin-then-park policy, observed through an instrumented park
+   function: no park during the spin burst, then exponentially doubling
+   pauses clamped at the cap, and [reset] restarting the cycle. *)
+let backoff_policy () =
+  let parked = ref [] in
+  let b =
+    Mpsc.Backoff.create ~spin_limit:4 ~park_min:0.001 ~park_max:0.004
+      ~park:(fun d -> parked := d :: !parked)
+      ()
+  in
+  for _ = 1 to 4 do
+    Mpsc.Backoff.once b
+  done;
+  Alcotest.(check (list (float 0.0))) "spin burst never parks" [] !parked;
+  for _ = 1 to 4 do
+    Mpsc.Backoff.once b
+  done;
+  Alcotest.(check (list (float 0.0)))
+    "parks double up to the cap"
+    [ 0.001; 0.002; 0.004; 0.004 ]
+    (List.rev !parked);
+  Alcotest.(check int) "parks counted" 4 (Mpsc.Backoff.parks b);
+  Mpsc.Backoff.reset b;
+  parked := [];
+  Mpsc.Backoff.once b;
+  Alcotest.(check (list (float 0.0))) "reset restores the spin burst" [] !parked
+
+let backoff_rejects_bad_args () =
+  Alcotest.check_raises "negative spin limit"
+    (Invalid_argument "Mpsc.Backoff.create: negative spin limit")
+    (fun () ->
+      ignore (Mpsc.Backoff.create ~spin_limit:(-1) () : Mpsc.Backoff.t));
+  Alcotest.check_raises "bad park range"
+    (Invalid_argument
+       "Mpsc.Backoff.create: park bounds must satisfy 0 < min <= max")
+    (fun () ->
+      ignore
+        (Mpsc.Backoff.create ~park_min:0.01 ~park_max:0.001 ()
+          : Mpsc.Backoff.t))
+
 let rejects_bad_capacity () =
   Alcotest.check_raises "zero"
     (Invalid_argument "Mpsc.create: capacity must be positive") (fun () ->
@@ -132,5 +235,13 @@ let tests =
     Alcotest.test_case "multi-producer stress" `Quick multi_producer_stress;
     Alcotest.test_case "close releases blocked producers" `Quick
       blocking_producers_released_by_close;
+    Alcotest.test_case "pop_run basics" `Quick pop_run_basics;
+    Alcotest.test_case "pop_run multi-producer stress" `Quick
+      pop_run_multi_producer;
+    Alcotest.test_case "pop_run wakes blocked producers" `Quick
+      pop_run_wakes_blocked_producer;
+    Alcotest.test_case "backoff spin-then-park policy" `Quick backoff_policy;
+    Alcotest.test_case "backoff rejects bad arguments" `Quick
+      backoff_rejects_bad_args;
     Alcotest.test_case "rejects non-positive capacity" `Quick rejects_bad_capacity;
   ]

@@ -248,4 +248,151 @@ let tests =
           (Oplog.encode_list ~encode_update:Update_codec.For_set.encode [])
           (Oplog.encode ~update_wire_size:Set_spec.update_wire_size
              ~encode_update:Update_codec.For_set.encode log));
+    (* The one-pass batch merge: any chunking of any arrival order —
+       duplicate timestamps included, within a chunk and against the
+       resident log — must leave the log, the surviving checkpoints,
+       the watermark, and the frame bytes exactly as one-at-a-time
+       insertion does, with replays interleaved so there are live
+       checkpoints for the batch path to invalidate (or wrongly keep). *)
+    qtest ~count:300 "insert_batch of any chunking equals sequential inserts"
+      seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let n = Prng.int rng 60 in
+        let entries =
+          List.init n (fun _ ->
+              ( Timestamp.make ~clock:(1 + Prng.int rng 12)
+                  ~pid:(Prng.int rng 3),
+                Prng.int rng 3,
+                Set_spec.random_update rng ))
+        in
+        let chunks =
+          let rec go acc cur = function
+            | [] -> List.rev (List.rev cur :: acc)
+            | e :: tl ->
+              if Prng.int rng 4 = 0 then go (List.rev cur :: acc) [ e ] tl
+              else go acc (e :: cur) tl
+          in
+          go [] [] entries
+        in
+        let interval = Prng.int rng 6 in
+        let seq = Oplog.create ~checkpoint_interval:interval () in
+        let bat = Oplog.create ~checkpoint_interval:interval () in
+        List.for_all
+          (fun chunk ->
+            let len0 = Oplog.length seq in
+            insert_all seq chunk;
+            let fresh =
+              Oplog.insert_batch bat
+                (List.map
+                   (fun (ts, origin, payload) -> { Oplog.ts; origin; payload })
+                   chunk)
+            in
+            (if Prng.int rng 2 = 0 then begin
+               ignore
+                 (Oplog.replay seq ~apply:Set_spec.apply
+                    ~initial:Set_spec.initial);
+               ignore
+                 (Oplog.replay bat ~apply:Set_spec.apply
+                    ~initial:Set_spec.initial)
+             end);
+            fresh = Oplog.length seq - len0
+            && Oplog.to_list bat = Oplog.to_list seq
+            && Oplog.watermark bat = Oplog.watermark seq
+            && Oplog.checkpoints_live bat = Oplog.checkpoints_live seq)
+          chunks
+        && Oplog.encode_list ~encode_update:Update_codec.For_set.encode
+             (Oplog.to_list bat)
+           = Oplog.encode_list ~encode_update:Update_codec.For_set.encode
+               (Oplog.to_list seq)
+        &&
+        let sb, _ =
+          Oplog.replay bat ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        let ss, _ =
+          Oplog.replay seq ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        Set_spec.equal_state sb ss);
+    qtest ~count:300 "insert_batch is idempotent on re-delivered batches"
+      seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let entries = entry_batch rng in
+        let batch =
+          List.map
+            (fun (ts, origin, payload) -> { Oplog.ts; origin; payload })
+            entries
+        in
+        let log = Oplog.create () in
+        let first = Oplog.insert_batch log batch in
+        let again = Oplog.insert_batch log batch in
+        first = List.length entries
+        && again = 0
+        && Oplog.to_list log = by_timestamp entries);
+    Alcotest.test_case "insert_batch below the watermark is all-or-nothing"
+      `Quick
+      (fun () ->
+        let log : (Set_spec.update, Set_spec.state) Oplog.t = Oplog.create () in
+        let entry clock =
+          { Oplog.ts = Timestamp.make ~clock ~pid:0;
+            origin = 0;
+            payload = Set_spec.Insert clock;
+          }
+        in
+        ignore (Oplog.insert log (entry 5) : int);
+        let _ = Oplog.compact log ~upto_clock:3 ~apply:Set_spec.apply Set_spec.initial in
+        let before = Oplog.to_list log in
+        Alcotest.check_raises "stale entry rejected"
+          (Invalid_argument
+             "Oplog.insert: timestamp at or below the stability watermark")
+          (fun () -> ignore (Oplog.insert_batch log [ entry 9; entry 2 ] : int));
+        Alcotest.(check bool) "log unchanged" true (Oplog.to_list log = before);
+        Alcotest.(check int) "valid batch still lands" 1
+          (Oplog.insert_batch log [ entry 9 ]));
+    qtest ~count:200 "query cache folds only the unstable suffix" seed_gen
+      (fun seed ->
+        let rng = Prng.create seed in
+        let n = 2 + Prng.int rng 80 in
+        let log = Oplog.create ~query_cache:true () in
+        for i = 1 to n do
+          ignore
+            (Oplog.insert log
+               { Oplog.ts = Timestamp.make ~clock:(i * 2) ~pid:0;
+                 origin = 0;
+                 payload = Set_spec.random_update rng;
+               })
+        done;
+        let expect () = fold_states (Oplog.to_list log) in
+        let s1, steps1 =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        let s2, steps2 =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        (* Tail append leaves the cache valid; a late insert before it
+           must invalidate. *)
+        ignore
+          (Oplog.insert log
+             { Oplog.ts = Timestamp.make ~clock:((n + 1) * 2) ~pid:0;
+               origin = 0;
+               payload = Set_spec.random_update rng;
+             });
+        let s3, steps3 =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        let e3 = expect () in
+        ignore
+          (Oplog.insert log
+             { Oplog.ts = Timestamp.make ~clock:3 ~pid:1;
+               origin = 1;
+               payload = Set_spec.random_update rng;
+             });
+        let s4, steps4 =
+          Oplog.replay log ~apply:Set_spec.apply ~initial:Set_spec.initial
+        in
+        steps1 = n && steps2 = 0 && steps3 = 1
+        && steps4 = n + 2
+        && Set_spec.equal_state s1 s2
+        && Set_spec.equal_state s3 e3
+        && Set_spec.equal_state s4 (expect ()));
   ]

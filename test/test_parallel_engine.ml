@@ -283,12 +283,40 @@ let record_replay_batched () =
   Alcotest.(check (option bool))
     "batched run replays" (Some true) v.T_set.journal_replay
 
+(* The flush window bounds buffer residency when the batch threshold is
+   too high to ever trip: with batch_every far above the op count, the
+   window is the only thing (before the end-of-script flush) moving
+   messages, and the differential must still close. *)
+let flush_window_differential () =
+  let scripts =
+    T_set.uniform_scripts ~seed:11 ~domains:3 ~ops:128 ~query_ratio:0.0
+  in
+  let v =
+    T_set.measure ~batch_every:1_000_000 ~flush_window:8 ~domains:3
+      ~final_read:Set_spec.Read ~scripts ()
+  in
+  Alcotest.(check bool) "windowed run converges" true (T_set.ok v);
+  let frames, messages =
+    Array.fold_left
+      (fun (f, m) r ->
+        (f + r.Parallel_engine.frames_sent, m + r.Parallel_engine.messages_sent))
+      (0, 0) v.T_set.run.T_set.E.reports
+  in
+  Alcotest.(check bool) "window actually coalesced" true (frames < messages)
+
 let rejects_bad_config () =
   let scripts = T_set.uniform_scripts ~seed:1 ~domains:2 ~ops:1 ~query_ratio:0.0 in
   Alcotest.check_raises "workload width"
     (Invalid_argument "Parallel_engine.run: one workload script per domain")
     (fun () ->
-      ignore (T_set.E.run (T_set.E.default_config ~domains:3) ~workload:scripts))
+      ignore (T_set.E.run (T_set.E.default_config ~domains:3) ~workload:scripts));
+  Alcotest.check_raises "negative flush window"
+    (Invalid_argument "Parallel_engine.run: flush_window must be non-negative")
+    (fun () ->
+      let cfg =
+        { (T_set.E.default_config ~domains:2) with T_set.E.flush_window = -1 }
+      in
+      ignore (T_set.E.run cfg ~workload:scripts))
 
 let tests =
   [
@@ -312,5 +340,7 @@ let tests =
       record_replay_backpressure;
     Alcotest.test_case "record/replay survives batched frames" `Quick
       record_replay_batched;
+    Alcotest.test_case "flush window coalesces and converges" `Quick
+      flush_window_differential;
     Alcotest.test_case "malformed configs rejected" `Quick rejects_bad_config;
   ]

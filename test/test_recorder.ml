@@ -270,6 +270,71 @@ let pinned_recorded_journal () =
     "3c742a2e018f3fd5c1ee3814d843572be7e240ab73d61ddad27e3b825328f8ef"
     (Sha256.hex (Obs.Journal.to_jsonl journal))
 
+(* The batched sibling of the pin above: the same two domains, but each
+   direction's updates ride one coalesced two-message frame — the shape
+   the engine produces with [batch_every] > 1. The deliver pops both
+   messages at once, so the replay bridge exercises [receive_batch] on
+   the sequential core, and the journal bytes get their own pin (the
+   unbatched pin must never move; this one covers the batched wire). *)
+let scripts_2dom_batched :
+    (Counter_spec.update, Counter_spec.query) Protocol.invocation list array =
+  [|
+    [
+      Protocol.Invoke_update (Counter_spec.Add 1);
+      Protocol.Invoke_update (Counter_spec.Add 2);
+    ];
+    [
+      Protocol.Invoke_update (Counter_spec.Add 10);
+      Protocol.Invoke_update (Counter_spec.Add 20);
+    ];
+  |]
+
+let record_2dom_batched r =
+  let h0 = R.handle r 0 and h1 = R.handle r 1 in
+  R.invoke_update h0;
+  (* p0: Add 1, buffered *)
+  R.invoke_update h0;
+  (* p0: Add 2, buffered *)
+  let lam01 = R.send h0 ~dst:1 ~count:2 ~bytes:24 in
+  R.invoke_update h1;
+  R.invoke_update h1;
+  let lam10 = R.send h1 ~dst:0 ~count:2 ~bytes:24 in
+  R.deliver h0 ~src:1 ~count:2 ~frame_lamport:lam10;
+  R.deliver h1 ~src:0 ~count:2 ~frame_lamport:lam01;
+  R.invoke_query h0 ~omega:true;
+  R.invoke_query h1 ~omega:true
+
+let pinned_batched_journal () =
+  let r = R.create ~now:(counter_clock ()) ~domains:2 () in
+  record_2dom_batched r;
+  let journal =
+    T_counter.journal_of_events
+      ~header:
+        [
+          ("engine", Obs.Json.Str "parallel");
+          ("spec", Obs.Json.Str "counter");
+          ("batch", Obs.Json.Num 2.0);
+        ]
+      ~scripts:scripts_2dom_batched ~final_read:Counter_spec.Value
+      ~query_outputs:[| []; [] |]
+      ~omega_outputs:[ (0, 33); (1, 33) ]
+      (R.events r)
+  in
+  Alcotest.(check int) "one journal event per record" 10
+    (Obs.Journal.length journal);
+  (match
+     T_counter.replay_journal ~scripts:scripts_2dom_batched
+       ~final_read:Counter_spec.Value journal
+   with
+   | Ok fp ->
+     Alcotest.(check (option string))
+       "replay hits the footer" (Some fp)
+       (Obs.Journal.fingerprint journal)
+   | Error e -> Alcotest.fail ("batched replay failed: " ^ e));
+  Alcotest.(check string) "sha256 of the batched journal"
+    "a8bb6686bdcad05a63d13301896998ce74ab00b3c70a0306959b9b9289f35d01"
+    (Sha256.hex (Obs.Journal.to_jsonl journal))
+
 (* A corrupt recording — the stream claims one more update than the
    script holds — must be rejected, not replayed into nonsense. *)
 let mismatched_scripts_rejected () =
@@ -380,6 +445,8 @@ let tests =
       merge_is_faithful;
     Alcotest.test_case "recorded journal is byte-pinned and replays" `Quick
       pinned_recorded_journal;
+    Alcotest.test_case "batched journal is byte-pinned and replays" `Quick
+      pinned_batched_journal;
     Alcotest.test_case "mismatched recording rejected" `Quick
       mismatched_scripts_rejected;
     Alcotest.test_case "planted violation: monitor agrees with batch checker"
